@@ -1,0 +1,83 @@
+// Reproduces Table 2 (trace characteristics) and Figure 1 (cumulative
+// request-frequency / file-set-size distribution, shown for Rutgers in the
+// paper; we print all four presets).
+//
+// Flags: --trace=NAME (only that preset) --points=N --csv=PATH
+#include <iostream>
+
+#include "harness/report.hpp"
+#include "trace/presets.hpp"
+#include "trace/stats.hpp"
+#include "trace/synthetic.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coop;
+  const util::Flags flags(argc, argv);
+  const std::string only = flags.get("trace", "");
+  const auto points = static_cast<std::size_t>(flags.get_int("points", 20));
+
+  harness::print_heading(
+      "Table 2: characteristics of the WWW traces used",
+      "Synthetic presets calibrated to the paper's traces (see DESIGN.md).");
+
+  util::TextTable t2;
+  t2.set_header({"Trace", "Num. of files", "Avg file size", "Num. of requests",
+                 "Avg request size", "File set size", "99% working set"});
+
+  std::vector<trace::Trace> traces;
+  for (const auto& spec : trace::all_presets()) {
+    if (!only.empty() && spec.name != only) continue;
+    traces.push_back(trace::generate(spec));
+  }
+
+  std::vector<trace::TraceStats> stats;
+  stats.reserve(traces.size());
+  for (const auto& tr : traces) {
+    const auto s = trace::compute_stats(tr, points);
+    t2.add_row({tr.name, std::to_string(s.num_files),
+                util::fixed(s.avg_file_kb, 2) + " KB",
+                std::to_string(s.num_requests),
+                util::fixed(s.avg_request_kb, 2) + " KB",
+                util::fixed(s.file_set_mb, 2) + " MB",
+                util::fixed(static_cast<double>(s.working_set_bytes_99) /
+                                (1024.0 * 1024.0),
+                            1) +
+                    " MB"});
+    stats.push_back(s);
+  }
+  t2.print();
+
+  util::CsvWriter csv;
+  csv.set_header({"trace", "file_fraction", "request_fraction", "cum_mb"});
+
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    harness::print_heading(
+        "Figure 1: " + traces[i].name +
+            " cumulative request frequency and file set size",
+        "Files sorted by decreasing request frequency.");
+    util::TextTable fig;
+    fig.set_header({"files (top %)", "requests covered", "cum. size (MB)"});
+    for (const auto& p : stats[i].cdf) {
+      fig.add_row({util::percent(p.file_fraction, 1),
+                   util::percent(p.request_fraction, 1),
+                   util::fixed(static_cast<double>(p.cum_bytes) /
+                                   (1024.0 * 1024.0),
+                               1)});
+      csv.add_row({traces[i].name, util::fixed(p.file_fraction, 4),
+                   util::fixed(p.request_fraction, 4),
+                   util::fixed(static_cast<double>(p.cum_bytes) /
+                                   (1024.0 * 1024.0),
+                               2)});
+    }
+    fig.print();
+    std::cout << "=> caching " << util::percent(0.99, 0) << " of requests needs "
+              << util::fixed(static_cast<double>(stats[i].working_set_bytes_99) /
+                                 (1024.0 * 1024.0),
+                             0)
+              << " MB (paper cites 494 MB for Rutgers)\n";
+  }
+
+  harness::maybe_write_csv(csv, flags.get("csv", ""));
+  return 0;
+}

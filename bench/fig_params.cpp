@@ -1,0 +1,53 @@
+// Prints Table 1: the simulation parameters, alongside the scraped literal
+// values and the reconstruction rationale (see DESIGN.md).
+#include <iostream>
+
+#include "harness/report.hpp"
+#include "hw/params.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace coop;
+  const hw::ModelParams p;
+
+  harness::print_heading("Table 1: simulation parameters",
+                         "Sizes in KB, times in ms. 'paper' column is the "
+                         "scraped literal; see DESIGN.md for reconstruction "
+                         "notes.");
+
+  util::TextTable t;
+  t.set_header({"Event", "paper", "this model"});
+  t.add_row({"Parsing time", ".1ms", util::fixed(p.parse_ms, 2) + " ms"});
+  t.add_row({"Serving time", ".1 + (Size/115)ms",
+             util::fixed(p.serve_base_ms, 2) + " + Size/" +
+                 util::fixed(1.0 / p.serve_per_kb_ms, 0) + " ms"});
+  t.add_row({"Process a file request", ".3 + (NBlocks*.1)ms",
+             util::fixed(p.process_request_base_ms, 2) + " + NBlocks*" +
+                 util::fixed(p.process_request_per_block_ms, 2) + " ms"});
+  t.add_row({"Serve peer block request", ".7ms",
+             util::fixed(p.serve_peer_block_ms, 2) + " ms"});
+  t.add_row(
+      {"Cache a new block", ".1ms", util::fixed(p.cache_block_ms, 2) + " ms"});
+  t.add_row({"Process an evicted master block", ".16ms",
+             util::fixed(p.evict_master_ms, 2) + " ms"});
+  t.add_row({"Disk read (non-contiguous)", "(Size/3)ms",
+             "2*" + util::fixed(p.disk_seek_ms, 1) + " + Size/" +
+                 util::fixed(1.0 / p.disk_per_kb_ms, 0) + " ms"});
+  t.add_row({"Disk read (contiguous)", "(Size/3)ms",
+             "Size/" + util::fixed(1.0 / p.disk_per_kb_ms, 0) + " ms"});
+  t.add_row({"Bus transfer time", ".1 + (Size/13172)ms",
+             util::fixed(p.bus_base_ms, 2) + " + Size/" +
+                 util::fixed(1.0 / p.bus_per_kb_ms, 0) + " ms"});
+  t.add_row({"Network latency", ".38ms",
+             util::fixed(p.net_latency_ms, 3) + " ms"});
+  t.print();
+
+  std::cout << "\nGeometry: block " << util::human_bytes(p.block_bytes)
+            << ", disk contiguity unit " << util::human_bytes(p.disk_unit_bytes)
+            << " (" << p.blocks_per_unit() << " blocks/unit)\n"
+            << "NIC: " << util::fixed(1.0 / p.nic_per_kb_ms, 0)
+            << " KB/ms (Gb/s), control message " << p.control_kb
+            << " KB, router " << util::fixed(p.router_ms, 3)
+            << " ms/request\n";
+  return 0;
+}

@@ -1,0 +1,163 @@
+// repro_check: one binary that verifies every headline claim of the paper at
+// reduced scale and prints PASS/FAIL per claim. Exit code 0 iff all pass.
+//
+// This is the quick "does the reproduction hold" gate; the fig*/ablation_*
+// binaries produce the full tables. Runs in roughly a minute.
+//
+// Flags: --requests=N (default 50000)
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "trace/stats.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+struct Check {
+  std::string claim;
+  std::string measured;
+  bool pass;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coop;
+  const util::Flags flags(argc, argv);
+  const auto requests =
+      static_cast<std::size_t>(flags.get_int("requests", 50000));
+
+  std::vector<Check> checks;
+  const auto add = [&](std::string claim, std::string measured, bool pass) {
+    std::cout << (pass ? "[PASS] " : "[FAIL] ") << claim << " — " << measured
+              << "\n";
+    checks.push_back({std::move(claim), std::move(measured), pass});
+  };
+
+  // --- Claim 1 (Fig 1 / Table 2): Rutgers' 99% working set ~ 494 MB. ---
+  {
+    const auto tr = harness::load_trace("rutgers", 0);
+    const double mb = static_cast<double>(trace::working_set_bytes(tr, 0.99)) /
+                      (1024.0 * 1024.0);
+    add("rutgers 99% working set within 15% of the paper's 494 MB",
+        util::fixed(mb, 0) + " MB", mb > 420.0 && mb < 570.0);
+  }
+
+  const auto tr = harness::load_trace("rutgers", requests);
+  const auto mems = std::vector<std::uint64_t>{16ull << 20, 64ull << 20};
+  const auto points =
+      harness::run_memory_sweep(tr, harness::all_systems(), 8, mems);
+  const auto rps = [&](server::SystemKind s, std::uint64_t mem) {
+    return harness::find_point(points, s, mem).metrics.throughput_rps;
+  };
+
+  // --- Claim 2 (Fig 2/3): CC-NEM >= 80% of L2S. ---
+  {
+    double worst = 1e9;
+    for (const auto mem : mems) {
+      worst = std::min(worst, rps(server::SystemKind::kCcNem, mem) /
+                                  rps(server::SystemKind::kL2S, mem));
+    }
+    add("CC-NEM achieves >= 80% of L2S throughput",
+        "worst ratio " + util::fixed(worst, 2), worst >= 0.8);
+  }
+
+  // --- Claim 3 (Fig 2): CC-Basic performs far worse (paper: often ~20%). ---
+  {
+    double worst = 1e9;
+    for (const auto mem : mems) {
+      worst = std::min(worst, rps(server::SystemKind::kCcBasic, mem) /
+                                  rps(server::SystemKind::kL2S, mem));
+    }
+    add("CC-Basic falls below 50% of L2S (paper: often ~20%)",
+        "worst ratio " + util::fixed(worst, 2), worst < 0.5);
+  }
+
+  // --- Claim 4 (Fig 2): ordering Basic < Sched < NEM. ---
+  {
+    bool ordered = true;
+    for (const auto mem : mems) {
+      ordered = ordered &&
+                rps(server::SystemKind::kCcBasic, mem) <
+                    rps(server::SystemKind::kCcSched, mem) &&
+                rps(server::SystemKind::kCcSched, mem) <=
+                    rps(server::SystemKind::kCcNem, mem) * 1.02;
+    }
+    add("throughput ordering CC-Basic < CC-Sched <= CC-NEM",
+        ordered ? "holds at 16 and 64 MB/node" : "violated", ordered);
+  }
+
+  // --- Claim 5 (Fig 4): CC-NEM hits are mostly remote at scarce memory. ---
+  {
+    const auto& m =
+        harness::find_point(points, server::SystemKind::kCcNem, 64ull << 20)
+            .metrics;
+    const bool pass = m.remote_hit_rate > 2.0 * m.local_hit_rate &&
+                      m.remote_hit_rate > 0.4;
+    add("CC-NEM hits mostly remote at 64 MB/node (paper: local 12-21%, "
+        "remote 60-75%)",
+        "local " + util::percent(m.local_hit_rate) + ", remote " +
+            util::percent(m.remote_hit_rate),
+        pass);
+  }
+
+  // --- Claim 6 (Fig 4): CC-NEM's hit rate ~ L2S's. ---
+  {
+    const auto nem =
+        harness::find_point(points, server::SystemKind::kCcNem, 64ull << 20)
+            .metrics.global_hit_rate();
+    const auto l2s =
+        harness::find_point(points, server::SystemKind::kL2S, 64ull << 20)
+            .metrics.global_hit_rate();
+    add("CC-NEM global hit rate within 10% of L2S",
+        util::percent(nem) + " vs " + util::percent(l2s),
+        nem > l2s - 0.10);
+  }
+
+  // --- Claim 7 (Fig 6a): the network is mostly idle for CC-NEM. ---
+  {
+    const auto& m =
+        harness::find_point(points, server::SystemKind::kCcNem, 16ull << 20)
+            .metrics;
+    add("CC-NEM network mostly idle while disk-bound",
+        "nic " + util::percent(m.nic_utilization) + ", disk " +
+            util::percent(m.disk_utilization),
+        m.nic_utilization < 0.25 && m.disk_utilization > 0.5);
+  }
+
+  // --- Claim 8 (Fig 6b): scaling 4 -> 16 nodes at 32 MB/node. ---
+  {
+    const auto scale = harness::run_node_sweep(
+        tr, server::SystemKind::kCcNem, {4, 16}, 32ull << 20);
+    const double speedup = scale[1].metrics.throughput_rps /
+                           scale[0].metrics.throughput_rps;
+    add("CC-NEM scales (>=2.5x from 4 to 16 nodes at 32 MB/node)",
+        util::fixed(speedup, 1) + "x", speedup >= 2.5);
+  }
+
+  // --- Claim 9 (§5 mechanism): seek-aware scheduling slashes seeks. ---
+  {
+    const auto basic =
+        harness::find_point(points, server::SystemKind::kCcBasic, 16ull << 20)
+            .metrics;
+    const auto sched =
+        harness::find_point(points, server::SystemKind::kCcSched, 16ull << 20)
+            .metrics;
+    const double b = static_cast<double>(basic.disk_seeks) /
+                     static_cast<double>(basic.disk_block_reads);
+    const double s = static_cast<double>(sched.disk_seeks) /
+                     static_cast<double>(sched.disk_block_reads);
+    add("disk scheduling halves seeks-per-read vs FIFO",
+        util::fixed(b, 2) + " -> " + util::fixed(s, 2), s < 0.6 * b);
+  }
+
+  std::size_t failed = 0;
+  for (const auto& c : checks) failed += c.pass ? 0 : 1;
+  std::cout << "\n"
+            << (checks.size() - failed) << "/" << checks.size()
+            << " paper claims reproduced\n";
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,141 @@
+// kv_store: a small replicated key-value lookup service built on the
+// middleware — the paper's "building block for diverse services" claim in
+// action (the same layer that served web pages serves point lookups).
+//
+// Values live in writable storage as fixed-slot records; keys hash to
+// (file, offset) slots. GETs are read_range calls through round-robin nodes,
+// PUTs go through the write protocol (peer invalidation + owner migration).
+//
+//   kv_store [--keys=10000] [--ops=50000] [--value-bytes=256] [--nodes=4]
+//            [--mem-kb=1024] [--put-frac=0.1] [--threads=4]
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "ccm/cluster.hpp"
+#include "ccm/storage.hpp"
+#include "sim/random.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+constexpr std::size_t kSlotsPerFile = 1024;
+
+struct Slot {
+  coop::cache::FileId file;
+  std::uint64_t offset;
+};
+
+Slot slot_of(std::uint64_t key, std::uint32_t value_bytes) {
+  return Slot{static_cast<coop::cache::FileId>(key / kSlotsPerFile),
+              (key % kSlotsPerFile) * value_bytes};
+}
+
+/// Deterministic value content for verification: byte j of key k's current
+/// version v.
+std::vector<std::byte> make_value(std::uint64_t key, std::uint32_t version,
+                                  std::uint32_t value_bytes) {
+  std::vector<std::byte> v(value_bytes);
+  for (std::uint32_t j = 0; j < value_bytes; ++j) {
+    v[j] = static_cast<std::byte>((key * 31 + version * 7 + j) & 0xFF);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coop;
+  const util::Flags flags(argc, argv);
+  const auto keys = static_cast<std::uint64_t>(flags.get_int("keys", 10000));
+  const auto ops = static_cast<std::size_t>(flags.get_int("ops", 50000));
+  const auto value_bytes =
+      static_cast<std::uint32_t>(flags.get_int("value-bytes", 256));
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 4));
+  const auto mem =
+      static_cast<std::uint64_t>(flags.get_int("mem-kb", 1024)) * 1024;
+  const double put_frac = flags.get_double("put-frac", 0.1);
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 4));
+
+  const auto nfiles = (keys + kSlotsPerFile - 1) / kSlotsPerFile;
+  std::vector<std::uint32_t> sizes(
+      nfiles, static_cast<std::uint32_t>(kSlotsPerFile * value_bytes));
+  auto storage = std::make_shared<ccm::BufferStorage>(sizes);
+
+  // Seed every key at version 0.
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    const auto s = slot_of(k, value_bytes);
+    storage->write(s.file, s.offset, make_value(k, 0, value_bytes));
+  }
+
+  ccm::CcmConfig config;
+  config.nodes = nodes;
+  config.capacity_bytes = mem;
+  ccm::CcmCluster cluster(config, storage);
+
+  // Per-key version counters (atomic; readers accept any version >= what
+  // they last saw, here we simply verify the value matches SOME version by
+  // structure: check the first byte family).
+  std::vector<std::atomic<std::uint32_t>> version(keys);
+  std::atomic<std::uint64_t> gets{0}, puts{0}, bad{0};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      sim::Rng rng(900 + t);
+      const sim::ZipfSampler zipf(keys, 0.9);
+      std::size_t rr = t;
+      for (std::size_t i = 0; i < ops / threads; ++i) {
+        const std::uint64_t key = zipf.sample(rng);
+        const auto s = slot_of(key, value_bytes);
+        const auto via = static_cast<cache::NodeId>(rr++ % nodes);
+        if (rng.uniform() < put_frac) {
+          const auto v = version[key].fetch_add(1) + 1;
+          cluster.write(via, s.file, s.offset,
+                        make_value(key, v, value_bytes));
+          ++puts;
+        } else {
+          const auto got =
+              cluster.read_range(via, s.file, s.offset, value_bytes);
+          // Verify the value is a coherent version of this key: recompute
+          // from byte 0's implied version.
+          bool ok = got.size() == value_bytes;
+          if (ok) {
+            bool matched = false;
+            const auto v_now = version[key].load();
+            for (std::uint32_t v = v_now >= 4 ? v_now - 4 : 0;
+                 v <= v_now + 1 && !matched; ++v) {
+              matched = got == make_value(key, v, value_bytes);
+            }
+            ok = matched;
+          }
+          if (!ok) ++bad;
+          ++gets;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  const auto s = cluster.stats();
+  std::cout << "kv_store: " << keys << " keys x " << value_bytes
+            << " B on " << nodes << " nodes x " << util::human_bytes(mem)
+            << "\n"
+            << gets.load() << " GETs + " << puts.load() << " PUTs in "
+            << util::fixed(secs, 2) << " s ("
+            << util::fixed(static_cast<double>(gets + puts) / secs, 0)
+            << " ops/s), torn/stale reads: " << bad.load() << "\n"
+            << "cache: local " << util::percent(s.local_hit_rate())
+            << ", remote " << util::percent(s.remote_hit_rate())
+            << ", storage reads " << s.disk_reads << ", invalidations "
+            << s.invalidations << ", owner moves " << s.ownership_migrations
+            << "\n";
+  return bad.load() == 0 ? 0 : 1;
+}

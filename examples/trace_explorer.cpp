@@ -1,0 +1,84 @@
+// trace_explorer: generate, inspect, and export the synthetic trace presets.
+//
+//   trace_explorer                       # Table-2-style summary of presets
+//   trace_explorer --trace=rutgers       # detail + Figure-1 CDF
+//   trace_explorer --trace=nasa --out=nasa.trace   # export to file
+//   trace_explorer --in=nasa.trace       # inspect an exported/converted log
+#include <iostream>
+
+#include "trace/io.hpp"
+#include "trace/presets.hpp"
+#include "trace/stats.hpp"
+#include "trace/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+void summarize(const coop::trace::Trace& tr) {
+  using namespace coop;
+  const auto s = trace::compute_stats(tr, 10);
+  std::cout << tr.name << ": " << s.num_files << " files ("
+            << util::fixed(s.avg_file_kb, 1) << " KB avg), "
+            << s.num_requests << " requests ("
+            << util::fixed(s.avg_request_kb, 1) << " KB avg), file set "
+            << util::fixed(s.file_set_mb, 1) << " MB, 99% working set "
+            << util::fixed(static_cast<double>(s.working_set_bytes_99) /
+                               (1024.0 * 1024.0),
+                           1)
+            << " MB\n";
+}
+
+void detail(const coop::trace::Trace& tr) {
+  using namespace coop;
+  summarize(tr);
+  const auto s = trace::compute_stats(tr, 20);
+  std::cout << "\npopularity/size CDF (files sorted by request count):\n";
+  util::TextTable t;
+  t.set_header({"top files", "requests", "bytes"});
+  for (const auto& p : s.cdf) {
+    t.add_row({util::percent(p.file_fraction, 0),
+               util::percent(p.request_fraction, 1),
+               util::human_bytes(p.cum_bytes)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coop;
+  const util::Flags flags(argc, argv);
+
+  if (flags.has("in")) {
+    const auto tr = trace::read_trace_file(flags.get("in"));
+    if (!tr) {
+      std::cerr << "cannot read trace file " << flags.get("in") << "\n";
+      return 1;
+    }
+    detail(*tr);
+    return 0;
+  }
+
+  if (!flags.has("trace")) {
+    std::cout << "synthetic presets (see DESIGN.md for calibration):\n";
+    for (const auto& spec : trace::all_presets()) {
+      summarize(trace::generate(spec));
+    }
+    std::cout << "\nrun with --trace=NAME for the CDF, --out=FILE to export\n";
+    return 0;
+  }
+
+  const auto spec = trace::preset_by_name(flags.get("trace"));
+  const auto tr = trace::generate(spec);
+  if (flags.has("out")) {
+    if (!trace::write_trace_file(flags.get("out"), tr)) {
+      std::cerr << "cannot write " << flags.get("out") << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << flags.get("out") << "\n";
+    return 0;
+  }
+  detail(tr);
+  return 0;
+}

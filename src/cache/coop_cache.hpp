@@ -1,0 +1,224 @@
+// The paper's block-based cooperative caching algorithm (§3).
+//
+// ClusterCache is a *pure policy engine*: it tracks which node caches which
+// block (master or non-master copy), decides where each block of an access
+// comes from (local memory, a peer's memory, or a home node's disk), and
+// carries out the replacement algorithm including master-block forwarding.
+// It performs no I/O and knows nothing about time; callers — the event-driven
+// simulator in src/server and the threaded middleware in src/ccm — execute
+// and charge the actions it reports.
+//
+// Algorithm summary (from the paper):
+//  * The first in-memory copy of a block (read from its home node's disk) is
+//    the *master*; a global directory tracks master locations.
+//  * A node missing a block fetches a non-master copy from the master holder
+//    if one exists, otherwise asks the file's home node to read it from disk
+//    and becomes the new master holder.
+//  * Replacement is approximate global LRU. When a full node evicts:
+//      - a non-master or the globally-oldest block is dropped;
+//      - otherwise a master is *forwarded* to the peer holding the oldest
+//        block; the receiver drops its own oldest block to make room (no
+//        cascaded evictions), and drops the forwarded block instead if all
+//        its blocks are now younger.
+//  * CC-NEM modification (§5): never evict a master while the node still
+//    holds any non-master copy; evict the oldest non-master first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/directory.hpp"
+#include "cache/node_cache.hpp"
+#include "cache/types.hpp"
+
+namespace coop::cache {
+
+/// Replacement policy variants evaluated in the paper.
+enum class Policy {
+  kBasic,            // CC-Basic: global LRU with master second chance
+  kNeverEvictMaster  // CC-NEM: evict oldest non-master first
+};
+
+/// Directory implementations: the paper's optimistic perfect directory, or
+/// the hint-based scheme of its §6 future work.
+enum class DirectoryMode { kPerfect, kHinted };
+
+struct CoopCacheConfig {
+  std::size_t nodes = 8;
+  std::uint64_t capacity_bytes = 64ull * 1024 * 1024;  // per node
+  std::uint32_t block_bytes = 8 * 1024;
+  Policy policy = Policy::kNeverEvictMaster;
+  DirectoryMode directory = DirectoryMode::kPerfect;
+  std::uint32_t hint_staleness = 1;
+  /// Whole-file adaptation (§6: "whether [CCM] can easily be adapted for
+  /// servers that always use whole files"): each file is cached, fetched,
+  /// forwarded, and evicted as a single entry spanning its block footprint.
+  bool whole_file = false;
+};
+
+/// Where one block of an access was satisfied from.
+enum class Source { kLocalHit, kRemoteHit, kDiskRead };
+
+struct BlockFetch {
+  BlockId block;
+  Source source = Source::kLocalHit;
+  /// Peer for remote hits, home node for disk reads, self for local hits.
+  NodeId provider = kInvalidNode;
+  /// Hinted mode only: the hint pointed at the wrong node and an extra
+  /// network round trip was wasted before reaching `provider`.
+  bool misdirected = false;
+};
+
+struct Forward {
+  BlockId block;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  /// False when the destination dropped the forwarded block (it would have
+  /// been the destination's oldest).
+  bool accepted = true;
+};
+
+struct Drop {
+  BlockId block;
+  NodeId node = kInvalidNode;
+  bool was_master = false;
+};
+
+/// Everything that happened during one access; callers charge the costs.
+struct AccessResult {
+  std::vector<BlockFetch> fetches;
+  std::vector<Forward> forwards;
+  std::vector<Drop> drops;
+};
+
+/// Receives every policy action *in the order it happens* during an access.
+/// AccessResult loses the interleaving between fetches, drops, and forwards;
+/// data-plane implementations (the threaded middleware) need the exact order
+/// to keep byte stores consistent with the policy metadata.
+class ActionObserver {
+ public:
+  virtual ~ActionObserver() = default;
+  /// `requester` is the node performing the access.
+  virtual void on_fetch(NodeId requester, const BlockFetch& fetch) = 0;
+  virtual void on_drop(const Drop& drop) = 0;
+  /// For accepted forwards the destination may already hold a non-master
+  /// copy (promotion); implementations must tolerate both cases.
+  virtual void on_forward(const Forward& forward) = 0;
+};
+
+/// Aggregate policy statistics.
+struct CacheStats {
+  std::uint64_t local_hits = 0;
+  std::uint64_t remote_hits = 0;
+  std::uint64_t disk_reads = 0;
+  std::uint64_t forwards_attempted = 0;
+  std::uint64_t forwards_accepted = 0;
+  std::uint64_t master_drops = 0;
+  std::uint64_t copy_drops = 0;
+  std::uint64_t hint_misdirects = 0;
+  // Write-protocol extension (the paper's §6 future work).
+  std::uint64_t writes = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t ownership_migrations = 0;
+
+  [[nodiscard]] std::uint64_t block_accesses() const {
+    return local_hits + remote_hits + disk_reads;
+  }
+  [[nodiscard]] double local_hit_rate() const;
+  [[nodiscard]] double remote_hit_rate() const;
+  [[nodiscard]] double global_hit_rate() const;
+};
+
+class ClusterCache {
+ public:
+  /// `home_of` maps a file to the node whose disk stores it ("the general
+  /// case of files being distributed across all nodes", §3); defaults to
+  /// file-id modulo node count.
+  ClusterCache(const CoopCacheConfig& config,
+               std::function<NodeId(FileId)> home_of = {});
+
+  /// Accesses all blocks of `file` (of size `file_bytes`) at `node`,
+  /// applying cache-state transitions and reporting the resulting actions.
+  AccessResult access(NodeId node, FileId file, std::uint64_t file_bytes);
+
+  /// Accesses a single cache entry; appends actions to `result`. `slots` is
+  /// the entry's block-slot footprint (1 in block mode; the file's block
+  /// count in whole-file mode).
+  void access_block(NodeId node, const BlockId& block, AccessResult& result,
+                    std::uint32_t slots = 1);
+
+  /// Write-protocol extension (§6 future work): makes `node` the exclusive
+  /// in-memory owner of `block`. Every non-master copy in the cluster is
+  /// invalidated (dropped); a master held elsewhere migrates to `node` (an
+  /// accepted Forward action carries the current bytes along in data-plane
+  /// implementations); if the block is uncached, a master slot is allocated
+  /// at `node` without a disk read (write-allocate). Postconditions: `node`
+  /// is the master holder and holds the only in-memory instance.
+  void write_block(NodeId node, const BlockId& block, AccessResult& result);
+
+  /// Writes all blocks of `file` (of size `file_bytes`) at `node`.
+  AccessResult write(NodeId node, FileId file, std::uint64_t file_bytes);
+
+  /// Drops every cached block of `file` (masters and copies) cluster-wide.
+  /// Used when content changes outside the caching layer. `file_bytes`
+  /// bounds the block scan.
+  AccessResult invalidate_file(FileId file, std::uint64_t file_bytes);
+
+  [[nodiscard]] const CoopCacheConfig& config() const { return config_; }
+  [[nodiscard]] NodeId home_of(FileId file) const { return home_of_(file); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const NodeCache& node(NodeId n) const { return nodes_[n]; }
+  [[nodiscard]] const PerfectDirectory& directory() const { return directory_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Hinted mode only: observed hint accuracy (paper cites ~98% for [18]).
+  [[nodiscard]] double hint_accuracy() const;
+
+  /// Installs (or clears, with nullptr) the in-order action observer. Not
+  /// owned; must outlive the ClusterCache or be cleared first.
+  void set_observer(ActionObserver* observer) { observer_ = observer; }
+
+  /// Validates every cross-node invariant (see DESIGN.md); aborts via assert
+  /// in debug builds, returns false in release builds on violation.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  /// Frees one entry's worth of space at `node` per the configured policy.
+  void evict_one(NodeId node, AccessResult& result);
+  /// Ensures at least `slots` free block slots at `node`.
+  void make_room(NodeId node, AccessResult& result, std::uint32_t slots = 1);
+  /// Evicts the oldest local block with the CC-Basic rules (also the
+  /// master-only path of CC-NEM).
+  void evict_global_lru(NodeId node, AccessResult& result);
+  /// Forwards an evicted master to the peer with the oldest block.
+  void forward_master(NodeId from, const LruList::Entry& entry,
+                      AccessResult& result);
+  /// True if `node`'s oldest block is the oldest block in the whole cluster.
+  [[nodiscard]] bool holds_globally_oldest(NodeId node) const;
+  /// Peer that should receive a forwarded master: a peer with free space if
+  /// any, otherwise the peer holding the oldest block. kInvalidNode if the
+  /// cluster has a single node.
+  [[nodiscard]] NodeId pick_forward_target(NodeId from) const;
+
+  void drop_block(NodeId node, const BlockId& block, AccessResult& result);
+  void install_master(NodeId node, const BlockId& block, std::uint64_t age);
+
+  /// Appends to `result` and notifies the observer.
+  void emit_fetch(NodeId requester, const BlockFetch& fetch,
+                  AccessResult& result);
+  void emit_drop(const Drop& drop, AccessResult& result);
+  void emit_forward(const Forward& forward, AccessResult& result);
+
+  CoopCacheConfig config_;
+  std::function<NodeId(FileId)> home_of_;
+  ActionObserver* observer_ = nullptr;
+  std::vector<NodeCache> nodes_;
+  PerfectDirectory directory_;
+  HintedDirectory hints_;
+  LogicalClock clock_;
+  CacheStats stats_;
+};
+
+}  // namespace coop::cache

@@ -1,0 +1,82 @@
+#include "cache/directory.hpp"
+
+#include <cassert>
+
+namespace coop::cache {
+
+NodeId PerfectDirectory::lookup(const BlockId& b) const {
+  const auto it = map_.find(b);
+  return it == map_.end() ? kInvalidNode : it->second;
+}
+
+void PerfectDirectory::set_master(const BlockId& b, NodeId n) {
+  assert(n != kInvalidNode);
+  map_[b] = n;
+}
+
+void PerfectDirectory::erase_master(const BlockId& b) { map_.erase(b); }
+
+HintedDirectory::HintedDirectory(std::size_t nodes, std::uint32_t staleness_lag)
+    : staleness_lag_(staleness_lag), hints_(nodes) {}
+
+NodeId HintedDirectory::lookup(NodeId observer, const BlockId& b) const {
+  assert(observer < hints_.size());
+  ++lookups_;
+  const auto& map = hints_[observer].map;
+  const auto it = map.find(b);
+  const NodeId hinted = it == map.end() ? kInvalidNode : it->second;
+  if (hinted == truth(b)) ++correct_;
+  return hinted;
+}
+
+NodeId HintedDirectory::truth(const BlockId& b) const {
+  const auto it = truth_.find(b);
+  return it == truth_.end() ? kInvalidNode : it->second.node;
+}
+
+void HintedDirectory::set_master(const BlockId& b, NodeId n, NodeId observer) {
+  assert(n != kInvalidNode);
+  auto& entry = truth_[b];
+  entry.node = n;
+  ++entry.version;
+  // The node performing the placement and the new holder learn immediately
+  // (the update rides the data message).
+  hints_[observer].map[b] = n;
+  hints_[n].map[b] = n;
+  propagate_if_lagged(b);
+}
+
+void HintedDirectory::erase_master(const BlockId& b, NodeId observer) {
+  const auto it = truth_.find(b);
+  if (it == truth_.end()) return;
+  truth_.erase(it);
+  last_broadcast_.erase(b);
+  hints_[observer].map.erase(b);
+  // Other nodes keep a dangling hint until they discover it is wrong.
+}
+
+void HintedDirectory::refresh(NodeId observer, const BlockId& b) {
+  assert(observer < hints_.size());
+  const NodeId t = truth(b);
+  if (t == kInvalidNode) {
+    hints_[observer].map.erase(b);
+  } else {
+    hints_[observer].map[b] = t;
+  }
+}
+
+void HintedDirectory::propagate_if_lagged(const BlockId& b) {
+  const auto it = truth_.find(b);
+  assert(it != truth_.end());
+  auto& broadcast = last_broadcast_[b];
+  if (it->second.version - broadcast <= staleness_lag_) return;
+  for (auto& h : hints_) h.map[b] = it->second.node;
+  broadcast = it->second.version;
+}
+
+double HintedDirectory::accuracy() const {
+  if (lookups_ == 0) return 1.0;
+  return static_cast<double>(correct_) / static_cast<double>(lookups_);
+}
+
+}  // namespace coop::cache

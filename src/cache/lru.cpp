@@ -1,0 +1,46 @@
+#include "cache/lru.hpp"
+
+namespace coop::cache {
+
+void LruList::insert(const BlockId& b, std::uint64_t age) {
+  assert(!contains(b));
+  // Find the first entry (from the back) with age <= the new age and insert
+  // after it. Newly-touched blocks (the common case) land at the back in O(1);
+  // forwarded old blocks walk further.
+  auto pos = list_.end();
+  while (pos != list_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->age <= age) break;
+    pos = prev;
+  }
+  const auto it = list_.insert(pos, Entry{b, age});
+  index_.emplace(b, it);
+}
+
+void LruList::touch(const BlockId& b, std::uint64_t age) {
+  const auto it = index_.find(b);
+  assert(it != index_.end());
+  assert(age >= it->second->age);
+  list_.erase(it->second);
+  // Touched entries carry a fresh (maximal) age, so they belong at the back.
+  const auto pos = list_.insert(list_.end(), Entry{b, age});
+  it->second = pos;
+}
+
+bool LruList::erase(const BlockId& b) {
+  const auto it = index_.find(b);
+  if (it == index_.end()) return false;
+  list_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+LruList::Entry LruList::pop_oldest() {
+  assert(!empty());
+  Entry e = list_.front();
+  list_.pop_front();
+  index_.erase(e.block);
+  return e;
+}
+
+}  // namespace coop::cache

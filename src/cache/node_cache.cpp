@@ -1,0 +1,88 @@
+#include "cache/node_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coop::cache {
+
+NodeCache::NodeCache(std::uint64_t capacity_bytes, std::uint32_t block_bytes)
+    : capacity_blocks_(std::max<std::uint64_t>(1, capacity_bytes / block_bytes)) {
+  assert(block_bytes > 0);
+}
+
+std::optional<std::uint64_t> NodeCache::oldest_age() const {
+  if (empty()) return std::nullopt;
+  if (masters_.empty()) return copies_.oldest_age();
+  if (copies_.empty()) return masters_.oldest_age();
+  return std::min(masters_.oldest_age(), copies_.oldest_age());
+}
+
+std::optional<LruList::Entry> NodeCache::oldest() const {
+  if (empty()) return std::nullopt;
+  if (masters_.empty()) return copies_.oldest();
+  if (copies_.empty()) return masters_.oldest();
+  return masters_.oldest_age() <= copies_.oldest_age() ? masters_.oldest()
+                                                       : copies_.oldest();
+}
+
+bool NodeCache::oldest_is_master() const {
+  assert(!empty());
+  if (masters_.empty()) return false;
+  if (copies_.empty()) return true;
+  return masters_.oldest_age() <= copies_.oldest_age();
+}
+
+std::optional<LruList::Entry> NodeCache::oldest_copy() const {
+  if (copies_.empty()) return std::nullopt;
+  return copies_.oldest();
+}
+
+std::uint32_t NodeCache::slots_of(const BlockId& b) const {
+  assert(contains(b));
+  const auto it = wide_entries_.find(b);
+  return it == wide_entries_.end() ? 1 : it->second;
+}
+
+void NodeCache::insert(const BlockId& b, bool master, std::uint64_t age,
+                       std::uint32_t slots) {
+  assert(!contains(b));
+  assert(slots >= 1);
+  assert(used_slots_ + slots <= capacity_blocks_ || empty());
+  (master ? masters_ : copies_).insert(b, age);
+  if (slots > 1) wide_entries_.emplace(b, slots);
+  used_slots_ += slots;
+}
+
+void NodeCache::touch(const BlockId& b, std::uint64_t age) {
+  if (masters_.contains(b)) {
+    masters_.touch(b, age);
+  } else {
+    copies_.touch(b, age);
+  }
+}
+
+bool NodeCache::erase(const BlockId& b) {
+  used_slots_ -= slots_of(b);
+  wide_entries_.erase(b);
+  if (masters_.erase(b)) return true;
+  const bool erased = copies_.erase(b);
+  assert(erased);
+  (void)erased;
+  return false;
+}
+
+void NodeCache::promote_to_master(const BlockId& b) {
+  assert(copies_.contains(b));
+  const std::uint64_t age = copies_.age_of(b);
+  copies_.erase(b);
+  masters_.insert(b, age);
+}
+
+void NodeCache::demote_to_copy(const BlockId& b) {
+  assert(masters_.contains(b));
+  const std::uint64_t age = masters_.age_of(b);
+  masters_.erase(b);
+  copies_.insert(b, age);
+}
+
+}  // namespace coop::cache

@@ -1,0 +1,55 @@
+// Shared identifiers for the caching layer.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace coop::cache {
+
+using NodeId = std::uint16_t;
+using FileId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFF;
+
+/// A fixed-size cache block: `index`-th block of `file`.
+struct BlockId {
+  FileId file = 0;
+  std::uint32_t index = 0;
+
+  friend auto operator<=>(const BlockId&, const BlockId&) = default;
+};
+
+struct BlockIdHash {
+  std::size_t operator()(const BlockId& b) const noexcept {
+    // 64-bit mix of (file, index).
+    std::uint64_t x =
+        (static_cast<std::uint64_t>(b.file) << 32) | b.index;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+/// Monotonic logical timestamps used as LRU ages: larger is younger.
+class LogicalClock {
+ public:
+  std::uint64_t next() { return ++now_; }
+  [[nodiscard]] std::uint64_t now() const { return now_; }
+
+ private:
+  std::uint64_t now_ = 0;
+};
+
+/// Number of `block_bytes`-sized blocks needed for a file of `file_bytes`.
+constexpr std::uint32_t blocks_for(std::uint64_t file_bytes,
+                                   std::uint32_t block_bytes) {
+  if (file_bytes == 0) return 1;  // zero-byte files still occupy one block
+  return static_cast<std::uint32_t>((file_bytes + block_bytes - 1) /
+                                    block_bytes);
+}
+
+}  // namespace coop::cache

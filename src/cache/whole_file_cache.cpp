@@ -1,0 +1,133 @@
+#include "cache/whole_file_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coop::cache {
+
+WholeFileCache::WholeFileCache(const WholeFileCacheConfig& config)
+    : config_(config),
+      capacity_blocks_(std::max<std::uint64_t>(
+          1, config.capacity_bytes / config.block_bytes)),
+      nodes_(config.nodes) {
+  assert(config.nodes > 0);
+}
+
+bool WholeFileCache::cached(NodeId node, FileId file) const {
+  assert(node < nodes_.size());
+  return nodes_[node].index.count(file) > 0;
+}
+
+std::vector<NodeId> WholeFileCache::holders(FileId file) const {
+  std::vector<NodeId> out;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].index.count(file)) out.push_back(static_cast<NodeId>(n));
+  }
+  return out;
+}
+
+std::size_t WholeFileCache::copy_count(FileId file) const {
+  const auto it = copy_counts_.find(file);
+  return it == copy_counts_.end() ? 0 : it->second;
+}
+
+void WholeFileCache::touch(NodeId node, FileId file) {
+  NodeState& ns = nodes_[node];
+  const auto it = ns.index.find(file);
+  assert(it != ns.index.end());
+  Entry e = *it->second;
+  e.age = clock_.next();
+  ns.lru.erase(it->second);
+  it->second = ns.lru.insert(ns.lru.end(), e);
+}
+
+std::optional<FileId> WholeFileCache::pick_victim(const NodeState& ns) const {
+  // Oldest replica (copy_count > 1) if one exists, else oldest file.
+  for (const auto& e : ns.lru) {
+    if (copy_count(e.file) > 1) return e.file;
+  }
+  if (ns.lru.empty()) return std::nullopt;
+  return ns.lru.front().file;
+}
+
+std::vector<FileEviction> WholeFileCache::insert(NodeId node, FileId file,
+                                                 std::uint64_t file_bytes) {
+  assert(!cached(node, file));
+  NodeState& ns = nodes_[node];
+  const std::uint32_t need = blocks_for(file_bytes, config_.block_bytes);
+
+  std::vector<FileEviction> evictions;
+  while (ns.used_blocks + need > capacity_blocks_ && !ns.lru.empty()) {
+    const auto victim = pick_victim(ns);
+    assert(victim.has_value());
+    const bool last = copy_count(*victim) == 1;
+    remove(node, *victim);
+    evictions.push_back(FileEviction{*victim, node, last});
+  }
+
+  Entry e{file, clock_.next(), need};
+  const auto it = ns.lru.insert(ns.lru.end(), e);
+  ns.index.emplace(file, it);
+  ns.used_blocks += need;
+  ++copy_counts_[file];
+  return evictions;
+}
+
+void WholeFileCache::evict_copy(NodeId node, FileId file) {
+  assert(cached(node, file));
+  remove(node, file);
+}
+
+void WholeFileCache::remove(NodeId node, FileId file) {
+  NodeState& ns = nodes_[node];
+  const auto it = ns.index.find(file);
+  assert(it != ns.index.end());
+  ns.used_blocks -= it->second->blocks;
+  ns.lru.erase(it->second);
+  ns.index.erase(it);
+  const auto cc = copy_counts_.find(file);
+  assert(cc != copy_counts_.end());
+  if (--cc->second == 0) copy_counts_.erase(cc);
+}
+
+std::uint64_t WholeFileCache::used_blocks(NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].used_blocks;
+}
+
+bool WholeFileCache::check_invariants() const {
+  std::unordered_map<FileId, std::uint32_t> recount;
+  for (const auto& ns : nodes_) {
+    std::uint64_t used = 0;
+    for (const auto& e : ns.lru) {
+      used += e.blocks;
+      ++recount[e.file];
+      if (!ns.index.count(e.file)) {
+        assert(false && "lru entry missing from index");
+        return false;
+      }
+    }
+    if (used != ns.used_blocks) {
+      assert(false && "used_blocks drifted");
+      return false;
+    }
+    if (ns.index.size() != ns.lru.size()) {
+      assert(false && "index/lru size mismatch");
+      return false;
+    }
+  }
+  if (recount.size() != copy_counts_.size()) {
+    assert(false && "copy_counts drifted");
+    return false;
+  }
+  for (const auto& [file, count] : recount) {
+    const auto it = copy_counts_.find(file);
+    if (it == copy_counts_.end() || it->second != count) {
+      assert(false && "copy_counts drifted");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace coop::cache

@@ -1,0 +1,103 @@
+// Whole-file caching state for the L2S baseline (§4.1).
+//
+// L2S (Bianchini & Carrera's locality- and load-conscious server) caches
+// whole files, "tries to migrate all requests for a particular file to a
+// single node so that only one copy of each file is kept in cluster memory",
+// and replicates hot files under load. Its de-replication algorithm "behaves
+// like local LRU ... and tries to keep at least one copy of each file in
+// memory whenever possible".
+//
+// Like ClusterCache this is a pure policy engine: the request-forwarding and
+// replication *decisions* live in src/server/l2s_server (they need load
+// information); this class tracks cache contents, the file->holders
+// directory, and performs last-copy-preserving LRU eviction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/types.hpp"
+
+namespace coop::cache {
+
+struct WholeFileCacheConfig {
+  std::size_t nodes = 8;
+  std::uint64_t capacity_bytes = 64ull * 1024 * 1024;  // per node
+  /// Memory accounting granularity; files occupy whole blocks like in CCM so
+  /// the two systems see identical effective memory.
+  std::uint32_t block_bytes = 8 * 1024;
+};
+
+/// One evicted file (for cost accounting by the caller).
+struct FileEviction {
+  FileId file = 0;
+  NodeId node = kInvalidNode;
+  /// True if this eviction removed the last in-memory copy of the file.
+  bool was_last_copy = false;
+};
+
+class WholeFileCache {
+ public:
+  explicit WholeFileCache(const WholeFileCacheConfig& config);
+
+  [[nodiscard]] const WholeFileCacheConfig& config() const { return config_; }
+
+  /// True if `node` caches `file`.
+  [[nodiscard]] bool cached(NodeId node, FileId file) const;
+
+  /// Nodes currently caching `file` (empty if none).
+  [[nodiscard]] std::vector<NodeId> holders(FileId file) const;
+
+  /// Number of nodes caching `file`.
+  [[nodiscard]] std::size_t copy_count(FileId file) const;
+
+  /// Refreshes LRU recency of a cached file. Precondition: cached(node,file).
+  void touch(NodeId node, FileId file);
+
+  /// Inserts `file` (of `file_bytes`) at `node`, evicting per the
+  /// de-replication policy; returns the evictions performed. Precondition:
+  /// !cached(node, file). Files larger than the node's capacity are admitted
+  /// by evicting everything and still count as cached (degenerate but safe).
+  std::vector<FileEviction> insert(NodeId node, FileId file,
+                                   std::uint64_t file_bytes);
+
+  /// Explicitly removes a cached copy (used by de-replication on load drop).
+  void evict_copy(NodeId node, FileId file);
+
+  [[nodiscard]] std::uint64_t used_blocks(NodeId node) const;
+  [[nodiscard]] std::uint64_t capacity_blocks() const {
+    return capacity_blocks_;
+  }
+
+  /// Validates directory/cache consistency and capacity bounds.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Entry {
+    FileId file;
+    std::uint64_t age;
+    std::uint32_t blocks;
+  };
+  struct NodeState {
+    std::list<Entry> lru;  // front = oldest
+    std::unordered_map<FileId, std::list<Entry>::iterator> index;
+    std::uint64_t used_blocks = 0;
+  };
+
+  /// Picks the eviction victim on `node`: the oldest file that is *not* a
+  /// last copy if any exists, otherwise the oldest file outright.
+  [[nodiscard]] std::optional<FileId> pick_victim(const NodeState& ns) const;
+
+  void remove(NodeId node, FileId file);
+
+  WholeFileCacheConfig config_;
+  std::uint64_t capacity_blocks_;
+  std::vector<NodeState> nodes_;
+  std::unordered_map<FileId, std::uint32_t> copy_counts_;
+  LogicalClock clock_;
+};
+
+}  // namespace coop::cache

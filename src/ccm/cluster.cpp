@@ -1,0 +1,397 @@
+#include "ccm/cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace coop::ccm {
+
+namespace {
+
+cache::CoopCacheConfig to_cache_config(const CcmConfig& c) {
+  cache::CoopCacheConfig cc;
+  cc.nodes = c.nodes;
+  cc.capacity_bytes = c.capacity_bytes;
+  cc.block_bytes = c.block_bytes;
+  cc.policy = c.policy;
+  cc.directory = c.directory;
+  return cc;
+}
+
+}  // namespace
+
+CcmCluster::CcmCluster(const CcmConfig& config,
+                       std::shared_ptr<Storage> storage)
+    : config_(config),
+      storage_(std::move(storage)),
+      cache_(to_cache_config(config)),
+      stores_(config.nodes),
+      observer_(*this) {
+  if (!storage_) throw std::invalid_argument("CcmCluster: null storage");
+  if (config_.nodes == 0) throw std::invalid_argument("CcmCluster: 0 nodes");
+  if (config_.workers_per_node == 0) {
+    throw std::invalid_argument("CcmCluster: 0 workers per node");
+  }
+  cache_.set_observer(&observer_);
+
+  mailboxes_.reserve(config_.nodes);
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    mailboxes_.push_back(std::make_unique<Mailbox<Task>>());
+  }
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    for (std::size_t w = 0; w < config_.workers_per_node; ++w) {
+      workers_.emplace_back(
+          [this, n] { worker_loop(static_cast<cache::NodeId>(n)); });
+    }
+  }
+}
+
+CcmCluster::~CcmCluster() {
+  for (auto& mb : mailboxes_) mb->close();
+  for (auto& t : workers_) t.join();
+}
+
+void CcmCluster::worker_loop(cache::NodeId node) {
+  auto& mailbox = *mailboxes_[node];
+  while (auto task = mailbox.receive()) {
+    try {
+      if (task->kind == Task::Kind::kWrite) {
+        execute_write(node, task->file, task->offset, task->write_data);
+        task->promise.set_value({});
+      } else {
+        task->promise.set_value(
+            execute_read(node, task->file, task->offset, task->length));
+      }
+    } catch (...) {
+      task->promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+std::future<std::vector<std::byte>> CcmCluster::read_async(
+    cache::NodeId via, cache::FileId file) {
+  if (via >= config_.nodes) throw std::out_of_range("bad node id");
+  if (file >= storage_->file_count()) throw std::out_of_range("bad file id");
+  Task task;
+  task.file = file;
+  task.offset = 0;
+  task.length = storage_->file_size(file);
+  auto future = task.promise.get_future();
+  if (!mailboxes_[via]->send(std::move(task))) {
+    throw std::runtime_error("CcmCluster: node is shut down");
+  }
+  return future;
+}
+
+std::vector<std::byte> CcmCluster::read(cache::NodeId via,
+                                        cache::FileId file) {
+  return read_async(via, file).get();
+}
+
+std::vector<std::byte> CcmCluster::read_range(cache::NodeId via,
+                                              cache::FileId file,
+                                              std::uint64_t offset,
+                                              std::uint64_t length) {
+  if (via >= config_.nodes) throw std::out_of_range("bad node id");
+  if (file >= storage_->file_count()) throw std::out_of_range("bad file id");
+  if (offset + length > storage_->file_size(file)) {
+    throw std::out_of_range("range beyond end of file");
+  }
+  Task task;
+  task.file = file;
+  task.offset = offset;
+  task.length = length;
+  auto future = task.promise.get_future();
+  if (!mailboxes_[via]->send(std::move(task))) {
+    throw std::runtime_error("CcmCluster: node is shut down");
+  }
+  return future.get();
+}
+
+void CcmCluster::write(cache::NodeId via, cache::FileId file,
+                       std::uint64_t offset, std::span<const std::byte> data) {
+  if (via >= config_.nodes) throw std::out_of_range("bad node id");
+  if (file >= storage_->file_count()) throw std::out_of_range("bad file id");
+  if (offset + data.size() > storage_->file_size(file)) {
+    throw std::out_of_range("write beyond end of file");
+  }
+  if (dynamic_cast<WritableStorage*>(storage_.get()) == nullptr) {
+    throw std::logic_error("CcmCluster::write requires a WritableStorage");
+  }
+  Task task;
+  task.kind = Task::Kind::kWrite;
+  task.file = file;
+  task.offset = offset;
+  task.length = data.size();
+  task.write_data.assign(data.begin(), data.end());
+  auto future = task.promise.get_future();
+  if (!mailboxes_[via]->send(std::move(task))) {
+    throw std::runtime_error("CcmCluster: node is shut down");
+  }
+  future.get();
+}
+
+std::uint32_t CcmCluster::block_bytes_of(std::uint64_t file_bytes,
+                                         std::uint32_t index) const {
+  const std::uint64_t start =
+      static_cast<std::uint64_t>(index) * config_.block_bytes;
+  if (file_bytes <= start) return 0;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(file_bytes - start, config_.block_bytes));
+}
+
+// ----------------------------------------------------------- observer ----
+
+void CcmCluster::StoreObserver::on_fetch(cache::NodeId requester,
+                                         const cache::BlockFetch& fetch) {
+  auto& stores = owner_.stores_;
+  BlockPtr ptr;
+  switch (fetch.source) {
+    case cache::Source::kLocalHit: {
+      const auto it = stores[requester].find(fetch.block);
+      assert(it != stores[requester].end());
+      ptr = it->second;
+      break;
+    }
+    case cache::Source::kRemoteHit: {
+      // Non-master copies share the (immutable) bytes with the master.
+      const auto it = stores[fetch.provider].find(fetch.block);
+      assert(it != stores[fetch.provider].end());
+      ptr = it->second;
+      stores[requester][fetch.block] = ptr;
+      break;
+    }
+    case cache::Source::kDiskRead: {
+      ptr = std::make_shared<BlockData>();
+      stores[requester][fetch.block] = ptr;
+      owner_.pending_reads_scratch_.emplace_back(fetch.block, ptr);
+      break;
+    }
+  }
+  owner_.parts_scratch_.push_back(std::move(ptr));
+}
+
+void CcmCluster::StoreObserver::on_drop(const cache::Drop& drop) {
+  owner_.stores_[drop.node].erase(drop.block);
+}
+
+void CcmCluster::StoreObserver::on_forward(const cache::Forward& forward) {
+  auto& from = owner_.stores_[forward.from];
+  const auto it = from.find(forward.block);
+  assert(it != from.end());
+  BlockPtr data = std::move(it->second);
+  from.erase(it);
+  if (!forward.accepted || forward.to == cache::kInvalidNode) return;
+  // Promotion case: the destination already shares these bytes.
+  owner_.stores_[forward.to].try_emplace(forward.block, std::move(data));
+}
+
+// --------------------------------------------------------------- reads ----
+
+std::vector<std::byte> CcmCluster::execute_read(cache::NodeId node,
+                                                cache::FileId file,
+                                                std::uint64_t offset,
+                                                std::uint64_t length) {
+  if (length == 0) return {};
+  const std::uint64_t file_bytes = storage_->file_size(file);
+  const std::uint32_t first_block =
+      static_cast<std::uint32_t>(offset / config_.block_bytes);
+  const std::uint32_t last_block =
+      length == 0 ? first_block
+                  : static_cast<std::uint32_t>((offset + length - 1) /
+                                               config_.block_bytes);
+
+  std::vector<BlockPtr> parts;
+  std::vector<std::pair<cache::BlockId, BlockPtr>> to_read;
+  {
+    std::scoped_lock lock(mu_);
+    parts_scratch_.clear();
+    pending_reads_scratch_.clear();
+    cache::AccessResult result;
+    for (std::uint32_t b = first_block; b <= last_block; ++b) {
+      cache_.access_block(node, cache::BlockId{file, b}, result);
+    }
+    parts = std::move(parts_scratch_);
+    to_read = std::move(pending_reads_scratch_);
+    parts_scratch_.clear();
+    pending_reads_scratch_.clear();
+  }
+
+  // Fault in missing blocks from Storage on this worker thread, outside the
+  // cluster lock. Concurrent readers of the same block wait on its ready cv.
+  for (auto& [block, data] : to_read) {
+    const std::uint32_t bytes = block_bytes_of(file_bytes, block.index);
+    data->bytes.resize(bytes);
+    if (bytes > 0) {
+      storage_->read(file,
+                     static_cast<std::uint64_t>(block.index) *
+                         config_.block_bytes,
+                     data->bytes);
+    }
+    {
+      std::scoped_lock block_lock(data->m);
+      data->ready = true;
+    }
+    data->cv.notify_all();
+  }
+
+  // Assemble the requested range, waiting for any blocks still in flight.
+  std::vector<std::byte> out(length);
+  std::uint64_t out_pos = 0;
+  for (std::uint32_t b = first_block; b <= last_block; ++b) {
+    BlockPtr& part = parts[b - first_block];
+    {
+      std::unique_lock block_lock(part->m);
+      part->cv.wait(block_lock, [&] { return part->ready; });
+    }
+    const std::uint64_t block_start =
+        static_cast<std::uint64_t>(b) * config_.block_bytes;
+    const std::uint64_t copy_from = std::max(offset, block_start);
+    const std::uint64_t copy_to =
+        std::min(offset + length, block_start + part->bytes.size());
+    if (copy_to <= copy_from) continue;
+    std::memcpy(out.data() + out_pos, part->bytes.data() +
+                                          (copy_from - block_start),
+                copy_to - copy_from);
+    out_pos += copy_to - copy_from;
+  }
+  assert(out_pos == length);
+  return out;
+}
+
+void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
+                               std::uint64_t offset,
+                               std::span<const std::byte> data) {
+  if (data.empty()) return;
+  auto* writable = dynamic_cast<WritableStorage*>(storage_.get());
+  assert(writable != nullptr);  // checked at the API boundary
+
+  const std::uint64_t file_bytes = storage_->file_size(file);
+  const std::uint32_t first_block =
+      static_cast<std::uint32_t>(offset / config_.block_bytes);
+  const std::uint32_t last_block = static_cast<std::uint32_t>(
+      (offset + data.size() - 1) / config_.block_bytes);
+
+  // One entry per affected block: the superseded bytes (null if the block
+  // was uncached) and the fresh copy-on-write buffer now installed.
+  struct PendingWrite {
+    cache::BlockId block;
+    BlockPtr old_data;  // may be null or not yet ready
+    BlockPtr new_data;
+  };
+  std::vector<PendingWrite> pending;
+  {
+    std::scoped_lock lock(mu_);
+    parts_scratch_.clear();
+    pending_reads_scratch_.clear();
+    cache::AccessResult result;
+    for (std::uint32_t b = first_block; b <= last_block; ++b) {
+      const cache::BlockId block{file, b};
+      cache_.write_block(node, block, result);
+      // Postcondition: this node is the master holder. Swap in a fresh
+      // buffer (copy-on-write) so concurrent readers holding the old bytes
+      // are unaffected; migrated-in bytes serve as the read-modify-write
+      // base for partial blocks.
+      auto& slot = stores_[node][block];
+      PendingWrite pw{block, std::move(slot), std::make_shared<BlockData>()};
+      slot = pw.new_data;
+      pending.push_back(std::move(pw));
+    }
+    // write_block never schedules disk reads; clear any scratch the observer
+    // touched for eviction bookkeeping.
+    parts_scratch_.clear();
+    pending_reads_scratch_.clear();
+  }
+
+  // Assemble block contents outside the lock.
+  for (auto& pw : pending) {
+    const std::uint32_t bytes = block_bytes_of(file_bytes, pw.block.index);
+    const std::uint64_t block_start =
+        static_cast<std::uint64_t>(pw.block.index) * config_.block_bytes;
+    auto& out = pw.new_data->bytes;
+    out.resize(bytes);
+
+    const bool covers_whole_block =
+        offset <= block_start && offset + data.size() >= block_start + bytes;
+    if (!covers_whole_block) {
+      // Read-modify-write base: superseded cached bytes if any, else storage.
+      if (pw.old_data) {
+        std::unique_lock block_lock(pw.old_data->m);
+        pw.old_data->cv.wait(block_lock, [&] { return pw.old_data->ready; });
+        assert(pw.old_data->bytes.size() == bytes);
+        out = pw.old_data->bytes;
+      } else if (bytes > 0) {
+        storage_->read(file, block_start, out);
+      }
+    }
+    // Apply the written slice.
+    const std::uint64_t copy_from = std::max(offset, block_start);
+    const std::uint64_t copy_to =
+        std::min(offset + data.size(), block_start + bytes);
+    if (copy_to > copy_from) {
+      std::memcpy(out.data() + (copy_from - block_start),
+                  data.data() + (copy_from - offset), copy_to - copy_from);
+    }
+    {
+      std::scoped_lock block_lock(pw.new_data->m);
+      pw.new_data->ready = true;
+    }
+    pw.new_data->cv.notify_all();
+  }
+
+  // Write-through to backing storage.
+  writable->write(file, offset, data);
+}
+
+void CcmCluster::invalidate(cache::FileId file) {
+  if (file >= storage_->file_count()) throw std::out_of_range("bad file id");
+  std::scoped_lock lock(mu_);
+  parts_scratch_.clear();
+  pending_reads_scratch_.clear();
+  cache_.invalidate_file(file, storage_->file_size(file));
+  parts_scratch_.clear();
+  pending_reads_scratch_.clear();
+}
+
+// --------------------------------------------------------------- stats ----
+
+cache::CacheStats CcmCluster::stats() const {
+  std::scoped_lock lock(mu_);
+  return cache_.stats();
+}
+
+void CcmCluster::reset_stats() {
+  std::scoped_lock lock(mu_);
+  cache_.reset_stats();
+}
+
+std::uint64_t CcmCluster::cached_bytes(cache::NodeId node) const {
+  std::scoped_lock lock(mu_);
+  return cache_.node(node).used_blocks() * config_.block_bytes;
+}
+
+bool CcmCluster::check_consistency() const {
+  std::scoped_lock lock(mu_);
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    const auto& node = cache_.node(static_cast<cache::NodeId>(n));
+    const auto& store = stores_[n];
+    if (node.used_blocks() != store.size()) {
+      assert(false && "policy/store size mismatch");
+      return false;
+    }
+    for (const auto& [block, data] : store) {
+      if (!node.contains(block)) {
+        assert(false && "stored block unknown to policy");
+        return false;
+      }
+      if (!data) {
+        assert(false && "null block data");
+        return false;
+      }
+    }
+  }
+  return cache_.check_invariants();
+}
+
+}  // namespace coop::ccm

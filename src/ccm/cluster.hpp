@@ -1,0 +1,163 @@
+// The cooperative caching middleware runtime — the deliverable the paper
+// argues for: "a generic middleware layer (or library) ... usable as a
+// building block for diverse distributed services".
+//
+// CcmCluster runs N logical nodes inside one process. Each node has a worker
+// pool (its "service threads"), a byte store for cached blocks, and a share
+// of the cluster-wide cooperative caching policy (the same cache::ClusterCache
+// the simulator uses, so every behavior validated against the paper holds
+// here verbatim). Reads go through any node and are satisfied from local
+// memory, a peer's memory, or backing Storage, with the paper's replacement
+// and master-forwarding rules deciding what stays cached where.
+//
+// Concurrency model: policy metadata and store maps are guarded by one
+// cluster mutex (policy transitions are cheap); Storage reads happen outside
+// the lock with per-block pending states, so concurrent readers of a block
+// being faulted in block only on that block. In a multi-machine deployment
+// the mutex becomes the directory service and Mailbox the wire transport —
+// those seams are deliberately narrow.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/coop_cache.hpp"
+#include "ccm/storage.hpp"
+#include "ccm/transport.hpp"
+
+namespace coop::ccm {
+
+struct CcmConfig {
+  std::size_t nodes = 4;
+  /// Cache memory per node, bytes.
+  std::uint64_t capacity_bytes = 64ull * 1024 * 1024;
+  std::uint32_t block_bytes = 8 * 1024;
+  cache::Policy policy = cache::Policy::kNeverEvictMaster;
+  cache::DirectoryMode directory = cache::DirectoryMode::kPerfect;
+  /// Worker threads per node.
+  std::size_t workers_per_node = 2;
+};
+
+class CcmCluster {
+ public:
+  /// `storage` is the backing disk layer (shared across nodes, like the
+  /// paper's files-distributed-across-all-nodes setup).
+  CcmCluster(const CcmConfig& config, std::shared_ptr<Storage> storage);
+  ~CcmCluster();
+
+  CcmCluster(const CcmCluster&) = delete;
+  CcmCluster& operator=(const CcmCluster&) = delete;
+
+  /// Reads the whole file through node `via`'s worker pool. Thread-safe.
+  std::vector<std::byte> read(cache::NodeId via, cache::FileId file);
+
+  /// Asynchronous variant; the future resolves when the bytes are assembled.
+  std::future<std::vector<std::byte>> read_async(cache::NodeId via,
+                                                 cache::FileId file);
+
+  /// Reads a byte range [offset, offset+length) of `file` via `via`.
+  std::vector<std::byte> read_range(cache::NodeId via, cache::FileId file,
+                                    std::uint64_t offset, std::uint64_t length);
+
+  /// Write-protocol extension (the paper's §6 future work). Writes `data` at
+  /// [offset, offset+data.size()) of `file` through node `via`: the write
+  /// invalidates every peer copy, migrates block ownership to `via`
+  /// (owner-based coherence), updates the cached bytes copy-on-write, and
+  /// writes through to Storage (which must be a WritableStorage; throws
+  /// std::logic_error otherwise). Reads racing a write see either the old or
+  /// the new block content, never a mix within one block.
+  void write(cache::NodeId via, cache::FileId file, std::uint64_t offset,
+             std::span<const std::byte> data);
+
+  /// Drops every cached block of `file` cluster-wide (content changed
+  /// outside the caching layer). Safe to call concurrently with reads; reads
+  /// already in flight may still return the superseded bytes.
+  void invalidate(cache::FileId file);
+
+  [[nodiscard]] const CcmConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t node_count() const { return config_.nodes; }
+
+  /// Snapshot of the policy statistics (hits, forwards, ...).
+  [[nodiscard]] cache::CacheStats stats() const;
+  void reset_stats();
+
+  /// Bytes currently cached at `node` (block-granular accounting).
+  [[nodiscard]] std::uint64_t cached_bytes(cache::NodeId node) const;
+
+  /// Validates policy/data-plane consistency: every cached policy entry has
+  /// bytes, every stored block has a policy entry. For tests.
+  [[nodiscard]] bool check_consistency() const;
+
+ private:
+  /// A cached block's bytes; `ready` flips once the Storage read lands.
+  struct BlockData {
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;
+    std::vector<std::byte> bytes;
+  };
+  using BlockPtr = std::shared_ptr<BlockData>;
+  using Store = std::unordered_map<cache::BlockId, BlockPtr,
+                                   cache::BlockIdHash>;
+
+  /// Wires policy actions into the byte stores, in policy order.
+  class StoreObserver final : public cache::ActionObserver {
+   public:
+    explicit StoreObserver(CcmCluster& owner) : owner_(owner) {}
+    void on_fetch(cache::NodeId requester,
+                  const cache::BlockFetch& fetch) override;
+    void on_drop(const cache::Drop& drop) override;
+    void on_forward(const cache::Forward& forward) override;
+
+   private:
+    CcmCluster& owner_;
+  };
+
+  struct Task {
+    enum class Kind { kRead, kWrite };
+    Kind kind = Kind::kRead;
+    cache::FileId file;
+    std::uint64_t offset;
+    std::uint64_t length;
+    std::vector<std::byte> write_data;  // kWrite only
+    std::promise<std::vector<std::byte>> promise;
+  };
+
+  /// Worker-thread loop for node `node`.
+  void worker_loop(cache::NodeId node);
+
+  /// Executes one read on the calling (worker) thread.
+  std::vector<std::byte> execute_read(cache::NodeId node, cache::FileId file,
+                                      std::uint64_t offset,
+                                      std::uint64_t length);
+
+  /// Executes one write on the calling (worker) thread.
+  void execute_write(cache::NodeId node, cache::FileId file,
+                     std::uint64_t offset, std::span<const std::byte> data);
+
+  [[nodiscard]] std::uint32_t block_bytes_of(std::uint64_t file_bytes,
+                                             std::uint32_t index) const;
+
+  CcmConfig config_;
+  std::shared_ptr<Storage> storage_;
+
+  mutable std::mutex mu_;  // guards cache_, stores_, and observer scratch
+  cache::ClusterCache cache_;
+  std::vector<Store> stores_;
+  StoreObserver observer_;
+
+  // Scratch filled by the observer during one access (under mu_).
+  std::vector<BlockPtr> parts_scratch_;
+  std::vector<std::pair<cache::BlockId, BlockPtr>> pending_reads_scratch_;
+
+  std::vector<std::unique_ptr<Mailbox<Task>>> mailboxes_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace coop::ccm

@@ -1,0 +1,80 @@
+// Intra-process message transport: a bounded MPMC mailbox used to hand work
+// to node worker threads. In a distributed deployment this is the seam where
+// a socket-based transport would plug in.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace coop::ccm {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Blocks while the mailbox is full. Returns false if the mailbox was
+  /// closed (the message is dropped).
+  bool send(T message) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(message));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a message arrives or the mailbox is closed *and drained*;
+  /// returns nullopt only in the latter case.
+  std::optional<T> receive() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;  // closed and drained
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return msg;
+  }
+
+  /// Non-blocking receive; nullopt if empty (whether or not closed).
+  std::optional<T> try_receive() {
+    std::scoped_lock lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return msg;
+  }
+
+  /// Closes the mailbox: senders fail fast; receivers drain then get nullopt.
+  void close() {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace coop::ccm

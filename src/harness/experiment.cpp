@@ -1,0 +1,43 @@
+#include "harness/experiment.hpp"
+
+#include "trace/synthetic.hpp"
+
+namespace coop::harness {
+
+std::vector<std::uint64_t> memory_sweep_bytes() {
+  std::vector<std::uint64_t> out;
+  for (const std::uint64_t mb : {4, 8, 16, 32, 64, 128, 256, 512}) {
+    out.push_back(mb * 1024 * 1024);
+  }
+  return out;
+}
+
+std::vector<server::SystemKind> all_systems() {
+  return {server::SystemKind::kL2S, server::SystemKind::kCcBasic,
+          server::SystemKind::kCcSched, server::SystemKind::kCcNem};
+}
+
+trace::Trace load_trace(const std::string& preset_name,
+                        std::size_t request_limit) {
+  auto spec = trace::preset_by_name(preset_name);
+  if (request_limit > 0 && request_limit < spec.num_requests) {
+    spec.num_requests = request_limit;
+  }
+  return trace::generate(spec);
+}
+
+server::ClusterConfig figure_config(server::SystemKind system,
+                                    std::size_t nodes,
+                                    std::uint64_t memory_per_node) {
+  server::ClusterConfig c;
+  c.system = system;
+  c.nodes = nodes;
+  c.memory_per_node = memory_per_node;
+  // Enough closed-loop clients to saturate the cluster (the paper measures
+  // maximum achievable throughput).
+  c.clients.clients = 16 * nodes;
+  c.clients.warmup_fraction = 0.4;
+  return c;
+}
+
+}  // namespace coop::harness

@@ -1,0 +1,39 @@
+// Experiment definitions shared by the figure benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/cluster.hpp"
+#include "trace/presets.hpp"
+#include "trace/trace.hpp"
+
+namespace coop::harness {
+
+/// The paper's per-node memory sweep (Figure 2 x-axis): 4-512 MB.
+std::vector<std::uint64_t> memory_sweep_bytes();
+
+/// The four systems in plotting order.
+std::vector<server::SystemKind> all_systems();
+
+/// Materializes a preset trace, optionally truncating the request stream to
+/// `request_limit` (0 = full preset). Truncation keeps figures regenerable
+/// in minutes; the caches reach steady state well within the warm-up window.
+trace::Trace load_trace(const std::string& preset_name,
+                        std::size_t request_limit = 0);
+
+/// Standard cluster configuration used by every figure (the paper's §4).
+server::ClusterConfig figure_config(server::SystemKind system,
+                                    std::size_t nodes,
+                                    std::uint64_t memory_per_node);
+
+/// One sweep cell result.
+struct SweepPoint {
+  server::SystemKind system;
+  std::uint64_t memory_per_node = 0;
+  std::size_t nodes = 0;
+  server::RunMetrics metrics;
+};
+
+}  // namespace coop::harness

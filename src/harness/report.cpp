@@ -1,0 +1,130 @@
+#include "harness/report.hpp"
+
+#include <iostream>
+
+namespace coop::harness {
+
+void print_heading(const std::string& title, const std::string& subtitle) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!subtitle.empty()) std::cout << subtitle << "\n";
+  std::cout << "\n";
+}
+
+double metric_value(const SweepPoint& p, Metric metric) {
+  switch (metric) {
+    case Metric::kThroughput:
+      return p.metrics.throughput_rps;
+    case Metric::kResponseTime:
+      return p.metrics.mean_response_ms;
+    case Metric::kGlobalHitRate:
+      return p.metrics.global_hit_rate();
+  }
+  return 0.0;
+}
+
+util::TextTable throughput_table(
+    const std::vector<SweepPoint>& points,
+    const std::vector<server::SystemKind>& systems,
+    const std::vector<std::uint64_t>& memories) {
+  util::TextTable t;
+  std::vector<std::string> header{"mem/node"};
+  for (const auto s : systems) {
+    header.push_back(std::string(server::to_string(s)) + " (req/s)");
+  }
+  t.set_header(std::move(header));
+  for (const auto mem : memories) {
+    std::vector<std::string> row{util::human_bytes(mem)};
+    for (const auto s : systems) {
+      row.push_back(util::fixed(
+          find_point(points, s, mem).metrics.throughput_rps, 0));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+util::TextTable normalized_table(
+    const std::vector<SweepPoint>& points,
+    const std::vector<server::SystemKind>& systems,
+    const std::vector<std::uint64_t>& memories, Metric metric) {
+  util::TextTable t;
+  std::vector<std::string> header{"mem/node"};
+  for (const auto s : systems) {
+    if (s == server::SystemKind::kL2S) continue;
+    header.push_back(std::string(server::to_string(s)) + "/L2S");
+  }
+  t.set_header(std::move(header));
+  for (const auto mem : memories) {
+    const double base =
+        metric_value(find_point(points, server::SystemKind::kL2S, mem),
+                     metric);
+    std::vector<std::string> row{util::human_bytes(mem)};
+    for (const auto s : systems) {
+      if (s == server::SystemKind::kL2S) continue;
+      const double v = metric_value(find_point(points, s, mem), metric);
+      row.push_back(base > 0.0 ? util::fixed(v / base, 2) : "n/a");
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+util::CsvWriter sweep_csv(const std::vector<SweepPoint>& points,
+                          const std::string& label) {
+  util::CsvWriter csv;
+  append_sweep_csv(csv, points, label);
+  return csv;
+}
+
+void append_sweep_csv(util::CsvWriter& csv,
+                      const std::vector<SweepPoint>& points,
+                      const std::string& label) {
+  if (csv.rows() == 0) {
+    csv.set_header({"trace",          "system",
+                    "nodes",          "memory_mb",
+                    "throughput_rps", "throughput_mbps",
+                    "mean_response_ms", "p95_response_ms",
+                    "local_hit_rate", "remote_hit_rate",
+                    "global_hit_rate", "cpu_util",
+                    "disk_util",      "nic_util",
+                    "max_disk_util",  "disk_block_reads",
+                    "disk_seeks",     "remote_block_fetches",
+                    "master_forwards", "replications",
+                    "handoffs"});
+  }
+  for (const auto& p : points) {
+    const auto& m = p.metrics;
+    csv.add_row({label, server::to_string(p.system), std::to_string(p.nodes),
+                 util::fixed(static_cast<double>(p.memory_per_node) /
+                                 (1024.0 * 1024.0),
+                             0),
+                 util::fixed(m.throughput_rps, 2),
+                 util::fixed(m.throughput_mbps, 2),
+                 util::fixed(m.mean_response_ms, 3),
+                 util::fixed(m.p95_response_ms, 3),
+                 util::fixed(m.local_hit_rate, 4),
+                 util::fixed(m.remote_hit_rate, 4),
+                 util::fixed(m.global_hit_rate(), 4),
+                 util::fixed(m.cpu_utilization, 4),
+                 util::fixed(m.disk_utilization, 4),
+                 util::fixed(m.nic_utilization, 4),
+                 util::fixed(m.max_disk_utilization, 4),
+                 std::to_string(m.disk_block_reads),
+                 std::to_string(m.disk_seeks),
+                 std::to_string(m.remote_block_fetches),
+                 std::to_string(m.master_forwards),
+                 std::to_string(m.replications),
+                 std::to_string(m.handoffs)});
+  }
+}
+
+void maybe_write_csv(const util::CsvWriter& csv, const std::string& path) {
+  if (path.empty()) return;
+  if (csv.write_file(path)) {
+    std::cout << "(wrote " << path << ")\n";
+  } else {
+    std::cout << "(FAILED to write " << path << ")\n";
+  }
+}
+
+}  // namespace coop::harness

@@ -1,0 +1,48 @@
+// Reporting helpers used by the figure benches: ASCII tables to stdout and
+// optional CSV emission for replotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+
+namespace coop::harness {
+
+/// Prints a section header in the style used by every bench binary.
+void print_heading(const std::string& title, const std::string& subtitle = "");
+
+/// Throughput table: one row per memory size, one column per system
+/// (Figure 2 panel layout).
+util::TextTable throughput_table(const std::vector<SweepPoint>& points,
+                                 const std::vector<server::SystemKind>& systems,
+                                 const std::vector<std::uint64_t>& memories);
+
+/// Ratio table: each CC variant's metric normalized against L2S
+/// (Figures 3 and 5). `metric` selects throughput or mean response time.
+enum class Metric { kThroughput, kResponseTime, kGlobalHitRate };
+util::TextTable normalized_table(const std::vector<SweepPoint>& points,
+                                 const std::vector<server::SystemKind>& systems,
+                                 const std::vector<std::uint64_t>& memories,
+                                 Metric metric);
+
+/// Extracts a metric value from a point.
+double metric_value(const SweepPoint& p, Metric metric);
+
+/// CSV with one row per sweep point and every collected metric (all benches
+/// accept --csv=PATH). `label` fills the leading "trace" column.
+util::CsvWriter sweep_csv(const std::vector<SweepPoint>& points,
+                          const std::string& label = "");
+
+/// Appends `points` to an existing CSV (same column layout as sweep_csv).
+/// Sets the header if `csv` is empty.
+void append_sweep_csv(util::CsvWriter& csv,
+                      const std::vector<SweepPoint>& points,
+                      const std::string& label);
+
+/// Writes the CSV if `path` is non-empty, reporting to stdout.
+void maybe_write_csv(const util::CsvWriter& csv, const std::string& path);
+
+}  // namespace coop::harness

@@ -1,0 +1,61 @@
+#include "harness/runner.hpp"
+
+#include <stdexcept>
+
+namespace coop::harness {
+
+std::vector<SweepPoint> run_memory_sweep(
+    const trace::Trace& trace, const std::vector<server::SystemKind>& systems,
+    std::size_t nodes, const std::vector<std::uint64_t>& memories,
+    const std::function<void(server::ClusterConfig&)>& mutate,
+    const Progress& progress) {
+  std::vector<SweepPoint> out;
+  const std::size_t total = systems.size() * memories.size();
+  out.reserve(total);
+  for (const auto system : systems) {
+    for (const auto memory : memories) {
+      auto config = figure_config(system, nodes, memory);
+      if (mutate) mutate(config);
+      SweepPoint p;
+      p.system = system;
+      p.memory_per_node = memory;
+      p.nodes = nodes;
+      p.metrics = server::run_simulation(config, trace);
+      out.push_back(p);
+      if (progress) progress(out.size(), total, out.back());
+    }
+  }
+  return out;
+}
+
+std::vector<SweepPoint> run_node_sweep(
+    const trace::Trace& trace, server::SystemKind system,
+    const std::vector<std::size_t>& node_counts, std::uint64_t memory_per_node,
+    const std::function<void(server::ClusterConfig&)>& mutate,
+    const Progress& progress) {
+  std::vector<SweepPoint> out;
+  out.reserve(node_counts.size());
+  for (const auto nodes : node_counts) {
+    auto config = figure_config(system, nodes, memory_per_node);
+    if (mutate) mutate(config);
+    SweepPoint p;
+    p.system = system;
+    p.memory_per_node = memory_per_node;
+    p.nodes = nodes;
+    p.metrics = server::run_simulation(config, trace);
+    out.push_back(p);
+    if (progress) progress(out.size(), node_counts.size(), out.back());
+  }
+  return out;
+}
+
+const SweepPoint& find_point(const std::vector<SweepPoint>& points,
+                             server::SystemKind system,
+                             std::uint64_t memory) {
+  for (const auto& p : points) {
+    if (p.system == system && p.memory_per_node == memory) return p;
+  }
+  throw std::out_of_range("sweep point not found");
+}
+
+}  // namespace coop::harness

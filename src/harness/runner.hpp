@@ -1,0 +1,35 @@
+// Sweep driver: runs (system x memory) grids and collects SweepPoints.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace coop::harness {
+
+/// Progress callback: (completed cells, total cells, last point).
+using Progress =
+    std::function<void(std::size_t, std::size_t, const SweepPoint&)>;
+
+/// Runs every (system, memory) combination over `trace` on `nodes` nodes.
+/// `mutate` (optional) lets callers tweak each ClusterConfig (ablations).
+std::vector<SweepPoint> run_memory_sweep(
+    const trace::Trace& trace, const std::vector<server::SystemKind>& systems,
+    std::size_t nodes, const std::vector<std::uint64_t>& memories,
+    const std::function<void(server::ClusterConfig&)>& mutate = {},
+    const Progress& progress = {});
+
+/// Runs one system over a node-count sweep at fixed per-node memory
+/// (Figure 6b).
+std::vector<SweepPoint> run_node_sweep(
+    const trace::Trace& trace, server::SystemKind system,
+    const std::vector<std::size_t>& node_counts, std::uint64_t memory_per_node,
+    const std::function<void(server::ClusterConfig&)>& mutate = {},
+    const Progress& progress = {});
+
+/// Finds the sweep point for (system, memory); throws if absent.
+const SweepPoint& find_point(const std::vector<SweepPoint>& points,
+                             server::SystemKind system, std::uint64_t memory);
+
+}  // namespace coop::harness

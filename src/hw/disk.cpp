@@ -1,0 +1,124 @@
+#include "hw/disk.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace coop::hw {
+
+Disk::Disk(sim::Engine& engine, const ModelParams& params, DiskSched sched,
+           std::string name)
+    : engine_(engine),
+      params_(params),
+      sched_(sched),
+      name_(std::move(name)) {}
+
+void Disk::read_block(std::uint32_t file, std::uint32_t block_index,
+                      std::uint32_t bytes, sim::Callback on_done) {
+  queue_.push_back(
+      Request{file, block_index, bytes, engine_.now(), std::move(on_done)});
+  if (!busy_flag_) start_next();
+}
+
+bool Disk::is_contiguous(const Request& r) const {
+  if (r.file != last_file_) return false;
+  if (last_block_ == 0xFFFFFFFF || r.block != last_block_ + 1) return false;
+  // Crossing into a new 64 KB unit costs the metadata seek again.
+  const std::uint32_t per_unit = params_.blocks_per_unit();
+  return (r.block / per_unit) == (last_block_ / per_unit);
+}
+
+std::size_t Disk::pick_next() const {
+  assert(!queue_.empty());
+  if (sched_ == DiskSched::kFifo) return 0;
+  // Seek-aware: (1) a request contiguous with the head position wins;
+  // (2) otherwise stay on the same file to avoid stream interleaving;
+  // (3) otherwise FIFO.
+  std::size_t same_file = queue_.size();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (is_contiguous(queue_[i])) return i;
+    if (same_file == queue_.size() && queue_[i].file == last_file_) {
+      same_file = i;
+    }
+  }
+  return same_file < queue_.size() ? same_file : 0;
+}
+
+void Disk::start_next() {
+  assert(!queue_.empty() && !busy_flag_);
+  const std::size_t idx = pick_next();
+  Request r = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+
+  const bool contiguous = is_contiguous(r);
+  if (!contiguous) {
+    seeks_ += 2;  // positioning + metadata (the paper's 2-seeks-per-unit)
+    ++seek_reads_;
+  }
+  const double service = params_.disk_block_ms(r.bytes, contiguous);
+
+  busy_flag_ = true;
+  busy_.set_busy(true, engine_.now());
+  wait_.add(engine_.now() - r.enqueued);
+  last_file_ = r.file;
+  last_block_ = r.block;
+
+  engine_.schedule_in(service, [this, req = std::move(r)]() mutable {
+    finish(std::move(req));
+  });
+}
+
+void Disk::finish(Request r) {
+  ++completed_;
+  busy_flag_ = false;
+  // Deliver the completion BEFORE dispatching the next request: a streaming
+  // reader (read_sequence) enqueues its next block inside the callback, and
+  // the seek-aware scheduler must see that block to chain it contiguously.
+  if (r.on_done) r.on_done();
+  if (busy_flag_) return;  // the callback already restarted the disk
+  if (!queue_.empty()) {
+    start_next();
+  } else {
+    busy_.set_busy(false, engine_.now());
+  }
+}
+
+namespace {
+
+void read_sequence_from(Disk& disk,
+                        std::shared_ptr<std::vector<BlockRead>> seq,
+                        std::size_t at, sim::Callback on_done) {
+  const BlockRead& r = (*seq)[at];
+  disk.read_block(
+      r.file, r.index, r.bytes,
+      [&disk, seq, at, done = std::move(on_done)]() mutable {
+        if (at + 1 < seq->size()) {
+          read_sequence_from(disk, std::move(seq), at + 1, std::move(done));
+        } else if (done) {
+          done();
+        }
+      });
+}
+
+}  // namespace
+
+void read_sequence(Disk& disk, std::vector<BlockRead> seq,
+                   sim::Callback on_done) {
+  if (seq.empty()) {
+    if (on_done) on_done();
+    return;
+  }
+  read_sequence_from(disk,
+                     std::make_shared<std::vector<BlockRead>>(std::move(seq)),
+                     0, std::move(on_done));
+}
+
+void Disk::reset_stats() {
+  completed_ = 0;
+  seeks_ = 0;
+  seek_reads_ = 0;
+  busy_.reset(engine_.now());
+  wait_.reset();
+}
+
+}  // namespace coop::hw

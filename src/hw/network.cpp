@@ -1,0 +1,74 @@
+#include "hw/network.hpp"
+
+#include <utility>
+
+namespace coop::hw {
+
+Network::Network(sim::Engine& engine, const ModelParams& params)
+    : engine_(engine), params_(params), router_(engine, "router") {}
+
+void Network::deliver(Node& to, double nic_ms, double bus_ms,
+                      sim::Callback on_delivered) {
+  to.nic_rx().submit(nic_ms,
+                     [&to, bus_ms, done = std::move(on_delivered)]() mutable {
+                       to.bus().submit(bus_ms, std::move(done));
+                     });
+}
+
+void Network::send(Node& from, Node& to, std::uint64_t bytes,
+                   sim::Callback on_delivered) {
+  const double nic = params_.nic_ms(bytes);
+  const double bus = params_.bus_ms(bytes);
+  from.bus().submit(bus, [this, &from, &to, nic, bus,
+                          done = std::move(on_delivered)]() mutable {
+    from.nic_tx().submit(nic, [this, &to, nic, bus,
+                               done2 = std::move(done)]() mutable {
+      engine_.schedule_in(params_.net_latency_ms,
+                          [this, &to, nic, bus,
+                           done3 = std::move(done2)]() mutable {
+                            deliver(to, nic, bus, std::move(done3));
+                          });
+    });
+  });
+}
+
+void Network::send_control(Node& from, Node& to, sim::Callback on_delivered) {
+  const double nic = params_.nic_control_ms();
+  from.nic_tx().submit(nic, [this, &to, nic,
+                             done = std::move(on_delivered)]() mutable {
+    engine_.schedule_in(
+        params_.net_latency_ms,
+        [this, &to, nic, done2 = std::move(done)]() mutable {
+          to.nic_rx().submit(nic, std::move(done2));
+        });
+  });
+}
+
+void Network::client_request(Node& to, sim::Callback on_delivered) {
+  router_.submit(params_.router_ms, [this, &to,
+                                     done = std::move(on_delivered)]() mutable {
+    engine_.schedule_in(
+        params_.net_latency_ms,
+        [this, &to, done2 = std::move(done)]() mutable {
+          to.nic_rx().submit(params_.nic_control_ms(), std::move(done2));
+        });
+  });
+}
+
+void Network::respond_to_client(Node& from, std::uint64_t bytes,
+                                sim::Callback on_received) {
+  const double nic = params_.nic_ms(bytes);
+  const double bus = params_.bus_ms(bytes);
+  from.bus().submit(bus, [this, &from, nic,
+                          done = std::move(on_received)]() mutable {
+    from.nic_tx().submit(nic, [this, done2 = std::move(done)]() mutable {
+      engine_.schedule_in(params_.net_latency_ms, std::move(done2));
+    });
+  });
+}
+
+double Network::router_utilization() const {
+  return router_.utilization(engine_.now());
+}
+
+}  // namespace coop::hw

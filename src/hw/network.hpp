@@ -1,0 +1,61 @@
+// LAN + router model.
+//
+// "We model a high-performance LAN, a router, and 4-8 cluster nodes. ...
+// client requests are distributed among the cluster's nodes using a round
+// robin DNS scheme; new requests are routed in accordance with the Cisco 76xx
+// performance specifications. We assume the same network is used to
+// field/service client requests and for intra-cluster communication" (§4.2).
+//
+// The LAN is switched: a transfer occupies the sender's NIC-tx and the
+// receiver's NIC-rx (plus both memory buses), with a fixed propagation
+// latency in between; there is no shared-medium contention beyond the NICs.
+// The router sits only on the client-request ingress path.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/node.hpp"
+#include "hw/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/service_center.hpp"
+
+namespace coop::hw {
+
+class Network {
+ public:
+  Network(sim::Engine& engine, const ModelParams& params);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Intra-cluster data transfer of `bytes` from `from` to `to`:
+  /// from.bus -> from.nic_tx -> wire latency -> to.nic_rx -> to.bus.
+  /// `on_delivered` fires when the payload is in `to`'s memory.
+  void send(Node& from, Node& to, std::uint64_t bytes,
+            sim::Callback on_delivered);
+
+  /// Small control message (block request, forward notice, hand-off).
+  void send_control(Node& from, Node& to, sim::Callback on_delivered);
+
+  /// A client request entering the cluster: router -> wire -> node.nic_rx.
+  void client_request(Node& to, sim::Callback on_delivered);
+
+  /// Response of `bytes` leaving `from` toward a client:
+  /// from.bus -> from.nic_tx -> wire latency. `on_received` fires at the
+  /// client (the client's own NIC is not modeled).
+  void respond_to_client(Node& from, std::uint64_t bytes,
+                         sim::Callback on_received);
+
+  [[nodiscard]] sim::ServiceCenter& router() { return router_; }
+  [[nodiscard]] double router_utilization() const;
+
+ private:
+  void deliver(Node& to, double nic_ms, double bus_ms,
+               sim::Callback on_delivered);
+
+  sim::Engine& engine_;
+  ModelParams params_;
+  sim::ServiceCenter router_;
+};
+
+}  // namespace coop::hw

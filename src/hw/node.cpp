@@ -1,0 +1,34 @@
+#include "hw/node.hpp"
+
+#include <algorithm>
+
+namespace coop::hw {
+
+namespace {
+std::string component_name(const char* what, std::uint16_t id) {
+  return std::string(what) + "-" + std::to_string(id);
+}
+}  // namespace
+
+Node::Node(sim::Engine& engine, const ModelParams& params, DiskSched sched,
+           std::uint16_t id)
+    : id_(id),
+      cpu_(engine, component_name("cpu", id)),
+      bus_(engine, component_name("bus", id)),
+      nic_tx_(engine, component_name("nic-tx", id)),
+      nic_rx_(engine, component_name("nic-rx", id)),
+      disk_(engine, params, sched, component_name("disk", id)) {}
+
+double Node::nic_utilization(sim::SimTime now) const {
+  return std::max(nic_tx_.utilization(now), nic_rx_.utilization(now));
+}
+
+void Node::reset_stats() {
+  cpu_.reset_stats();
+  bus_.reset_stats();
+  nic_tx_.reset_stats();
+  nic_rx_.reset_stats();
+  disk_.reset_stats();
+}
+
+}  // namespace coop::hw

@@ -1,0 +1,58 @@
+// Cluster node: "Each node is comprised of a CPU, NIC, and disk, all
+// connected by a bus" (§4.2). Every component is a service center; the NIC is
+// full-duplex (separate tx/rx queues for a switched Gb/s LAN).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/disk.hpp"
+#include "hw/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/service_center.hpp"
+
+namespace coop::hw {
+
+class Node {
+ public:
+  Node(sim::Engine& engine, const ModelParams& params, DiskSched sched,
+       std::uint16_t id);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] std::uint16_t id() const { return id_; }
+
+  [[nodiscard]] sim::ServiceCenter& cpu() { return cpu_; }
+  [[nodiscard]] sim::ServiceCenter& bus() { return bus_; }
+  [[nodiscard]] sim::ServiceCenter& nic_tx() { return nic_tx_; }
+  [[nodiscard]] sim::ServiceCenter& nic_rx() { return nic_rx_; }
+  [[nodiscard]] Disk& disk() { return disk_; }
+  [[nodiscard]] const Disk& disk() const { return disk_; }
+
+  /// Load metric used by load-aware dispatch: outstanding CPU + disk work.
+  [[nodiscard]] std::size_t load() const {
+    return cpu_.load() + disk_.queue_length() + (disk_.busy() ? 1 : 0);
+  }
+
+  [[nodiscard]] double cpu_utilization(sim::SimTime now) const {
+    return cpu_.utilization(now);
+  }
+  [[nodiscard]] double disk_utilization(sim::SimTime now) const {
+    return disk_.utilization(now);
+  }
+  /// NIC utilization: the busier direction of the full-duplex link.
+  [[nodiscard]] double nic_utilization(sim::SimTime now) const;
+
+  void reset_stats();
+
+ private:
+  std::uint16_t id_;
+  sim::ServiceCenter cpu_;
+  sim::ServiceCenter bus_;
+  sim::ServiceCenter nic_tx_;
+  sim::ServiceCenter nic_rx_;
+  Disk disk_;
+};
+
+}  // namespace coop::hw

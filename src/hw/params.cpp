@@ -1,0 +1,17 @@
+#include "hw/params.hpp"
+
+namespace coop::hw {
+
+bool validate(const ModelParams& p) {
+  if (p.block_bytes == 0 || p.disk_unit_bytes == 0) return false;
+  if (p.disk_unit_bytes % p.block_bytes != 0) return false;
+  if (p.parse_ms < 0 || p.serve_base_ms < 0 || p.serve_per_kb_ms <= 0) {
+    return false;
+  }
+  if (p.disk_seek_ms <= 0 || p.disk_per_kb_ms <= 0) return false;
+  if (p.bus_per_kb_ms <= 0 || p.nic_per_kb_ms <= 0) return false;
+  if (p.net_latency_ms < 0 || p.router_ms < 0) return false;
+  return true;
+}
+
+}  // namespace coop::hw

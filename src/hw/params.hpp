@@ -1,0 +1,107 @@
+// Simulation constants — the reproduction of the paper's Table 1.
+//
+// Every value documents the scraped literal and our reconstruction where the
+// scrape lost digits (see DESIGN.md "Parameter reconstruction"). The modeled
+// hardware is the paper's: 800 MHz Pentium III with 133 MHz memory bus, a VIA
+// Gb/s LAN behind a Cisco 7600-class router, and an IBM Deskstar 75GXP disk.
+// Sizes in the cost formulas are in KB, times in milliseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace coop::hw {
+
+struct ModelParams {
+  // ----- Geometry -----
+  /// Cache/transfer block size (CCM is block-based).
+  std::uint32_t block_bytes = 8 * 1024;
+  /// Disk contiguity unit: the file system guarantees contiguity within
+  /// 64 KB blocks and charges one metadata seek per 64 KB access (§4.2).
+  std::uint32_t disk_unit_bytes = 64 * 1024;
+
+  // ----- Request processing (CPU) -----
+  /// "Parsing time: .1ms" — URL parse + HTTP header handling.
+  double parse_ms = 0.1;
+  /// "Serving time: .1 + (Size/115) ms" — send content from local memory.
+  double serve_base_ms = 0.1;
+  double serve_per_kb_ms = 1.0 / 115.0;
+
+  // ----- Block operations (CPU; specific to CCM) -----
+  // The scrape lost leading zeros throughout this group (".7ms" for serving
+  // a peer block cannot be 0.7 — it would make remote hits slower than
+  // disk). We read every block-op constant as 10x smaller than the literal:
+  // ~10-90k cycles on the PIII-800, consistent with block bookkeeping, and
+  // the only reading that reproduces the paper's measured CC-NEM/L2S ratios
+  // (>=90% at the memory-rich end; see DESIGN.md).
+  /// "Process a file request: .3 + (NBlocks*.1) ms" -> 0.03 + 0.01/block.
+  double process_request_base_ms = 0.03;
+  double process_request_per_block_ms = 0.01;
+  /// "Serve peer block request: .7ms" -> 0.07.
+  double serve_peer_block_ms = 0.07;
+  /// "Cache a new block: .1ms" -> 0.01.
+  double cache_block_ms = 0.01;
+  /// "Process an evicted master block: .16ms" -> 0.016.
+  double evict_master_ms = 0.016;
+
+  // ----- Disk (IBM Deskstar 75GXP) -----
+  /// Positioning + metadata seek charged per non-contiguous access. The two
+  /// seeks of the paper's "2 seeks per 64 KB unit" example are split below.
+  double disk_seek_ms = 6.5;
+  /// Media transfer: ~30 MB/s.
+  double disk_per_kb_ms = 1.0 / 30.0;
+
+  // ----- Bus (133 MHz x 8 B ~ 1 GB/s) -----
+  /// Reconstructed from ".1 + (Size/13172)": 0.01 + Size/1317 (KB, ms).
+  double bus_base_ms = 0.01;
+  double bus_per_kb_ms = 1.0 / 1317.0;
+
+  // ----- Network (VIA Gb/s LAN) -----
+  /// One-way latency; the paper's §5 cites a round trip of 80-100 us.
+  double net_latency_ms = 0.038;
+  /// NIC wire rate: 1 Gb/s = 125 KB per ms.
+  double nic_per_kb_ms = 1.0 / 125.0;
+  /// Size of a control message (block request, forward notice) in KB.
+  double control_kb = 0.25;
+  /// Router forwarding cost per client request (Cisco 7600 class).
+  double router_ms = 0.01;
+
+  // ----- Derived helpers (Size in bytes at the call sites) -----
+  [[nodiscard]] static double kb(std::uint64_t bytes) {
+    return static_cast<double>(bytes) / 1024.0;
+  }
+
+  [[nodiscard]] double serve_ms(std::uint64_t bytes) const {
+    return serve_base_ms + serve_per_kb_ms * kb(bytes);
+  }
+  [[nodiscard]] double process_request_ms(std::uint32_t nblocks) const {
+    return process_request_base_ms + process_request_per_block_ms * nblocks;
+  }
+  /// Disk service time for one block; `contiguous` means the head is already
+  /// positioned right before this block within the same 64 KB unit.
+  [[nodiscard]] double disk_block_ms(std::uint64_t bytes,
+                                     bool contiguous) const {
+    const double transfer = disk_per_kb_ms * kb(bytes);
+    // Non-contiguous accesses pay the positioning seek plus the per-64KB
+    // metadata seek (the paper's "2 seeks" for a fresh unit).
+    return contiguous ? transfer : 2.0 * disk_seek_ms + transfer;
+  }
+  [[nodiscard]] double bus_ms(std::uint64_t bytes) const {
+    return bus_base_ms + bus_per_kb_ms * kb(bytes);
+  }
+  [[nodiscard]] double nic_ms(std::uint64_t bytes) const {
+    return nic_per_kb_ms * kb(bytes);
+  }
+  [[nodiscard]] double nic_control_ms() const {
+    return nic_per_kb_ms * control_kb;
+  }
+
+  [[nodiscard]] std::uint32_t blocks_per_unit() const {
+    return disk_unit_bytes / block_bytes;
+  }
+};
+
+/// Validates internal consistency (positive costs, unit divisible by block).
+/// Returns true when the parameter set is usable.
+bool validate(const ModelParams& p);
+
+}  // namespace coop::hw

@@ -1,0 +1,244 @@
+#include "server/ccm_server.hpp"
+
+#include <cassert>
+#include <map>
+#include <utility>
+
+namespace coop::server {
+
+namespace {
+
+/// Barrier: fires `done` after `expected` calls to `arrive()`.
+struct Join {
+  std::size_t remaining;
+  sim::Callback done;
+
+  static std::shared_ptr<Join> make(std::size_t expected, sim::Callback done) {
+    auto j = std::make_shared<Join>();
+    j->remaining = expected;
+    j->done = std::move(done);
+    if (expected == 0 && j->done) {
+      // Degenerate barrier: complete immediately.
+      auto cb = std::move(j->done);
+      cb();
+    }
+    return j;
+  }
+
+  void arrive() {
+    assert(remaining > 0);
+    if (--remaining == 0 && done) {
+      auto cb = std::move(done);
+      cb();
+    }
+  }
+};
+
+}  // namespace
+
+CcmServer::CcmServer(sim::Engine& engine, hw::Network& network,
+                     std::vector<std::unique_ptr<hw::Node>>& nodes,
+                     const trace::FileSet& files,
+                     const cache::CoopCacheConfig& cache_config,
+                     const hw::ModelParams& params,
+                     std::function<cache::NodeId(cache::FileId)> home_of)
+    : engine_(engine),
+      network_(network),
+      nodes_(nodes),
+      files_(files),
+      params_(params),
+      cache_(cache_config, std::move(home_of)) {
+  assert(cache_config.nodes == nodes.size());
+  assert(cache_config.block_bytes == params.block_bytes);
+}
+
+std::uint32_t CcmServer::block_bytes_of(std::uint64_t file_bytes,
+                                        std::uint32_t index) const {
+  const std::uint64_t start =
+      static_cast<std::uint64_t>(index) * params_.block_bytes;
+  if (file_bytes <= start) return 0;  // zero-byte file's single block
+  const std::uint64_t remain = file_bytes - start;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(remain, params_.block_bytes));
+}
+
+void CcmServer::handle(NodeId node, trace::FileId file,
+                       sim::Callback on_served) {
+  hw::Node& self = *nodes_[node];
+  const std::uint64_t size = files_.size_bytes(file);
+  const std::uint32_t nblocks = cache::blocks_for(size, params_.block_bytes);
+
+  self.cpu().submit(params_.parse_ms, [this, node, file, size, nblocks,
+                                       done = std::move(on_served)]() mutable {
+    hw::Node& me = *nodes_[node];
+    me.cpu().submit(
+        params_.process_request_ms(nblocks),
+        [this, node, file, size, done2 = std::move(done)]() mutable {
+          // Policy transition (instantaneous, per the paper's optimistic
+          // directory assumptions); then charge everything it implies.
+          auto plan = cache_.access(node, file, size);
+          execute_plan(
+              node, std::move(plan),
+              [this, node, size, done3 = std::move(done2)]() mutable {
+                hw::Node& n = *nodes_[node];
+                n.cpu().submit(
+                    params_.serve_ms(size),
+                    [this, node, size, done4 = std::move(done3)]() mutable {
+                      network_.respond_to_client(*nodes_[node], size,
+                                                 std::move(done4));
+                    });
+              });
+        });
+  });
+}
+
+void CcmServer::execute_plan(NodeId node, cache::AccessResult plan,
+                             sim::Callback on_all_blocks) {
+  hw::Node& self = *nodes_[node];
+  const std::uint64_t file_bytes =
+      plan.fetches.empty() ? 0 : files_.size_bytes(plan.fetches[0].block.file);
+  // Whole-file mode: one fetch entry stands for the file's full block
+  // footprint (transfers carry the whole file; per-block CPU costs still
+  // apply to every real block).
+  const bool whole_file = cache_.config().whole_file;
+
+  // Group the required transfers. A file has one home, so there is at most
+  // one disk group per provider; remote fetches may span several peers.
+  struct Group {
+    std::vector<cache::BlockId> blocks;
+    std::uint64_t bytes = 0;
+    bool misdirected = false;
+  };
+  std::map<NodeId, Group> remote;  // provider -> blocks (master holder)
+  std::map<NodeId, Group> disk;    // home -> blocks to read
+
+  for (const auto& f : plan.fetches) {
+    const std::uint64_t bytes =
+        whole_file ? file_bytes : block_bytes_of(file_bytes, f.block.index);
+    switch (f.source) {
+      case cache::Source::kLocalHit:
+        break;  // already in memory: covered by the process-request CPU cost
+      case cache::Source::kRemoteHit: {
+        auto& g = remote[f.provider];
+        g.blocks.push_back(f.block);
+        g.bytes += bytes;
+        g.misdirected |= f.misdirected;
+        break;
+      }
+      case cache::Source::kDiskRead: {
+        auto& g = disk[f.provider];
+        g.blocks.push_back(f.block);
+        g.bytes += bytes;
+        g.misdirected |= f.misdirected;
+        break;
+      }
+    }
+  }
+
+  auto join = Join::make(remote.size() + disk.size(), std::move(on_all_blocks));
+
+  // --- Peer fetches: control msg -> peer CPU -> bulk transfer -> cache. ---
+  for (auto& [provider, group] : remote) {
+    hw::Node& peer = *nodes_[provider];
+    const auto k =
+        whole_file
+            ? cache::blocks_for(file_bytes, params_.block_bytes)
+            : group.blocks.size();
+    const auto bytes = group.bytes;
+    const bool extra_hop = group.misdirected;
+    auto after_control = [this, &peer, &self, k, bytes, join]() {
+      peer.cpu().submit(
+          params_.serve_peer_block_ms * static_cast<double>(k),
+          [this, &peer, &self, k, bytes, join]() {
+            network_.send(peer, self, bytes, [this, &self, k, join]() {
+              self.cpu().submit(
+                  params_.cache_block_ms * static_cast<double>(k),
+                  [join]() { join->arrive(); });
+            });
+          });
+    };
+    if (extra_hop) {
+      // A stale hint wasted one control round trip before reaching the
+      // real master holder.
+      network_.send_control(self, peer, [this, &peer, &self, cb = std::move(
+                                             after_control)]() mutable {
+        network_.send_control(peer, self, [this, &peer, &self,
+                                           cb2 = std::move(cb)]() mutable {
+          network_.send_control(self, peer, std::move(cb2));
+        });
+      });
+    } else {
+      network_.send_control(self, peer, std::move(after_control));
+    }
+  }
+
+  // --- Disk reads at the home node (possibly this node). ---
+  for (auto& [home, group] : disk) {
+    hw::Node& reader = *nodes_[home];
+    const auto bytes = group.bytes;
+    const auto k =
+        whole_file
+            ? cache::blocks_for(file_bytes, params_.block_bytes)
+            : group.blocks.size();
+
+    auto do_reads = [this, &reader, &self, group = std::move(group), bytes, k,
+                     join, home, node, whole_file]() mutable {
+      auto after_reads = [this, &reader, &self, bytes, k, join, home,
+                          node]() {
+        if (home == node) {
+          // Local disk: bus into memory, then per-block cache cost.
+          self.bus().submit(params_.bus_ms(bytes), [this, &self, k, join]() {
+            self.cpu().submit(params_.cache_block_ms * static_cast<double>(k),
+                              [join]() { join->arrive(); });
+          });
+        } else {
+          // Remote home: ship the blocks over, then cache them here.
+          network_.send(reader, self, bytes, [this, &self, k, join]() {
+            self.cpu().submit(params_.cache_block_ms * static_cast<double>(k),
+                              [join]() { join->arrive(); });
+          });
+        }
+      };
+      // Blocks are demand-read one at a time, so concurrent request streams
+      // interleave at the disk exactly as in the paper's §5 analysis.
+      const std::uint64_t fb =
+          group.blocks.empty() ? 0 : files_.size_bytes(group.blocks[0].file);
+      std::vector<hw::BlockRead> seq;
+      if (whole_file && !group.blocks.empty()) {
+        const std::uint32_t nb = cache::blocks_for(fb, params_.block_bytes);
+        seq.reserve(nb);
+        for (std::uint32_t i = 0; i < nb; ++i) {
+          seq.push_back(hw::BlockRead{group.blocks[0].file, i,
+                                      block_bytes_of(fb, i)});
+        }
+      } else {
+        seq.reserve(group.blocks.size());
+        for (const auto& b : group.blocks) {
+          seq.push_back(
+              hw::BlockRead{b.file, b.index, block_bytes_of(fb, b.index)});
+        }
+      }
+      hw::read_sequence(reader.disk(), std::move(seq), std::move(after_reads));
+    };
+
+    if (home == node) {
+      do_reads();
+    } else {
+      network_.send_control(self, reader, std::move(do_reads));
+    }
+  }
+
+  // --- Master forwards: asynchronous, off the request's critical path. ---
+  for (const auto& fw : plan.forwards) {
+    hw::Node& from = *nodes_[fw.from];
+    const std::uint64_t fw_bytes =
+        whole_file ? files_.size_bytes(fw.block.file) : params_.block_bytes;
+    from.cpu().submit(params_.evict_master_ms, [this, fw, &from, fw_bytes]() {
+      if (fw.to != cache::kInvalidNode) {
+        network_.send(from, *nodes_[fw.to], fw_bytes, nullptr);
+      }
+    });
+  }
+}
+
+}  // namespace coop::server

@@ -1,0 +1,57 @@
+#include "server/client.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coop::server {
+
+ClientPool::ClientPool(sim::Engine& engine, hw::Network& network,
+                       std::vector<std::unique_ptr<hw::Node>>& nodes,
+                       Server& server, const trace::Trace& trace,
+                       const ClientPoolConfig& config,
+                       MetricsCollector& collector, sim::Callback on_warm)
+    : engine_(engine),
+      network_(network),
+      nodes_(nodes),
+      server_(server),
+      trace_(trace),
+      config_(config),
+      collector_(collector),
+      on_warm_(std::move(on_warm)),
+      dispatcher_(nodes.size()),
+      warmup_count_(static_cast<std::size_t>(
+          static_cast<double>(trace.requests.size()) *
+          std::clamp(config.warmup_fraction, 0.0, 0.95))) {}
+
+void ClientPool::start() {
+  const std::size_t n =
+      std::min(config_.clients, trace_.requests.size());
+  for (std::size_t c = 0; c < n; ++c) issue_next();
+}
+
+void ClientPool::issue_next() {
+  if (next_request_ >= trace_.requests.size()) return;  // this client retires
+  const std::size_t my = next_request_++;
+  if (!warmed_ && my >= warmup_count_) {
+    warmed_ = true;
+    if (on_warm_) on_warm_();
+  }
+  const bool measured = my >= warmup_count_;
+  const trace::FileId file = trace_.requests[my];
+  const NodeId node = dispatcher_.pick();
+  const sim::SimTime issued_at = engine_.now();
+
+  network_.client_request(
+      *nodes_[node], [this, node, file, issued_at, measured]() {
+        server_.handle(node, file, [this, file, issued_at, measured]() {
+          ++completed_;
+          if (measured) {
+            collector_.record_response(engine_.now() - issued_at,
+                                       trace_.files.size_bytes(file));
+          }
+          issue_next();
+        });
+      });
+}
+
+}  // namespace coop::server

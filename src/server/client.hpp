@@ -1,0 +1,68 @@
+// Closed-loop HTTP clients (§4.3): "Each HTTP client generates a new request
+// as soon as the previous one has been served", and throughput is measured
+// only after the caches have warmed up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hw/network.hpp"
+#include "hw/node.hpp"
+#include "server/dispatcher.hpp"
+#include "server/metrics.hpp"
+#include "server/server.hpp"
+#include "sim/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace coop::server {
+
+struct ClientPoolConfig {
+  /// Number of concurrent closed-loop clients.
+  std::size_t clients = 64;
+  /// Fraction of the trace used to warm the caches before measuring.
+  double warmup_fraction = 0.3;
+};
+
+class ClientPool {
+ public:
+  /// `on_warm` fires once, when the warm-up request prefix has been issued;
+  /// the cluster uses it to reset all statistics windows.
+  ClientPool(sim::Engine& engine, hw::Network& network,
+             std::vector<std::unique_ptr<hw::Node>>& nodes, Server& server,
+             const trace::Trace& trace, const ClientPoolConfig& config,
+             MetricsCollector& collector, sim::Callback on_warm);
+
+  /// Launches all clients; they run until the trace is exhausted.
+  void start();
+
+  [[nodiscard]] std::uint64_t issued() const { return next_request_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t warmup_requests() const { return warmup_count_; }
+  [[nodiscard]] bool finished() const {
+    return completed_ == trace_.requests.size();
+  }
+
+ private:
+  /// One client's next iteration: pull the next trace entry, dispatch it,
+  /// and reissue on completion.
+  void issue_next();
+
+  sim::Engine& engine_;
+  hw::Network& network_;
+  std::vector<std::unique_ptr<hw::Node>>& nodes_;
+  Server& server_;
+  const trace::Trace& trace_;
+  ClientPoolConfig config_;
+  MetricsCollector& collector_;
+  sim::Callback on_warm_;
+
+  RoundRobinDispatcher dispatcher_;
+  std::size_t warmup_count_;
+  std::size_t next_request_ = 0;
+  std::uint64_t completed_ = 0;
+  bool warmed_ = false;
+};
+
+}  // namespace coop::server

@@ -1,0 +1,59 @@
+// Whole-cluster simulation assembly: builds the engine, nodes, network,
+// server (CCM variant or L2S), and client pool; runs a trace through it; and
+// collects the metrics of Figures 2-6.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/coop_cache.hpp"
+#include "hw/params.hpp"
+#include "server/client.hpp"
+#include "server/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace coop::server {
+
+/// The four systems of Figure 2.
+enum class SystemKind {
+  kL2S,      // locality/load-conscious baseline
+  kCcBasic,  // traditional cooperative caching, FIFO disk queue
+  kCcSched,  // + seek-aware disk scheduling (the paper's first fix)
+  kCcNem     // + never-evict-master replacement (the paper's contribution)
+};
+
+[[nodiscard]] const char* to_string(SystemKind kind);
+
+struct ClusterConfig {
+  SystemKind system = SystemKind::kCcNem;
+  std::size_t nodes = 8;
+  std::uint64_t memory_per_node = 64ull * 1024 * 1024;
+  hw::ModelParams params;
+  ClientPoolConfig clients;
+
+  // CCM knobs.
+  cache::DirectoryMode directory = cache::DirectoryMode::kPerfect;
+  std::uint32_t hint_staleness = 1;
+  /// Whole-file adaptation of CCM (§6); applies to the CC-* systems.
+  bool ccm_whole_file = false;
+
+  // L2S knobs.
+  bool tcp_handoff = true;
+  std::size_t overload_threshold = 6;
+  std::size_t replication_margin = 2;
+
+  /// Optional override of the file-to-home-node placement (CCM); defaults to
+  /// file-id modulo nodes. Used by the hot-spot ablation (A5).
+  std::function<std::uint16_t(trace::FileId)> home_of;
+};
+
+/// Runs `trace` through a cluster built from `config` and returns the
+/// measurement-window metrics. Deterministic: same config + trace => same
+/// result.
+RunMetrics run_simulation(const ClusterConfig& config,
+                          const trace::Trace& trace);
+
+}  // namespace coop::server

@@ -1,0 +1,29 @@
+// Round-robin DNS request distribution (§4.2): clients spread requests over
+// the cluster nodes in cyclic order, with no content awareness. Content-aware
+// decisions (L2S) happen *inside* the cluster after a request lands.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace coop::server {
+
+class RoundRobinDispatcher {
+ public:
+  explicit RoundRobinDispatcher(std::size_t nodes) : nodes_(nodes) {}
+
+  /// Next node in cyclic order.
+  std::uint16_t pick() {
+    const auto n = static_cast<std::uint16_t>(next_);
+    next_ = (next_ + 1) % nodes_;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+
+ private:
+  std::size_t nodes_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace coop::server

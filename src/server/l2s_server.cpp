@@ -1,0 +1,195 @@
+#include "server/l2s_server.hpp"
+
+#include <cassert>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "cache/types.hpp"
+
+namespace coop::server {
+
+L2sServer::L2sServer(sim::Engine& engine, hw::Network& network,
+                     std::vector<std::unique_ptr<hw::Node>>& nodes,
+                     const trace::FileSet& files, const L2sConfig& config,
+                     const hw::ModelParams& params)
+    : engine_(engine),
+      network_(network),
+      nodes_(nodes),
+      files_(files),
+      config_(config),
+      params_(params),
+      cache_(config.cache) {
+  assert(config.cache.nodes == nodes.size());
+}
+
+NodeId L2sServer::pick_target(NodeId landing, trace::FileId file) {
+  if (cache_.cached(landing, file)) return landing;
+
+  const auto holders = cache_.holders(file);
+  if (holders.empty()) return landing;  // first touch: serve where it landed
+
+  // Least-loaded current holder. The load signal is *serving* (CPU) load:
+  // counting disk-queue depth here would make cold-miss streams look like
+  // overload and trigger replication storms of cold files — the opposite of
+  // the hot-file replication the paper describes.
+  NodeId best = holders.front();
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (const auto h : holders) {
+    const std::size_t l = nodes_[h]->cpu().load();
+    if (l < best_load) {
+      best_load = l;
+      best = h;
+    }
+  }
+
+  // Load-aware replication: an overloaded holder sheds the file to the
+  // landing node when the landing node is comfortably less loaded.
+  const std::size_t landing_load = nodes_[landing]->cpu().load();
+  if (best_load >= config_.overload_threshold &&
+      landing_load + config_.replication_margin <= best_load) {
+    ++replications_;
+    return landing;
+  }
+  return best;
+}
+
+void L2sServer::handle(NodeId node, trace::FileId file,
+                       sim::Callback on_served) {
+  hw::Node& self = *nodes_[node];
+  self.cpu().submit(params_.parse_ms, [this, node, file,
+                                       done = std::move(on_served)]() mutable {
+    const NodeId target = pick_target(node, file);
+    ++requests_;
+    if (target == node) {
+      serve_at(node, node, file, std::move(done));
+      return;
+    }
+    // Migrate the request (TCP hand-off is a small control message).
+    ++handoffs_;
+    network_.send_control(*nodes_[node], *nodes_[target],
+                          [this, target, node, file,
+                           done2 = std::move(done)]() mutable {
+                            serve_at(target, node, file, std::move(done2));
+                          });
+  });
+}
+
+void L2sServer::serve_at(NodeId target, NodeId landing, trace::FileId file,
+                         sim::Callback on_served) {
+  hw::Node& server = *nodes_[target];
+  const std::uint64_t size = files_.size_bytes(file);
+
+  // Response path: with TCP hand-off the serving node answers the client
+  // directly; without it, the payload relays through the landing node which
+  // pays a second serve cost.
+  auto respond = [this, target, landing, size,
+                  done = std::move(on_served)]() mutable {
+    hw::Node& server2 = *nodes_[target];
+    server2.cpu().submit(
+        params_.serve_ms(size),
+        [this, target, landing, size, done2 = std::move(done)]() mutable {
+          if (config_.tcp_handoff || target == landing) {
+            network_.respond_to_client(*nodes_[target], size,
+                                       std::move(done2));
+            return;
+          }
+          network_.send(*nodes_[target], *nodes_[landing], size,
+                        [this, landing, size, done3 = std::move(done2)]() mutable {
+                          nodes_[landing]->cpu().submit(
+                              params_.serve_ms(size),
+                              [this, landing, size,
+                               done4 = std::move(done3)]() mutable {
+                                network_.respond_to_client(*nodes_[landing],
+                                                           size,
+                                                           std::move(done4));
+                              });
+                        });
+        });
+  };
+
+  if (cache_.cached(target, file)) {
+    cache_.touch(target, file);
+    if (target == landing) {
+      ++local_hits_;
+    } else {
+      ++migrated_hits_;
+    }
+    respond();
+    return;
+  }
+
+  // Replication (or a placement race): the file is cached at some other
+  // node. Copy it from that node's memory over the LAN instead of re-reading
+  // the disk — the overloaded holder serves one last transfer and the
+  // replica is live.
+  const auto holders = cache_.holders(file);
+  if (!holders.empty()) {
+    NodeId donor = holders.front();
+    std::size_t donor_load = std::numeric_limits<std::size_t>::max();
+    for (const auto h : holders) {
+      const std::size_t l = nodes_[h]->cpu().load();
+      if (l < donor_load) {
+        donor_load = l;
+        donor = h;
+      }
+    }
+    cache_.insert(target, file, size);
+    ++migrated_hits_;  // served from cluster memory, not disk
+    network_.send_control(
+        server, *nodes_[donor],
+        [this, donor, target, size, respond = std::move(respond)]() mutable {
+          nodes_[donor]->cpu().submit(
+              params_.serve_ms(size),
+              [this, donor, target, size,
+               respond2 = std::move(respond)]() mutable {
+                network_.send(*nodes_[donor], *nodes_[target], size,
+                              std::move(respond2));
+              });
+        });
+    return;
+  }
+
+  // Miss: whole-file read from the local disk (files live on every disk),
+  // admitting the file into the whole-file cache. Blocks stream one at a
+  // time, so concurrent misses interleave at the disk like any other stream.
+  cache_.insert(target, file, size);
+  const std::uint32_t nblocks = cache::blocks_for(size, params_.block_bytes);
+  std::vector<hw::BlockRead> seq;
+  seq.reserve(nblocks);
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    const std::uint64_t start =
+        static_cast<std::uint64_t>(b) * params_.block_bytes;
+    const auto bytes = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        size > start ? size - start : 0, params_.block_bytes));
+    seq.push_back(hw::BlockRead{file, b, bytes});
+  }
+  hw::read_sequence(
+      server.disk(), std::move(seq),
+      [this, target, size, respond = std::move(respond)]() mutable {
+        // All blocks on platter: one bus transfer into memory, then respond.
+        nodes_[target]->bus().submit(params_.bus_ms(size), std::move(respond));
+      });
+}
+
+void L2sServer::reset_stats() {
+  requests_ = 0;
+  local_hits_ = 0;
+  migrated_hits_ = 0;
+  replications_ = 0;
+  handoffs_ = 0;
+}
+
+double L2sServer::local_hit_rate() const {
+  return requests_ ? static_cast<double>(local_hits_) /
+                         static_cast<double>(requests_)
+                   : 0.0;
+}
+
+double L2sServer::remote_hit_rate() const {
+  return requests_ ? static_cast<double>(migrated_hits_) /
+                         static_cast<double>(requests_)
+                   : 0.0;
+}
+
+}  // namespace coop::server

@@ -1,0 +1,85 @@
+// L2S: the locality- and load-conscious baseline (§4.1).
+//
+// Behaviors reproduced from the paper's description of Bianchini & Carrera's
+// server:
+//  * whole files are the caching granularity;
+//  * requests for a file are migrated (TCP hand-off) to a node already
+//    caching it, so one copy per file is the steady state;
+//  * when the caching node is overloaded, the file is *replicated* at the
+//    (less loaded) node the request originally landed on, trading memory
+//    efficiency for load balance;
+//  * de-replication is LRU that prefers replicas and keeps the last copy
+//    (implemented by cache::WholeFileCache);
+//  * files are replicated on every node's disk, so misses always read from
+//    the serving node's local disk;
+//  * TCP hand-off lets the serving node answer the client directly; with
+//    hand-off disabled (ablation A2), the response relays through the node
+//    that accepted the connection, costing a second serve + transfer.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/whole_file_cache.hpp"
+#include "hw/network.hpp"
+#include "hw/node.hpp"
+#include "server/server.hpp"
+
+namespace coop::server {
+
+struct L2sConfig {
+  cache::WholeFileCacheConfig cache;
+  /// A holder with at least this many outstanding jobs is overloaded.
+  std::size_t overload_threshold = 6;
+  /// Replicate only if the landing node's load is below the holder's minus
+  /// this margin (hysteresis against replication thrash).
+  std::size_t replication_margin = 2;
+  bool tcp_handoff = true;
+};
+
+class L2sServer final : public Server {
+ public:
+  L2sServer(sim::Engine& engine, hw::Network& network,
+            std::vector<std::unique_ptr<hw::Node>>& nodes,
+            const trace::FileSet& files, const L2sConfig& config,
+            const hw::ModelParams& params);
+
+  void handle(NodeId node, trace::FileId file,
+              sim::Callback on_served) override;
+
+  void reset_stats() override;
+
+  [[nodiscard]] double local_hit_rate() const override;
+  [[nodiscard]] double remote_hit_rate() const override;
+  [[nodiscard]] std::uint64_t replications() const override {
+    return replications_;
+  }
+  [[nodiscard]] std::uint64_t handoffs() const override { return handoffs_; }
+
+  [[nodiscard]] const cache::WholeFileCache& cache() const { return cache_; }
+
+ private:
+  /// Picks the node that should serve `file` for a request that landed on
+  /// `landing`; may decide to replicate. Pure decision, no costs.
+  [[nodiscard]] NodeId pick_target(NodeId landing, trace::FileId file);
+
+  /// Runs the request at `target` (cache probe, disk on miss, serve).
+  void serve_at(NodeId target, NodeId landing, trace::FileId file,
+                sim::Callback on_served);
+
+  sim::Engine& engine_;
+  hw::Network& network_;
+  std::vector<std::unique_ptr<hw::Node>>& nodes_;
+  const trace::FileSet& files_;
+  L2sConfig config_;
+  hw::ModelParams params_;
+  cache::WholeFileCache cache_;
+
+  std::uint64_t requests_ = 0;
+  std::uint64_t local_hits_ = 0;
+  std::uint64_t migrated_hits_ = 0;
+  std::uint64_t replications_ = 0;
+  std::uint64_t handoffs_ = 0;
+};
+
+}  // namespace coop::server

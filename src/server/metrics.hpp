@@ -1,0 +1,84 @@
+// Run-level metrics: everything Figures 2-6 plot.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+
+namespace coop::server {
+
+/// Collected over the measurement window (after cache warm-up, §4.3).
+struct RunMetrics {
+  // Offered/served load.
+  std::uint64_t requests = 0;
+  std::uint64_t bytes_served = 0;
+  double duration_ms = 0.0;
+
+  /// Requests per second (the paper's throughput axis).
+  double throughput_rps = 0.0;
+  /// Payload megabytes per second.
+  double throughput_mbps = 0.0;
+
+  // Response time (client-observed, ms).
+  double mean_response_ms = 0.0;
+  double p50_response_ms = 0.0;
+  double p95_response_ms = 0.0;
+  double p99_response_ms = 0.0;
+
+  // Hit rates. For CCM these are block-level (local = requested block in the
+  // serving node's memory, remote = master found at a peer); for L2S,
+  // file-level at the serving node.
+  double local_hit_rate = 0.0;
+  double remote_hit_rate = 0.0;
+  [[nodiscard]] double global_hit_rate() const {
+    return local_hit_rate + remote_hit_rate;
+  }
+
+  // Resource utilization over the measurement window, averaged across nodes,
+  // plus the hottest single disk (the paper's bottleneck discussion).
+  double cpu_utilization = 0.0;
+  double disk_utilization = 0.0;
+  double nic_utilization = 0.0;
+  double max_disk_utilization = 0.0;
+  double router_utilization = 0.0;
+
+  // Raw event counters.
+  std::uint64_t disk_block_reads = 0;
+  std::uint64_t disk_seeks = 0;
+  std::uint64_t remote_block_fetches = 0;
+  std::uint64_t master_forwards = 0;
+  std::uint64_t replications = 0;   // L2S only
+  std::uint64_t handoffs = 0;       // L2S request migrations
+  std::uint64_t hint_misdirects = 0;  // CCM hinted-directory mode only
+};
+
+/// Accumulates client-observed response times and served bytes during the
+/// measurement window.
+class MetricsCollector {
+ public:
+  void record_response(double latency_ms, std::uint64_t bytes) {
+    latencies_.add(latency_ms);
+    hist_.add(latency_ms);
+    bytes_ += bytes;
+  }
+
+  void reset() {
+    latencies_.reset();
+    hist_.reset();
+    bytes_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t responses() const { return latencies_.count(); }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] double mean_latency() const { return latencies_.mean(); }
+  [[nodiscard]] double percentile(double p) const {
+    return hist_.percentile(p);
+  }
+
+ private:
+  sim::Accumulator latencies_;
+  sim::LatencyHistogram hist_{1e-2, 1e5, 192};
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace coop::server

@@ -1,0 +1,42 @@
+// Common interface for the two simulated server architectures.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace coop::server {
+
+using NodeId = std::uint16_t;
+
+/// A cluster-wide web server. `handle` is invoked when a client request for
+/// `file` has arrived at `node` (router and NIC ingress already charged);
+/// `on_served` must fire once the full response has left toward the client.
+class Server {
+ public:
+  virtual ~Server() = default;
+
+  virtual void handle(NodeId node, trace::FileId file,
+                      sim::Callback on_served) = 0;
+
+  /// Restarts hit/operation counters (cache *contents* are preserved) for
+  /// the post-warm-up measurement window.
+  virtual void reset_stats() = 0;
+
+  // Hit accounting over the current window. Local = served from the memory
+  // of the node the client contacted; remote = served from another node's
+  // memory (a peer fetch for CCM, a migrated request for L2S).
+  [[nodiscard]] virtual double local_hit_rate() const = 0;
+  [[nodiscard]] virtual double remote_hit_rate() const = 0;
+
+  [[nodiscard]] virtual std::uint64_t remote_block_fetches() const {
+    return 0;
+  }
+  [[nodiscard]] virtual std::uint64_t master_forwards() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t replications() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t handoffs() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t hint_misdirects() const { return 0; }
+};
+
+}  // namespace coop::server

@@ -1,0 +1,73 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+namespace coop::sim {
+
+Engine::~Engine() {
+  while (!heap_.empty()) {
+    delete heap_.top();
+    heap_.pop();
+  }
+}
+
+EventId Engine::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+  auto* e = new Entry{at, next_seq_++, std::move(fn)};
+  heap_.push(e);
+  ++live_;
+  return EventId{e->seq};
+}
+
+EventId Engine::schedule_in(SimTime delay, Callback fn) {
+  if (delay < 0) throw std::invalid_argument("schedule_in: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  if (id.seq == 0 || id.seq >= next_seq_) return false;
+  if (id.seq < fired_.size() && fired_[id.seq]) return false;  // already ran
+  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id.seq);
+  if (it != cancelled_.end() && *it == id.seq) return false;  // already cancelled
+  cancelled_.insert(it, id.seq);
+  // live_ is decremented lazily when the entry is popped; track here so
+  // pending() stays accurate.
+  assert(live_ > 0);
+  --live_;
+  return true;
+}
+
+void Engine::step() {
+  assert(!heap_.empty());
+  std::unique_ptr<Entry> e(heap_.top());
+  heap_.pop();
+  const auto it =
+      std::lower_bound(cancelled_.begin(), cancelled_.end(), e->seq);
+  if (it != cancelled_.end() && *it == e->seq) {
+    cancelled_.erase(it);
+    return;  // cancelled; live_ was already adjusted
+  }
+  --live_;
+  now_ = e->at;
+  ++processed_;
+  if (e->seq >= fired_.size()) fired_.resize(e->seq + 1024);
+  fired_[e->seq] = true;
+  e->fn();
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!heap_.empty() && !stopped_) step();
+}
+
+bool Engine::run_until(SimTime until) {
+  stopped_ = false;
+  while (!heap_.empty() && !stopped_ && heap_.top()->at <= until) step();
+  if (!stopped_ && now_ < until) now_ = until;
+  return live_ > 0;
+}
+
+}  // namespace coop::sim

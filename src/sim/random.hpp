@@ -1,0 +1,78 @@
+// Deterministic pseudo-random generation for workloads.
+//
+// We implement our own distributions (rather than libstdc++'s) so traces are
+// bit-identical across standard libraries; reproducibility of the workload is
+// part of the artifact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace coop::sim {
+
+/// xoshiro256** by Blackman & Vigna, seeded via SplitMix64.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (caches the second variate).
+  double normal();
+
+  /// Lognormal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha.
+  double bounded_pareto(double alpha, double lo, double hi);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Zipf-like sampler over ranks 0..n-1 with exponent alpha:
+/// P(rank k) proportional to 1 / (k+1)^alpha.
+///
+/// Uses a precomputed CDF + binary search; construction is O(n), sampling
+/// O(log n). Web-trace popularity is Zipf-like (Arlitt & Williamson), which is
+/// what gives the paper's traces their small hot set and long cold tail.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draws a rank in [0, n). Rank 0 is the most popular.
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace coop::sim

@@ -1,0 +1,65 @@
+#include "sim/service_center.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace coop::sim {
+
+ServiceCenter::ServiceCenter(Engine& engine, std::string name,
+                             std::size_t servers, std::size_t queue_capacity)
+    : engine_(engine),
+      name_(std::move(name)),
+      servers_(servers),
+      capacity_(queue_capacity) {
+  assert(servers_ > 0);
+}
+
+bool ServiceCenter::submit(SimTime service_time, Callback on_done) {
+  assert(service_time >= 0.0);
+  if (in_service_ < servers_) {
+    start(Job{service_time, engine_.now(), std::move(on_done)});
+    return true;
+  }
+  if (queue_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  queue_.push_back(Job{service_time, engine_.now(), std::move(on_done)});
+  return true;
+}
+
+void ServiceCenter::start(Job job) {
+  ++in_service_;
+  busy_.set_busy(true, engine_.now());
+  wait_.add(engine_.now() - job.enqueued);
+  service_.add(job.service);
+  engine_.schedule_in(
+      job.service,
+      [this, service = job.service, on_done = std::move(job.on_done)]() mutable {
+        finish(service, std::move(on_done));
+      });
+}
+
+void ServiceCenter::finish(SimTime /*service*/, Callback on_done) {
+  assert(in_service_ > 0);
+  --in_service_;
+  ++completed_;
+  if (!queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(next));
+  } else if (in_service_ == 0) {
+    busy_.set_busy(false, engine_.now());
+  }
+  if (on_done) on_done();
+}
+
+void ServiceCenter::reset_stats() {
+  busy_.reset(engine_.now());
+  wait_.reset();
+  service_.reset();
+  completed_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace coop::sim

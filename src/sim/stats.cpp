@@ -1,0 +1,91 @@
+#include "sim/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace coop::sim {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::reset() { *this = Accumulator{}; }
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void BusyTracker::set_busy(bool busy, SimTime now) {
+  if (busy == busy_) return;
+  if (busy_) accumulated_ += now - busy_since_;
+  busy_ = busy;
+  busy_since_ = now;
+}
+
+void BusyTracker::reset(SimTime now) {
+  window_start_ = now;
+  busy_since_ = now;
+  accumulated_ = 0.0;
+}
+
+SimTime BusyTracker::busy_time(SimTime now) const {
+  return accumulated_ + (busy_ ? now - busy_since_ : 0.0);
+}
+
+double BusyTracker::utilization(SimTime now) const {
+  const SimTime elapsed = now - window_start_;
+  if (elapsed <= 0.0) return 0.0;
+  return busy_time(now) / elapsed;
+}
+
+LatencyHistogram::LatencyHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), log_lo_(std::log(lo)), counts_(buckets, 0) {
+  assert(lo > 0.0 && hi > lo && buckets >= 2);
+  log_step_ = (std::log(hi) - log_lo_) / static_cast<double>(buckets);
+}
+
+std::size_t LatencyHistogram::bucket_for(double value) const {
+  if (value <= lo_) return 0;
+  const double idx = (std::log(value) - log_lo_) / log_step_;
+  const auto i = static_cast<std::size_t>(idx);
+  return std::min(i, counts_.size() - 1);
+}
+
+double LatencyHistogram::bucket_upper(std::size_t i) const {
+  return std::exp(log_lo_ + log_step_ * static_cast<double>(i + 1));
+}
+
+void LatencyHistogram::add(double value) {
+  ++counts_[bucket_for(value)];
+  ++total_;
+  sum_ += value;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (static_cast<double>(seen) >= target) return bucket_upper(i);
+  }
+  return bucket_upper(counts_.size() - 1);
+}
+
+}  // namespace coop::sim

@@ -1,0 +1,91 @@
+// Statistics accumulators used across the simulator and the harness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace coop::sim {
+
+/// Running scalar statistics: count, mean, variance (Welford), min, max.
+class Accumulator {
+ public:
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Tracks the busy fraction of a resource over simulated time.
+///
+/// Utilization is busy-time divided by elapsed time since the last
+/// reset(now). Resources call set_busy around each service interval.
+class BusyTracker {
+ public:
+  /// Marks the resource busy/idle at simulation time `now`.
+  void set_busy(bool busy, SimTime now);
+
+  /// Clears accumulated busy time and restarts the observation window.
+  void reset(SimTime now);
+
+  /// Busy fraction in [0,1] over [window start, now].
+  [[nodiscard]] double utilization(SimTime now) const;
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] SimTime busy_time(SimTime now) const;
+
+ private:
+  bool busy_ = false;
+  SimTime window_start_ = 0.0;
+  SimTime busy_since_ = 0.0;
+  SimTime accumulated_ = 0.0;
+};
+
+/// Fixed-boundary histogram with percentile queries, used for response-time
+/// distributions. Buckets are log-spaced between min and max bounds.
+class LatencyHistogram {
+ public:
+  /// `lo`/`hi` bound the log-spaced bucket range (values outside are clamped
+  /// into the first/last bucket).
+  LatencyHistogram(double lo = 1e-3, double hi = 1e4, std::size_t buckets = 128);
+
+  void add(double value);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+
+  /// Returns an upper-bound estimate of the p-th percentile (p in [0,100]).
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_for(double value) const;
+  [[nodiscard]] double bucket_upper(std::size_t i) const;
+
+  double lo_;
+  double log_lo_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace coop::sim

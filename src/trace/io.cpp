@@ -1,0 +1,65 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace coop::trace {
+
+namespace {
+constexpr const char* kMagic = "coopcache-trace";
+constexpr int kVersion = 1;
+}  // namespace
+
+bool write_trace(std::ostream& out, const Trace& trace) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << trace.name << '\n';
+  out << trace.files.count() << ' ' << trace.requests.size() << '\n';
+  for (std::size_t i = 0; i < trace.files.count(); ++i) {
+    out << trace.files.size_bytes(static_cast<FileId>(i));
+    out << (((i + 1) % 16 == 0 || i + 1 == trace.files.count()) ? '\n' : ' ');
+  }
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    out << trace.requests[i];
+    out << (((i + 1) % 16 == 0 || i + 1 == trace.requests.size()) ? '\n' : ' ');
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream f(path);
+  if (!f) return false;
+  return write_trace(f, trace);
+}
+
+std::optional<Trace> read_trace(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic || version != kVersion) {
+    return std::nullopt;
+  }
+  Trace t;
+  if (!(in >> t.name)) return std::nullopt;
+  std::size_t nfiles = 0, nreqs = 0;
+  if (!(in >> nfiles >> nreqs)) return std::nullopt;
+
+  std::vector<std::uint32_t> sizes(nfiles);
+  for (auto& s : sizes) {
+    if (!(in >> s)) return std::nullopt;
+  }
+  t.files = FileSet(std::move(sizes));
+
+  t.requests.resize(nreqs);
+  for (auto& r : t.requests) {
+    if (!(in >> r) || r >= nfiles) return std::nullopt;
+  }
+  return t;
+}
+
+std::optional<Trace> read_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  return read_trace(f);
+}
+
+}  // namespace coop::trace

@@ -1,0 +1,29 @@
+// Trace serialization so real access logs (converted offline) can replace the
+// synthetic presets without touching any other code.
+//
+// Format (text, line-oriented):
+//   coopcache-trace 1
+//   <name>
+//   <num_files> <num_requests>
+//   <size_bytes of file 0..n-1, whitespace separated>
+//   <file id of request 0..m-1, whitespace separated>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace coop::trace {
+
+/// Writes `trace` to the stream. Returns false on I/O failure.
+bool write_trace(std::ostream& out, const Trace& trace);
+bool write_trace_file(const std::string& path, const Trace& trace);
+
+/// Reads a trace; returns std::nullopt on parse or I/O failure (including
+/// out-of-range file ids in the request stream).
+std::optional<Trace> read_trace(std::istream& in);
+std::optional<Trace> read_trace_file(const std::string& path);
+
+}  // namespace coop::trace

@@ -1,0 +1,66 @@
+#include "trace/presets.hpp"
+
+#include <stdexcept>
+
+namespace coop::trace {
+
+SyntheticSpec calgary_spec() {
+  SyntheticSpec s;
+  s.name = "calgary";
+  s.num_files = 6000;
+  s.num_requests = 400000;
+  s.zipf_alpha = 0.75;
+  s.mean_file_bytes = 16.0 * 1024;
+  s.size_sigma = 1.3;
+  s.seed = 0xCA16A21;
+  return s;
+}
+
+SyntheticSpec clarknet_spec() {
+  SyntheticSpec s;
+  s.name = "clarknet";
+  s.num_files = 22000;
+  s.num_requests = 600000;
+  s.zipf_alpha = 0.70;
+  s.mean_file_bytes = 12.0 * 1024;
+  s.size_sigma = 1.2;
+  s.seed = 0xC1A84E7;
+  return s;
+}
+
+SyntheticSpec nasa_spec() {
+  SyntheticSpec s;
+  s.name = "nasa";
+  s.num_files = 9000;
+  s.num_requests = 500000;
+  s.zipf_alpha = 0.80;
+  s.mean_file_bytes = 20.0 * 1024;
+  s.size_sigma = 1.3;
+  s.seed = 0x4A5A001;
+  return s;
+}
+
+SyntheticSpec rutgers_spec() {
+  SyntheticSpec s;
+  s.name = "rutgers";
+  s.num_files = 30000;
+  s.num_requests = 600000;
+  s.zipf_alpha = 0.65;
+  s.mean_file_bytes = 17.0 * 1024;
+  s.size_sigma = 1.25;
+  s.seed = 0x2179E25;
+  return s;
+}
+
+std::vector<SyntheticSpec> all_presets() {
+  return {calgary_spec(), clarknet_spec(), nasa_spec(), rutgers_spec()};
+}
+
+SyntheticSpec preset_by_name(const std::string& name) {
+  for (auto& spec : all_presets()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("unknown trace preset: " + name);
+}
+
+}  // namespace coop::trace

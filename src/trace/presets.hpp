@@ -1,0 +1,29 @@
+// Calibrated presets standing in for the paper's four traces (Table 2).
+//
+// Targets (see DESIGN.md "Trace presets"): file counts, mean sizes, and
+// file-set sizes chosen so that, as in the paper, the working sets exceed the
+// aggregate cluster memory at the small end of the 4-512 MB/node sweep.
+// Request counts are scaled down from the multi-million-request originals so
+// every figure regenerates in minutes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hpp"
+
+namespace coop::trace {
+
+SyntheticSpec calgary_spec();
+SyntheticSpec clarknet_spec();
+SyntheticSpec nasa_spec();
+SyntheticSpec rutgers_spec();
+
+/// All four presets in the paper's order.
+std::vector<SyntheticSpec> all_presets();
+
+/// Looks a preset up by (case-sensitive) name; throws std::out_of_range for
+/// unknown names.
+SyntheticSpec preset_by_name(const std::string& name);
+
+}  // namespace coop::trace

@@ -1,0 +1,103 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coop::trace {
+namespace {
+
+/// Files sorted by decreasing request count; returns (file, count) pairs.
+std::vector<std::pair<FileId, std::uint64_t>> sorted_by_popularity(
+    const Trace& trace) {
+  std::vector<std::uint64_t> counts(trace.files.count(), 0);
+  for (const auto f : trace.requests) ++counts[f];
+  std::vector<std::pair<FileId, std::uint64_t>> order;
+  order.reserve(counts.size());
+  for (std::size_t f = 0; f < counts.size(); ++f) {
+    order.emplace_back(static_cast<FileId>(f), counts[f]);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return order;
+}
+
+}  // namespace
+
+TraceStats compute_stats(const Trace& trace, std::size_t max_cdf_points) {
+  TraceStats s;
+  s.num_files = trace.files.count();
+  s.num_requests = trace.requests.size();
+  if (s.num_files == 0) return s;
+
+  const std::uint64_t set_bytes = trace.files.total_bytes();
+  s.avg_file_kb =
+      static_cast<double>(set_bytes) / static_cast<double>(s.num_files) / 1024.0;
+  s.file_set_mb = static_cast<double>(set_bytes) / (1024.0 * 1024.0);
+  if (s.num_requests > 0) {
+    s.avg_request_kb = static_cast<double>(trace.total_requested_bytes()) /
+                       static_cast<double>(s.num_requests) / 1024.0;
+  }
+
+  const auto order = sorted_by_popularity(trace);
+  const double total_reqs = std::max<double>(1.0, static_cast<double>(s.num_requests));
+
+  std::uint64_t cum_reqs = 0;
+  std::uint64_t cum_bytes = 0;
+  bool hit90 = false, hit99 = false;
+  const std::size_t stride =
+      std::max<std::size_t>(1, order.size() / std::max<std::size_t>(1, max_cdf_points));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    cum_reqs += order[i].second;
+    cum_bytes += trace.files.size_bytes(order[i].first);
+    const double rf = static_cast<double>(cum_reqs) / total_reqs;
+    if (!hit90 && rf >= 0.90) {
+      s.working_set_bytes_90 = cum_bytes;
+      hit90 = true;
+    }
+    if (!hit99 && rf >= 0.99) {
+      s.working_set_bytes_99 = cum_bytes;
+      hit99 = true;
+    }
+    if (i % stride == 0 || i + 1 == order.size()) {
+      s.cdf.push_back(CdfPoint{
+          static_cast<double>(i + 1) / static_cast<double>(order.size()), rf,
+          cum_bytes});
+    }
+  }
+  if (!hit90) s.working_set_bytes_90 = cum_bytes;
+  if (!hit99) s.working_set_bytes_99 = cum_bytes;
+  return s;
+}
+
+std::uint64_t working_set_bytes(const Trace& trace, double fraction) {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  const auto order = [&] {
+    std::vector<std::uint64_t> counts(trace.files.count(), 0);
+    for (const auto f : trace.requests) ++counts[f];
+    std::vector<std::pair<FileId, std::uint64_t>> o;
+    o.reserve(counts.size());
+    for (std::size_t f = 0; f < counts.size(); ++f) {
+      o.emplace_back(static_cast<FileId>(f), counts[f]);
+    }
+    std::sort(o.begin(), o.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    return o;
+  }();
+
+  const auto target = static_cast<std::uint64_t>(
+      fraction * static_cast<double>(trace.requests.size()));
+  std::uint64_t cum_reqs = 0;
+  std::uint64_t cum_bytes = 0;
+  for (const auto& [file, count] : order) {
+    if (cum_reqs >= target) break;
+    cum_reqs += count;
+    cum_bytes += trace.files.size_bytes(file);
+  }
+  return cum_bytes;
+}
+
+}  // namespace coop::trace

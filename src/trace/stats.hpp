@@ -1,0 +1,42 @@
+// Trace characterization: the numbers behind Table 2 and Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace coop::trace {
+
+/// One point of the Figure 1 curve: files sorted by decreasing request
+/// frequency, cumulative request fraction and cumulative bytes.
+struct CdfPoint {
+  double file_fraction;     // fraction of the (sorted) file population
+  double request_fraction;  // cumulative fraction of requests covered
+  std::uint64_t cum_bytes;  // cumulative file-set bytes
+};
+
+/// Table 2 row for one trace.
+struct TraceStats {
+  std::size_t num_files = 0;
+  std::size_t num_requests = 0;
+  double avg_file_kb = 0.0;
+  double avg_request_kb = 0.0;  // popularity-weighted mean transferred size
+  double file_set_mb = 0.0;
+
+  /// Bytes of the most popular files needed to cover `request_fraction` of
+  /// all requests (Figure 1's "99% of requests need 494 MB" statistic).
+  std::uint64_t working_set_bytes_99 = 0;
+  std::uint64_t working_set_bytes_90 = 0;
+
+  /// Figure 1 curve, downsampled to at most `max_points` points.
+  std::vector<CdfPoint> cdf;
+};
+
+/// Computes trace statistics. `max_cdf_points` bounds the emitted curve.
+TraceStats compute_stats(const Trace& trace, std::size_t max_cdf_points = 100);
+
+/// Bytes of the hottest files covering `fraction` of requests.
+std::uint64_t working_set_bytes(const Trace& trace, double fraction);
+
+}  // namespace coop::trace

@@ -1,0 +1,76 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace coop::trace {
+
+Trace generate(const SyntheticSpec& spec) {
+  assert(spec.num_files > 0);
+  sim::Rng rng(spec.seed);
+
+  // --- File sizes: lognormal body + bounded-Pareto tail. ---
+  // Solve the body's mu so the overall mean hits mean_file_bytes:
+  //   mean = (1-tf) * exp(mu + sigma^2/2) + tf * tail_mean
+  const double tf = std::clamp(spec.tail_fraction, 0.0, 0.5);
+  double tail_mean = 0.0;
+  if (tf > 0.0) {
+    const double a = spec.tail_alpha;
+    const double lo = spec.tail_min_bytes;
+    const double hi = spec.tail_max_bytes;
+    if (std::abs(a - 1.0) < 1e-9) {
+      tail_mean = (hi - lo) / std::log(hi / lo);
+    } else {
+      // Bounded-Pareto mean:
+      // E[X] = (lo^a * a / (a-1)) * (lo^(1-a) - hi^(1-a)) / (1 - (lo/hi)^a)
+      const double la = std::pow(lo, a);
+      tail_mean = (la * a / (a - 1.0)) *
+                  (std::pow(lo, 1.0 - a) - std::pow(hi, 1.0 - a)) /
+                  (1.0 - std::pow(lo / hi, a));
+    }
+  }
+  const double body_target =
+      std::max(256.0, (spec.mean_file_bytes - tf * tail_mean) / (1.0 - tf));
+  const double mu =
+      std::log(body_target) - spec.size_sigma * spec.size_sigma / 2.0;
+
+  std::vector<std::uint32_t> sizes(spec.num_files);
+  for (auto& s : sizes) {
+    double bytes;
+    if (tf > 0.0 && rng.uniform() < tf) {
+      bytes = rng.bounded_pareto(spec.tail_alpha, spec.tail_min_bytes,
+                                 spec.tail_max_bytes);
+    } else {
+      bytes = rng.lognormal(mu, spec.size_sigma);
+      bytes = std::min(bytes, spec.tail_max_bytes);
+    }
+    s = static_cast<std::uint32_t>(
+        std::max<double>(spec.min_file_bytes, bytes));
+  }
+
+  // --- Popularity: Zipf over ranks, ranks permuted onto file ids so size and
+  // popularity are independent. ---
+  std::vector<FileId> rank_to_file(spec.num_files);
+  for (std::size_t i = 0; i < spec.num_files; ++i) {
+    rank_to_file[i] = static_cast<FileId>(i);
+  }
+  for (std::size_t i = spec.num_files - 1; i > 0; --i) {
+    const std::size_t j = rng.uniform_int(i + 1);
+    std::swap(rank_to_file[i], rank_to_file[j]);
+  }
+
+  const sim::ZipfSampler zipf(spec.num_files, spec.zipf_alpha);
+  std::vector<FileId> requests(spec.num_requests);
+  for (auto& r : requests) r = rank_to_file[zipf.sample(rng)];
+
+  Trace t;
+  t.name = spec.name;
+  t.files = FileSet(std::move(sizes));
+  t.requests = std::move(requests);
+  return t;
+}
+
+}  // namespace coop::trace

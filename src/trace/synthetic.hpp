@@ -1,0 +1,47 @@
+// Synthetic trace generation.
+//
+// Substitution (see DESIGN.md): the paper's four access logs are not
+// redistributable, so we generate traces with the same knobs Table 2 reports —
+// file count, mean file size, request count — plus a Zipf popularity exponent
+// shaped to reproduce Figure 1's concentration. File sizes are lognormal with
+// a bounded-Pareto heavy tail, the standard model for web file sizes
+// (Arlitt & Williamson, reference [3] of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace coop::trace {
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::size_t num_files = 1000;
+  std::size_t num_requests = 100000;
+  /// Zipf exponent of the popularity distribution (rank-frequency).
+  double zipf_alpha = 0.8;
+  /// Target mean file size in bytes (the lognormal body is solved for this).
+  double mean_file_bytes = 16 * 1024;
+  /// Sigma of the underlying normal for the lognormal body.
+  double size_sigma = 1.2;
+  /// Fraction of files drawn from the heavy Pareto tail instead of the body.
+  /// Kept small: the bounded-Pareto tail's mean is large (~0.8 MB), so even
+  /// a few tail files dominate the byte budget.
+  double tail_fraction = 0.005;
+  /// Pareto tail shape and bounds (bytes).
+  double tail_alpha = 1.1;
+  double tail_min_bytes = 256.0 * 1024;
+  double tail_max_bytes = 4.0 * 1024 * 1024;
+  /// Minimum file size (bytes); draws below are clamped.
+  std::uint32_t min_file_bytes = 128;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a trace from the spec. Deterministic in the seed. Popularity
+/// ranks are randomly permuted against size so popularity and size are
+/// independent, and every file is requested at least implicitly possible
+/// (ranks cover the whole file set).
+Trace generate(const SyntheticSpec& spec);
+
+}  // namespace coop::trace

@@ -1,0 +1,17 @@
+#include "trace/trace.hpp"
+
+namespace coop::trace {
+
+std::uint64_t FileSet::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto s : sizes_) total += s;
+  return total;
+}
+
+std::uint64_t Trace::total_requested_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto f : requests) total += files.size_bytes(f);
+  return total;
+}
+
+}  // namespace coop::trace

@@ -1,0 +1,47 @@
+// Web-trace representation.
+//
+// The paper drives its simulator with four WWW access logs (Calgary,
+// ClarkNet, NASA, Rutgers; Table 2). Timing information is deliberately
+// discarded ("to measure the maximum achievable throughput ... we ignore the
+// timing information present in the traces", §4.3), so a trace is just the
+// file-size catalogue plus an ordered request stream of file ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coop::trace {
+
+using FileId = std::uint32_t;
+
+/// The set of distinct files a trace touches, with their sizes.
+class FileSet {
+ public:
+  FileSet() = default;
+  explicit FileSet(std::vector<std::uint32_t> sizes_bytes)
+      : sizes_(std::move(sizes_bytes)) {}
+
+  [[nodiscard]] std::size_t count() const { return sizes_.size(); }
+  [[nodiscard]] std::uint32_t size_bytes(FileId f) const { return sizes_[f]; }
+  [[nodiscard]] const std::vector<std::uint32_t>& sizes() const {
+    return sizes_;
+  }
+
+  /// Sum of all file sizes — the paper's "file set size" column.
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+ private:
+  std::vector<std::uint32_t> sizes_;
+};
+
+/// A named request stream over a file set.
+struct Trace {
+  std::string name;
+  FileSet files;
+  std::vector<FileId> requests;
+
+  [[nodiscard]] std::uint64_t total_requested_bytes() const;
+};
+
+}  // namespace coop::trace

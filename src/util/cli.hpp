@@ -1,0 +1,40 @@
+// Minimal --key=value flag parser used by examples and bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace coop::util {
+
+/// Parses flags of the form `--key=value` or bare `--key` (value "true").
+/// Non-flag arguments are collected as positionals. Unknown flags are kept;
+/// callers decide what to reject.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  /// All parsed flag keys, for validation / usage messages.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace coop::util

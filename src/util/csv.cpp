@@ -1,0 +1,51 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+
+namespace coop::util {
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void append_row(std::string& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ',';
+    out += escape(row[i]);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+void CsvWriter::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  if (!header_.empty()) append_row(out, header_);
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_string();
+  return static_cast<bool>(f);
+}
+
+}  // namespace coop::util

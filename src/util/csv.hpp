@@ -1,0 +1,28 @@
+// CSV emission for figure data series so results can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace coop::util {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes, or newlines). Used by bench binaries behind --csv=PATH.
+class CsvWriter {
+ public:
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes the CSV to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace coop::util

@@ -1,0 +1,85 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <iostream>
+
+namespace coop::util {
+
+std::string human_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string fixed(double value, int places) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", places, value);
+  return buf;
+}
+
+std::string percent(double fraction, int places) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", places, fraction * 100.0);
+  return buf;
+}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      const std::size_t pad = widths[c] - std::min(widths[c], cell.size());
+      if (c == 0) {
+        out += cell + std::string(pad, ' ');
+      } else {
+        out += std::string(pad, ' ') + cell;
+      }
+      if (c + 1 < widths.size()) out += "  ";
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out += std::string(total, '-') + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TextTable::print() const { std::cout << to_string() << std::flush; }
+
+}  // namespace coop::util

@@ -1,0 +1,43 @@
+// Small formatting helpers shared by the harness, benches, and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coop::util {
+
+/// Formats a byte count with a binary-unit suffix, e.g. "64.0 MiB".
+std::string human_bytes(std::uint64_t bytes);
+
+/// Formats a double with the given number of decimal places.
+std::string fixed(double value, int places = 2);
+
+/// Formats a fraction (0..1) as a percentage string, e.g. "83.4%".
+std::string percent(double fraction, int places = 1);
+
+/// Column-aligned ASCII table used by every figure/table bench to print the
+/// rows the paper reports.
+class TextTable {
+ public:
+  /// Sets the header row. Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row; it may have fewer cells than the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with single-space-padded, right-aligned columns
+  /// (left-aligned first column) and a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace coop::util

@@ -1,0 +1,505 @@
+// Tests for the threaded middleware runtime: byte-exact reads, policy/store
+// consistency, concurrency stress, and the storage backends.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <cstring>
+#include <thread>
+
+#include "ccm/cluster.hpp"
+#include "ccm/storage.hpp"
+#include "ccm/transport.hpp"
+#include "sim/random.hpp"
+
+namespace coop::ccm {
+namespace {
+
+constexpr std::uint32_t kBlock = 8 * 1024;
+
+std::vector<std::uint32_t> make_sizes(std::size_t n, std::uint64_t seed = 11) {
+  sim::Rng rng(seed);
+  std::vector<std::uint32_t> sizes(n);
+  for (auto& s : sizes) {
+    s = static_cast<std::uint32_t>(512 + rng.uniform_int(4 * kBlock));
+  }
+  return sizes;
+}
+
+CcmConfig small_config(std::size_t nodes, std::uint64_t blocks_per_node) {
+  CcmConfig c;
+  c.nodes = nodes;
+  c.capacity_bytes = blocks_per_node * kBlock;
+  c.block_bytes = kBlock;
+  return c;
+}
+
+bool matches_storage(const std::vector<std::byte>& got, cache::FileId file,
+                     std::uint64_t offset = 0) {
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != MemStorage::content_at(file, offset + i)) return false;
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- Mailbox ---
+
+TEST(Mailbox, SendReceiveOrder) {
+  Mailbox<int> mb;
+  mb.send(1);
+  mb.send(2);
+  EXPECT_EQ(mb.size(), 2u);
+  EXPECT_EQ(mb.receive().value(), 1);
+  EXPECT_EQ(mb.try_receive().value(), 2);
+  EXPECT_FALSE(mb.try_receive().has_value());
+}
+
+TEST(Mailbox, CloseDrainsThenEnds) {
+  Mailbox<int> mb;
+  mb.send(7);
+  mb.close();
+  EXPECT_FALSE(mb.send(8));
+  EXPECT_EQ(mb.receive().value(), 7);
+  EXPECT_FALSE(mb.receive().has_value());
+}
+
+TEST(Mailbox, CrossThreadHandoff) {
+  Mailbox<int> mb(4);
+  std::atomic<int> sum{0};
+  std::thread consumer([&] {
+    while (auto v = mb.receive()) sum += *v;
+  });
+  for (int i = 1; i <= 100; ++i) mb.send(i);
+  mb.close();
+  consumer.join();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(Mailbox, BoundedCapacityBlocksProducer) {
+  Mailbox<int> mb(1);
+  mb.send(1);
+  std::atomic<bool> second_sent{false};
+  std::thread producer([&] {
+    mb.send(2);
+    second_sent = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_sent.load());
+  EXPECT_EQ(mb.receive().value(), 1);
+  producer.join();
+  EXPECT_TRUE(second_sent.load());
+}
+
+// -------------------------------------------------------------- Storage ---
+
+TEST(MemStorage, DeterministicContent) {
+  const MemStorage s({1000, 2000});
+  EXPECT_EQ(s.file_count(), 2u);
+  EXPECT_EQ(s.file_size(1), 2000u);
+  std::vector<std::byte> a(100), b(100);
+  s.read(1, 50, a);
+  s.read(1, 50, b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a[0], MemStorage::content_at(1, 50));
+}
+
+TEST(MemStorage, DifferentFilesDiffer) {
+  const MemStorage s({1000, 1000});
+  std::vector<std::byte> a(64), b(64);
+  s.read(0, 0, a);
+  s.read(1, 0, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(FileStorage, ServesRealFiles) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::path(testing::TempDir()) / "coop_fs_test";
+  fs::create_directories(dir / "sub");
+  {
+    std::ofstream(dir / "a.txt") << "hello world";
+    std::ofstream(dir / "sub" / "b.txt") << "cooperative caching";
+  }
+  const FileStorage s(dir.string());
+  ASSERT_EQ(s.file_count(), 2u);
+  // Sorted order: a.txt before sub/b.txt.
+  EXPECT_EQ(s.file_size(0), 11u);
+  std::vector<std::byte> buf(5);
+  s.read(0, 6, buf);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(buf.data()), 5),
+            "world");
+  fs::remove_all(dir);
+}
+
+TEST(FileStorage, RejectsMissingDirectory) {
+  EXPECT_THROW(FileStorage("/nonexistent/nowhere"), std::runtime_error);
+}
+
+// -------------------------------------------------------------- Cluster ---
+
+TEST(CcmCluster, ReadsAreByteExact) {
+  auto storage = std::make_shared<MemStorage>(make_sizes(20));
+  CcmCluster cluster(small_config(4, 64), storage);
+  for (cache::FileId f = 0; f < 20; ++f) {
+    const auto data = cluster.read(static_cast<cache::NodeId>(f % 4), f);
+    EXPECT_EQ(data.size(), storage->file_size(f));
+    EXPECT_TRUE(matches_storage(data, f)) << "file " << f;
+  }
+  EXPECT_TRUE(cluster.check_consistency());
+}
+
+TEST(CcmCluster, RemoteHitsReturnSameBytes) {
+  auto storage = std::make_shared<MemStorage>(make_sizes(5));
+  CcmCluster cluster(small_config(4, 64), storage);
+  const auto first = cluster.read(0, 3);
+  const auto second = cluster.read(2, 3);  // remote hit from node 0
+  EXPECT_EQ(first, second);
+  const auto s = cluster.stats();
+  EXPECT_GT(s.remote_hits, 0u);
+}
+
+TEST(CcmCluster, RangeReads) {
+  auto storage = std::make_shared<MemStorage>(
+      std::vector<std::uint32_t>{3 * kBlock + 100});
+  CcmCluster cluster(small_config(2, 16), storage);
+  // Span a block boundary.
+  const auto range = cluster.read_range(0, 0, kBlock - 10, 50);
+  EXPECT_EQ(range.size(), 50u);
+  EXPECT_TRUE(matches_storage(range, 0, kBlock - 10));
+  // Zero-length read.
+  EXPECT_TRUE(cluster.read_range(0, 0, 0, 0).empty());
+  // Tail of the file.
+  const auto tail = cluster.read_range(1, 0, 3 * kBlock, 100);
+  EXPECT_TRUE(matches_storage(tail, 0, 3 * kBlock));
+}
+
+TEST(CcmCluster, RejectsBadArguments) {
+  auto storage = std::make_shared<MemStorage>(make_sizes(3));
+  CcmCluster cluster(small_config(2, 16), storage);
+  EXPECT_THROW(cluster.read(5, 0), std::out_of_range);
+  EXPECT_THROW(cluster.read(0, 99), std::out_of_range);
+  EXPECT_THROW(cluster.read_range(0, 0, storage->file_size(0), 1),
+               std::out_of_range);
+  EXPECT_THROW(CcmCluster(small_config(0, 16), storage),
+               std::invalid_argument);
+  EXPECT_THROW(CcmCluster(small_config(2, 16), nullptr),
+               std::invalid_argument);
+}
+
+TEST(CcmCluster, EvictionKeepsDataConsistent) {
+  // Capacity far below the file set: constant eviction + forwarding churn.
+  auto storage = std::make_shared<MemStorage>(make_sizes(100, /*seed=*/3));
+  CcmCluster cluster(small_config(3, 8), storage);
+  sim::Rng rng(17);
+  const sim::ZipfSampler zipf(100, 0.8);
+  for (int i = 0; i < 2000; ++i) {
+    const auto f = static_cast<cache::FileId>(zipf.sample(rng));
+    const auto via = static_cast<cache::NodeId>(rng.uniform_int(3));
+    const auto data = cluster.read(via, f);
+    ASSERT_TRUE(matches_storage(data, f)) << "iteration " << i;
+    if (i % 250 == 0) {
+      ASSERT_TRUE(cluster.check_consistency()) << i;
+    }
+  }
+  EXPECT_TRUE(cluster.check_consistency());
+  const auto s = cluster.stats();
+  EXPECT_GT(s.master_drops + s.copy_drops, 0u);
+}
+
+class CcmPolicyParam
+    : public testing::TestWithParam<std::tuple<cache::Policy, std::size_t>> {};
+
+TEST_P(CcmPolicyParam, ConcurrentStressIsByteExactAndConsistent) {
+  const auto [policy, nodes] = GetParam();
+  auto storage = std::make_shared<MemStorage>(make_sizes(60, /*seed=*/5));
+  CcmConfig cfg = small_config(nodes, 16);
+  cfg.policy = policy;
+  cfg.workers_per_node = 3;
+  CcmCluster cluster(cfg, storage);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      sim::Rng rng(100 + c);
+      const sim::ZipfSampler zipf(60, 0.9);
+      for (int i = 0; i < 300; ++i) {
+        const auto f = static_cast<cache::FileId>(zipf.sample(rng));
+        const auto via = static_cast<cache::NodeId>(rng.uniform_int(nodes));
+        const auto data = cluster.read(via, f);
+        if (data.size() != storage->file_size(f) ||
+            !matches_storage(data, f)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(cluster.check_consistency());
+  const auto s = cluster.stats();
+  EXPECT_EQ(s.block_accesses(), s.local_hits + s.remote_hits + s.disk_reads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stress, CcmPolicyParam,
+    testing::Combine(testing::Values(cache::Policy::kBasic,
+                                     cache::Policy::kNeverEvictMaster),
+                     testing::Values(std::size_t{1}, std::size_t{2},
+                                     std::size_t{4})));
+
+TEST(CcmCluster, RandomRangeReadsAreByteExact) {
+  auto storage = std::make_shared<MemStorage>(
+      std::vector<std::uint32_t>{5 * kBlock + 123, 3 * kBlock, 700});
+  CcmCluster cluster(small_config(3, 8), storage);
+  sim::Rng rng(0x7A46E);
+  for (int i = 0; i < 400; ++i) {
+    const auto f = static_cast<cache::FileId>(rng.uniform_int(3));
+    const std::uint64_t size = storage->file_size(f);
+    const std::uint64_t off = rng.uniform_int(size);
+    const std::uint64_t len = rng.uniform_int(size - off + 1);
+    const auto via = static_cast<cache::NodeId>(rng.uniform_int(3));
+    const auto got = cluster.read_range(via, f, off, len);
+    ASSERT_EQ(got.size(), len);
+    ASSERT_TRUE(matches_storage(got, f, off)) << "iter " << i;
+  }
+  EXPECT_TRUE(cluster.check_consistency());
+}
+
+TEST(CcmCluster, AsyncReadsResolve) {
+  auto storage = std::make_shared<MemStorage>(make_sizes(10));
+  CcmCluster cluster(small_config(2, 32), storage);
+  std::vector<std::future<std::vector<std::byte>>> futures;
+  for (cache::FileId f = 0; f < 10; ++f) {
+    futures.push_back(cluster.read_async(static_cast<cache::NodeId>(f % 2), f));
+  }
+  for (cache::FileId f = 0; f < 10; ++f) {
+    const auto data = futures[f].get();
+    EXPECT_TRUE(matches_storage(data, f));
+  }
+}
+
+TEST(CcmCluster, StatsAndReset) {
+  auto storage = std::make_shared<MemStorage>(make_sizes(5));
+  CcmCluster cluster(small_config(2, 32), storage);
+  cluster.read(0, 0);
+  EXPECT_GT(cluster.stats().disk_reads, 0u);
+  cluster.reset_stats();
+  EXPECT_EQ(cluster.stats().disk_reads, 0u);
+  cluster.read(1, 0);  // remote hit now
+  EXPECT_GT(cluster.stats().remote_hits, 0u);
+  EXPECT_GT(cluster.cached_bytes(0), 0u);
+}
+
+TEST(CcmCluster, HintedDirectoryModeWorks) {
+  auto storage = std::make_shared<MemStorage>(make_sizes(30, /*seed=*/7));
+  CcmConfig cfg = small_config(3, 16);
+  cfg.directory = cache::DirectoryMode::kHinted;
+  CcmCluster cluster(cfg, storage);
+  sim::Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const auto f = static_cast<cache::FileId>(rng.uniform_int(30));
+    const auto via = static_cast<cache::NodeId>(rng.uniform_int(3));
+    ASSERT_TRUE(matches_storage(cluster.read(via, f), f)) << i;
+  }
+  EXPECT_TRUE(cluster.check_consistency());
+}
+
+TEST(CcmCluster, PolicyParityWithBareClusterCache) {
+  // Cross-layer validation: a sequential workload must drive the middleware
+  // through exactly the policy transitions the bare engine performs — the
+  // simulator-validated behaviors carry over to the runtime verbatim.
+  const auto sizes = make_sizes(40, /*seed=*/21);
+  CcmConfig mc = small_config(3, 16);
+  mc.workers_per_node = 1;
+  CcmCluster cluster(mc, std::make_shared<MemStorage>(sizes));
+
+  cache::CoopCacheConfig cc;
+  cc.nodes = 3;
+  cc.capacity_bytes = 16 * kBlock;
+  cc.block_bytes = kBlock;
+  cc.policy = mc.policy;
+  cache::ClusterCache bare(cc);
+
+  sim::Rng rng(33);
+  const sim::ZipfSampler zipf(40, 0.8);
+  for (int i = 0; i < 1500; ++i) {
+    const auto f = static_cast<cache::FileId>(zipf.sample(rng));
+    const auto via = static_cast<cache::NodeId>(rng.uniform_int(3));
+    cluster.read(via, f);
+    bare.access(via, f, sizes[f]);
+  }
+  const auto a = cluster.stats();
+  const auto& b = bare.stats();
+  EXPECT_EQ(a.local_hits, b.local_hits);
+  EXPECT_EQ(a.remote_hits, b.remote_hits);
+  EXPECT_EQ(a.disk_reads, b.disk_reads);
+  EXPECT_EQ(a.forwards_attempted, b.forwards_attempted);
+  EXPECT_EQ(a.forwards_accepted, b.forwards_accepted);
+  EXPECT_EQ(a.master_drops, b.master_drops);
+  EXPECT_EQ(a.copy_drops, b.copy_drops);
+  for (cache::NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster.cached_bytes(n), bare.node(n).used_blocks() * kBlock);
+  }
+}
+
+// ------------------------------------------------------ write protocol ---
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((seed + i * 7) & 0xFF);
+  }
+  return out;
+}
+
+TEST(CcmWrite, WriteThenReadAnywhereSeesNewData) {
+  auto storage =
+      std::make_shared<BufferStorage>(std::vector<std::uint32_t>{3 * kBlock});
+  CcmCluster cluster(small_config(4, 32), storage);
+  cluster.read(0, 0);  // cache it at node 0
+  cluster.read(1, 0);  // copy at node 1
+
+  const auto data = pattern(2 * kBlock, 9);
+  cluster.write(2, 0, kBlock / 2, data);  // spans three blocks, via node 2
+
+  for (cache::NodeId via = 0; via < 4; ++via) {
+    const auto got = cluster.read_range(via, 0, kBlock / 2, data.size());
+    EXPECT_EQ(got, data) << "via node " << via;
+  }
+  const auto s = cluster.stats();
+  EXPECT_GT(s.writes, 0u);
+  EXPECT_GT(s.invalidations + s.ownership_migrations, 0u);
+  EXPECT_TRUE(cluster.check_consistency());
+}
+
+TEST(CcmWrite, ReadModifyWritePreservesSurroundings) {
+  auto storage =
+      std::make_shared<BufferStorage>(std::vector<std::uint32_t>{2 * kBlock});
+  CcmCluster cluster(small_config(2, 16), storage);
+  const auto before = cluster.read(0, 0);
+
+  const auto patch = pattern(100, 3);
+  cluster.write(1, 0, kBlock - 50, patch);  // straddles the block boundary
+
+  auto expected = before;
+  std::copy(patch.begin(), patch.end(),
+            expected.begin() + (kBlock - 50));
+  EXPECT_EQ(cluster.read(0, 0), expected);
+  EXPECT_TRUE(cluster.check_consistency());
+}
+
+TEST(CcmWrite, WriteThroughReachesStorage) {
+  auto storage =
+      std::make_shared<BufferStorage>(std::vector<std::uint32_t>{kBlock});
+  CcmCluster cluster(small_config(2, 16), storage);
+  const auto data = pattern(256, 5);
+  cluster.write(0, 0, 128, data);
+  std::vector<std::byte> raw(256);
+  storage->read(0, 128, raw);
+  EXPECT_EQ(raw, data);
+}
+
+TEST(CcmWrite, ColdWriteNeedsNoStorageRead) {
+  auto storage =
+      std::make_shared<BufferStorage>(std::vector<std::uint32_t>{kBlock});
+  CcmCluster cluster(small_config(2, 16), storage);
+  std::vector<std::byte> whole(kBlock);
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    whole[i] = static_cast<std::byte>(i & 0xFF);
+  }
+  cluster.write(0, 0, 0, whole);  // full-block overwrite, nothing cached
+  EXPECT_EQ(cluster.stats().disk_reads, 0u);
+  EXPECT_EQ(cluster.read(1, 0), whole);
+}
+
+TEST(CcmWrite, RejectsReadOnlyStorageAndBadRanges) {
+  auto ro = std::make_shared<MemStorage>(make_sizes(2));
+  CcmCluster ro_cluster(small_config(2, 16), ro);
+  const auto data = pattern(10, 1);
+  EXPECT_THROW(ro_cluster.write(0, 0, 0, data), std::logic_error);
+
+  auto rw = std::make_shared<BufferStorage>(std::vector<std::uint32_t>{100});
+  CcmCluster rw_cluster(small_config(2, 16), rw);
+  EXPECT_THROW(rw_cluster.write(0, 0, 95, data), std::out_of_range);
+  EXPECT_THROW(rw_cluster.write(5, 0, 0, data), std::out_of_range);
+}
+
+TEST(CcmWrite, ConcurrentDisjointWritersStayConsistent) {
+  const std::size_t files = 8;
+  std::vector<std::uint32_t> sizes(files, 4 * kBlock);
+  auto storage = std::make_shared<BufferStorage>(sizes);
+  CcmConfig cfg = small_config(4, 16);
+  cfg.workers_per_node = 2;
+  CcmCluster cluster(cfg, storage);
+
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < files; ++w) {
+    writers.emplace_back([&, w] {
+      const auto file = static_cast<cache::FileId>(w);
+      for (int round = 0; round < 20; ++round) {
+        const auto data =
+            pattern(kBlock, static_cast<std::uint8_t>(w * 16 + round));
+        cluster.write(static_cast<cache::NodeId>(w % 4), file,
+                      (round % 3) * kBlock, data);
+        const auto got = cluster.read_range(
+            static_cast<cache::NodeId>((w + 1) % 4), file,
+            (round % 3) * kBlock, kBlock);
+        ASSERT_EQ(got, data) << "writer " << w << " round " << round;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_TRUE(cluster.check_consistency());
+}
+
+TEST(CcmCluster, InvalidateDropsEveryCopy) {
+  auto storage =
+      std::make_shared<BufferStorage>(std::vector<std::uint32_t>{2 * kBlock});
+  CcmCluster cluster(small_config(3, 16), storage);
+  cluster.read(0, 0);
+  cluster.read(1, 0);
+  cluster.read(2, 0);
+  EXPECT_GT(cluster.cached_bytes(0) + cluster.cached_bytes(1) +
+                cluster.cached_bytes(2),
+            0u);
+  cluster.invalidate(0);
+  for (cache::NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster.cached_bytes(n), 0u) << "node " << n;
+  }
+  EXPECT_TRUE(cluster.check_consistency());
+
+  // Out-of-band content change becomes visible after invalidation.
+  std::vector<std::byte> fresh(64, std::byte{0x5A});
+  storage->write(0, 0, fresh);
+  const auto got = cluster.read_range(0, 0, 0, 64);
+  EXPECT_EQ(got, fresh);
+  EXPECT_THROW(cluster.invalidate(99), std::out_of_range);
+}
+
+TEST(CcmCluster, WorksOnRealFiles) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::path(testing::TempDir()) / "coop_ccm_files";
+  fs::create_directories(dir);
+  std::string big(20000, 'x');
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + i % 26);
+  }
+  {
+    std::ofstream(dir / "one.bin") << big;
+    std::ofstream(dir / "two.bin") << "tiny";
+  }
+  auto storage = std::make_shared<FileStorage>(dir.string());
+  CcmCluster cluster(small_config(2, 16), storage);
+  const auto data = cluster.read(0, 0);
+  ASSERT_EQ(data.size(), big.size());
+  EXPECT_EQ(std::memcmp(data.data(), big.data(), big.size()), 0);
+  const auto tiny = cluster.read(1, 1);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(tiny.data()),
+                        tiny.size()),
+            "tiny");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace coop::ccm

@@ -1,0 +1,171 @@
+// Tests for the experiment harness: configs, sweep driver, reporting.
+#include <gtest/gtest.h>
+
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+
+namespace coop::harness {
+namespace {
+
+trace::Trace tiny() {
+  trace::SyntheticSpec s;
+  s.name = "tiny";
+  s.num_files = 40;
+  s.num_requests = 600;
+  s.seed = 4;
+  return trace::generate(s);
+}
+
+TEST(Experiment, MemorySweepMatchesPaper) {
+  const auto mems = memory_sweep_bytes();
+  ASSERT_EQ(mems.size(), 8u);
+  EXPECT_EQ(mems.front(), 4ull * 1024 * 1024);
+  EXPECT_EQ(mems.back(), 512ull * 1024 * 1024);
+  for (std::size_t i = 1; i < mems.size(); ++i) {
+    EXPECT_EQ(mems[i], mems[i - 1] * 2);  // doubling scale
+  }
+}
+
+TEST(Experiment, AllSystemsInPlottingOrder) {
+  const auto systems = all_systems();
+  ASSERT_EQ(systems.size(), 4u);
+  EXPECT_EQ(systems[0], server::SystemKind::kL2S);
+  EXPECT_EQ(systems[3], server::SystemKind::kCcNem);
+}
+
+TEST(Experiment, LoadTraceTruncates) {
+  const auto full = load_trace("calgary", 0);
+  const auto cut = load_trace("calgary", 1000);
+  EXPECT_GT(full.requests.size(), 1000u);
+  EXPECT_EQ(cut.requests.size(), 1000u);
+  EXPECT_EQ(cut.files.count(), full.files.count());
+  EXPECT_THROW(load_trace("bogus"), std::out_of_range);
+}
+
+TEST(Experiment, FigureConfigScalesClients) {
+  const auto c4 = figure_config(server::SystemKind::kCcNem, 4, 1 << 20);
+  const auto c16 = figure_config(server::SystemKind::kCcNem, 16, 1 << 20);
+  EXPECT_EQ(c4.clients.clients * 4, c16.clients.clients);
+  EXPECT_EQ(c4.nodes, 4u);
+  EXPECT_EQ(c16.memory_per_node, 1u << 20);
+}
+
+TEST(Runner, MemorySweepProducesEveryCell) {
+  const auto tr = tiny();
+  const std::vector<std::uint64_t> mems{1 << 20, 2 << 20};
+  const auto points = run_memory_sweep(
+      tr, {server::SystemKind::kL2S, server::SystemKind::kCcNem}, 2, mems);
+  ASSERT_EQ(points.size(), 4u);
+  for (const auto sys :
+       {server::SystemKind::kL2S, server::SystemKind::kCcNem}) {
+    for (const auto mem : mems) {
+      const auto& p = find_point(points, sys, mem);
+      EXPECT_GT(p.metrics.throughput_rps, 0.0);
+      EXPECT_EQ(p.nodes, 2u);
+    }
+  }
+  EXPECT_THROW(find_point(points, server::SystemKind::kCcBasic, 1 << 20),
+               std::out_of_range);
+}
+
+TEST(Runner, MutateHookApplies) {
+  const auto tr = tiny();
+  bool mutated = false;
+  run_memory_sweep(tr, {server::SystemKind::kCcNem}, 2, {1 << 20},
+                   [&](server::ClusterConfig& cfg) {
+                     mutated = true;
+                     cfg.clients.clients = 4;
+                   });
+  EXPECT_TRUE(mutated);
+}
+
+TEST(Runner, ProgressReportsEveryCell) {
+  const auto tr = tiny();
+  std::size_t calls = 0, last_total = 0;
+  run_memory_sweep(tr, {server::SystemKind::kCcNem}, 2,
+                   {1 << 20, 2 << 20}, {},
+                   [&](std::size_t done, std::size_t total,
+                       const SweepPoint&) {
+                     ++calls;
+                     EXPECT_EQ(done, calls);
+                     last_total = total;
+                   });
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(last_total, 2u);
+}
+
+TEST(Runner, NodeSweep) {
+  const auto tr = tiny();
+  const auto points = run_node_sweep(tr, server::SystemKind::kCcNem, {1, 2},
+                                     1 << 20);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].nodes, 1u);
+  EXPECT_EQ(points[1].nodes, 2u);
+}
+
+TEST(Report, ThroughputTableShape) {
+  const auto tr = tiny();
+  const std::vector<std::uint64_t> mems{1 << 20};
+  const auto systems = std::vector<server::SystemKind>{
+      server::SystemKind::kL2S, server::SystemKind::kCcNem};
+  const auto points = run_memory_sweep(tr, systems, 2, mems);
+  const auto table = throughput_table(points, systems, mems);
+  EXPECT_EQ(table.rows(), 1u);
+  const auto s = table.to_string();
+  EXPECT_NE(s.find("L2S"), std::string::npos);
+  EXPECT_NE(s.find("CC-NEM"), std::string::npos);
+  EXPECT_NE(s.find("1.0 MiB"), std::string::npos);
+}
+
+TEST(Report, NormalizedTableExcludesBaseline) {
+  const auto tr = tiny();
+  const std::vector<std::uint64_t> mems{1 << 20};
+  const auto systems = all_systems();
+  const auto points = run_memory_sweep(tr, systems, 2, mems);
+  const auto table =
+      normalized_table(points, systems, mems, Metric::kThroughput);
+  const auto s = table.to_string();
+  EXPECT_NE(s.find("CC-NEM/L2S"), std::string::npos);
+  EXPECT_EQ(s.find("L2S/L2S"), std::string::npos);
+}
+
+TEST(Report, MetricValueSelectors) {
+  SweepPoint p;
+  p.metrics.throughput_rps = 10.0;
+  p.metrics.mean_response_ms = 2.0;
+  p.metrics.local_hit_rate = 0.25;
+  p.metrics.remote_hit_rate = 0.5;
+  EXPECT_DOUBLE_EQ(metric_value(p, Metric::kThroughput), 10.0);
+  EXPECT_DOUBLE_EQ(metric_value(p, Metric::kResponseTime), 2.0);
+  EXPECT_DOUBLE_EQ(metric_value(p, Metric::kGlobalHitRate), 0.75);
+}
+
+TEST(Report, SweepCsvHasHeaderAndRows) {
+  const auto tr = tiny();
+  const auto points = run_memory_sweep(
+      tr, {server::SystemKind::kCcNem}, 2, {1 << 20});
+  const auto csv = sweep_csv(points, "tiny");
+  EXPECT_EQ(csv.rows(), 1u);
+  const auto s = csv.to_string();
+  EXPECT_EQ(s.substr(0, 5), "trace");
+  EXPECT_NE(s.find("tiny,CC-NEM,2,1"), std::string::npos);
+}
+
+TEST(Report, AppendSweepCsvMergesUnderOneHeader) {
+  const auto tr = tiny();
+  const auto a = run_memory_sweep(tr, {server::SystemKind::kCcNem}, 2,
+                                  {1 << 20});
+  const auto b = run_memory_sweep(tr, {server::SystemKind::kL2S}, 2,
+                                  {1 << 20});
+  util::CsvWriter csv;
+  append_sweep_csv(csv, a, "first");
+  append_sweep_csv(csv, b, "second");
+  EXPECT_EQ(csv.rows(), 2u);
+  const auto s = csv.to_string();
+  // Exactly one header line.
+  EXPECT_EQ(s.find("trace,"), 0u);
+  EXPECT_EQ(s.find("trace,", 1), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coop::harness

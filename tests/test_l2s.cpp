@@ -1,0 +1,146 @@
+// Unit tests for the L2S baseline server, driving it directly (no client
+// pool) so migration, replication, and de-replication decisions can be
+// observed against the cache state.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "server/l2s_server.hpp"
+
+namespace coop::server {
+namespace {
+
+struct L2sFixture {
+  sim::Engine engine;
+  hw::ModelParams params;
+  hw::Network network{engine, params};
+  std::vector<std::unique_ptr<hw::Node>> nodes;
+  trace::FileSet files;
+  std::unique_ptr<L2sServer> server;
+
+  explicit L2sFixture(std::size_t n, std::vector<std::uint32_t> sizes,
+                      L2sConfig config = {})
+      : files(std::move(sizes)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<hw::Node>(
+          engine, params, hw::DiskSched::kSeekAware,
+          static_cast<std::uint16_t>(i)));
+    }
+    config.cache.nodes = n;
+    if (config.cache.capacity_bytes == 0) {
+      config.cache.capacity_bytes = 8ull << 20;
+    }
+    server = std::make_unique<L2sServer>(engine, network, nodes, files,
+                                         config, params);
+  }
+
+  /// Issues a request and runs the engine until it is served.
+  void request(NodeId node, trace::FileId file) {
+    bool done = false;
+    server->handle(node, file, [&] { done = true; });
+    engine.run();
+    EXPECT_TRUE(done);
+  }
+};
+
+TEST(L2sServer, FirstTouchCachesAtLandingNode) {
+  L2sFixture f(4, {16 * 1024, 16 * 1024});
+  f.request(2, 0);
+  EXPECT_TRUE(f.server->cache().cached(2, 0));
+  EXPECT_EQ(f.server->cache().copy_count(0), 1u);
+  EXPECT_EQ(f.server->handoffs(), 0u);
+  // It came from disk, not memory.
+  EXPECT_DOUBLE_EQ(f.server->local_hit_rate() + f.server->remote_hit_rate(),
+                   0.0);
+}
+
+TEST(L2sServer, SecondTouchFromElsewhereMigrates) {
+  L2sFixture f(4, {16 * 1024});
+  f.request(2, 0);
+  f.request(0, 0);  // lands on node 0, hands off to holder 2
+  EXPECT_EQ(f.server->handoffs(), 1u);
+  EXPECT_GT(f.server->remote_hit_rate(), 0.0);
+  // Still exactly one copy: migration, not replication.
+  EXPECT_EQ(f.server->cache().copy_count(0), 1u);
+}
+
+TEST(L2sServer, LandingOnHolderIsALocalHit) {
+  L2sFixture f(4, {16 * 1024});
+  f.request(1, 0);
+  f.request(1, 0);
+  EXPECT_GT(f.server->local_hit_rate(), 0.0);
+  EXPECT_EQ(f.server->handoffs(), 0u);
+}
+
+TEST(L2sServer, OverloadedHolderTriggersReplication) {
+  L2sConfig cfg;
+  cfg.overload_threshold = 2;
+  cfg.replication_margin = 1;
+  L2sFixture f(2, {16 * 1024}, cfg);
+  f.request(0, 0);  // cached at node 0
+
+  // Pile synthetic CPU work on the holder so it looks overloaded, then let a
+  // request land on the idle node 1: it must replicate instead of migrating.
+  for (int i = 0; i < 8; ++i) f.nodes[0]->cpu().submit(50.0, nullptr);
+  bool done = false;
+  f.server->handle(1, 0, [&] { done = true; });
+  f.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.server->replications(), 1u);
+  EXPECT_EQ(f.server->cache().copy_count(0), 2u);
+  EXPECT_TRUE(f.server->cache().cached(1, 0));
+}
+
+TEST(L2sServer, ReplicationCopiesFromMemoryNotDisk) {
+  L2sConfig cfg;
+  cfg.overload_threshold = 2;
+  cfg.replication_margin = 1;
+  L2sFixture f(2, {64 * 1024}, cfg);
+  f.request(0, 0);
+  const auto disk_reads_before = f.nodes[1]->disk().completed();
+  for (int i = 0; i < 8; ++i) f.nodes[0]->cpu().submit(50.0, nullptr);
+  bool done = false;
+  f.server->handle(1, 0, [&] { done = true; });
+  f.engine.run();
+  EXPECT_TRUE(done);
+  // The replica came over the LAN: node 1's disk did no work.
+  EXPECT_EQ(f.nodes[1]->disk().completed(), disk_reads_before);
+  EXPECT_GT(f.nodes[1]->nic_rx().completed(), 0u);
+}
+
+TEST(L2sServer, MissReadsWholeFileFromLocalDisk) {
+  L2sFixture f(2, {48 * 1024});  // 6 blocks
+  f.request(1, 0);
+  EXPECT_EQ(f.nodes[1]->disk().completed(), 6u);
+  EXPECT_EQ(f.nodes[0]->disk().completed(), 0u);
+}
+
+TEST(L2sServer, ResetStatsKeepsCacheContents) {
+  L2sFixture f(2, {16 * 1024});
+  f.request(0, 0);
+  f.server->reset_stats();
+  EXPECT_EQ(f.server->handoffs(), 0u);
+  EXPECT_TRUE(f.server->cache().cached(0, 0));  // contents preserved
+  f.request(0, 0);
+  EXPECT_GT(f.server->local_hit_rate(), 0.0);
+}
+
+TEST(L2sServer, NoHandoffRelaysThroughLandingNode) {
+  L2sConfig cfg;
+  cfg.tcp_handoff = false;
+  cfg.overload_threshold = 1u << 30;  // replication off
+  L2sFixture f(2, {32 * 1024}, cfg);
+  f.request(0, 0);  // cached at 0
+  const auto tx_before = f.nodes[0]->nic_tx().completed();
+  f.request(1, 0);  // lands at 1, served at 0, relayed through 1
+  EXPECT_EQ(f.server->handoffs(), 1u);
+  // The holder shipped the payload to the landing node (not the client).
+  EXPECT_GT(f.nodes[0]->nic_tx().completed(), tx_before);
+  EXPECT_GT(f.nodes[1]->nic_rx().completed(), 0u);
+  // The landing node paid a serve cost too.
+  EXPECT_GT(f.nodes[1]->cpu().completed(), 1u);
+}
+
+}  // namespace
+}  // namespace coop::server

@@ -1,0 +1,313 @@
+// Tests for trace representation, synthetic generation, presets, statistics,
+// and serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/random.hpp"
+#include "trace/io.hpp"
+#include "trace/presets.hpp"
+#include "trace/stats.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace.hpp"
+
+namespace coop::trace {
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec s;
+  s.name = "small";
+  s.num_files = 500;
+  s.num_requests = 20000;
+  s.zipf_alpha = 0.8;
+  s.mean_file_bytes = 16 * 1024;
+  s.seed = 99;
+  return s;
+}
+
+// ---------------------------------------------------------------- Trace ---
+
+TEST(Trace, FileSetTotals) {
+  const FileSet fs({100, 200, 300});
+  EXPECT_EQ(fs.count(), 3u);
+  EXPECT_EQ(fs.total_bytes(), 600u);
+  EXPECT_EQ(fs.size_bytes(1), 200u);
+}
+
+TEST(Trace, TotalRequestedBytes) {
+  Trace t;
+  t.files = FileSet({100, 200});
+  t.requests = {0, 1, 1};
+  EXPECT_EQ(t.total_requested_bytes(), 500u);
+}
+
+// ------------------------------------------------------------ Synthetic ---
+
+TEST(Synthetic, DeterministicForSeed) {
+  const Trace a = generate(small_spec());
+  const Trace b = generate(small_spec());
+  EXPECT_EQ(a.files.sizes(), b.files.sizes());
+  EXPECT_EQ(a.requests, b.requests);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  auto spec = small_spec();
+  const Trace a = generate(spec);
+  spec.seed = 100;
+  const Trace b = generate(spec);
+  EXPECT_NE(a.requests, b.requests);
+}
+
+TEST(Synthetic, RespectsCounts) {
+  const Trace t = generate(small_spec());
+  EXPECT_EQ(t.files.count(), 500u);
+  EXPECT_EQ(t.requests.size(), 20000u);
+}
+
+TEST(Synthetic, AllRequestsInRange) {
+  const Trace t = generate(small_spec());
+  for (const auto r : t.requests) EXPECT_LT(r, t.files.count());
+}
+
+TEST(Synthetic, MeanFileSizeNearTarget) {
+  auto spec = small_spec();
+  spec.num_files = 20000;
+  const Trace t = generate(spec);
+  const double mean = static_cast<double>(t.files.total_bytes()) /
+                      static_cast<double>(t.files.count());
+  EXPECT_NEAR(mean, spec.mean_file_bytes, spec.mean_file_bytes * 0.25);
+}
+
+TEST(Synthetic, MinFileSizeEnforced) {
+  auto spec = small_spec();
+  spec.min_file_bytes = 1024;
+  const Trace t = generate(spec);
+  for (const auto s : t.files.sizes()) EXPECT_GE(s, 1024u);
+}
+
+TEST(Synthetic, PopularityIsSkewed) {
+  const Trace t = generate(small_spec());
+  std::vector<std::uint64_t> counts(t.files.count(), 0);
+  for (const auto r : t.requests) ++counts[r];
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  // Top 10% of files should absorb far more than 10% of requests.
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < counts.size() / 10; ++i) top += counts[i];
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(t.requests.size()),
+            0.35);
+}
+
+TEST(Synthetic, SizeAndPopularityIndependent) {
+  // The most popular file should not systematically be the largest: check
+  // that the hottest 10 files are not all in the top size decile.
+  const Trace t = generate(small_spec());
+  std::vector<std::uint64_t> counts(t.files.count(), 0);
+  for (const auto r : t.requests) ++counts[r];
+  std::vector<std::size_t> by_pop(t.files.count());
+  for (std::size_t i = 0; i < by_pop.size(); ++i) by_pop[i] = i;
+  std::sort(by_pop.begin(), by_pop.end(),
+            [&](std::size_t a, std::size_t b) { return counts[a] > counts[b]; });
+  std::vector<std::uint32_t> sizes = t.files.sizes();
+  std::sort(sizes.begin(), sizes.end());
+  const std::uint32_t p90 = sizes[sizes.size() * 9 / 10];
+  int huge = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (t.files.size_bytes(static_cast<FileId>(by_pop[i])) >= p90) ++huge;
+  }
+  EXPECT_LT(huge, 8);
+}
+
+// -------------------------------------------------------------- Presets ---
+
+TEST(Presets, AllFourExist) {
+  const auto presets = all_presets();
+  ASSERT_EQ(presets.size(), 4u);
+  EXPECT_EQ(presets[0].name, "calgary");
+  EXPECT_EQ(presets[1].name, "clarknet");
+  EXPECT_EQ(presets[2].name, "nasa");
+  EXPECT_EQ(presets[3].name, "rutgers");
+}
+
+TEST(Presets, LookupByName) {
+  EXPECT_EQ(preset_by_name("nasa").name, "nasa");
+  EXPECT_THROW(preset_by_name("bogus"), std::out_of_range);
+}
+
+TEST(Presets, RutgersHasLargestFileSet) {
+  // DESIGN.md: rutgers is the widest working set (~500 MB), so that per-node
+  // memories of 4-512 MB span the under- to over-provisioned regimes.
+  const Trace rutgers = generate(rutgers_spec());
+  const double mb =
+      static_cast<double>(rutgers.files.total_bytes()) / (1024.0 * 1024.0);
+  EXPECT_GT(mb, 350.0);
+  EXPECT_LT(mb, 800.0);
+  for (const auto& spec : {calgary_spec(), clarknet_spec(), nasa_spec()}) {
+    const Trace t = generate(spec);
+    EXPECT_LT(t.files.total_bytes(), rutgers.files.total_bytes())
+        << spec.name;
+  }
+}
+
+TEST(Presets, FileSetsExceedSmallClusterMemory) {
+  // At 4 MB/node x 8 nodes = 32 MB aggregate, every trace's working set must
+  // overflow memory (the paper's premise for simulating small memories).
+  for (const auto& spec : all_presets()) {
+    const Trace t = generate(spec);
+    EXPECT_GT(working_set_bytes(t, 0.99), 32ull * 1024 * 1024) << spec.name;
+  }
+}
+
+// ---------------------------------------------------------------- Stats ---
+
+TEST(Stats, CountsAndAverages) {
+  Trace t;
+  t.name = "t";
+  t.files = FileSet({10 * 1024, 30 * 1024});
+  t.requests = {0, 0, 1, 0};
+  const TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.num_files, 2u);
+  EXPECT_EQ(s.num_requests, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_file_kb, 20.0);
+  EXPECT_DOUBLE_EQ(s.avg_request_kb, 15.0);
+  EXPECT_NEAR(s.file_set_mb, 40.0 / 1024.0, 1e-9);
+}
+
+TEST(Stats, CdfIsMonotone) {
+  const Trace t = generate(small_spec());
+  const TraceStats s = compute_stats(t);
+  ASSERT_FALSE(s.cdf.empty());
+  for (std::size_t i = 1; i < s.cdf.size(); ++i) {
+    EXPECT_GE(s.cdf[i].request_fraction, s.cdf[i - 1].request_fraction);
+    EXPECT_GE(s.cdf[i].cum_bytes, s.cdf[i - 1].cum_bytes);
+    EXPECT_GE(s.cdf[i].file_fraction, s.cdf[i - 1].file_fraction);
+  }
+  EXPECT_NEAR(s.cdf.back().request_fraction, 1.0, 1e-9);
+  EXPECT_EQ(s.cdf.back().cum_bytes, t.files.total_bytes());
+}
+
+TEST(Stats, WorkingSetMonotoneInFraction) {
+  const Trace t = generate(small_spec());
+  const auto w50 = working_set_bytes(t, 0.5);
+  const auto w90 = working_set_bytes(t, 0.9);
+  const auto w99 = working_set_bytes(t, 0.99);
+  EXPECT_LE(w50, w90);
+  EXPECT_LE(w90, w99);
+  EXPECT_LE(w99, t.files.total_bytes());
+  EXPECT_GT(w50, 0u);
+}
+
+TEST(Stats, WorkingSetSmallerThanFileSetForSkewedTrace) {
+  const Trace t = generate(small_spec());
+  // 90% of requests should concentrate on well under the full file set.
+  EXPECT_LT(working_set_bytes(t, 0.9),
+            t.files.total_bytes() * 9 / 10);
+}
+
+TEST(Stats, StatsWorkingSetFieldsMatchHelper) {
+  const Trace t = generate(small_spec());
+  const TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.working_set_bytes_90, working_set_bytes(t, 0.9));
+  EXPECT_EQ(s.working_set_bytes_99, working_set_bytes(t, 0.99));
+}
+
+TEST(Stats, EmptyTraceIsSafe) {
+  const Trace t;
+  const TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.num_files, 0u);
+  EXPECT_EQ(s.num_requests, 0u);
+}
+
+// ------------------------------------------------------------------- IO ---
+
+TEST(Io, RoundTripStream) {
+  auto spec = small_spec();
+  spec.num_files = 50;
+  spec.num_requests = 500;
+  const Trace t = generate(spec);
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace(ss, t));
+  const auto back = read_trace(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, t.name);
+  EXPECT_EQ(back->files.sizes(), t.files.sizes());
+  EXPECT_EQ(back->requests, t.requests);
+}
+
+TEST(Io, RoundTripFile) {
+  auto spec = small_spec();
+  spec.num_files = 20;
+  spec.num_requests = 100;
+  const Trace t = generate(spec);
+  const std::string path = testing::TempDir() + "/coop_trace_test.trace";
+  ASSERT_TRUE(write_trace_file(path, t));
+  const auto back = read_trace_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->requests, t.requests);
+}
+
+TEST(Io, RejectsBadMagic) {
+  std::stringstream ss("not-a-trace 1\nx\n0 0\n");
+  EXPECT_FALSE(read_trace(ss).has_value());
+}
+
+TEST(Io, RejectsOutOfRangeRequest) {
+  std::stringstream ss("coopcache-trace 1\nt\n2 1\n100 200\n7\n");
+  EXPECT_FALSE(read_trace(ss).has_value());
+}
+
+TEST(Io, RejectsTruncated) {
+  std::stringstream ss("coopcache-trace 1\nt\n3 2\n100 200\n");
+  EXPECT_FALSE(read_trace(ss).has_value());
+}
+
+TEST(Io, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_trace_file("/nonexistent/path.trace").has_value());
+}
+
+TEST(Io, FuzzGarbageNeverCrashes) {
+  sim::Rng rng(0xBAD);
+  for (int i = 0; i < 200; ++i) {
+    std::string junk;
+    const auto len = rng.uniform_int(200);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      junk += static_cast<char>(rng.uniform_int(256));
+    }
+    std::stringstream ss(junk);
+    (void)read_trace(ss);  // must not crash; usually nullopt
+  }
+  // Mutated valid traces must either parse consistently or be rejected.
+  auto spec = small_spec();
+  spec.num_files = 20;
+  spec.num_requests = 50;
+  const Trace t = generate(spec);
+  std::stringstream good;
+  ASSERT_TRUE(write_trace(good, t));
+  const std::string base = good.str();
+  for (int i = 0; i < 100; ++i) {
+    std::string mutated = base;
+    mutated[rng.uniform_int(mutated.size())] =
+        static_cast<char>(rng.uniform_int(256));
+    std::stringstream ss(mutated);
+    const auto back = read_trace(ss);
+    if (back.has_value()) {
+      // Whatever parsed must be internally consistent.
+      for (const auto r : back->requests) EXPECT_LT(r, back->files.count());
+    }
+  }
+}
+
+TEST(Io, LargeTraceRoundTrip) {
+  auto spec = small_spec();
+  spec.num_files = 5000;
+  spec.num_requests = 50000;
+  const Trace t = generate(spec);
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace(ss, t));
+  const auto back = read_trace(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->requests, t.requests);
+  EXPECT_EQ(back->files.sizes(), t.files.sizes());
+}
+
+}  // namespace
+}  // namespace coop::trace

@@ -1,0 +1,126 @@
+// Tests for formatting, CSV, and CLI helpers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+
+namespace coop::util {
+namespace {
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1024), "1.0 KiB");
+  EXPECT_EQ(human_bytes(64ull * 1024 * 1024), "64.0 MiB");
+  EXPECT_EQ(human_bytes(3ull * 1024 * 1024 * 1024), "3.0 GiB");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(3.14159, 0), "3");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(0.834, 1), "83.4%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // All lines have the same width.
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find('\n', start);
+    const std::size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, ShortRowsTolerated) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_FALSE(t.to_string().empty());
+}
+
+TEST(Csv, EscapesSpecialCells) {
+  CsvWriter w;
+  w.set_header({"a", "b"});
+  w.add_row({"plain", "with,comma"});
+  w.add_row({"with\"quote", "with\nnewline"});
+  const std::string s = w.to_string();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, RoundTripFile) {
+  CsvWriter w;
+  w.set_header({"x", "y"});
+  w.add_row({"1", "2"});
+  const std::string path = testing::TempDir() + "/coop_csv_test.csv";
+  ASSERT_TRUE(w.write_file(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+TEST(Flags, ParsesKeyValues) {
+  const char* argv[] = {"prog", "--nodes=8", "--trace=rutgers", "--verbose",
+                        "positional"};
+  const Flags f(5, argv);
+  EXPECT_EQ(f.get_int("nodes", 0), 8);
+  EXPECT_EQ(f.get("trace"), "rutgers");
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  ASSERT_EQ(f.positionals().size(), 1u);
+  EXPECT_EQ(f.positionals()[0], "positional");
+}
+
+TEST(Flags, FallbacksForMissingKeys) {
+  const char* argv[] = {"prog"};
+  const Flags f(1, argv);
+  EXPECT_FALSE(f.has("nodes"));
+  EXPECT_EQ(f.get_int("nodes", 4), 4);
+  EXPECT_DOUBLE_EQ(f.get_double("alpha", 0.8), 0.8);
+  EXPECT_TRUE(f.get_bool("flag", true));
+  EXPECT_EQ(f.get("trace", "calgary"), "calgary");
+}
+
+TEST(Flags, BoolParsing) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=false"};
+  const Flags f(5, argv);
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(Flags, KeysLists) {
+  const char* argv[] = {"prog", "--b=2", "--a=1"};
+  const Flags f(3, argv);
+  const auto keys = f.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+}  // namespace
+}  // namespace coop::util

@@ -1,0 +1,141 @@
+// Tests for the L2S whole-file cache: last-copy preservation, LRU order,
+// directory consistency.
+#include <gtest/gtest.h>
+
+#include "cache/whole_file_cache.hpp"
+#include "sim/random.hpp"
+
+namespace coop::cache {
+namespace {
+
+constexpr std::uint32_t kBlock = 8 * 1024;
+
+WholeFileCacheConfig cfg(std::size_t nodes, std::uint64_t blocks) {
+  WholeFileCacheConfig c;
+  c.nodes = nodes;
+  c.capacity_bytes = blocks * kBlock;
+  c.block_bytes = kBlock;
+  return c;
+}
+
+TEST(WholeFileCache, InsertAndLookup) {
+  WholeFileCache wc(cfg(2, 8));
+  EXPECT_FALSE(wc.cached(0, 1));
+  const auto ev = wc.insert(0, 1, 2 * kBlock);
+  EXPECT_TRUE(ev.empty());
+  EXPECT_TRUE(wc.cached(0, 1));
+  EXPECT_EQ(wc.used_blocks(0), 2u);
+  EXPECT_EQ(wc.copy_count(1), 1u);
+  EXPECT_EQ(wc.holders(1), std::vector<NodeId>{0});
+}
+
+TEST(WholeFileCache, ReplicaCountsTracked) {
+  WholeFileCache wc(cfg(3, 8));
+  wc.insert(0, 1, kBlock);
+  wc.insert(2, 1, kBlock);
+  EXPECT_EQ(wc.copy_count(1), 2u);
+  EXPECT_EQ(wc.holders(1), (std::vector<NodeId>{0, 2}));
+  wc.evict_copy(0, 1);
+  EXPECT_EQ(wc.copy_count(1), 1u);
+  EXPECT_TRUE(wc.check_invariants());
+}
+
+TEST(WholeFileCache, LruEvictionOrder) {
+  WholeFileCache wc(cfg(1, 2));
+  wc.insert(0, 1, kBlock);
+  wc.insert(0, 2, kBlock);
+  const auto ev = wc.insert(0, 3, kBlock);  // evicts file 1 (oldest)
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].file, 1u);
+  EXPECT_TRUE(ev[0].was_last_copy);
+  EXPECT_FALSE(wc.cached(0, 1));
+}
+
+TEST(WholeFileCache, TouchProtectsFromEviction) {
+  WholeFileCache wc(cfg(1, 2));
+  wc.insert(0, 1, kBlock);
+  wc.insert(0, 2, kBlock);
+  wc.touch(0, 1);
+  const auto ev = wc.insert(0, 3, kBlock);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].file, 2u);
+  EXPECT_TRUE(wc.cached(0, 1));
+}
+
+TEST(WholeFileCache, ReplicaEvictedBeforeLastCopy) {
+  // Node 0 holds file 1 (replica; node 1 also has it) and file 2 (last
+  // copy, older). The replica must be evicted even though file 2 is older.
+  WholeFileCache wc(cfg(2, 2));
+  wc.insert(0, 2, kBlock);   // oldest at node 0, last copy
+  wc.insert(1, 1, kBlock);
+  wc.insert(0, 1, kBlock);   // replica at node 0
+  const auto ev = wc.insert(0, 3, kBlock);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].file, 1u);
+  EXPECT_FALSE(ev[0].was_last_copy);
+  EXPECT_TRUE(wc.cached(0, 2));
+  EXPECT_EQ(wc.copy_count(1), 1u);  // node 1 still has it
+}
+
+TEST(WholeFileCache, LastCopyEvictedOnlyWhenNoReplicas) {
+  WholeFileCache wc(cfg(2, 2));
+  wc.insert(0, 1, kBlock);
+  wc.insert(0, 2, kBlock);
+  const auto ev = wc.insert(0, 3, kBlock);  // both are last copies
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].file, 1u);
+  EXPECT_TRUE(ev[0].was_last_copy);
+}
+
+TEST(WholeFileCache, MultiBlockFileEvictsEnough) {
+  WholeFileCache wc(cfg(1, 4));
+  wc.insert(0, 1, kBlock);
+  wc.insert(0, 2, kBlock);
+  wc.insert(0, 3, kBlock);
+  wc.insert(0, 4, kBlock);
+  const auto ev = wc.insert(0, 5, 3 * kBlock);
+  EXPECT_EQ(ev.size(), 3u);
+  EXPECT_EQ(wc.used_blocks(0), 4u);
+  EXPECT_TRUE(wc.check_invariants());
+}
+
+TEST(WholeFileCache, OversizedFileAdmittedDegenerately) {
+  WholeFileCache wc(cfg(1, 2));
+  wc.insert(0, 1, kBlock);
+  const auto ev = wc.insert(0, 2, 10 * kBlock);  // bigger than capacity
+  EXPECT_EQ(ev.size(), 1u);  // evicted everything it could
+  EXPECT_TRUE(wc.cached(0, 2));
+  EXPECT_TRUE(wc.check_invariants());
+}
+
+TEST(WholeFileCache, InvariantsUnderRandomWorkload) {
+  WholeFileCache wc(cfg(4, 16));
+  sim::Rng rng(5);
+  const sim::ZipfSampler zipf(100, 0.8);
+  for (int i = 0; i < 5000; ++i) {
+    const auto node = static_cast<NodeId>(rng.uniform_int(4));
+    const auto file = static_cast<FileId>(zipf.sample(rng));
+    const auto bytes = (1 + rng.uniform_int(4)) * kBlock;
+    if (wc.cached(node, file)) {
+      wc.touch(node, file);
+    } else {
+      wc.insert(node, file, bytes);
+    }
+    if (i % 200 == 0) {
+      ASSERT_TRUE(wc.check_invariants()) << i;
+    }
+  }
+  ASSERT_TRUE(wc.check_invariants());
+}
+
+TEST(WholeFileCache, HoldersConsistentWithCached) {
+  WholeFileCache wc(cfg(3, 8));
+  wc.insert(0, 7, kBlock);
+  wc.insert(1, 7, kBlock);
+  wc.insert(2, 9, kBlock);
+  for (const auto n : wc.holders(7)) EXPECT_TRUE(wc.cached(n, 7));
+  EXPECT_EQ(wc.copy_count(7), wc.holders(7).size());
+}
+
+}  // namespace
+}  // namespace coop::cache
