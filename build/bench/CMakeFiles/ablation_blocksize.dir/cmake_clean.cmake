@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blocksize.dir/ablation_blocksize.cpp.o"
+  "CMakeFiles/ablation_blocksize.dir/ablation_blocksize.cpp.o.d"
+  "ablation_blocksize"
+  "ablation_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_directory.cpp" "bench/CMakeFiles/ablation_directory.dir/ablation_directory.cpp.o" "gcc" "bench/CMakeFiles/ablation_directory.dir/ablation_directory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coop_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

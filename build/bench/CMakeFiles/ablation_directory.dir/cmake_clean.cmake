@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_directory.dir/ablation_directory.cpp.o"
+  "CMakeFiles/ablation_directory.dir/ablation_directory.cpp.o.d"
+  "ablation_directory"
+  "ablation_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_handoff.dir/ablation_handoff.cpp.o"
+  "CMakeFiles/ablation_handoff.dir/ablation_handoff.cpp.o.d"
+  "ablation_handoff"
+  "ablation_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

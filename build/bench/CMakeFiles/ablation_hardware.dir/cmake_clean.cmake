@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hardware.dir/ablation_hardware.cpp.o"
+  "CMakeFiles/ablation_hardware.dir/ablation_hardware.cpp.o.d"
+  "ablation_hardware"
+  "ablation_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

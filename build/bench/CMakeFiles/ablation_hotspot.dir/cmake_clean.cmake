@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hotspot.dir/ablation_hotspot.cpp.o"
+  "CMakeFiles/ablation_hotspot.dir/ablation_hotspot.cpp.o.d"
+  "ablation_hotspot"
+  "ablation_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

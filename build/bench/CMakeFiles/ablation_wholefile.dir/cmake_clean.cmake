@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wholefile.dir/ablation_wholefile.cpp.o"
+  "CMakeFiles/ablation_wholefile.dir/ablation_wholefile.cpp.o.d"
+  "ablation_wholefile"
+  "ablation_wholefile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wholefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

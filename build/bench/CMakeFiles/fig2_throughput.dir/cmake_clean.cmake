@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_throughput.dir/fig2_throughput.cpp.o"
+  "CMakeFiles/fig2_throughput.dir/fig2_throughput.cpp.o.d"
+  "fig2_throughput"
+  "fig2_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

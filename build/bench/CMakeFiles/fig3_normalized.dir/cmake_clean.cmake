@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_normalized.dir/fig3_normalized.cpp.o"
+  "CMakeFiles/fig3_normalized.dir/fig3_normalized.cpp.o.d"
+  "fig3_normalized"
+  "fig3_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hitrates.dir/fig4_hitrates.cpp.o"
+  "CMakeFiles/fig4_hitrates.dir/fig4_hitrates.cpp.o.d"
+  "fig4_hitrates"
+  "fig4_hitrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hitrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_utilization.dir/fig6a_utilization.cpp.o"
+  "CMakeFiles/fig6a_utilization.dir/fig6a_utilization.cpp.o.d"
+  "fig6a_utilization"
+  "fig6a_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

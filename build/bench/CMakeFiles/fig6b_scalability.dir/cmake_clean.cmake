@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_scalability.dir/fig6b_scalability.cpp.o"
+  "CMakeFiles/fig6b_scalability.dir/fig6b_scalability.cpp.o.d"
+  "fig6b_scalability"
+  "fig6b_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_params.dir/fig_params.cpp.o"
+  "CMakeFiles/fig_params.dir/fig_params.cpp.o.d"
+  "fig_params"
+  "fig_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

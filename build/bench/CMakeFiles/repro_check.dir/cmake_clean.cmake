@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_check.dir/repro_check.cpp.o"
+  "CMakeFiles/repro_check.dir/repro_check.cpp.o.d"
+  "repro_check"
+  "repro_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_server.dir/file_server.cpp.o"
+  "CMakeFiles/file_server.dir/file_server.cpp.o.d"
+  "file_server"
+  "file_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_cluster.dir/web_cluster.cpp.o"
+  "CMakeFiles/web_cluster.dir/web_cluster.cpp.o.d"
+  "web_cluster"
+  "web_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

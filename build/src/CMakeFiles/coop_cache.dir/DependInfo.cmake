@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/coop_cache.cpp" "src/CMakeFiles/coop_cache.dir/cache/coop_cache.cpp.o" "gcc" "src/CMakeFiles/coop_cache.dir/cache/coop_cache.cpp.o.d"
+  "/root/repo/src/cache/directory.cpp" "src/CMakeFiles/coop_cache.dir/cache/directory.cpp.o" "gcc" "src/CMakeFiles/coop_cache.dir/cache/directory.cpp.o.d"
+  "/root/repo/src/cache/lru.cpp" "src/CMakeFiles/coop_cache.dir/cache/lru.cpp.o" "gcc" "src/CMakeFiles/coop_cache.dir/cache/lru.cpp.o.d"
+  "/root/repo/src/cache/node_cache.cpp" "src/CMakeFiles/coop_cache.dir/cache/node_cache.cpp.o" "gcc" "src/CMakeFiles/coop_cache.dir/cache/node_cache.cpp.o.d"
+  "/root/repo/src/cache/whole_file_cache.cpp" "src/CMakeFiles/coop_cache.dir/cache/whole_file_cache.cpp.o" "gcc" "src/CMakeFiles/coop_cache.dir/cache/whole_file_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop_cache.dir/cache/coop_cache.cpp.o"
+  "CMakeFiles/coop_cache.dir/cache/coop_cache.cpp.o.d"
+  "CMakeFiles/coop_cache.dir/cache/directory.cpp.o"
+  "CMakeFiles/coop_cache.dir/cache/directory.cpp.o.d"
+  "CMakeFiles/coop_cache.dir/cache/lru.cpp.o"
+  "CMakeFiles/coop_cache.dir/cache/lru.cpp.o.d"
+  "CMakeFiles/coop_cache.dir/cache/node_cache.cpp.o"
+  "CMakeFiles/coop_cache.dir/cache/node_cache.cpp.o.d"
+  "CMakeFiles/coop_cache.dir/cache/whole_file_cache.cpp.o"
+  "CMakeFiles/coop_cache.dir/cache/whole_file_cache.cpp.o.d"
+  "libcoop_cache.a"
+  "libcoop_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop_ccm.dir/ccm/cluster.cpp.o"
+  "CMakeFiles/coop_ccm.dir/ccm/cluster.cpp.o.d"
+  "CMakeFiles/coop_ccm.dir/ccm/storage.cpp.o"
+  "CMakeFiles/coop_ccm.dir/ccm/storage.cpp.o.d"
+  "libcoop_ccm.a"
+  "libcoop_ccm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop_ccm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

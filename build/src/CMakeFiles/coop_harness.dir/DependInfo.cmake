@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/coop_harness.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/coop_harness.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/coop_harness.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/coop_harness.dir/harness/report.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/CMakeFiles/coop_harness.dir/harness/runner.cpp.o" "gcc" "src/CMakeFiles/coop_harness.dir/harness/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coop_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/coop_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/coop_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/coop_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/coop_harness.dir/harness/runner.cpp.o"
+  "CMakeFiles/coop_harness.dir/harness/runner.cpp.o.d"
+  "libcoop_harness.a"
+  "libcoop_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/disk.cpp" "src/CMakeFiles/coop_hw.dir/hw/disk.cpp.o" "gcc" "src/CMakeFiles/coop_hw.dir/hw/disk.cpp.o.d"
+  "/root/repo/src/hw/network.cpp" "src/CMakeFiles/coop_hw.dir/hw/network.cpp.o" "gcc" "src/CMakeFiles/coop_hw.dir/hw/network.cpp.o.d"
+  "/root/repo/src/hw/node.cpp" "src/CMakeFiles/coop_hw.dir/hw/node.cpp.o" "gcc" "src/CMakeFiles/coop_hw.dir/hw/node.cpp.o.d"
+  "/root/repo/src/hw/params.cpp" "src/CMakeFiles/coop_hw.dir/hw/params.cpp.o" "gcc" "src/CMakeFiles/coop_hw.dir/hw/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop_hw.dir/hw/disk.cpp.o"
+  "CMakeFiles/coop_hw.dir/hw/disk.cpp.o.d"
+  "CMakeFiles/coop_hw.dir/hw/network.cpp.o"
+  "CMakeFiles/coop_hw.dir/hw/network.cpp.o.d"
+  "CMakeFiles/coop_hw.dir/hw/node.cpp.o"
+  "CMakeFiles/coop_hw.dir/hw/node.cpp.o.d"
+  "CMakeFiles/coop_hw.dir/hw/params.cpp.o"
+  "CMakeFiles/coop_hw.dir/hw/params.cpp.o.d"
+  "libcoop_hw.a"
+  "libcoop_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/ccm_server.cpp" "src/CMakeFiles/coop_server.dir/server/ccm_server.cpp.o" "gcc" "src/CMakeFiles/coop_server.dir/server/ccm_server.cpp.o.d"
+  "/root/repo/src/server/client.cpp" "src/CMakeFiles/coop_server.dir/server/client.cpp.o" "gcc" "src/CMakeFiles/coop_server.dir/server/client.cpp.o.d"
+  "/root/repo/src/server/cluster.cpp" "src/CMakeFiles/coop_server.dir/server/cluster.cpp.o" "gcc" "src/CMakeFiles/coop_server.dir/server/cluster.cpp.o.d"
+  "/root/repo/src/server/l2s_server.cpp" "src/CMakeFiles/coop_server.dir/server/l2s_server.cpp.o" "gcc" "src/CMakeFiles/coop_server.dir/server/l2s_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

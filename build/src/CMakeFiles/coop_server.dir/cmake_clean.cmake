@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop_server.dir/server/ccm_server.cpp.o"
+  "CMakeFiles/coop_server.dir/server/ccm_server.cpp.o.d"
+  "CMakeFiles/coop_server.dir/server/client.cpp.o"
+  "CMakeFiles/coop_server.dir/server/client.cpp.o.d"
+  "CMakeFiles/coop_server.dir/server/cluster.cpp.o"
+  "CMakeFiles/coop_server.dir/server/cluster.cpp.o.d"
+  "CMakeFiles/coop_server.dir/server/l2s_server.cpp.o"
+  "CMakeFiles/coop_server.dir/server/l2s_server.cpp.o.d"
+  "libcoop_server.a"
+  "libcoop_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

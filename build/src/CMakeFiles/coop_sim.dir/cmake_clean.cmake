@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/coop_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/coop_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/coop_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/coop_sim.dir/sim/service_center.cpp.o"
+  "CMakeFiles/coop_sim.dir/sim/service_center.cpp.o.d"
+  "CMakeFiles/coop_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/coop_sim.dir/sim/stats.cpp.o.d"
+  "libcoop_sim.a"
+  "libcoop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/io.cpp" "src/CMakeFiles/coop_trace.dir/trace/io.cpp.o" "gcc" "src/CMakeFiles/coop_trace.dir/trace/io.cpp.o.d"
+  "/root/repo/src/trace/presets.cpp" "src/CMakeFiles/coop_trace.dir/trace/presets.cpp.o" "gcc" "src/CMakeFiles/coop_trace.dir/trace/presets.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/CMakeFiles/coop_trace.dir/trace/stats.cpp.o" "gcc" "src/CMakeFiles/coop_trace.dir/trace/stats.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/CMakeFiles/coop_trace.dir/trace/synthetic.cpp.o" "gcc" "src/CMakeFiles/coop_trace.dir/trace/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/coop_trace.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/coop_trace.dir/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

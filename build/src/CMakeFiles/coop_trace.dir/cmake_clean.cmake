@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop_trace.dir/trace/io.cpp.o"
+  "CMakeFiles/coop_trace.dir/trace/io.cpp.o.d"
+  "CMakeFiles/coop_trace.dir/trace/presets.cpp.o"
+  "CMakeFiles/coop_trace.dir/trace/presets.cpp.o.d"
+  "CMakeFiles/coop_trace.dir/trace/stats.cpp.o"
+  "CMakeFiles/coop_trace.dir/trace/stats.cpp.o.d"
+  "CMakeFiles/coop_trace.dir/trace/synthetic.cpp.o"
+  "CMakeFiles/coop_trace.dir/trace/synthetic.cpp.o.d"
+  "CMakeFiles/coop_trace.dir/trace/trace.cpp.o"
+  "CMakeFiles/coop_trace.dir/trace/trace.cpp.o.d"
+  "libcoop_trace.a"
+  "libcoop_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoop_trace.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/coop_util.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/coop_util.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/coop_util.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/coop_util.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/coop_util.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/coop_util.dir/util/format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

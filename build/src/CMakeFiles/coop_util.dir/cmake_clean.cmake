@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop_util.dir/util/cli.cpp.o"
+  "CMakeFiles/coop_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/coop_util.dir/util/csv.cpp.o"
+  "CMakeFiles/coop_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/coop_util.dir/util/format.cpp.o"
+  "CMakeFiles/coop_util.dir/util/format.cpp.o.d"
+  "libcoop_util.a"
+  "libcoop_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

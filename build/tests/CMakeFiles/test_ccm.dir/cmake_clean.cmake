@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccm.dir/test_ccm.cpp.o"
+  "CMakeFiles/test_ccm.dir/test_ccm.cpp.o.d"
+  "test_ccm"
+  "test_ccm.pdb"
+  "test_ccm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ccm.
+# This may be replaced when dependencies are built.

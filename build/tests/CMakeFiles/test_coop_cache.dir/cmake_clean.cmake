@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coop_cache.dir/test_coop_cache.cpp.o"
+  "CMakeFiles/test_coop_cache.dir/test_coop_cache.cpp.o.d"
+  "test_coop_cache"
+  "test_coop_cache.pdb"
+  "test_coop_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coop_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l2s.dir/test_l2s.cpp.o"
+  "CMakeFiles/test_l2s.dir/test_l2s.cpp.o.d"
+  "test_l2s"
+  "test_l2s.pdb"
+  "test_l2s[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l2s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

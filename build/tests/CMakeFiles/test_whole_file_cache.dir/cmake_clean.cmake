@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_whole_file_cache.dir/test_whole_file_cache.cpp.o"
+  "CMakeFiles/test_whole_file_cache.dir/test_whole_file_cache.cpp.o.d"
+  "test_whole_file_cache"
+  "test_whole_file_cache.pdb"
+  "test_whole_file_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_whole_file_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
