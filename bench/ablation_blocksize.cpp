@@ -1,55 +1,11 @@
-// Ablation A3 (§6: "whether CCM can easily be adapted for servers that
-// always use whole files"): block-size sensitivity. Larger blocks amortize
-// per-block CPU costs and approach whole-file granularity; smaller blocks
-// waste CPU but cache partial files more precisely.
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "ablation_blocksize" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// Flags: --trace=NAME --nodes=N --mem-mb=M --requests=N --csv=PATH
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const std::string trace_name = flags.get("trace", "rutgers");
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
-  const auto mem_mb = static_cast<std::uint64_t>(flags.get_int("mem-mb", 64));
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 80000));
-
-  const auto tr = harness::load_trace(trace_name, requests);
-
-  harness::print_heading(
-      "Ablation A3: cache block size (CC-NEM)",
-      trace_name + ", " + std::to_string(nodes) + " nodes, " +
-          std::to_string(mem_mb) + " MB/node.");
-
-  util::TextTable t;
-  t.set_header({"block", "throughput (req/s)", "global hit", "remote fetches",
-                "disk reads", "mean resp (ms)"});
-  util::CsvWriter csv;
-  csv.set_header({"block_kb", "throughput_rps", "global_hit",
-                  "remote_fetches", "disk_reads", "mean_response_ms"});
-  for (const std::uint32_t kb : {8u, 16u, 32u, 64u}) {
-    auto cfg = harness::figure_config(server::SystemKind::kCcNem, nodes,
-                                      mem_mb * 1024 * 1024);
-    cfg.params.block_bytes = kb * 1024;
-    const auto m = server::run_simulation(cfg, tr);
-    t.add_row({std::to_string(kb) + " KB", util::fixed(m.throughput_rps, 0),
-               util::percent(m.global_hit_rate(), 1),
-               std::to_string(m.remote_block_fetches),
-               std::to_string(m.disk_block_reads),
-               util::fixed(m.mean_response_ms, 2)});
-    csv.add_row({std::to_string(kb), util::fixed(m.throughput_rps, 2),
-                 util::fixed(m.global_hit_rate(), 4),
-                 std::to_string(m.remote_block_fetches),
-                 std::to_string(m.disk_block_reads),
-                 util::fixed(m.mean_response_ms, 3)});
-    std::cerr << "  " << kb << " KB done\n";
-  }
-  t.print();
-  harness::maybe_write_csv(csv, flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("ablation_blocksize", argc, argv);
 }

@@ -1,72 +1,11 @@
-// Ablation A1 (§6 future work): hint-based directory vs the paper's
-// optimistic perfect directory.
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "ablation_directory" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// Sarkar & Hartman [18] report ~98% hint accuracy with negligible overhead;
-// the paper argues its optimistic assumptions therefore cost little. This
-// bench quantifies that: CC-NEM throughput with a perfect directory vs the
-// hint-based one at several staleness settings.
-//
-// Flags: --trace=NAME --nodes=N --mem-mb=M --requests=N --csv=PATH
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const std::string trace_name = flags.get("trace", "rutgers");
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
-  const auto mem_mb = static_cast<std::uint64_t>(flags.get_int("mem-mb", 64));
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 80000));
-
-  const auto tr = harness::load_trace(trace_name, requests);
-
-  harness::print_heading(
-      "Ablation A1: perfect vs hint-based master directory",
-      "CC-NEM, " + trace_name + ", " + std::to_string(nodes) + " nodes, " +
-          std::to_string(mem_mb) + " MB/node.");
-
-  struct Variant {
-    std::string label;
-    cache::DirectoryMode mode;
-    std::uint32_t staleness;
-  };
-  const Variant variants[] = {
-      {"perfect", cache::DirectoryMode::kPerfect, 0},
-      {"hints (lag 1)", cache::DirectoryMode::kHinted, 1},
-      {"hints (lag 4)", cache::DirectoryMode::kHinted, 4},
-      {"hints (lag 16)", cache::DirectoryMode::kHinted, 16},
-  };
-
-  util::TextTable t;
-  t.set_header({"directory", "throughput (req/s)", "vs perfect", "global hit",
-                "disk reads", "misdirects"});
-  double base = 0.0;
-  util::CsvWriter csv;
-  csv.set_header({"directory", "throughput_rps", "global_hit", "disk_reads",
-                  "misdirects"});
-  for (const auto& v : variants) {
-    auto cfg = harness::figure_config(server::SystemKind::kCcNem, nodes,
-                                      mem_mb * 1024 * 1024);
-    cfg.directory = v.mode;
-    cfg.hint_staleness = v.staleness;
-    const auto m = server::run_simulation(cfg, tr);
-    if (base == 0.0) base = m.throughput_rps;
-    t.add_row({v.label, util::fixed(m.throughput_rps, 0),
-               util::fixed(m.throughput_rps / base, 2),
-               util::percent(m.global_hit_rate(), 1),
-               std::to_string(m.disk_block_reads),
-               std::to_string(m.hint_misdirects)});
-    csv.add_row({v.label, util::fixed(m.throughput_rps, 2),
-                 util::fixed(m.global_hit_rate(), 4),
-                 std::to_string(m.disk_block_reads),
-                 std::to_string(m.hint_misdirects)});
-    std::cerr << "  " << v.label << " done\n";
-  }
-  t.print();
-  harness::maybe_write_csv(csv, flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("ablation_directory", argc, argv);
 }

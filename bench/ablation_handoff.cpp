@@ -1,59 +1,11 @@
-// Ablation A2 (§6): the TCP hand-off advantage for L2S. Bianchini & Carrera
-// measured ~7% for a server without hand-off; the effect grows with the
-// migrated-request fraction and the served bytes.
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "ablation_handoff" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// Flags: --trace=NAME --nodes=N --mem-mb=M --requests=N --csv=PATH
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const std::string trace_name = flags.get("trace", "calgary");
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
-  const auto mem_mb = static_cast<std::uint64_t>(flags.get_int("mem-mb", 128));
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 80000));
-
-  const auto tr = harness::load_trace(trace_name, requests);
-
-  harness::print_heading(
-      "Ablation A2: TCP hand-off for L2S",
-      trace_name + ", " + std::to_string(nodes) + " nodes, " +
-          std::to_string(mem_mb) +
-          " MB/node (warm memory so migrations dominate).");
-
-  util::TextTable t;
-  t.set_header({"variant", "throughput (req/s)", "mean resp (ms)",
-                "handoffs", "replications"});
-  util::CsvWriter csv;
-  csv.set_header({"variant", "throughput_rps", "mean_response_ms",
-                  "handoffs", "replications"});
-  double with_rps = 0.0, without_rps = 0.0;
-  for (const bool handoff : {true, false}) {
-    auto cfg = harness::figure_config(server::SystemKind::kL2S, nodes,
-                                      mem_mb * 1024 * 1024);
-    cfg.tcp_handoff = handoff;
-    const auto m = server::run_simulation(cfg, tr);
-    (handoff ? with_rps : without_rps) = m.throughput_rps;
-    const std::string label = handoff ? "hand-off" : "relay (no hand-off)";
-    t.add_row({label, util::fixed(m.throughput_rps, 0),
-               util::fixed(m.mean_response_ms, 2), std::to_string(m.handoffs),
-               std::to_string(m.replications)});
-    csv.add_row({label, util::fixed(m.throughput_rps, 2),
-                 util::fixed(m.mean_response_ms, 3),
-                 std::to_string(m.handoffs), std::to_string(m.replications)});
-    std::cerr << "  " << label << " done\n";
-  }
-  t.print();
-  if (without_rps > 0.0) {
-    std::cout << "hand-off advantage: "
-              << util::percent(with_rps / without_rps - 1.0, 1)
-              << " (paper cites ~7% for Bianchini & Carrera's testbed)\n";
-  }
-  harness::maybe_write_csv(csv, flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("ablation_handoff", argc, argv);
 }

@@ -1,85 +1,11 @@
-// Ablation A6 (§6: "this paper assumes a very specific set of hardware
-// characteristics. We will investigate the effects of different hardware
-// configurations on the cooperative caching algorithm").
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "ablation_hardware" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// The paper's thesis is a bet on a hardware trend: trading network traffic
-// for disk accesses is only a win while LANs outpace disks. This bench
-// sweeps the LAN generation (10 Mb/s .. 10 Gb/s) and a faster disk, and
-// reports CC-NEM vs L2S throughput for each: with a slow LAN the remote-hit
-// path collapses and cooperative caching loses its edge; with fast LANs the
-// paper's conclusion holds with room to spare.
-//
-// Flags: --trace=NAME --nodes=N --mem-mb=M --requests=N --csv=PATH
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const std::string trace_name = flags.get("trace", "rutgers");
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
-  const auto mem_mb = static_cast<std::uint64_t>(flags.get_int("mem-mb", 64));
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 80000));
-
-  const auto tr = harness::load_trace(trace_name, requests);
-
-  harness::print_heading(
-      "Ablation A6: hardware sensitivity (CC-NEM vs L2S)",
-      trace_name + ", " + std::to_string(nodes) + " nodes, " +
-          std::to_string(mem_mb) + " MB/node.");
-
-  struct Hw {
-    std::string label;
-    double nic_kb_per_ms;   // LAN wire rate
-    double latency_ms;      // one-way
-    double disk_kb_per_ms;  // media rate
-    double seek_ms;
-  };
-  const Hw configs[] = {
-      {"10 Mb/s LAN, 2001 disk", 1.25, 0.5, 30.0, 6.5},
-      {"100 Mb/s LAN, 2001 disk", 12.5, 0.15, 30.0, 6.5},
-      {"1 Gb/s LAN, 2001 disk (paper)", 125.0, 0.038, 30.0, 6.5},
-      {"10 Gb/s LAN, 2001 disk", 1250.0, 0.01, 30.0, 6.5},
-      {"1 Gb/s LAN, 4x faster disk", 125.0, 0.038, 120.0, 3.0},
-  };
-
-  util::TextTable t;
-  t.set_header({"hardware", "L2S (req/s)", "CC-NEM (req/s)", "CC-NEM/L2S",
-                "CC-NEM nic util"});
-  util::CsvWriter csv;
-  csv.set_header({"hardware", "l2s_rps", "ccnem_rps", "ratio", "nic_util"});
-  for (const auto& hw : configs) {
-    double results[2] = {0.0, 0.0};
-    double nic_util = 0.0;
-    const server::SystemKind systems[2] = {server::SystemKind::kL2S,
-                                           server::SystemKind::kCcNem};
-    for (int i = 0; i < 2; ++i) {
-      auto cfg = harness::figure_config(systems[i], nodes,
-                                        mem_mb * 1024 * 1024);
-      cfg.params.nic_per_kb_ms = 1.0 / hw.nic_kb_per_ms;
-      cfg.params.net_latency_ms = hw.latency_ms;
-      cfg.params.disk_per_kb_ms = 1.0 / hw.disk_kb_per_ms;
-      cfg.params.disk_seek_ms = hw.seek_ms;
-      const auto m = server::run_simulation(cfg, tr);
-      results[i] = m.throughput_rps;
-      if (i == 1) nic_util = m.nic_utilization;
-    }
-    const double ratio = results[0] > 0 ? results[1] / results[0] : 0.0;
-    t.add_row({hw.label, util::fixed(results[0], 0),
-               util::fixed(results[1], 0), util::fixed(ratio, 2),
-               util::percent(nic_util, 1)});
-    csv.add_row({hw.label, util::fixed(results[0], 2),
-                 util::fixed(results[1], 2), util::fixed(ratio, 3),
-                 util::fixed(nic_util, 4)});
-    std::cerr << "  " << hw.label << " done\n";
-  }
-  t.print();
-  std::cout << "The cooperative-caching trade (LAN traffic for disk seeks) "
-               "only pays on fast LANs — the paper's premise.\n";
-  harness::maybe_write_csv(csv, flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("ablation_hardware", argc, argv);
 }

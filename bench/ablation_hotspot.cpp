@@ -1,67 +1,11 @@
-// Ablation A5 (§5: "It would be interesting to observe [CC-NEM]'s
-// performance under a forced concentration of hot files on a single node"):
-// concentrate every file's *home disk* on one node and compare against the
-// default modulo placement. Round-robin DNS still spreads requests, but all
-// misses hammer one disk.
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "ablation_hotspot" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// Flags: --trace=NAME --nodes=N --mem-mb=M --requests=N --csv=PATH
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const std::string trace_name = flags.get("trace", "rutgers");
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
-  const auto mem_mb = static_cast<std::uint64_t>(flags.get_int("mem-mb", 64));
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 80000));
-
-  const auto tr = harness::load_trace(trace_name, requests);
-
-  harness::print_heading(
-      "Ablation A5: forced file-placement concentration (CC-NEM)",
-      trace_name + ", " + std::to_string(nodes) + " nodes, " +
-          std::to_string(mem_mb) + " MB/node.");
-
-  struct Variant {
-    std::string label;
-    std::function<std::uint16_t(trace::FileId)> home;
-  };
-  const auto n = static_cast<std::uint16_t>(nodes);
-  const Variant variants[] = {
-      {"spread (file % nodes)", {}},
-      {"half cluster", [n](trace::FileId f) {
-         return static_cast<std::uint16_t>(f % (n / 2 ? n / 2 : 1));
-       }},
-      {"single node", [](trace::FileId) { return std::uint16_t{0}; }},
-  };
-
-  util::TextTable t;
-  t.set_header({"placement", "throughput (req/s)", "global hit",
-                "disk util avg", "disk util max"});
-  util::CsvWriter csv;
-  csv.set_header({"placement", "throughput_rps", "global_hit", "disk_util",
-                  "max_disk_util"});
-  for (const auto& v : variants) {
-    auto cfg = harness::figure_config(server::SystemKind::kCcNem, nodes,
-                                      mem_mb * 1024 * 1024);
-    cfg.home_of = v.home;
-    const auto m = server::run_simulation(cfg, tr);
-    t.add_row({v.label, util::fixed(m.throughput_rps, 0),
-               util::percent(m.global_hit_rate(), 1),
-               util::percent(m.disk_utilization, 1),
-               util::percent(m.max_disk_utilization, 1)});
-    csv.add_row({v.label, util::fixed(m.throughput_rps, 2),
-                 util::fixed(m.global_hit_rate(), 4),
-                 util::fixed(m.disk_utilization, 4),
-                 util::fixed(m.max_disk_utilization, 4)});
-    std::cerr << "  " << v.label << " done\n";
-  }
-  t.print();
-  harness::maybe_write_csv(csv, flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("ablation_hotspot", argc, argv);
 }

@@ -1,56 +1,11 @@
-// Ablation A4: the disk-scheduling step in isolation (the CC-Basic ->
-// CC-Sched improvement of §5) and its interaction with the replacement
-// policy. Reports throughput plus the seek-per-read ratio, the mechanism the
-// paper identifies ("12 seeks instead of 4" under stream interleaving).
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "ablation_scheduler" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// Flags: --trace=NAME --nodes=N --mem-mb=M --requests=N --csv=PATH
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const std::string trace_name = flags.get("trace", "rutgers");
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
-  const auto mem_mb = static_cast<std::uint64_t>(flags.get_int("mem-mb", 16));
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 80000));
-
-  const auto tr = harness::load_trace(trace_name, requests);
-
-  harness::print_heading(
-      "Ablation A4: disk scheduling x replacement policy",
-      trace_name + ", " + std::to_string(nodes) + " nodes, " +
-          std::to_string(mem_mb) + " MB/node (disk-bound regime).");
-
-  util::TextTable t;
-  t.set_header({"system", "throughput (req/s)", "seeks/read", "disk util",
-                "max disk util"});
-  util::CsvWriter csv;
-  csv.set_header({"system", "throughput_rps", "seeks_per_read", "disk_util",
-                  "max_disk_util"});
-  for (const auto system :
-       {server::SystemKind::kCcBasic, server::SystemKind::kCcSched,
-        server::SystemKind::kCcNem, server::SystemKind::kL2S}) {
-    const auto cfg =
-        harness::figure_config(system, nodes, mem_mb * 1024 * 1024);
-    const auto m = server::run_simulation(cfg, tr);
-    const double spr = m.disk_block_reads
-                           ? static_cast<double>(m.disk_seeks) /
-                                 static_cast<double>(m.disk_block_reads)
-                           : 0.0;
-    t.add_row({server::to_string(system), util::fixed(m.throughput_rps, 0),
-               util::fixed(spr, 2), util::percent(m.disk_utilization, 1),
-               util::percent(m.max_disk_utilization, 1)});
-    csv.add_row({server::to_string(system), util::fixed(m.throughput_rps, 2),
-                 util::fixed(spr, 3), util::fixed(m.disk_utilization, 4),
-                 util::fixed(m.max_disk_utilization, 4)});
-    std::cerr << "  " << server::to_string(system) << " done\n";
-  }
-  t.print();
-  harness::maybe_write_csv(csv, flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("ablation_scheduler", argc, argv);
 }

@@ -1,66 +1,11 @@
-// Ablation A7 (§6: "we will investigate whether [CCM] can easily be adapted
-// for servers that always use whole files (e.g., a web server) and whether
-// such an adaptation would improve performance"): block-grain CC-NEM vs the
-// whole-file adaptation vs L2S.
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "ablation_wholefile" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// The whole-file variant saves per-block directory/protocol work and fetches
-// a file with one peer round trip, but loses partial-file caching and evicts
-// in coarser units.
-//
-// Flags: --trace=NAME --nodes=N --requests=N --csv=PATH
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const std::string trace_name = flags.get("trace", "rutgers");
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 80000));
-
-  const auto tr = harness::load_trace(trace_name, requests);
-
-  harness::print_heading(
-      "Ablation A7: block-grain vs whole-file CCM (vs L2S)",
-      trace_name + ", " + std::to_string(nodes) + " nodes.");
-
-  util::TextTable t;
-  t.set_header({"mem/node", "CC-NEM blk (req/s)", "CC-NEM file (req/s)",
-                "L2S (req/s)", "file/blk"});
-  util::CsvWriter csv;
-  csv.set_header({"memory_mb", "ccnem_block_rps", "ccnem_file_rps", "l2s_rps",
-                  "ratio_file_over_block"});
-  for (const std::uint64_t mem_mb : {16ull, 64ull, 256ull}) {
-    double block_rps = 0.0, file_rps = 0.0, l2s_rps = 0.0;
-    {
-      const auto cfg = harness::figure_config(server::SystemKind::kCcNem,
-                                              nodes, mem_mb << 20);
-      block_rps = server::run_simulation(cfg, tr).throughput_rps;
-    }
-    {
-      auto cfg = harness::figure_config(server::SystemKind::kCcNem, nodes,
-                                        mem_mb << 20);
-      cfg.ccm_whole_file = true;
-      file_rps = server::run_simulation(cfg, tr).throughput_rps;
-    }
-    {
-      const auto cfg = harness::figure_config(server::SystemKind::kL2S, nodes,
-                                              mem_mb << 20);
-      l2s_rps = server::run_simulation(cfg, tr).throughput_rps;
-    }
-    t.add_row({std::to_string(mem_mb) + " MiB", util::fixed(block_rps, 0),
-               util::fixed(file_rps, 0), util::fixed(l2s_rps, 0),
-               util::fixed(block_rps > 0 ? file_rps / block_rps : 0.0, 2)});
-    csv.add_row({std::to_string(mem_mb), util::fixed(block_rps, 2),
-                 util::fixed(file_rps, 2), util::fixed(l2s_rps, 2),
-                 util::fixed(block_rps > 0 ? file_rps / block_rps : 0.0, 3)});
-    std::cerr << "  " << mem_mb << " MiB done\n";
-  }
-  t.print();
-  harness::maybe_write_csv(csv, flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("ablation_wholefile", argc, argv);
 }

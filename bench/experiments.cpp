@@ -1,0 +1,20 @@
+// Generic front-end over the experiment registry: runs any registered spec
+// by name (`experiments fig2_throughput --requests=6000`), or lists the
+// registry when invoked without a positional argument.
+#include <iostream>
+
+#include "harness/spec.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const coop::util::Flags flags(argc, argv);
+  if (flags.positionals().empty()) {
+    std::cout << "usage: experiments NAME [--flags]\nRegistered experiments:\n";
+    for (const auto& s : coop::harness::all_experiments()) {
+      std::cout << "  " << s.name << " — " << s.title << "\n";
+    }
+    return 0;
+  }
+  return coop::harness::run_experiment(flags.positionals().front(), argc,
+                                       argv);
+}

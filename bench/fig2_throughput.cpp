@@ -1,54 +1,11 @@
-// Reproduces Figure 2: throughput of L2S and the three CC variants on
-// 8 nodes, per-node memory swept 4-512 MB, one panel per trace.
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "fig2_throughput" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// Expected shape (paper §5): CC-Basic far below L2S (often ~20%); CC-Sched
-// above CC-Basic but still well below; CC-NEM at >=80% of L2S almost
-// everywhere and >=90%/matching in most configurations.
-//
-// Flags: --trace=NAME  --requests=N (per-trace request limit, default 80000)
-//        --nodes=N (default 8)  --csv=PATH  --quiet
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const std::string only = flags.get("trace", "");
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 80000));
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
-  const bool quiet = flags.get_bool("quiet", false);
-
-  const auto systems = harness::all_systems();
-  const auto memories = harness::memory_sweep_bytes();
-
-  util::CsvWriter csv;
-
-  for (const auto& spec : trace::all_presets()) {
-    if (!only.empty() && spec.name != only) continue;
-    const auto tr = harness::load_trace(spec.name, requests);
-
-    harness::print_heading(
-        "Figure 2: throughput on " + std::to_string(nodes) + " nodes — " +
-            spec.name,
-        "Per-node memory 4-512 MB; closed-loop clients; steady state.");
-
-    const auto points = harness::run_memory_sweep(
-        tr, systems, nodes, memories, {},
-        [&](std::size_t done, std::size_t total, const harness::SweepPoint& p) {
-          if (quiet) return;
-          std::cerr << "  [" << done << "/" << total << "] "
-                    << server::to_string(p.system) << " "
-                    << util::human_bytes(p.memory_per_node) << " -> "
-                    << util::fixed(p.metrics.throughput_rps, 0) << " req/s\n";
-        });
-
-    harness::throughput_table(points, systems, memories).print();
-    harness::append_sweep_csv(csv, points, spec.name);
-  }
-  harness::maybe_write_csv(csv, flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("fig2_throughput", argc, argv);
 }

@@ -1,55 +1,11 @@
-// Reproduces Figure 3: CC throughput normalized against L2S for the two
-// representative panels the paper shows — (a) Calgary on 4 nodes and
-// (b) Rutgers on 8 nodes.
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "fig3_normalized" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// Expected shape: CC-NEM/L2S >= 0.8 almost everywhere, >= 0.9 or ~1.0 in
-// most configurations; CC-Basic/L2S often ~0.2.
-//
-// Flags: --requests=N (default 80000)  --csv=PATH  --quiet
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 60000));
-  const bool quiet = flags.get_bool("quiet", false);
-
-  const auto systems = harness::all_systems();
-  const auto memories = harness::memory_sweep_bytes();
-
-  struct Panel {
-    const char* trace;
-    std::size_t nodes;
-  };
-  const Panel panels[] = {{"calgary", 4}, {"rutgers", 8}};
-
-  util::CsvWriter csv;
-  for (const auto& panel : panels) {
-    const auto tr = harness::load_trace(panel.trace, requests);
-    harness::print_heading(
-        std::string("Figure 3: throughput normalized against L2S — ") +
-            panel.trace + ", " + std::to_string(panel.nodes) + " nodes",
-        "Values are CC/L2S throughput ratios (1.00 = matching L2S).");
-
-    const auto points = harness::run_memory_sweep(
-        tr, systems, panel.nodes, memories, {},
-        [&](std::size_t done, std::size_t total, const harness::SweepPoint& p) {
-          if (quiet) return;
-          std::cerr << "  [" << done << "/" << total << "] "
-                    << server::to_string(p.system) << " "
-                    << util::human_bytes(p.memory_per_node) << "\n";
-        });
-
-    harness::normalized_table(points, systems, memories,
-                              harness::Metric::kThroughput)
-        .print();
-    harness::append_sweep_csv(csv, points, panel.trace);
-  }
-  harness::maybe_write_csv(csv, flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("fig3_normalized", argc, argv);
 }

@@ -1,67 +1,11 @@
-// Reproduces Figure 4: cache hit rates of L2S and the CC variants for the
-// Rutgers trace on 8 nodes, split into local and remote components.
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "fig4_hitrates" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// Expected shape (paper §5): CC-NEM's global hit rate approaches L2S's and
-// the theoretical maximum, but most of its hits are *remote* (the paper
-// quotes local 12-21%, remote 60-75% for <=64 MB/node); CC-Basic's global
-// hit rate is much lower because masters get evicted.
-//
-// Flags: --trace=NAME (default rutgers) --nodes=N (default 8)
-//        --requests=N (default 120000)  --csv=PATH  --quiet
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const std::string trace_name = flags.get("trace", "rutgers");
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 100000));
-  const bool quiet = flags.get_bool("quiet", false);
-
-  const auto systems = harness::all_systems();
-  const auto memories = harness::memory_sweep_bytes();
-  const auto tr = harness::load_trace(trace_name, requests);
-
-  harness::print_heading(
-      "Figure 4: hit rates — " + trace_name + ", " + std::to_string(nodes) +
-          " nodes",
-      "local+remote = global. CCM rates are block-level; L2S file-level.");
-
-  const auto points = harness::run_memory_sweep(
-      tr, systems, nodes, memories, {},
-      [&](std::size_t done, std::size_t total, const harness::SweepPoint& p) {
-        if (quiet) return;
-        std::cerr << "  [" << done << "/" << total << "] "
-                  << server::to_string(p.system) << " "
-                  << util::human_bytes(p.memory_per_node) << "\n";
-      });
-
-  util::TextTable t;
-  std::vector<std::string> header{"mem/node"};
-  for (const auto s : systems) {
-    header.push_back(std::string(server::to_string(s)) + " loc");
-    header.push_back(std::string(server::to_string(s)) + " rem");
-    header.push_back(std::string(server::to_string(s)) + " glob");
-  }
-  t.set_header(std::move(header));
-  for (const auto mem : memories) {
-    std::vector<std::string> row{util::human_bytes(mem)};
-    for (const auto s : systems) {
-      const auto& m = harness::find_point(points, s, mem).metrics;
-      row.push_back(util::percent(m.local_hit_rate, 0));
-      row.push_back(util::percent(m.remote_hit_rate, 0));
-      row.push_back(util::percent(m.global_hit_rate(), 0));
-    }
-    t.add_row(std::move(row));
-  }
-  t.print();
-
-  util::CsvWriter csv = harness::sweep_csv(points, trace_name);
-  harness::maybe_write_csv(csv, flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("fig4_hitrates", argc, argv);
 }

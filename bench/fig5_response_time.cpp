@@ -1,74 +1,11 @@
-// Reproduces Figure 5: CC average request response time normalized against
-// L2S — (a) Calgary on 4 nodes, (b) Rutgers on 8 nodes.
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "fig5_response_time" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// Expected shape (paper §5): CC-NEM's response time is 5-100% worse than
-// L2S's (ratios ~1.05-2.0) even where throughput nearly matches; absolute
-// values stay in the low milliseconds at the memory sizes where the cluster
-// is not disk-thrashed.
-//
-// Flags: --requests=N (default 80000)  --csv=PATH  --quiet
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 60000));
-  const bool quiet = flags.get_bool("quiet", false);
-
-  const auto systems = harness::all_systems();
-  const auto memories = harness::memory_sweep_bytes();
-
-  struct Panel {
-    const char* trace;
-    std::size_t nodes;
-  };
-  const Panel panels[] = {{"calgary", 4}, {"rutgers", 8}};
-
-  util::CsvWriter csv;
-  for (const auto& panel : panels) {
-    const auto tr = harness::load_trace(panel.trace, requests);
-    harness::print_heading(
-        std::string("Figure 5: mean response time normalized against L2S — ") +
-            panel.trace + ", " + std::to_string(panel.nodes) + " nodes",
-        "Ratios >1 mean CC responds slower than L2S.");
-
-    const auto points = harness::run_memory_sweep(
-        tr, systems, panel.nodes, memories, {},
-        [&](std::size_t done, std::size_t total, const harness::SweepPoint& p) {
-          if (quiet) return;
-          std::cerr << "  [" << done << "/" << total << "] "
-                    << server::to_string(p.system) << " "
-                    << util::human_bytes(p.memory_per_node) << "\n";
-        });
-
-    harness::normalized_table(points, systems, memories,
-                              harness::Metric::kResponseTime)
-        .print();
-
-    // The paper notes CC's absolute response times remain acceptable
-    // (order 2-3 ms at the comfortable end of the sweep).
-    util::TextTable abs;
-    abs.set_header({"mem/node", "L2S (ms)", "CC-NEM (ms)"});
-    for (const auto mem : memories) {
-      abs.add_row(
-          {util::human_bytes(mem),
-           util::fixed(harness::find_point(points, server::SystemKind::kL2S,
-                                           mem)
-                           .metrics.mean_response_ms,
-                       2),
-           util::fixed(harness::find_point(points, server::SystemKind::kCcNem,
-                                           mem)
-                           .metrics.mean_response_ms,
-                       2)});
-    }
-    abs.print();
-    harness::append_sweep_csv(csv, points, panel.trace);
-  }
-  harness::maybe_write_csv(csv, flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("fig5_response_time", argc, argv);
 }

@@ -1,67 +1,11 @@
-// Reproduces Figure 6(a): CC-NEM's average resource utilization (disk, CPU,
-// NIC) serving the Rutgers trace on 8 nodes, as a function of per-node
-// memory.
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "fig6a_utilization" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// Expected shape (paper §5): disk utilization dominates and falls as memory
-// grows; CPU utilization rises as the cluster stops being disk-bound; the
-// network stays mostly idle (the basis for the paper's argument that extra
-// LAN traffic is a good trade for fewer disk accesses).
-//
-// Flags: --trace=NAME --nodes=N --requests=N (default 150000)
-//        --system=cc-nem|cc-basic|cc-sched|l2s  --csv=PATH  --quiet
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const std::string trace_name = flags.get("trace", "rutgers");
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 120000));
-  const bool quiet = flags.get_bool("quiet", false);
-
-  server::SystemKind system = server::SystemKind::kCcNem;
-  const std::string sysname = flags.get("system", "cc-nem");
-  if (sysname == "l2s") system = server::SystemKind::kL2S;
-  if (sysname == "cc-basic") system = server::SystemKind::kCcBasic;
-  if (sysname == "cc-sched") system = server::SystemKind::kCcSched;
-
-  const auto memories = harness::memory_sweep_bytes();
-  const auto tr = harness::load_trace(trace_name, requests);
-
-  harness::print_heading(
-      std::string("Figure 6(a): ") + server::to_string(system) +
-          " resource utilization — " + trace_name + ", " +
-          std::to_string(nodes) + " nodes",
-      "Average across nodes; 'disk max' is the hottest single disk.");
-
-  const auto points = harness::run_memory_sweep(
-      tr, {system}, nodes, memories, {},
-      [&](std::size_t done, std::size_t total, const harness::SweepPoint& p) {
-        if (quiet) return;
-        std::cerr << "  [" << done << "/" << total << "] "
-                  << util::human_bytes(p.memory_per_node) << "\n";
-      });
-
-  util::TextTable t;
-  t.set_header({"mem/node", "disk", "disk max", "cpu", "nic", "router",
-                "throughput (req/s)"});
-  for (const auto& p : points) {
-    t.add_row({util::human_bytes(p.memory_per_node),
-               util::percent(p.metrics.disk_utilization, 1),
-               util::percent(p.metrics.max_disk_utilization, 1),
-               util::percent(p.metrics.cpu_utilization, 1),
-               util::percent(p.metrics.nic_utilization, 1),
-               util::percent(p.metrics.router_utilization, 1),
-               util::fixed(p.metrics.throughput_rps, 0)});
-  }
-  t.print();
-
-  harness::maybe_write_csv(harness::sweep_csv(points, trace_name),
-                           flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("fig6a_utilization", argc, argv);
 }

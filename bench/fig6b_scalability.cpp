@@ -1,58 +1,11 @@
-// Reproduces Figure 6(b): CC-NEM throughput against cluster size for the
-// Rutgers trace with 32 MB of memory per node.
+// Stub over the declarative experiment registry (src/harness/spec.hpp):
+// the sweep axes, tables, and CSV layout for "fig6b_scalability" are declared as data in
+// spec.cpp and executed by the shared parallel driver.
 //
-// Expected shape (paper §5): throughput scales well up to 32 nodes (adding
-// nodes adds both memory and disks; round-robin DNS spreads hot blocks so no
-// single node is overwhelmed).
-//
-// Flags: --trace=NAME --mem-mb=N (default 32) --requests=N (default 150000)
-//        --csv=PATH  --quiet
-#include <iostream>
-
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "util/cli.hpp"
+// Shared flags: --trace=NAME --nodes=N --requests=N --mem-mb=M
+//               --threads=N --csv=PATH --json=PATH --quiet
+#include "harness/spec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace coop;
-  const util::Flags flags(argc, argv);
-  const std::string trace_name = flags.get("trace", "rutgers");
-  const auto mem_mb = static_cast<std::uint64_t>(flags.get_int("mem-mb", 32));
-  const auto requests =
-      static_cast<std::size_t>(flags.get_int("requests", 120000));
-  const bool quiet = flags.get_bool("quiet", false);
-
-  const std::vector<std::size_t> node_counts{4, 8, 16, 24, 32};
-  const auto tr = harness::load_trace(trace_name, requests);
-
-  harness::print_heading(
-      "Figure 6(b): CC-NEM throughput vs cluster size — " + trace_name +
-          ", " + std::to_string(mem_mb) + " MB/node",
-      "Speedup is relative to the 4-node configuration.");
-
-  const auto points = harness::run_node_sweep(
-      tr, server::SystemKind::kCcNem, node_counts, mem_mb * 1024 * 1024, {},
-      [&](std::size_t done, std::size_t total, const harness::SweepPoint& p) {
-        if (quiet) return;
-        std::cerr << "  [" << done << "/" << total << "] " << p.nodes
-                  << " nodes -> " << util::fixed(p.metrics.throughput_rps, 0)
-                  << " req/s\n";
-      });
-
-  util::TextTable t;
-  t.set_header({"nodes", "throughput (req/s)", "speedup vs 4", "global hit",
-                "disk util"});
-  const double base = points.front().metrics.throughput_rps;
-  for (const auto& p : points) {
-    t.add_row({std::to_string(p.nodes),
-               util::fixed(p.metrics.throughput_rps, 0),
-               util::fixed(p.metrics.throughput_rps / base, 2),
-               util::percent(p.metrics.global_hit_rate(), 1),
-               util::percent(p.metrics.disk_utilization, 1)});
-  }
-  t.print();
-
-  harness::maybe_write_csv(harness::sweep_csv(points, trace_name),
-                           flags.get("csv", ""));
-  return 0;
+  return coop::harness::run_experiment("fig6b_scalability", argc, argv);
 }

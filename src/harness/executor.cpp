@@ -1,0 +1,108 @@
+#include "harness/executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace coop::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+SweepPoint run_cell(const SweepCell& cell) {
+  if (cell.trace == nullptr) {
+    throw std::invalid_argument("sweep cell has no trace");
+  }
+  SweepPoint p;
+  p.system = cell.config.system;
+  p.memory_per_node = cell.config.memory_per_node;
+  p.nodes = cell.config.nodes;
+  p.metrics = server::run_simulation(cell.config, *cell.trace);
+  return p;
+}
+
+}  // namespace
+
+std::size_t resolve_threads(std::size_t requested, std::size_t cells) {
+  std::size_t n = requested;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  if (n > cells) n = cells;
+  if (n == 0) n = 1;
+  return n;
+}
+
+ExecutionReport execute_cells(const std::vector<SweepCell>& cells,
+                              const ExecutorOptions& options,
+                              const Progress& progress) {
+  ExecutionReport report;
+  const std::size_t total = cells.size();
+  report.points.resize(total);
+  report.cell_wall_ms.resize(total, 0.0);
+  report.threads = resolve_threads(options.threads, total);
+
+  const auto run_start = Clock::now();
+
+  if (report.threads <= 1) {
+    // Serial fast path: index order, no pool, no locking. This is also the
+    // reference behavior the parallel path must reproduce bit-for-bit.
+    for (std::size_t i = 0; i < total; ++i) {
+      const auto cell_start = Clock::now();
+      report.points[i] = run_cell(cells[i]);
+      report.cell_wall_ms[i] = ms_since(cell_start);
+      if (progress) progress(i + 1, total, report.points[i]);
+    }
+    report.total_wall_ms = ms_since(run_start);
+    return report;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex mu;  // guards `done`, `first_error`, and progress invocation
+  std::size_t done = 0;
+  std::exception_ptr first_error;
+
+  const auto worker = [&]() {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        const auto cell_start = Clock::now();
+        SweepPoint p = run_cell(cells[i]);
+        const double wall = ms_since(cell_start);
+        std::lock_guard<std::mutex> lock(mu);
+        report.points[i] = std::move(p);
+        report.cell_wall_ms[i] = wall;
+        ++done;
+        if (progress) progress(done, total, report.points[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(report.threads);
+  for (std::size_t t = 0; t < report.threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  report.total_wall_ms = ms_since(run_start);
+  return report;
+}
+
+}  // namespace coop::harness

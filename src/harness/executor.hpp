@@ -1,0 +1,61 @@
+// Parallel, deterministic sweep executor.
+//
+// Every sweep cell is a self-contained single-threaded `run_simulation` call
+// (see the thread-safety note on run_simulation), so a (system x memory x
+// nodes) grid parallelizes trivially: a fixed-size thread pool pulls cell
+// indices from an atomic counter and writes each result into a slot keyed by
+// the cell's index — never by completion order. Results are therefore
+// bit-identical to the serial path regardless of thread count; only the
+// order of progress callbacks varies.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace coop::harness {
+
+/// Progress callback: (completed cells, total cells, just-finished point).
+/// Invoked exactly `total` times, serialized under the executor's mutex, with
+/// `completed` taking each value 1..total exactly once. With more than one
+/// thread the points arrive in completion order.
+using Progress =
+    std::function<void(std::size_t, std::size_t, const SweepPoint&)>;
+
+/// One fully-specified simulation to run. `trace` must outlive the
+/// execution and may be shared by any number of cells.
+struct SweepCell {
+  server::ClusterConfig config;
+  const trace::Trace* trace = nullptr;
+};
+
+struct ExecutorOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency(). A value of
+  /// 1 runs the cells inline, in index order, with no pool at all.
+  std::size_t threads = 0;
+};
+
+/// Execution result plus per-cell host timing for run reports.
+struct ExecutionReport {
+  /// One point per cell, in *cell index* order (not completion order).
+  std::vector<SweepPoint> points;
+  /// Host wall-clock per cell, same order.
+  std::vector<double> cell_wall_ms;
+  /// Host wall-clock for the whole execution.
+  double total_wall_ms = 0.0;
+  /// Worker threads actually used (after clamping to the cell count).
+  std::size_t threads = 1;
+};
+
+/// Runs every cell and assembles the report. Exceptions thrown by a cell
+/// (invalid config, drained trace) stop the dispatch of further cells and
+/// are rethrown on the calling thread after the pool drains.
+ExecutionReport execute_cells(const std::vector<SweepCell>& cells,
+                              const ExecutorOptions& options = {},
+                              const Progress& progress = {});
+
+/// Resolves `requested` (0 = hardware concurrency) against `cells`.
+std::size_t resolve_threads(std::size_t requested, std::size_t cells);
+
+}  // namespace coop::harness

@@ -34,6 +34,9 @@ struct SweepPoint {
   std::uint64_t memory_per_node = 0;
   std::size_t nodes = 0;
   server::RunMetrics metrics;
+
+  /// Field-wise equality (parallel-vs-serial determinism checks).
+  friend bool operator==(const SweepPoint&, const SweepPoint&) = default;
 };
 
 }  // namespace coop::harness

@@ -1,5 +1,6 @@
 #include "harness/report.hpp"
 
+#include <fstream>
 #include <iostream>
 
 namespace coop::harness {
@@ -121,6 +122,46 @@ void append_sweep_csv(util::CsvWriter& csv,
 void maybe_write_csv(const util::CsvWriter& csv, const std::string& path) {
   if (path.empty()) return;
   if (csv.write_file(path)) {
+    std::cout << "(wrote " << path << ")\n";
+  } else {
+    std::cout << "(FAILED to write " << path << ")\n";
+  }
+}
+
+void metrics_to_json(util::JsonWriter& json, const server::RunMetrics& m) {
+  json.begin_object();
+  json.key("requests").value(m.requests);
+  json.key("bytes_served").value(m.bytes_served);
+  json.key("duration_ms").value(m.duration_ms);
+  json.key("throughput_rps").value(m.throughput_rps);
+  json.key("throughput_mbps").value(m.throughput_mbps);
+  json.key("mean_response_ms").value(m.mean_response_ms);
+  json.key("p50_response_ms").value(m.p50_response_ms);
+  json.key("p95_response_ms").value(m.p95_response_ms);
+  json.key("p99_response_ms").value(m.p99_response_ms);
+  json.key("local_hit_rate").value(m.local_hit_rate);
+  json.key("remote_hit_rate").value(m.remote_hit_rate);
+  json.key("global_hit_rate").value(m.global_hit_rate());
+  json.key("cpu_utilization").value(m.cpu_utilization);
+  json.key("disk_utilization").value(m.disk_utilization);
+  json.key("nic_utilization").value(m.nic_utilization);
+  json.key("max_disk_utilization").value(m.max_disk_utilization);
+  json.key("router_utilization").value(m.router_utilization);
+  json.key("disk_block_reads").value(m.disk_block_reads);
+  json.key("disk_seeks").value(m.disk_seeks);
+  json.key("remote_block_fetches").value(m.remote_block_fetches);
+  json.key("master_forwards").value(m.master_forwards);
+  json.key("replications").value(m.replications);
+  json.key("handoffs").value(m.handoffs);
+  json.key("hint_misdirects").value(m.hint_misdirects);
+  json.end_object();
+}
+
+void maybe_write_json(const util::JsonWriter& json, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << json.str() << "\n";
+  if (out.good()) {
     std::cout << "(wrote " << path << ")\n";
   } else {
     std::cout << "(FAILED to write " << path << ")\n";

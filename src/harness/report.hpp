@@ -8,6 +8,7 @@
 #include "harness/runner.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 
 namespace coop::harness {
 
@@ -44,5 +45,13 @@ void append_sweep_csv(util::CsvWriter& csv,
 
 /// Writes the CSV if `path` is non-empty, reporting to stdout.
 void maybe_write_csv(const util::CsvWriter& csv, const std::string& path);
+
+/// Streams every RunMetrics field (plus the derived global hit rate) as one
+/// JSON object — the per-cell payload of the --json run reports.
+void metrics_to_json(util::JsonWriter& json, const server::RunMetrics& m);
+
+/// Writes `json` to `path` if non-empty, reporting to stdout like
+/// maybe_write_csv.
+void maybe_write_json(const util::JsonWriter& json, const std::string& path);
 
 }  // namespace coop::harness

@@ -1,6 +1,9 @@
 #include "harness/runner.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "util/format.hpp"
 
 namespace coop::harness {
 
@@ -8,45 +11,32 @@ std::vector<SweepPoint> run_memory_sweep(
     const trace::Trace& trace, const std::vector<server::SystemKind>& systems,
     std::size_t nodes, const std::vector<std::uint64_t>& memories,
     const std::function<void(server::ClusterConfig&)>& mutate,
-    const Progress& progress) {
-  std::vector<SweepPoint> out;
-  const std::size_t total = systems.size() * memories.size();
-  out.reserve(total);
+    const Progress& progress, std::size_t threads) {
+  std::vector<SweepCell> cells;
+  cells.reserve(systems.size() * memories.size());
   for (const auto system : systems) {
     for (const auto memory : memories) {
       auto config = figure_config(system, nodes, memory);
       if (mutate) mutate(config);
-      SweepPoint p;
-      p.system = system;
-      p.memory_per_node = memory;
-      p.nodes = nodes;
-      p.metrics = server::run_simulation(config, trace);
-      out.push_back(p);
-      if (progress) progress(out.size(), total, out.back());
+      cells.push_back({std::move(config), &trace});
     }
   }
-  return out;
+  return execute_cells(cells, {threads}, progress).points;
 }
 
 std::vector<SweepPoint> run_node_sweep(
     const trace::Trace& trace, server::SystemKind system,
     const std::vector<std::size_t>& node_counts, std::uint64_t memory_per_node,
     const std::function<void(server::ClusterConfig&)>& mutate,
-    const Progress& progress) {
-  std::vector<SweepPoint> out;
-  out.reserve(node_counts.size());
+    const Progress& progress, std::size_t threads) {
+  std::vector<SweepCell> cells;
+  cells.reserve(node_counts.size());
   for (const auto nodes : node_counts) {
     auto config = figure_config(system, nodes, memory_per_node);
     if (mutate) mutate(config);
-    SweepPoint p;
-    p.system = system;
-    p.memory_per_node = memory_per_node;
-    p.nodes = nodes;
-    p.metrics = server::run_simulation(config, trace);
-    out.push_back(p);
-    if (progress) progress(out.size(), node_counts.size(), out.back());
+    cells.push_back({std::move(config), &trace});
   }
-  return out;
+  return execute_cells(cells, {threads}, progress).points;
 }
 
 const SweepPoint& find_point(const std::vector<SweepPoint>& points,
@@ -55,7 +45,10 @@ const SweepPoint& find_point(const std::vector<SweepPoint>& points,
   for (const auto& p : points) {
     if (p.system == system && p.memory_per_node == memory) return p;
   }
-  throw std::out_of_range("sweep point not found");
+  throw std::out_of_range(std::string("sweep point not found: system=") +
+                          server::to_string(system) + " memory=" +
+                          util::human_bytes(memory) + " (" +
+                          std::to_string(points.size()) + " points searched)");
 }
 
 }  // namespace coop::harness

@@ -1,24 +1,29 @@
 // Sweep driver: runs (system x memory) grids and collects SweepPoints.
+//
+// Since the ExperimentSpec refactor these are thin compatibility wrappers
+// over the parallel executor (harness/executor.hpp): cells are enumerated in
+// the historical order (systems outer, memories inner) and executed on
+// `threads` workers, with results assembled in enumeration order so output
+// is bit-identical to the old serial loops.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "harness/executor.hpp"
 #include "harness/experiment.hpp"
 
 namespace coop::harness {
 
-/// Progress callback: (completed cells, total cells, last point).
-using Progress =
-    std::function<void(std::size_t, std::size_t, const SweepPoint&)>;
-
 /// Runs every (system, memory) combination over `trace` on `nodes` nodes.
 /// `mutate` (optional) lets callers tweak each ClusterConfig (ablations).
+/// `threads` = 0 uses hardware concurrency; 1 reproduces the serial path
+/// exactly, including progress-callback order.
 std::vector<SweepPoint> run_memory_sweep(
     const trace::Trace& trace, const std::vector<server::SystemKind>& systems,
     std::size_t nodes, const std::vector<std::uint64_t>& memories,
     const std::function<void(server::ClusterConfig&)>& mutate = {},
-    const Progress& progress = {});
+    const Progress& progress = {}, std::size_t threads = 0);
 
 /// Runs one system over a node-count sweep at fixed per-node memory
 /// (Figure 6b).
@@ -26,9 +31,10 @@ std::vector<SweepPoint> run_node_sweep(
     const trace::Trace& trace, server::SystemKind system,
     const std::vector<std::size_t>& node_counts, std::uint64_t memory_per_node,
     const std::function<void(server::ClusterConfig&)>& mutate = {},
-    const Progress& progress = {});
+    const Progress& progress = {}, std::size_t threads = 0);
 
-/// Finds the sweep point for (system, memory); throws if absent.
+/// Finds the sweep point for (system, memory); throws std::out_of_range
+/// naming the missing pair if absent.
 const SweepPoint& find_point(const std::vector<SweepPoint>& points,
                              server::SystemKind system, std::uint64_t memory);
 

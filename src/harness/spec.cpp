@@ -1,0 +1,857 @@
+#include "harness/spec.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+
+#include "trace/presets.hpp"
+#include "trace/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+namespace coop::harness {
+
+const SweepPoint& PanelView::at(std::size_t system, std::size_t memory,
+                                std::size_t variant) const {
+  if (!node_counts.empty()) {
+    throw std::logic_error("PanelView::at is a grid lookup; index points[] "
+                           "directly for node sweeps");
+  }
+  const std::size_t idx =
+      (system * memories.size() + memory) * variants.size() + variant;
+  return points.at(idx);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared column formatters (table vs CSV precision follows the historical
+// per-bench output so CSVs stay byte-identical).
+// ---------------------------------------------------------------------------
+
+std::string rps_table(const SweepPoint& p, const PanelView&) {
+  return util::fixed(p.metrics.throughput_rps, 0);
+}
+std::string rps_csv(const SweepPoint& p, const PanelView&) {
+  return util::fixed(p.metrics.throughput_rps, 2);
+}
+std::string hit_table(const SweepPoint& p, const PanelView&) {
+  return util::percent(p.metrics.global_hit_rate(), 1);
+}
+std::string hit_csv(const SweepPoint& p, const PanelView&) {
+  return util::fixed(p.metrics.global_hit_rate(), 4);
+}
+std::string disk_reads_cell(const SweepPoint& p, const PanelView&) {
+  return std::to_string(p.metrics.disk_block_reads);
+}
+
+double seeks_per_read(const SweepPoint& p) {
+  return p.metrics.disk_block_reads
+             ? static_cast<double>(p.metrics.disk_seeks) /
+                   static_cast<double>(p.metrics.disk_block_reads)
+             : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Builtin table renderers.
+// ---------------------------------------------------------------------------
+
+void render_hit_rate_pivot(const PanelView& v) {
+  util::TextTable t;
+  std::vector<std::string> header{"mem/node"};
+  for (const auto s : v.systems) {
+    header.push_back(std::string(server::to_string(s)) + " loc");
+    header.push_back(std::string(server::to_string(s)) + " rem");
+    header.push_back(std::string(server::to_string(s)) + " glob");
+  }
+  t.set_header(std::move(header));
+  for (const auto mem : v.memories) {
+    std::vector<std::string> row{util::human_bytes(mem)};
+    for (const auto s : v.systems) {
+      const auto& m = find_point(v.points, s, mem).metrics;
+      row.push_back(util::percent(m.local_hit_rate, 0));
+      row.push_back(util::percent(m.remote_hit_rate, 0));
+      row.push_back(util::percent(m.global_hit_rate(), 0));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+}
+
+void render_absolute_response(const PanelView& v) {
+  util::TextTable t;
+  t.set_header({"mem/node", "L2S (ms)", "CC-NEM (ms)"});
+  for (const auto mem : v.memories) {
+    t.add_row({util::human_bytes(mem),
+               util::fixed(find_point(v.points, server::SystemKind::kL2S, mem)
+                               .metrics.mean_response_ms,
+                           2),
+               util::fixed(
+                   find_point(v.points, server::SystemKind::kCcNem, mem)
+                       .metrics.mean_response_ms,
+                   2)});
+  }
+  t.print();
+}
+
+void render_utilization_rows(const PanelView& v) {
+  util::TextTable t;
+  t.set_header({"mem/node", "disk", "disk max", "cpu", "nic", "router",
+                "throughput (req/s)"});
+  for (const auto& p : v.points) {
+    t.add_row({util::human_bytes(p.memory_per_node),
+               util::percent(p.metrics.disk_utilization, 1),
+               util::percent(p.metrics.max_disk_utilization, 1),
+               util::percent(p.metrics.cpu_utilization, 1),
+               util::percent(p.metrics.nic_utilization, 1),
+               util::percent(p.metrics.router_utilization, 1),
+               util::fixed(p.metrics.throughput_rps, 0)});
+  }
+  t.print();
+}
+
+void render_scalability_rows(const PanelView& v) {
+  util::TextTable t;
+  t.set_header({"nodes", "throughput (req/s)", "speedup vs " +
+                             std::to_string(v.points.front().nodes),
+                "global hit", "disk util"});
+  const double base = v.points.front().metrics.throughput_rps;
+  for (const auto& p : v.points) {
+    t.add_row({std::to_string(p.nodes),
+               util::fixed(p.metrics.throughput_rps, 0),
+               util::fixed(base > 0.0 ? p.metrics.throughput_rps / base : 0.0,
+                           2),
+               util::percent(p.metrics.global_hit_rate(), 1),
+               util::percent(p.metrics.disk_utilization, 1)});
+  }
+  t.print();
+}
+
+void render_variant_rows(const ExperimentSpec& spec, const PanelView& v) {
+  util::TextTable t;
+  std::vector<std::string> header{spec.variant_column};
+  for (const auto& c : spec.columns) header.push_back(c.table_header);
+  t.set_header(std::move(header));
+  for (std::size_t vi = 0; vi < v.variants.size(); ++vi) {
+    const auto& p = v.at(0, 0, vi);
+    std::vector<std::string> row{v.variants[vi].label};
+    for (const auto& c : spec.columns) row.push_back(c.table_cell(p, v));
+    t.add_row(std::move(row));
+  }
+  t.print();
+}
+
+void default_render(const ExperimentSpec& spec, const PanelView& v) {
+  for (const auto kind : spec.tables) {
+    switch (kind) {
+      case TableKind::kThroughputPivot:
+        throughput_table(v.points, v.systems, v.memories).print();
+        break;
+      case TableKind::kNormalizedThroughput:
+        normalized_table(v.points, v.systems, v.memories,
+                         Metric::kThroughput)
+            .print();
+        break;
+      case TableKind::kNormalizedResponse:
+        normalized_table(v.points, v.systems, v.memories,
+                         Metric::kResponseTime)
+            .print();
+        break;
+      case TableKind::kAbsoluteResponse:
+        render_absolute_response(v);
+        break;
+      case TableKind::kHitRatePivot:
+        render_hit_rate_pivot(v);
+        break;
+      case TableKind::kUtilizationRows:
+        render_utilization_rows(v);
+        break;
+      case TableKind::kScalabilityRows:
+        render_scalability_rows(v);
+        break;
+      case TableKind::kVariantRows:
+        render_variant_rows(spec, v);
+        break;
+    }
+  }
+}
+
+void default_emit_csv(const ExperimentSpec& spec, util::CsvWriter& csv,
+                      const PanelView& v) {
+  const bool variant_style = !spec.columns.empty();
+  if (!variant_style) {
+    append_sweep_csv(csv, v.points, v.trace_name);
+    return;
+  }
+  if (csv.rows() == 0) {
+    std::vector<std::string> header{spec.variant_csv_column};
+    for (const auto& c : spec.columns) {
+      if (!c.csv_header.empty()) header.push_back(c.csv_header);
+    }
+    csv.set_header(std::move(header));
+  }
+  for (std::size_t vi = 0; vi < v.variants.size(); ++vi) {
+    const auto& p = v.at(0, 0, vi);
+    std::vector<std::string> row{v.variants[vi].label_for_csv()};
+    for (const auto& c : spec.columns) {
+      if (c.csv_header.empty()) continue;
+      row.push_back(c.csv_cell ? c.csv_cell(p, v) : c.table_cell(p, v));
+    }
+    csv.add_row(std::move(row));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The driver.
+// ---------------------------------------------------------------------------
+
+int run_experiment(const ExperimentSpec& spec, int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto requests = static_cast<std::size_t>(flags.get_int(
+      "requests", static_cast<std::int64_t>(spec.default_requests)));
+  const bool quiet = flags.get_bool("quiet", false);
+  const auto threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+
+  // Resolve the system / memory / variant axes against the flags.
+  std::vector<server::SystemKind> systems = spec.systems;
+  if (spec.system_flag && flags.has("system")) {
+    systems = {server::system_from_string(flags.get("system"))};
+  }
+  std::vector<std::uint64_t> memories = spec.memories;
+  if (flags.has("mem-mb")) {
+    memories = {static_cast<std::uint64_t>(flags.get_int("mem-mb", 0)) << 20};
+  } else if (memories.empty()) {
+    memories = {spec.default_memory_mb << 20};
+  }
+  std::vector<VariantSpec> variants = spec.variants;
+  if (variants.empty()) variants.push_back({"", "", {}});
+
+  // Resolve trace panels: expand the "every preset" wildcard, then apply
+  // --trace / --nodes overrides.
+  std::vector<ExperimentSpec::Panel> panels;
+  for (const auto& p : spec.panels) {
+    if (p.trace.empty()) {
+      for (const auto& preset : trace::all_presets()) {
+        panels.push_back({preset.name, p.nodes});
+      }
+    } else {
+      panels.push_back(p);
+    }
+  }
+  if (flags.has("trace")) {
+    const std::string only = flags.get("trace");
+    std::vector<ExperimentSpec::Panel> kept;
+    for (const auto& p : panels) {
+      if (p.trace == only) kept.push_back(p);
+    }
+    if (kept.empty()) kept.push_back({only, panels.front().nodes});
+    panels = std::move(kept);
+  }
+  if (flags.has("nodes")) {
+    const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
+    for (auto& p : panels) p.nodes = nodes;
+  }
+
+  util::CsvWriter csv;
+  std::vector<PanelView> views;
+  std::size_t threads_used = 1;
+
+  for (const auto& panel : panels) {
+    trace::SyntheticSpec trace_spec;
+    try {
+      trace_spec = trace::preset_by_name(panel.trace);
+    } catch (const std::out_of_range& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+    if (requests > 0 && requests < trace_spec.num_requests) {
+      trace_spec.num_requests = requests;
+    }
+    const auto tr = trace::generate(trace_spec);
+
+    std::string heading = spec.title + " — " + panel.trace + ", " +
+                          std::to_string(panel.nodes) + " nodes";
+    if (spec.node_counts.empty() && memories.size() == 1) {
+      heading += ", " + std::to_string(memories.front() >> 20) + " MB/node";
+    }
+    print_heading(heading, spec.note);
+
+    PanelView view;
+    view.trace_name = panel.trace;
+    view.nodes = panel.nodes;
+    view.trace_seed = trace_spec.seed;
+    view.systems = systems;
+    view.memories = memories;
+    view.node_counts = spec.node_counts;
+    view.variants = variants;
+
+    std::vector<SweepCell> cells;
+    if (!spec.node_counts.empty()) {
+      for (const auto n : spec.node_counts) {
+        auto config = figure_config(systems.front(), n, memories.front());
+        if (variants.front().mutate) variants.front().mutate(config);
+        view.cell_labels.push_back(variants.front().label);
+        view.cell_config_hashes.push_back(server::config_hash(config));
+        cells.push_back({std::move(config), &tr});
+      }
+    } else {
+      for (const auto system : systems) {
+        for (const auto memory : memories) {
+          for (const auto& variant : variants) {
+            auto config = figure_config(system, panel.nodes, memory);
+            if (variant.mutate) variant.mutate(config);
+            view.cell_labels.push_back(variant.label);
+            view.cell_config_hashes.push_back(server::config_hash(config));
+            cells.push_back({std::move(config), &tr});
+          }
+        }
+      }
+    }
+
+    const Progress progress =
+        quiet ? Progress{}
+              : [&](std::size_t done, std::size_t total,
+                    const SweepPoint& p) {
+                  std::cerr << "  [" << done << "/" << total << "] "
+                            << server::to_string(p.system) << " "
+                            << util::human_bytes(p.memory_per_node) << " "
+                            << p.nodes << " nodes -> "
+                            << util::fixed(p.metrics.throughput_rps, 0)
+                            << " req/s\n";
+                };
+
+    auto report = execute_cells(cells, {threads}, progress);
+    threads_used = report.threads;
+    view.points = std::move(report.points);
+    view.cell_wall_ms = std::move(report.cell_wall_ms);
+    view.total_wall_ms = report.total_wall_ms;
+
+    if (spec.render) {
+      spec.render(view);
+    } else {
+      default_render(spec, view);
+    }
+    if (spec.emit_csv) {
+      spec.emit_csv(csv, view);
+    } else {
+      default_emit_csv(spec, csv, view);
+    }
+    if (spec.footer) spec.footer(view);
+
+    views.push_back(std::move(view));
+  }
+
+  maybe_write_csv(csv, flags.get("csv", ""));
+
+  const std::string json_path = flags.get("json", "");
+  if (!json_path.empty()) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.key("experiment").value(spec.name);
+    json.key("title").value(spec.title);
+    json.key("requests").value(requests);
+    json.key("threads").value(threads_used);
+    json.key("panels").begin_array();
+    for (const auto& v : views) {
+      json.begin_object();
+      json.key("trace").value(v.trace_name);
+      json.key("nodes").value(v.nodes);
+      json.key("trace_seed").value(v.trace_seed);
+      json.key("total_wall_ms").value(v.total_wall_ms);
+      json.key("cells").begin_array();
+      for (std::size_t i = 0; i < v.points.size(); ++i) {
+        const auto& p = v.points[i];
+        json.begin_object();
+        json.key("index").value(i);
+        if (!v.cell_labels[i].empty()) {
+          json.key("label").value(v.cell_labels[i]);
+        }
+        json.key("system").value(server::to_string(p.system));
+        json.key("nodes").value(p.nodes);
+        json.key("memory_bytes").value(p.memory_per_node);
+        char hash_hex[19];
+        std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                      static_cast<unsigned long long>(
+                          v.cell_config_hashes[i]));
+        json.key("config_hash").value(hash_hex);
+        json.key("wall_ms").value(v.cell_wall_ms[i]);
+        json.key("metrics");
+        metrics_to_json(json, p.metrics);
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    maybe_write_json(json, json_path);
+  }
+  return 0;
+}
+
+int run_experiment(const std::string& name, int argc, char** argv) {
+  const ExperimentSpec* spec = find_experiment(name);
+  if (spec == nullptr) {
+    std::cerr << "unknown experiment '" << name << "'. Registered:\n";
+    for (const auto& s : all_experiments()) {
+      std::cerr << "  " << s.name << " — " << s.title << "\n";
+    }
+    return 2;
+  }
+  return run_experiment(*spec, argc, argv);
+}
+
+// ---------------------------------------------------------------------------
+// The registry: Figures 2-6 and ablations A1-A7 declared as data.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<ExperimentSpec> build_registry() {
+  std::vector<ExperimentSpec> specs;
+
+  {
+    ExperimentSpec s;
+    s.name = "fig2_throughput";
+    s.title = "Figure 2: throughput";
+    s.note = "Per-node memory 4-512 MB; closed-loop clients; steady state.";
+    s.panels = {{"", 8}};
+    s.default_requests = 80000;
+    s.systems = all_systems();
+    s.memories = memory_sweep_bytes();
+    s.tables = {TableKind::kThroughputPivot};
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "fig3_normalized";
+    s.title = "Figure 3: throughput normalized against L2S";
+    s.note = "Values are CC/L2S throughput ratios (1.00 = matching L2S).";
+    s.panels = {{"calgary", 4}, {"rutgers", 8}};
+    s.default_requests = 60000;
+    s.systems = all_systems();
+    s.memories = memory_sweep_bytes();
+    s.tables = {TableKind::kNormalizedThroughput};
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "fig4_hitrates";
+    s.title = "Figure 4: hit rates";
+    s.note = "local+remote = global. CCM rates are block-level; L2S "
+             "file-level.";
+    s.panels = {{"rutgers", 8}};
+    s.default_requests = 100000;
+    s.systems = all_systems();
+    s.memories = memory_sweep_bytes();
+    s.tables = {TableKind::kHitRatePivot};
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "fig5_response_time";
+    s.title = "Figure 5: mean response time normalized against L2S";
+    s.note = "Ratios >1 mean CC responds slower than L2S.";
+    s.panels = {{"calgary", 4}, {"rutgers", 8}};
+    s.default_requests = 60000;
+    s.systems = all_systems();
+    s.memories = memory_sweep_bytes();
+    s.tables = {TableKind::kNormalizedResponse, TableKind::kAbsoluteResponse};
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "fig6a_utilization";
+    s.title = "Figure 6(a): resource utilization";
+    s.note = "Average across nodes; 'disk max' is the hottest single disk.";
+    s.panels = {{"rutgers", 8}};
+    s.default_requests = 120000;
+    s.systems = {server::SystemKind::kCcNem};
+    s.system_flag = true;
+    s.memories = memory_sweep_bytes();
+    s.tables = {TableKind::kUtilizationRows};
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "fig6b_scalability";
+    s.title = "Figure 6(b): CC-NEM throughput vs cluster size";
+    s.note = "Speedup is relative to the 4-node configuration.";
+    s.panels = {{"rutgers", 8}};
+    s.default_requests = 120000;
+    s.systems = {server::SystemKind::kCcNem};
+    s.node_counts = {4, 8, 16, 24, 32};
+    s.default_memory_mb = 32;
+    s.tables = {TableKind::kScalabilityRows};
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "ablation_blocksize";
+    s.title = "Ablation A3: cache block size (CC-NEM)";
+    s.panels = {{"rutgers", 8}};
+    s.systems = {server::SystemKind::kCcNem};
+    s.default_memory_mb = 64;
+    for (const std::uint32_t kb : {8u, 16u, 32u, 64u}) {
+      s.variants.push_back(
+          {std::to_string(kb) + " KB", std::to_string(kb),
+           [kb](server::ClusterConfig& cfg) {
+             cfg.params.block_bytes = kb * 1024;
+           }});
+    }
+    s.variant_column = "block";
+    s.variant_csv_column = "block_kb";
+    s.columns = {
+        {"throughput (req/s)", "throughput_rps", rps_table, rps_csv},
+        {"global hit", "global_hit", hit_table, hit_csv},
+        {"remote fetches", "remote_fetches",
+         [](const SweepPoint& p, const PanelView&) {
+           return std::to_string(p.metrics.remote_block_fetches);
+         },
+         {}},
+        {"disk reads", "disk_reads", disk_reads_cell, {}},
+        {"mean resp (ms)", "mean_response_ms",
+         [](const SweepPoint& p, const PanelView&) {
+           return util::fixed(p.metrics.mean_response_ms, 2);
+         },
+         [](const SweepPoint& p, const PanelView&) {
+           return util::fixed(p.metrics.mean_response_ms, 3);
+         }},
+    };
+    s.tables = {TableKind::kVariantRows};
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "ablation_directory";
+    s.title = "Ablation A1: perfect vs hint-based master directory (CC-NEM)";
+    s.panels = {{"rutgers", 8}};
+    s.systems = {server::SystemKind::kCcNem};
+    s.default_memory_mb = 64;
+    struct Variant {
+      const char* label;
+      cache::DirectoryMode mode;
+      std::uint32_t staleness;
+    };
+    for (const auto& v : {Variant{"perfect", cache::DirectoryMode::kPerfect, 0},
+                          Variant{"hints (lag 1)", cache::DirectoryMode::kHinted,
+                                  1},
+                          Variant{"hints (lag 4)", cache::DirectoryMode::kHinted,
+                                  4},
+                          Variant{"hints (lag 16)",
+                                  cache::DirectoryMode::kHinted, 16}}) {
+      s.variants.push_back({v.label, "",
+                            [mode = v.mode, lag = v.staleness](
+                                server::ClusterConfig& cfg) {
+                              cfg.directory = mode;
+                              cfg.hint_staleness = lag;
+                            }});
+    }
+    s.variant_column = "directory";
+    s.variant_csv_column = "directory";
+    s.columns = {
+        {"throughput (req/s)", "throughput_rps", rps_table, rps_csv},
+        {"vs perfect", "",
+         [](const SweepPoint& p, const PanelView& v) {
+           const double base = v.at(0, 0, 0).metrics.throughput_rps;
+           return util::fixed(base > 0.0 ? p.metrics.throughput_rps / base
+                                         : 0.0,
+                              2);
+         },
+         {}},
+        {"global hit", "global_hit", hit_table, hit_csv},
+        {"disk reads", "disk_reads", disk_reads_cell, {}},
+        {"misdirects", "misdirects",
+         [](const SweepPoint& p, const PanelView&) {
+           return std::to_string(p.metrics.hint_misdirects);
+         },
+         {}},
+    };
+    s.tables = {TableKind::kVariantRows};
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "ablation_handoff";
+    s.title = "Ablation A2: TCP hand-off for L2S";
+    s.note = "Warm memory so migrations dominate.";
+    s.panels = {{"calgary", 8}};
+    s.systems = {server::SystemKind::kL2S};
+    s.default_memory_mb = 128;
+    s.variants = {
+        {"hand-off", "",
+         [](server::ClusterConfig& cfg) { cfg.tcp_handoff = true; }},
+        {"relay (no hand-off)", "",
+         [](server::ClusterConfig& cfg) { cfg.tcp_handoff = false; }},
+    };
+    s.variant_column = "variant";
+    s.variant_csv_column = "variant";
+    s.columns = {
+        {"throughput (req/s)", "throughput_rps", rps_table, rps_csv},
+        {"mean resp (ms)", "mean_response_ms",
+         [](const SweepPoint& p, const PanelView&) {
+           return util::fixed(p.metrics.mean_response_ms, 2);
+         },
+         [](const SweepPoint& p, const PanelView&) {
+           return util::fixed(p.metrics.mean_response_ms, 3);
+         }},
+        {"handoffs", "handoffs",
+         [](const SweepPoint& p, const PanelView&) {
+           return std::to_string(p.metrics.handoffs);
+         },
+         {}},
+        {"replications", "replications",
+         [](const SweepPoint& p, const PanelView&) {
+           return std::to_string(p.metrics.replications);
+         },
+         {}},
+    };
+    s.tables = {TableKind::kVariantRows};
+    s.footer = [](const PanelView& v) {
+      const double with_rps = v.at(0, 0, 0).metrics.throughput_rps;
+      const double without_rps = v.at(0, 0, 1).metrics.throughput_rps;
+      if (without_rps > 0.0) {
+        std::cout << "hand-off advantage: "
+                  << util::percent(with_rps / without_rps - 1.0, 1)
+                  << " (paper cites ~7% for Bianchini & Carrera's testbed)\n";
+      }
+    };
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "ablation_scheduler";
+    s.title = "Ablation A4: disk scheduling x replacement policy";
+    s.note = "Disk-bound regime; seeks/read is the paper's \"12 seeks "
+             "instead of 4\" mechanism.";
+    s.panels = {{"rutgers", 8}};
+    s.systems = {server::SystemKind::kCcBasic};
+    s.default_memory_mb = 16;
+    for (const auto system :
+         {server::SystemKind::kCcBasic, server::SystemKind::kCcSched,
+          server::SystemKind::kCcNem, server::SystemKind::kL2S}) {
+      s.variants.push_back({server::to_string(system), "",
+                            [system](server::ClusterConfig& cfg) {
+                              cfg.system = system;
+                            }});
+    }
+    s.variant_column = "system";
+    s.variant_csv_column = "system";
+    s.columns = {
+        {"throughput (req/s)", "throughput_rps", rps_table, rps_csv},
+        {"seeks/read", "seeks_per_read",
+         [](const SweepPoint& p, const PanelView&) {
+           return util::fixed(seeks_per_read(p), 2);
+         },
+         [](const SweepPoint& p, const PanelView&) {
+           return util::fixed(seeks_per_read(p), 3);
+         }},
+        {"disk util", "disk_util",
+         [](const SweepPoint& p, const PanelView&) {
+           return util::percent(p.metrics.disk_utilization, 1);
+         },
+         [](const SweepPoint& p, const PanelView&) {
+           return util::fixed(p.metrics.disk_utilization, 4);
+         }},
+        {"max disk util", "max_disk_util",
+         [](const SweepPoint& p, const PanelView&) {
+           return util::percent(p.metrics.max_disk_utilization, 1);
+         },
+         [](const SweepPoint& p, const PanelView&) {
+           return util::fixed(p.metrics.max_disk_utilization, 4);
+         }},
+    };
+    s.tables = {TableKind::kVariantRows};
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "ablation_hotspot";
+    s.title = "Ablation A5: forced file-placement concentration (CC-NEM)";
+    s.note = "Round-robin DNS still spreads requests; all misses hammer the "
+             "concentrated home disks.";
+    s.panels = {{"rutgers", 8}};
+    s.systems = {server::SystemKind::kCcNem};
+    s.default_memory_mb = 64;
+    s.variants = {
+        {"spread (file % nodes)", "", {}},
+        {"half cluster", "",
+         [](server::ClusterConfig& cfg) {
+           const auto n = static_cast<std::uint16_t>(cfg.nodes);
+           cfg.home_of = [n](trace::FileId f) {
+             return static_cast<std::uint16_t>(f % (n / 2 ? n / 2 : 1));
+           };
+         }},
+        {"single node", "",
+         [](server::ClusterConfig& cfg) {
+           cfg.home_of = [](trace::FileId) { return std::uint16_t{0}; };
+         }},
+    };
+    s.variant_column = "placement";
+    s.variant_csv_column = "placement";
+    s.columns = {
+        {"throughput (req/s)", "throughput_rps", rps_table, rps_csv},
+        {"global hit", "global_hit", hit_table, hit_csv},
+        {"disk util avg", "disk_util",
+         [](const SweepPoint& p, const PanelView&) {
+           return util::percent(p.metrics.disk_utilization, 1);
+         },
+         [](const SweepPoint& p, const PanelView&) {
+           return util::fixed(p.metrics.disk_utilization, 4);
+         }},
+        {"disk util max", "max_disk_util",
+         [](const SweepPoint& p, const PanelView&) {
+           return util::percent(p.metrics.max_disk_utilization, 1);
+         },
+         [](const SweepPoint& p, const PanelView&) {
+           return util::fixed(p.metrics.max_disk_utilization, 4);
+         }},
+    };
+    s.tables = {TableKind::kVariantRows};
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "ablation_wholefile";
+    s.title = "Ablation A7: block-grain vs whole-file CCM (vs L2S)";
+    s.panels = {{"rutgers", 8}};
+    s.systems = {server::SystemKind::kCcNem};
+    s.memories = {16ull << 20, 64ull << 20, 256ull << 20};
+    s.variants = {
+        {"CC-NEM blk", "", {}},
+        {"CC-NEM file", "",
+         [](server::ClusterConfig& cfg) { cfg.ccm_whole_file = true; }},
+        {"L2S", "",
+         [](server::ClusterConfig& cfg) {
+           cfg.system = server::SystemKind::kL2S;
+         }},
+    };
+    s.render = [](const PanelView& v) {
+      util::TextTable t;
+      t.set_header({"mem/node", "CC-NEM blk (req/s)", "CC-NEM file (req/s)",
+                    "L2S (req/s)", "file/blk"});
+      for (std::size_t mi = 0; mi < v.memories.size(); ++mi) {
+        const double block = v.at(0, mi, 0).metrics.throughput_rps;
+        const double file = v.at(0, mi, 1).metrics.throughput_rps;
+        const double l2s = v.at(0, mi, 2).metrics.throughput_rps;
+        t.add_row({std::to_string(v.memories[mi] >> 20) + " MiB",
+                   util::fixed(block, 0), util::fixed(file, 0),
+                   util::fixed(l2s, 0),
+                   util::fixed(block > 0 ? file / block : 0.0, 2)});
+      }
+      t.print();
+    };
+    s.emit_csv = [](util::CsvWriter& csv, const PanelView& v) {
+      if (csv.rows() == 0) {
+        csv.set_header({"memory_mb", "ccnem_block_rps", "ccnem_file_rps",
+                        "l2s_rps", "ratio_file_over_block"});
+      }
+      for (std::size_t mi = 0; mi < v.memories.size(); ++mi) {
+        const double block = v.at(0, mi, 0).metrics.throughput_rps;
+        const double file = v.at(0, mi, 1).metrics.throughput_rps;
+        const double l2s = v.at(0, mi, 2).metrics.throughput_rps;
+        csv.add_row({std::to_string(v.memories[mi] >> 20),
+                     util::fixed(block, 2), util::fixed(file, 2),
+                     util::fixed(l2s, 2),
+                     util::fixed(block > 0 ? file / block : 0.0, 3)});
+      }
+    };
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.name = "ablation_hardware";
+    s.title = "Ablation A6: hardware sensitivity (CC-NEM vs L2S)";
+    s.panels = {{"rutgers", 8}};
+    s.systems = {server::SystemKind::kL2S, server::SystemKind::kCcNem};
+    s.default_memory_mb = 64;
+    struct Hw {
+      const char* label;
+      double nic_kb_per_ms;
+      double latency_ms;
+      double disk_kb_per_ms;
+      double seek_ms;
+    };
+    for (const auto& hw :
+         {Hw{"10 Mb/s LAN, 2001 disk", 1.25, 0.5, 30.0, 6.5},
+          Hw{"100 Mb/s LAN, 2001 disk", 12.5, 0.15, 30.0, 6.5},
+          Hw{"1 Gb/s LAN, 2001 disk (paper)", 125.0, 0.038, 30.0, 6.5},
+          Hw{"10 Gb/s LAN, 2001 disk", 1250.0, 0.01, 30.0, 6.5},
+          Hw{"1 Gb/s LAN, 4x faster disk", 125.0, 0.038, 120.0, 3.0}}) {
+      s.variants.push_back({hw.label, "",
+                            [hw](server::ClusterConfig& cfg) {
+                              cfg.params.nic_per_kb_ms =
+                                  1.0 / hw.nic_kb_per_ms;
+                              cfg.params.net_latency_ms = hw.latency_ms;
+                              cfg.params.disk_per_kb_ms =
+                                  1.0 / hw.disk_kb_per_ms;
+                              cfg.params.disk_seek_ms = hw.seek_ms;
+                            }});
+    }
+    s.render = [](const PanelView& v) {
+      util::TextTable t;
+      t.set_header({"hardware", "L2S (req/s)", "CC-NEM (req/s)",
+                    "CC-NEM/L2S", "CC-NEM nic util"});
+      for (std::size_t vi = 0; vi < v.variants.size(); ++vi) {
+        const double l2s = v.at(0, 0, vi).metrics.throughput_rps;
+        const auto& nem = v.at(1, 0, vi).metrics;
+        const double ratio = l2s > 0 ? nem.throughput_rps / l2s : 0.0;
+        t.add_row({v.variants[vi].label, util::fixed(l2s, 0),
+                   util::fixed(nem.throughput_rps, 0), util::fixed(ratio, 2),
+                   util::percent(nem.nic_utilization, 1)});
+      }
+      t.print();
+      std::cout << "The cooperative-caching trade (LAN traffic for disk "
+                   "seeks) only pays on fast LANs — the paper's premise.\n";
+    };
+    s.emit_csv = [](util::CsvWriter& csv, const PanelView& v) {
+      if (csv.rows() == 0) {
+        csv.set_header({"hardware", "l2s_rps", "ccnem_rps", "ratio",
+                        "nic_util"});
+      }
+      for (std::size_t vi = 0; vi < v.variants.size(); ++vi) {
+        const double l2s = v.at(0, 0, vi).metrics.throughput_rps;
+        const auto& nem = v.at(1, 0, vi).metrics;
+        const double ratio = l2s > 0 ? nem.throughput_rps / l2s : 0.0;
+        csv.add_row({v.variants[vi].label, util::fixed(l2s, 2),
+                     util::fixed(nem.throughput_rps, 2),
+                     util::fixed(ratio, 3),
+                     util::fixed(nem.nic_utilization, 4)});
+      }
+    };
+    specs.push_back(std::move(s));
+  }
+
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<ExperimentSpec>& all_experiments() {
+  static const std::vector<ExperimentSpec> registry = build_registry();
+  return registry;
+}
+
+const ExperimentSpec* find_experiment(const std::string& name) {
+  for (const auto& s : all_experiments()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace coop::harness

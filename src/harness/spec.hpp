@@ -1,0 +1,137 @@
+// Declarative experiment specs: every figure/table/ablation of the paper is
+// registered as *data* — trace panels, sweep axes, config mutations, output
+// columns — and executed by one shared driver (run_experiment). The bench
+// binaries are ~5-line stubs over this registry.
+//
+// Axes. A spec enumerates cells as the cross product
+//     panels (trace x nodes)  x  systems  x  memories  x  variants
+// or, when `node_counts` is set, a node-count sweep at fixed memory. Cells
+// execute on the parallel executor (harness/executor.hpp); results are keyed
+// by cell index, so output is identical for any thread count.
+//
+// Output. Stdout tables come from builtin TableKind renderers or a custom
+// `render` hook; CSV (--csv=PATH) from the declared columns or a custom
+// `emit_csv` hook — the layouts reproduce the historical per-bench CSVs
+// byte-for-byte. --json=PATH additionally emits a machine-readable run
+// report (per-cell metrics, wall clock, trace seed, config hash).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/executor.hpp"
+#include "harness/report.hpp"
+#include "util/csv.hpp"
+
+namespace coop::harness {
+
+/// One ablation variant: a label plus a config mutation applied on top of
+/// the cell's figure_config.
+struct VariantSpec {
+  std::string label;
+  /// CSV spelling when it differs from `label` (e.g. "8 KB" vs "8").
+  std::string csv_label;
+  std::function<void(server::ClusterConfig&)> mutate;
+
+  [[nodiscard]] const std::string& label_for_csv() const {
+    return csv_label.empty() ? label : csv_label;
+  }
+};
+
+struct ExperimentSpec;
+
+/// One executed panel: the resolved axes plus the full result grid, in cell
+/// enumeration order (systems outer, then memories, then variants).
+struct PanelView {
+  std::string trace_name;
+  std::size_t nodes = 0;
+  std::uint64_t trace_seed = 0;
+  std::vector<server::SystemKind> systems;
+  std::vector<std::uint64_t> memories;
+  std::vector<std::size_t> node_counts;  // non-empty for node sweeps
+  std::vector<VariantSpec> variants;
+  std::vector<SweepPoint> points;
+  std::vector<std::string> cell_labels;
+  std::vector<std::uint64_t> cell_config_hashes;
+  std::vector<double> cell_wall_ms;
+  double total_wall_ms = 0.0;
+
+  /// Grid lookup by axis indices (not valid for node sweeps — index
+  /// `points` directly there).
+  [[nodiscard]] const SweepPoint& at(std::size_t system, std::size_t memory,
+                                     std::size_t variant) const;
+};
+
+/// One output column of a variant-style table/CSV. `csv_header` empty means
+/// table-only; `csv_cell` empty reuses `table_cell`.
+struct ColumnSpec {
+  std::string table_header;
+  std::string csv_header;
+  std::function<std::string(const SweepPoint&, const PanelView&)> table_cell;
+  std::function<std::string(const SweepPoint&, const PanelView&)> csv_cell;
+};
+
+/// Builtin stdout renderers (the repeated table shapes of Figures 2-6).
+enum class TableKind {
+  kThroughputPivot,       // memories x systems, req/s (Fig 2)
+  kNormalizedThroughput,  // CC/L2S throughput ratios (Fig 3)
+  kNormalizedResponse,    // CC/L2S response-time ratios (Fig 5)
+  kAbsoluteResponse,      // L2S + CC-NEM absolute ms (Fig 5 lower panel)
+  kHitRatePivot,          // local/remote/global per system (Fig 4)
+  kUtilizationRows,       // one row per memory, resource columns (Fig 6a)
+  kScalabilityRows,       // one row per node count, speedup vs first (Fig 6b)
+  kVariantRows,           // one row per variant, declared columns
+};
+
+/// A figure/ablation declared as data. See the registry in spec.cpp.
+struct ExperimentSpec {
+  std::string name;   // registry key == bench binary name
+  std::string title;  // heading line
+  std::string note;   // heading subtitle (expected shape, units)
+
+  struct Panel {
+    std::string trace;  // preset name; "" expands to every preset
+    std::size_t nodes = 8;
+  };
+  std::vector<Panel> panels;
+  std::size_t default_requests = 80000;
+
+  std::vector<server::SystemKind> systems;
+  bool system_flag = false;  // accept --system=... (Fig 6a)
+
+  std::vector<std::uint64_t> memories;  // bytes; empty => default_memory_mb
+  std::uint64_t default_memory_mb = 0;  // --mem-mb default for ablations
+
+  std::vector<std::size_t> node_counts;  // non-empty => node sweep
+
+  std::vector<VariantSpec> variants;  // empty => one implicit variant
+  std::string variant_column;         // table header of the label column
+  std::string variant_csv_column;     // CSV header of the label column
+  std::vector<ColumnSpec> columns;
+
+  std::vector<TableKind> tables;
+  /// Custom hooks; when set they replace the builtin table/CSV emission.
+  std::function<void(const PanelView&)> render;
+  std::function<void(util::CsvWriter&, const PanelView&)> emit_csv;
+  /// Extra stdout after the tables (summary lines).
+  std::function<void(const PanelView&)> footer;
+};
+
+/// All registered experiments, in the paper's order.
+const std::vector<ExperimentSpec>& all_experiments();
+
+/// Looks an experiment up by name; nullptr when absent.
+const ExperimentSpec* find_experiment(const std::string& name);
+
+/// Runs a spec with the shared CLI: --trace --nodes --requests --mem-mb
+/// --system --threads=N --csv=PATH --json=PATH --quiet. Returns a process
+/// exit code.
+int run_experiment(const ExperimentSpec& spec, int argc, char** argv);
+
+/// Name-based convenience for the bench stubs; unknown names print the
+/// registry and return 2.
+int run_experiment(const std::string& name, int argc, char** argv);
+
+}  // namespace coop::harness

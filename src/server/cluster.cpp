@@ -1,6 +1,9 @@
 #include "server/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cctype>
+#include <cstring>
 #include <stdexcept>
 
 #include "server/ccm_server.hpp"
@@ -20,6 +23,83 @@ const char* to_string(SystemKind kind) {
       return "CC-NEM";
   }
   return "?";
+}
+
+SystemKind system_from_string(const std::string& name) {
+  std::string s;
+  s.reserve(name.size());
+  for (const char c : name) {
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (s == "l2s") return SystemKind::kL2S;
+  if (s == "cc-basic") return SystemKind::kCcBasic;
+  if (s == "cc-sched") return SystemKind::kCcSched;
+  if (s == "cc-nem") return SystemKind::kCcNem;
+  throw std::invalid_argument(
+      "unknown system '" + name +
+      "' (expected l2s, cc-basic, cc-sched, or cc-nem)");
+}
+
+namespace {
+
+/// FNV-1a accumulation over raw bytes; doubles are hashed by bit pattern.
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ULL;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+};
+
+}  // namespace
+
+std::uint64_t config_hash(const ClusterConfig& config) {
+  Fnv f;
+  f.u64(static_cast<std::uint64_t>(config.system));
+  f.u64(config.nodes);
+  f.u64(config.memory_per_node);
+
+  const hw::ModelParams& p = config.params;
+  f.u64(p.block_bytes);
+  f.u64(p.disk_unit_bytes);
+  f.f64(p.parse_ms);
+  f.f64(p.serve_base_ms);
+  f.f64(p.serve_per_kb_ms);
+  f.f64(p.process_request_base_ms);
+  f.f64(p.process_request_per_block_ms);
+  f.f64(p.serve_peer_block_ms);
+  f.f64(p.cache_block_ms);
+  f.f64(p.evict_master_ms);
+  f.f64(p.disk_seek_ms);
+  f.f64(p.disk_per_kb_ms);
+  f.f64(p.bus_base_ms);
+  f.f64(p.bus_per_kb_ms);
+  f.f64(p.net_latency_ms);
+  f.f64(p.nic_per_kb_ms);
+  f.f64(p.control_kb);
+  f.f64(p.router_ms);
+
+  f.u64(config.clients.clients);
+  f.f64(config.clients.warmup_fraction);
+
+  f.u64(static_cast<std::uint64_t>(config.directory));
+  f.u64(config.hint_staleness);
+  f.u64(config.ccm_whole_file ? 1 : 0);
+  f.u64(config.tcp_handoff ? 1 : 0);
+  f.u64(config.overload_threshold);
+  f.u64(config.replication_margin);
+  f.u64(config.home_of ? 1 : 0);
+  return f.h;
 }
 
 namespace {

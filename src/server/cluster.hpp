@@ -27,6 +27,11 @@ enum class SystemKind {
 
 [[nodiscard]] const char* to_string(SystemKind kind);
 
+/// Parses the CLI spellings used by the benches ("l2s", "cc-basic",
+/// "cc-sched", "cc-nem", case-insensitive); throws std::invalid_argument on
+/// anything else.
+[[nodiscard]] SystemKind system_from_string(const std::string& name);
+
 struct ClusterConfig {
   SystemKind system = SystemKind::kCcNem;
   std::size_t nodes = 8;
@@ -50,9 +55,23 @@ struct ClusterConfig {
   std::function<std::uint16_t(trace::FileId)> home_of;
 };
 
+/// Stable 64-bit fingerprint of every simulation-affecting POD field of the
+/// config (system, geometry, Table-1 costs, client pool, CCM/L2S knobs).
+/// Used by the harness's JSON run reports to tie metrics to the exact
+/// configuration that produced them. `home_of` (an opaque callable) is
+/// represented only by a present/absent bit.
+[[nodiscard]] std::uint64_t config_hash(const ClusterConfig& config);
+
 /// Runs `trace` through a cluster built from `config` and returns the
 /// measurement-window metrics. Deterministic: same config + trace => same
 /// result.
+///
+/// Thread-safety / re-entrancy: every piece of mutable state (engine, nodes,
+/// network, server, caches, collectors) is constructed locally per call, and
+/// `config`/`trace` are only read. Concurrent calls may therefore share one
+/// `const Trace&` — the parallel sweep executor (harness/executor) relies on
+/// this. `config.home_of`, if set, must be safe to invoke concurrently
+/// (stateless lambdas are; the benches use nothing else).
 RunMetrics run_simulation(const ClusterConfig& config,
                           const trace::Trace& trace);
 

@@ -50,6 +50,10 @@ struct RunMetrics {
   std::uint64_t replications = 0;   // L2S only
   std::uint64_t handoffs = 0;       // L2S request migrations
   std::uint64_t hint_misdirects = 0;  // CCM hinted-directory mode only
+
+  /// Field-wise equality; the harness uses it to verify that parallel sweep
+  /// execution is bit-identical to the serial path.
+  friend bool operator==(const RunMetrics&, const RunMetrics&) = default;
 };
 
 /// Accumulates client-observed response times and served bytes during the

@@ -1,0 +1,159 @@
+#include "util/json.hpp"
+
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace coop::util {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_for_value() {
+  began_ = true;
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already placed the comma
+  }
+  if (!stack_.empty()) {
+    assert(stack_.back() == Scope::kArray && "object values need a key()");
+    if (!first_in_scope_.back()) out_ += ',';
+    first_in_scope_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  out_ += '}';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Scope::kArray);
+  out_ += ']';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  assert(!key_pending_);
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma_for_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_for_value();
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) {
+      out_ += shorter;
+      return *this;
+    }
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_for_value();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace coop::util

@@ -1,0 +1,76 @@
+// Minimal streaming JSON writer for machine-readable run reports.
+//
+// No external dependency (the container is frozen), no DOM: callers stream
+// objects/arrays in order and get a compact, valid JSON string out. Doubles
+// are emitted with enough digits to round-trip, so reports are comparable
+// across runs bit-for-bit when the underlying metrics are.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coop::util {
+
+/// Streaming JSON emitter. Usage:
+///
+///   JsonWriter j;
+///   j.begin_object();
+///   j.key("name").value("fig2");
+///   j.key("cells").begin_array();
+///   ...
+///   j.end_array();
+///   j.end_object();
+///   std::string doc = j.str();
+///
+/// The writer tracks nesting and comma placement; mismatched begin/end or a
+/// value without a pending key inside an object is a programming error and
+/// asserts in debug builds (and produces invalid JSON rather than UB in
+/// release).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be followed by exactly one value or
+  /// begin_object/begin_array.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The document so far. Complete (all scopes closed) documents are valid
+  /// JSON.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// True once every opened scope has been closed again.
+  [[nodiscard]] bool complete() const { return stack_.empty() && began_; }
+
+  /// JSON string escaping (quotes not included).
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void comma_for_value();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool key_pending_ = false;
+  bool began_ = false;
+};
+
+}  // namespace coop::util

@@ -1,0 +1,139 @@
+// Tests for the parallel sweep executor: bit-identical results regardless of
+// thread count, ordered progress reporting, and the compatibility wrappers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "harness/executor.hpp"
+#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
+#include "trace/synthetic.hpp"
+
+namespace coop::harness {
+namespace {
+
+trace::Trace small_trace() {
+  trace::SyntheticSpec spec;
+  spec.num_files = 200;
+  spec.num_requests = 3000;
+  spec.seed = 42;
+  return trace::generate(spec);
+}
+
+std::vector<SweepCell> small_grid(const trace::Trace& tr) {
+  std::vector<SweepCell> cells;
+  for (const auto system :
+       {server::SystemKind::kL2S, server::SystemKind::kCcNem}) {
+    for (const std::uint64_t mem : {8ull << 20, 32ull << 20, 128ull << 20}) {
+      cells.push_back({figure_config(system, 4, mem), &tr});
+    }
+  }
+  return cells;
+}
+
+TEST(Executor, ParallelMatchesSerialBitForBit) {
+  const auto tr = small_trace();
+  const auto cells = small_grid(tr);
+  const auto serial = execute_cells(cells, {1});
+  const auto parallel = execute_cells(cells, {4});
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(serial.points[i], parallel.points[i]) << "cell " << i;
+  }
+  EXPECT_EQ(serial.threads, 1u);
+  EXPECT_EQ(parallel.threads, 4u);
+}
+
+TEST(Executor, ProgressInvokedExactlyOncePerCell) {
+  const auto tr = small_trace();
+  const auto cells = small_grid(tr);
+  std::atomic<std::size_t> calls{0};
+  std::set<std::size_t> done_values;
+  const auto report = execute_cells(
+      cells, {4},
+      [&](std::size_t done, std::size_t total, const SweepPoint&) {
+        calls.fetch_add(1);
+        EXPECT_EQ(total, cells.size());
+        done_values.insert(done);  // serialized by the executor's mutex
+      });
+  EXPECT_EQ(calls.load(), cells.size());
+  // `done` is a running count: each value 1..total seen exactly once.
+  EXPECT_EQ(done_values.size(), cells.size());
+  EXPECT_EQ(*done_values.begin(), 1u);
+  EXPECT_EQ(*done_values.rbegin(), cells.size());
+  EXPECT_EQ(report.cell_wall_ms.size(), cells.size());
+}
+
+TEST(Executor, SingleThreadRunsInSubmissionOrder) {
+  const auto tr = small_trace();
+  const auto cells = small_grid(tr);
+  std::vector<std::uint64_t> seen_memories;
+  std::vector<std::string> seen_systems;
+  execute_cells(cells, {1},
+                [&](std::size_t, std::size_t, const SweepPoint& p) {
+                  seen_memories.push_back(p.memory_per_node);
+                  seen_systems.push_back(server::to_string(p.system));
+                });
+  ASSERT_EQ(seen_memories.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(seen_memories[i], cells[i].config.memory_per_node) << i;
+    EXPECT_EQ(seen_systems[i], server::to_string(cells[i].config.system))
+        << i;
+  }
+}
+
+TEST(Executor, EmptyCellListYieldsEmptyReport) {
+  const auto report = execute_cells({}, {4});
+  EXPECT_TRUE(report.points.empty());
+  EXPECT_TRUE(report.cell_wall_ms.empty());
+}
+
+TEST(Executor, NullTraceThrows) {
+  std::vector<SweepCell> cells;
+  cells.push_back({figure_config(server::SystemKind::kL2S, 2, 8 << 20),
+                   nullptr});
+  EXPECT_THROW(execute_cells(cells, {1}), std::invalid_argument);
+  EXPECT_THROW(execute_cells(cells, {4}), std::invalid_argument);
+}
+
+TEST(Executor, ResolveThreadsClampsToCells) {
+  EXPECT_EQ(resolve_threads(8, 3), 3u);
+  EXPECT_EQ(resolve_threads(2, 3), 2u);
+  EXPECT_EQ(resolve_threads(1, 100), 1u);
+  EXPECT_GE(resolve_threads(0, 100), 1u);  // hardware concurrency, >= 1
+  EXPECT_EQ(resolve_threads(5, 0), 1u);
+}
+
+TEST(RunnerWrappers, MemorySweepMatchesManualCells) {
+  const auto tr = small_trace();
+  const std::vector<server::SystemKind> systems{server::SystemKind::kL2S,
+                                               server::SystemKind::kCcNem};
+  const std::vector<std::uint64_t> memories{8ull << 20, 32ull << 20,
+                                            128ull << 20};
+  const auto wrapped = run_memory_sweep(tr, systems, 4, memories);
+  const auto manual = execute_cells(small_grid(tr), {1}).points;
+  ASSERT_EQ(wrapped.size(), manual.size());
+  for (std::size_t i = 0; i < wrapped.size(); ++i) {
+    EXPECT_EQ(wrapped[i], manual[i]) << "cell " << i;
+  }
+}
+
+TEST(RunnerWrappers, FindPointErrorNamesTheMissingPair) {
+  const auto tr = small_trace();
+  const auto points = run_memory_sweep(
+      tr, {server::SystemKind::kL2S}, 2, {8ull << 20});
+  try {
+    find_point(points, server::SystemKind::kCcNem, 64ull << 20);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CC-NEM"), std::string::npos) << what;
+    EXPECT_NE(what.find("64"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 points searched"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace coop::harness

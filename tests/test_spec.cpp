@@ -1,0 +1,111 @@
+// Tests for the experiment registry and the shared driver: lookups, CSV
+// byte-identity across thread counts, and the JSON run report.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/spec.hpp"
+
+namespace coop::harness {
+namespace {
+
+int drive(const std::string& name, const std::vector<std::string>& extra) {
+  std::vector<std::string> args{"test_spec"};
+  args.insert(args.end(), extra.begin(), extra.end());
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return run_experiment(name, static_cast<int>(argv.size()), argv.data());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Registry, ContainsEveryFigureAndAblation) {
+  const auto& specs = all_experiments();
+  std::set<std::string> names;
+  for (const auto& s : specs) names.insert(s.name);
+  EXPECT_EQ(names.size(), specs.size()) << "duplicate names";
+  for (const char* expected :
+       {"fig2_throughput", "fig3_normalized", "fig4_hitrates",
+        "fig5_response_time", "fig6a_utilization", "fig6b_scalability",
+        "ablation_blocksize", "ablation_directory", "ablation_handoff",
+        "ablation_scheduler", "ablation_hotspot", "ablation_wholefile",
+        "ablation_hardware"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(Registry, FindExperimentByName) {
+  const auto* spec = find_experiment("fig2_throughput");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->name, "fig2_throughput");
+  EXPECT_EQ(find_experiment("no_such_experiment"), nullptr);
+}
+
+TEST(Driver, UnknownNameReturnsError) {
+  EXPECT_EQ(drive("no_such_experiment", {"--quiet"}), 2);
+}
+
+TEST(Driver, CsvIsByteIdenticalAcrossThreadCounts) {
+  const std::string serial_path = testing::TempDir() + "spec_serial.csv";
+  const std::string parallel_path = testing::TempDir() + "spec_parallel.csv";
+  ASSERT_EQ(drive("ablation_handoff",
+                  {"--requests=2000", "--quiet", "--threads=1",
+                   "--csv=" + serial_path}),
+            0);
+  ASSERT_EQ(drive("ablation_handoff",
+                  {"--requests=2000", "--quiet", "--threads=4",
+                   "--csv=" + parallel_path}),
+            0);
+  const std::string serial = slurp(serial_path);
+  const std::string parallel = slurp(parallel_path);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("variant,throughput_rps"), std::string::npos)
+      << serial;
+  std::remove(serial_path.c_str());
+  std::remove(parallel_path.c_str());
+}
+
+TEST(Driver, JsonRunReportCarriesPerCellMetadata) {
+  const std::string path = testing::TempDir() + "spec_report.json";
+  ASSERT_EQ(drive("ablation_handoff",
+                  {"--requests=2000", "--quiet", "--json=" + path}),
+            0);
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  for (const char* needle :
+       {"\"experiment\":\"ablation_handoff\"", "\"trace\":\"calgary\"",
+        "\"trace_seed\"", "\"config_hash\"", "\"wall_ms\"",
+        "\"throughput_rps\"", "\"handoffs\"", "\"total_wall_ms\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Driver, MemFlagOverridesTheMemoryAxis) {
+  const std::string path = testing::TempDir() + "spec_mem.csv";
+  ASSERT_EQ(drive("ablation_scheduler",
+                  {"--requests=2000", "--quiet", "--mem-mb=8",
+                   "--csv=" + path}),
+            0);
+  const std::string csv = slurp(path);
+  // Four variants => header + 4 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace coop::harness

@@ -1,11 +1,15 @@
-// Tests for formatting, CSV, and CLI helpers.
+// Tests for formatting, CSV, CLI, and JSON helpers.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 
 namespace coop::util {
 namespace {
@@ -120,6 +124,69 @@ TEST(Flags, KeysLists) {
   ASSERT_EQ(keys.size(), 2u);
   EXPECT_EQ(keys[0], "a");
   EXPECT_EQ(keys[1], "b");
+}
+
+TEST(Json, NestedObjectsAndArrays) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("run");
+  json.key("cells").begin_array();
+  json.begin_object();
+  json.key("index").value(0);
+  json.key("ok").value(true);
+  json.end_object();
+  json.value(2);
+  json.end_array();
+  json.key("extra").null();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"run\",\"cells\":[{\"index\":0,\"ok\":true},2],"
+            "\"extra\":null}");
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("s").value("a\"b\\c\n\t\x01");
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\"}");
+}
+
+TEST(Json, DoublesRoundTripWithShortestForm) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(0.1);
+  json.value(1.0);
+  json.value(1234.5678);
+  json.value(1.0 / 3.0);
+  json.end_array();
+  const std::string out = json.str();
+  EXPECT_NE(out.find("0.1,"), std::string::npos) << out;
+  // Every emitted double must parse back to the exact original value.
+  double a = 0, b = 0, c = 0, d = 0;
+  ASSERT_EQ(std::sscanf(out.c_str(), "[%lf,%lf,%lf,%lf]", &a, &b, &c, &d), 4);
+  EXPECT_EQ(a, 0.1);
+  EXPECT_EQ(b, 1.0);
+  EXPECT_EQ(c, 1234.5678);
+  EXPECT_EQ(d, 1.0 / 3.0);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.value(std::numeric_limits<double>::infinity());
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(Json, LargeUnsignedValuesAreExact) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("hash").value(std::uint64_t{18446744073709551615ull});
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"hash\":18446744073709551615}");
 }
 
 }  // namespace
