@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <limits>
+#include <string>
 
 namespace coop::cache {
 
@@ -56,6 +57,13 @@ AccessResult ClusterCache::access(NodeId node, FileId file,
 
 void ClusterCache::access_block(NodeId node, const BlockId& block,
                                 AccessResult& result, std::uint32_t slots) {
+  access_block_impl(node, block, result, slots);
+  CCM_AUDIT_HOOK(audit("access_block"));
+}
+
+void ClusterCache::access_block_impl(NodeId node, const BlockId& block,
+                                     AccessResult& result,
+                                     std::uint32_t slots) {
   assert(node < nodes_.size());
   NodeCache& local = nodes_[node];
 
@@ -149,6 +157,12 @@ AccessResult ClusterCache::write(NodeId node, FileId file,
 
 void ClusterCache::write_block(NodeId node, const BlockId& block,
                                AccessResult& result) {
+  write_block_impl(node, block, result);
+  CCM_AUDIT_HOOK(audit("write_block"));
+}
+
+void ClusterCache::write_block_impl(NodeId node, const BlockId& block,
+                                    AccessResult& result) {
   assert(node < nodes_.size());
   ++stats_.writes;
 
@@ -225,6 +239,7 @@ AccessResult ClusterCache::invalidate_file(FileId file,
       }
     }
   }
+  CCM_AUDIT_HOOK(audit("invalidate_file"));
   return result;
 }
 
@@ -401,42 +416,66 @@ void ClusterCache::install_master(NodeId node, const BlockId& block,
 
 double ClusterCache::hint_accuracy() const { return hints_.accuracy(); }
 
-bool ClusterCache::check_invariants() const {
+std::size_t ClusterCache::audit(const char* context) const {
+  std::size_t ccm_audit_failures = 0;
+  const std::string ctx = std::string(" [") + context + "]";
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     const NodeCache& cache = nodes_[n];
-    if (cache.used_blocks() > cache.capacity_blocks() &&
-        cache.entry_count() > 1) {
-      // A single entry wider than the whole capacity is admitted
-      // degenerately (whole-file mode); anything else is a real overflow.
-      assert(false && "capacity exceeded");
-      return false;
-    }
-    // Every cached master must be in the directory, pointing here.
+    // A single entry wider than the whole capacity is admitted degenerately
+    // (whole-file mode); anything else is a real overflow.
+    CCM_AUDIT(cache.used_blocks() <= cache.capacity_blocks() ||
+                  cache.entry_count() <= 1,
+              "cache-occupancy",
+              "node " + std::to_string(n) + " uses " +
+                  std::to_string(cache.used_blocks()) + " of " +
+                  std::to_string(cache.capacity_blocks()) + " blocks" + ctx);
+    // Every cached master must be in the directory, pointing here; in hinted
+    // mode the hint layer's authoritative view must agree with the directory.
     for (const auto& e : cache.masters()) {
-      if (directory_.lookup(e.block) != static_cast<NodeId>(n)) {
-        assert(false && "master not registered in directory");
-        return false;
+      CCM_AUDIT(directory_.lookup(e.block) == static_cast<NodeId>(n),
+                "cache-master-registered",
+                "master of file " + std::to_string(e.block.file) + " block " +
+                    std::to_string(e.block.index) + " cached at node " +
+                    std::to_string(n) + " but directory says node " +
+                    std::to_string(directory_.lookup(e.block)) + ctx);
+      if (config_.directory == DirectoryMode::kHinted) {
+        CCM_AUDIT(hints_.truth(e.block) == static_cast<NodeId>(n),
+                  "cache-hint-truth",
+                  "hint truth for file " + std::to_string(e.block.file) +
+                      " block " + std::to_string(e.block.index) + " is node " +
+                      std::to_string(hints_.truth(e.block)) +
+                      " but the master is cached at node " +
+                      std::to_string(n) + ctx);
       }
     }
     // Slot accounting must agree with the entry books.
     std::uint64_t slots = 0;
     for (const auto& e : cache.masters()) slots += cache.slots_of(e.block);
     for (const auto& e : cache.copies()) slots += cache.slots_of(e.block);
-    if (slots != cache.used_blocks()) {
-      assert(false && "slot accounting drifted");
-      return false;
-    }
+    CCM_AUDIT(slots == cache.used_blocks(), "cache-slot-accounting",
+              "node " + std::to_string(n) + " books " +
+                  std::to_string(cache.used_blocks()) +
+                  " used blocks but entries cover " + std::to_string(slots) +
+                  ctx);
   }
   // Every cached master points at its own directory entry (checked above);
-  // equal counts then make that correspondence a bijection, which also rules
-  // out duplicate masters and dangling directory entries.
+  // equal counts then make that correspondence a bijection, which rules out
+  // duplicate masters and dangling directory entries — i.e. at most one
+  // master copy per block cluster-wide.
   std::size_t cached_masters = 0;
   for (const auto& cache : nodes_) cached_masters += cache.master_count();
-  if (directory_.size() != cached_masters) {
-    assert(false && "directory size mismatch");
-    return false;
+  CCM_AUDIT(directory_.size() == cached_masters, "cache-single-master",
+            "directory tracks " + std::to_string(directory_.size()) +
+                " masters but nodes cache " + std::to_string(cached_masters) +
+                ctx);
+  if (config_.directory == DirectoryMode::kHinted) {
+    ccm_audit_failures += hints_.audit(context);
   }
-  return true;
+  return ccm_audit_failures;
+}
+
+bool ClusterCache::check_invariants() const {
+  return audit("check_invariants") == 0;
 }
 
 }  // namespace coop::cache

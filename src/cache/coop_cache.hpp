@@ -31,6 +31,7 @@
 #include "cache/directory.hpp"
 #include "cache/node_cache.hpp"
 #include "cache/types.hpp"
+#include "util/audit.hpp"
 
 namespace coop::cache {
 
@@ -180,11 +181,25 @@ class ClusterCache {
   /// owned; must outlive the ClusterCache or be cleared first.
   void set_observer(ActionObserver* observer) { observer_ = observer; }
 
-  /// Validates every cross-node invariant (see DESIGN.md); aborts via assert
-  /// in debug builds, returns false in release builds on violation.
+  /// Sweeps every cross-node protocol invariant (see DESIGN.md and
+  /// docs/STATIC_ANALYSIS.md), reporting each violation through coop::audit
+  /// with `context` in the detail string. Returns the number of violations
+  /// (0 = healthy). Always compiled; audited builds (CCM_AUDIT_ENABLED) also
+  /// run it automatically after every protocol event.
+  std::size_t audit(const char* context) const;
+
+  /// Convenience wrapper: audit("check_invariants") == 0.
   [[nodiscard]] bool check_invariants() const;
 
  private:
+  friend struct ClusterCacheTestPeer;  // test-only state corruption (audit tests)
+
+  /// Bodies of access_block/write_block; the public wrappers add the
+  /// per-event audit hook in CCM_AUDIT builds.
+  void access_block_impl(NodeId node, const BlockId& block,
+                         AccessResult& result, std::uint32_t slots = 1);
+  void write_block_impl(NodeId node, const BlockId& block,
+                        AccessResult& result);
   /// Frees one entry's worth of space at `node` per the configured policy.
   void evict_one(NodeId node, AccessResult& result);
   /// Ensures at least `slots` free block slots at `node`.

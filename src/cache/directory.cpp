@@ -1,6 +1,9 @@
 #include "cache/directory.hpp"
 
 #include <cassert>
+#include <string>
+
+#include "util/audit.hpp"
 
 namespace coop::cache {
 
@@ -77,6 +80,35 @@ void HintedDirectory::propagate_if_lagged(const BlockId& b) {
 double HintedDirectory::accuracy() const {
   if (lookups_ == 0) return 1.0;
   return static_cast<double>(correct_) / static_cast<double>(lookups_);
+}
+
+std::size_t HintedDirectory::audit(const char* context) const {
+  std::size_t ccm_audit_failures = 0;
+  const std::string ctx = std::string(" [") + context + "]";
+  // Order-insensitive sweeps: each check is independent of map order.
+  for (const auto& [block, entry] : truth_) {  // ccm-lint: allow(unordered-iter)
+    CCM_AUDIT(entry.node != kInvalidNode && entry.node < hints_.size(),
+              "dir-truth-node-valid",
+              "truth for file " + std::to_string(block.file) + " block " +
+                  std::to_string(block.index) + " names node " +
+                  std::to_string(entry.node) + " of " +
+                  std::to_string(hints_.size()) + ctx);
+  }
+  for (const auto& [block, version] : last_broadcast_) {  // ccm-lint: allow(unordered-iter)
+    const auto it = truth_.find(block);
+    CCM_AUDIT(it != truth_.end(), "dir-broadcast-live",
+              "broadcast bookkeeping for file " + std::to_string(block.file) +
+                  " block " + std::to_string(block.index) +
+                  " outlived its truth entry" + ctx);
+    if (it != truth_.end()) {
+      CCM_AUDIT(version <= it->second.version, "dir-broadcast-version",
+                "broadcast version " + std::to_string(version) +
+                    " ahead of truth version " +
+                    std::to_string(it->second.version) + " for file " +
+                    std::to_string(block.file) + ctx);
+    }
+  }
+  return ccm_audit_failures;
 }
 
 }  // namespace coop::cache

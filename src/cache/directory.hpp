@@ -68,7 +68,13 @@ class HintedDirectory {
   [[nodiscard]] double accuracy() const;
   [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
 
+  /// Internal-consistency sweep: every authoritative entry names a valid
+  /// node, and broadcast bookkeeping only covers live entries. Violations go
+  /// through coop::audit; returns the violation count.
+  std::size_t audit(const char* context) const;
+
  private:
+  friend struct HintedDirectoryTestPeer;  // test-only corruption (audit tests)
   struct Hints {
     std::unordered_map<BlockId, NodeId, BlockIdHash> map;
   };

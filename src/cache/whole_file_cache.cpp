@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <string>
+
+#include "util/audit.hpp"
 
 namespace coop::cache {
 
@@ -70,12 +74,14 @@ std::vector<FileEviction> WholeFileCache::insert(NodeId node, FileId file,
   ns.index.emplace(file, it);
   ns.used_blocks += need;
   ++copy_counts_[file];
+  CCM_AUDIT_HOOK(audit("insert"));
   return evictions;
 }
 
 void WholeFileCache::evict_copy(NodeId node, FileId file) {
   assert(cached(node, file));
   remove(node, file);
+  CCM_AUDIT_HOOK(audit("evict_copy"));
 }
 
 void WholeFileCache::remove(NodeId node, FileId file) {
@@ -95,39 +101,59 @@ std::uint64_t WholeFileCache::used_blocks(NodeId node) const {
   return nodes_[node].used_blocks;
 }
 
-bool WholeFileCache::check_invariants() const {
-  std::unordered_map<FileId, std::uint32_t> recount;
-  for (const auto& ns : nodes_) {
+std::size_t WholeFileCache::audit(const char* context) const {
+  std::size_t ccm_audit_failures = 0;
+  const std::string ctx = std::string(" [") + context + "]";
+  // std::map (not unordered) so the sweep — and therefore any violation
+  // report order — is deterministic across runs and platforms.
+  std::map<FileId, std::uint32_t> recount;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const NodeState& ns = nodes_[n];
     std::uint64_t used = 0;
     for (const auto& e : ns.lru) {
       used += e.blocks;
       ++recount[e.file];
-      if (!ns.index.count(e.file)) {
-        assert(false && "lru entry missing from index");
-        return false;
-      }
+      CCM_AUDIT(ns.index.count(e.file) > 0, "wfc-index-lru",
+                "node " + std::to_string(n) + " lru entry for file " +
+                    std::to_string(e.file) + " missing from index" + ctx);
     }
-    if (used != ns.used_blocks) {
-      assert(false && "used_blocks drifted");
-      return false;
-    }
-    if (ns.index.size() != ns.lru.size()) {
-      assert(false && "index/lru size mismatch");
-      return false;
-    }
+    CCM_AUDIT(used == ns.used_blocks, "wfc-used-blocks",
+              "node " + std::to_string(n) + " books " +
+                  std::to_string(ns.used_blocks) +
+                  " used blocks but lru entries cover " +
+                  std::to_string(used) + ctx);
+    CCM_AUDIT(ns.index.size() == ns.lru.size(), "wfc-index-lru",
+              "node " + std::to_string(n) + " index has " +
+                  std::to_string(ns.index.size()) + " entries but lru has " +
+                  std::to_string(ns.lru.size()) + ctx);
+    // Oversized files are admitted degenerately as a lone entry; any other
+    // occupancy above capacity is a real overflow.
+    CCM_AUDIT(ns.used_blocks <= capacity_blocks_ || ns.lru.size() <= 1,
+              "wfc-occupancy",
+              "node " + std::to_string(n) + " uses " +
+                  std::to_string(ns.used_blocks) + " of " +
+                  std::to_string(capacity_blocks_) + " blocks" + ctx);
   }
-  if (recount.size() != copy_counts_.size()) {
-    assert(false && "copy_counts drifted");
-    return false;
-  }
+  CCM_AUDIT(recount.size() == copy_counts_.size(), "wfc-copy-counts",
+            "directory tracks " + std::to_string(copy_counts_.size()) +
+                " files but nodes cache " + std::to_string(recount.size()) +
+                ctx);
   for (const auto& [file, count] : recount) {
     const auto it = copy_counts_.find(file);
-    if (it == copy_counts_.end() || it->second != count) {
-      assert(false && "copy_counts drifted");
-      return false;
-    }
+    CCM_AUDIT(it != copy_counts_.end() && it->second == count,
+              "wfc-copy-counts",
+              "file " + std::to_string(file) + " cached " +
+                  std::to_string(count) + "x but directory records " +
+                  std::to_string(it == copy_counts_.end()
+                                     ? 0
+                                     : it->second) +
+                  ctx);
   }
-  return true;
+  return ccm_audit_failures;
+}
+
+bool WholeFileCache::check_invariants() const {
+  return audit("check_invariants") == 0;
 }
 
 }  // namespace coop::cache

@@ -72,10 +72,15 @@ class WholeFileCache {
     return capacity_blocks_;
   }
 
-  /// Validates directory/cache consistency and capacity bounds.
+  /// Sweeps directory/cache consistency and capacity bounds, reporting each
+  /// violation through coop::audit; returns the violation count.
+  std::size_t audit(const char* context) const;
+
+  /// Convenience wrapper: audit("check_invariants") == 0.
   [[nodiscard]] bool check_invariants() const;
 
  private:
+  friend struct WholeFileCacheTestPeer;  // test-only corruption (audit tests)
   struct Entry {
     FileId file;
     std::uint64_t age;

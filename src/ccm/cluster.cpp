@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "util/audit.hpp"
 
 namespace coop::ccm {
 
@@ -216,6 +219,7 @@ std::vector<std::byte> CcmCluster::execute_read(cache::NodeId node,
     to_read = std::move(pending_reads_scratch_);
     parts_scratch_.clear();
     pending_reads_scratch_.clear();
+    CCM_AUDIT_HOOK(audit_locked("execute_read"));
   }
 
   // Fault in missing blocks from Storage on this worker thread, outside the
@@ -302,6 +306,7 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
     // touched for eviction bookkeeping.
     parts_scratch_.clear();
     pending_reads_scratch_.clear();
+    CCM_AUDIT_HOOK(audit_locked("execute_write"));
   }
 
   // Assemble block contents outside the lock.
@@ -352,6 +357,7 @@ void CcmCluster::invalidate(cache::FileId file) {
   cache_.invalidate_file(file, storage_->file_size(file));
   parts_scratch_.clear();
   pending_reads_scratch_.clear();
+  CCM_AUDIT_HOOK(audit_locked("invalidate"));
 }
 
 // --------------------------------------------------------------- stats ----
@@ -371,27 +377,41 @@ std::uint64_t CcmCluster::cached_bytes(cache::NodeId node) const {
   return cache_.node(node).used_blocks() * config_.block_bytes;
 }
 
-bool CcmCluster::check_consistency() const {
-  std::scoped_lock lock(mu_);
+std::size_t CcmCluster::audit_locked(const char* context) const {
+  std::size_t ccm_audit_failures = 0;
+  const std::string ctx = std::string(" [") + context + "]";
   for (std::size_t n = 0; n < config_.nodes; ++n) {
     const auto& node = cache_.node(static_cast<cache::NodeId>(n));
     const auto& store = stores_[n];
-    if (node.used_blocks() != store.size()) {
-      assert(false && "policy/store size mismatch");
-      return false;
-    }
-    for (const auto& [block, data] : store) {
-      if (!node.contains(block)) {
-        assert(false && "stored block unknown to policy");
-        return false;
-      }
-      if (!data) {
-        assert(false && "null block data");
-        return false;
-      }
+    CCM_AUDIT(node.used_blocks() == store.size(), "ccm-store-policy-size",
+              "node " + std::to_string(n) + " policy books " +
+                  std::to_string(node.used_blocks()) +
+                  " blocks but the byte store holds " +
+                  std::to_string(store.size()) + ctx);
+    // Order-insensitive sweep over the (unordered) byte store: each check is
+    // independent of iteration order.
+    for (const auto& [block, data] : store) {  // ccm-lint: allow(unordered-iter)
+      CCM_AUDIT(node.contains(block), "ccm-store-orphan",
+                "node " + std::to_string(n) + " stores bytes for file " +
+                    std::to_string(block.file) + " block " +
+                    std::to_string(block.index) +
+                    " with no policy entry" + ctx);
+      CCM_AUDIT(data != nullptr, "ccm-store-null",
+                "node " + std::to_string(n) + " stores null bytes for file " +
+                    std::to_string(block.file) + " block " +
+                    std::to_string(block.index) + ctx);
     }
   }
-  return cache_.check_invariants();
+  return ccm_audit_failures + cache_.audit(context);
+}
+
+std::size_t CcmCluster::audit(const char* context) const {
+  std::scoped_lock lock(mu_);
+  return audit_locked(context);
+}
+
+bool CcmCluster::check_consistency() const {
+  return audit("check_consistency") == 0;
 }
 
 }  // namespace coop::ccm

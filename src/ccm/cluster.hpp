@@ -90,11 +90,20 @@ class CcmCluster {
   /// Bytes currently cached at `node` (block-granular accounting).
   [[nodiscard]] std::uint64_t cached_bytes(cache::NodeId node) const;
 
-  /// Validates policy/data-plane consistency: every cached policy entry has
-  /// bytes, every stored block has a policy entry. For tests.
+  /// Sweeps policy/data-plane consistency: every cached policy entry has
+  /// bytes, every stored block has a policy entry, and the underlying policy
+  /// invariants hold. Violations are reported through coop::audit; returns
+  /// the violation count. Takes the cluster lock.
+  std::size_t audit(const char* context) const;
+
+  /// Convenience wrapper: audit("check_consistency") == 0.
   [[nodiscard]] bool check_consistency() const;
 
  private:
+  friend struct CcmClusterTestPeer;  // test-only corruption (audit tests)
+
+  /// Body of audit(); caller must hold mu_.
+  std::size_t audit_locked(const char* context) const;
   /// A cached block's bytes; `ready` flips once the Storage read lands.
   struct BlockData {
     std::mutex m;

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <memory>
 #include <stdexcept>
+#include <string>
+
+#include "util/audit.hpp"
 
 namespace coop::sim {
 
@@ -52,6 +55,7 @@ void Engine::step() {
   }
   --live_;
   now_ = e->at;
+  CCM_AUDIT_HOOK(audit_state());
   ++processed_;
   if (e->seq >= fired_.size()) fired_.resize(e->seq + 1024);
   fired_[e->seq] = true;
@@ -68,6 +72,19 @@ bool Engine::run_until(SimTime until) {
   while (!heap_.empty() && !stopped_ && heap_.top()->at <= until) step();
   if (!stopped_ && now_ < until) now_ = until;
   return live_ > 0;
+}
+
+std::size_t Engine::audit_state() const {
+  std::size_t ccm_audit_failures = 0;
+  if (!heap_.empty()) {
+    CCM_AUDIT(heap_.top()->at >= now_, "engine-monotonic-time",
+              "next event scheduled at " + std::to_string(heap_.top()->at) +
+                  " but simulation time is already " + std::to_string(now_));
+  }
+  CCM_AUDIT(live_ <= heap_.size(), "engine-live-count",
+            "live event count " + std::to_string(live_) +
+                " exceeds queue size " + std::to_string(heap_.size()));
+  return ccm_audit_failures;
 }
 
 }  // namespace coop::sim

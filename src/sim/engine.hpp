@@ -67,7 +67,14 @@ class Engine {
   /// Number of events currently pending (cancelled-but-not-popped excluded).
   [[nodiscard]] std::size_t pending() const { return live_; }
 
+  /// Audits queue/clock consistency: the next pending event is not scheduled
+  /// in the past (simulation time must be monotonic) and the live-event count
+  /// is bounded by the queue size. Violations are reported through
+  /// coop::audit; returns the violation count.
+  std::size_t audit_state() const;
+
  private:
+  friend struct EngineTestPeer;  // test-only corruption (audit tests)
   struct Entry {
     SimTime at;
     std::uint64_t seq;

@@ -1,0 +1,51 @@
+#include "util/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coop::audit {
+
+namespace {
+
+// Intentionally not thread-local: the threaded middleware audits under its
+// cluster mutex, and test Recorders are installed before threads start.
+Handler g_handler;  // NOLINT(cert-err58-cpp)
+
+void default_handler(const Violation& v) {
+  std::fprintf(stderr, "CCM_AUDIT violation [%s]: %s\n", v.invariant.c_str(),
+               v.detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+Handler set_handler(Handler h) {
+  Handler previous = std::move(g_handler);
+  g_handler = std::move(h);
+  return previous;
+}
+
+void report(std::string invariant, std::string detail) {
+  const Violation v{std::move(invariant), std::move(detail)};
+  if (g_handler) {
+    g_handler(v);
+  } else {
+    default_handler(v);
+  }
+}
+
+bool Recorder::saw(const std::string& invariant) const {
+  for (const auto& v : violations_) {
+    if (v.invariant == invariant) return true;
+  }
+  return false;
+}
+
+Recorder::Recorder() {
+  previous_ = set_handler(
+      [this](const Violation& v) { violations_.push_back(v); });
+}
+
+Recorder::~Recorder() { set_handler(std::move(previous_)); }
+
+}  // namespace coop::audit

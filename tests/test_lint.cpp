@@ -1,0 +1,282 @@
+// ccm-lint engine tests: every rule must catch its seeded violation, the
+// taint machinery must see through aliases / containers-of / auto bindings,
+// and both suppression mechanisms (file entries and inline allows) must work.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace {
+
+using ccmlint::Finding;
+using ccmlint::lint;
+using ccmlint::parse_suppressions;
+using ccmlint::Result;
+using ccmlint::SourceFile;
+using ccmlint::strip_code;
+using ccmlint::Suppression;
+
+Result lint_one(const std::string& path, const std::string& content) {
+  std::vector<Suppression> none;
+  return lint({{path, content}}, none);
+}
+
+std::vector<const Finding*> findings_for_rule(const Result& r,
+                                              const std::string& rule) {
+  std::vector<const Finding*> out;
+  for (const auto& f : r.findings) {
+    if (f.rule == rule) out.push_back(&f);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- strip_code ---
+
+TEST(StripCode, RemovesCommentsAndStringsPreservingLines) {
+  const std::string src =
+      "int a; // rand() in comment\n"
+      "const char* s = \"rand() in string\";\n"
+      "/* rand() in\n"
+      "   block comment */ int b;\n";
+  const std::string out = strip_code(src);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripCode, HandlesRawStringsAndCharLiterals) {
+  const std::string src =
+      "auto r = R\"(time() \" still a string)\";\n"
+      "char c = ':'; int after = 1;\n";
+  const std::string out = strip_code(src);
+  EXPECT_EQ(out.find("time"), std::string::npos);
+  EXPECT_NE(out.find("int after = 1;"), std::string::npos);
+}
+
+// -------------------------------------------------------- unordered-iter ---
+
+TEST(LintRules, CatchesRangeForOverUnorderedMember) {
+  const auto r = lint_one("src/x.cpp",
+                          "#include <unordered_map>\n"
+                          "std::unordered_map<int, int> counts_;\n"
+                          "int sum() {\n"
+                          "  int s = 0;\n"
+                          "  for (const auto& [k, v] : counts_) s += v;\n"
+                          "  return s;\n"
+                          "}\n");
+  const auto hits = findings_for_rule(r, "unordered-iter");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->line, 5u);
+  EXPECT_EQ(hits[0]->token, "counts_");
+}
+
+TEST(LintRules, CatchesIterationThroughAliasAndContainerOf) {
+  // Mirrors ccm/cluster.hpp: using Store = unordered_map, vector<Store>,
+  // auto& binding — the taint must survive all three hops.
+  const auto r = lint_one("src/x.cpp",
+                          "using Store = std::unordered_map<int, int>;\n"
+                          "std::vector<Store> stores_;\n"
+                          "void f(int n) {\n"
+                          "  auto& store = stores_[n];\n"
+                          "  for (const auto& [k, v] : store) {}\n"
+                          "}\n");
+  const auto hits = findings_for_rule(r, "unordered-iter");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->line, 5u);
+  EXPECT_EQ(hits[0]->token, "store");
+}
+
+TEST(LintRules, CatchesExplicitBeginWalk) {
+  const auto r = lint_one("src/x.cpp",
+                          "std::unordered_set<int> seen_;\n"
+                          "int f() { return *seen_.begin(); }\n");
+  const auto hits = findings_for_rule(r, "unordered-iter");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->token, "seen_");
+}
+
+TEST(LintRules, HeaderMemberTaintsIterationInOtherFile) {
+  std::vector<Suppression> none;
+  const auto r = lint(
+      {{"src/cache/thing.hpp", "std::unordered_map<int, int> index_;\n"},
+       {"src/cache/thing.cpp", "void f() { for (auto& [k, v] : index_) {} }\n"}},
+      none);
+  ASSERT_EQ(findings_for_rule(r, "unordered-iter").size(), 1u);
+  EXPECT_EQ(r.findings[0].path, "src/cache/thing.cpp");
+}
+
+TEST(LintRules, CppLocalsDoNotTaintOtherFiles) {
+  // A test-local `r` in one file must not flag iteration over an ordinary
+  // struct named `r` elsewhere (this was a real false-positive class).
+  std::vector<Suppression> none;
+  const auto r = lint(
+      {{"tests/a.cpp", "void f() { std::unordered_map<int, int> m; }\n"},
+       {"tests/b.cpp",
+        "struct R { std::vector<int> v; };\n"
+        "void g() { R m; for (int x : m.v) {} }\n"}},
+      none);
+  EXPECT_TRUE(findings_for_rule(r, "unordered-iter").empty());
+}
+
+TEST(LintRules, OrderedContainersAreClean) {
+  const auto r = lint_one("src/x.cpp",
+                          "std::map<int, int> counts_;\n"
+                          "void f() { for (auto& [k, v] : counts_) {} }\n");
+  EXPECT_TRUE(findings_for_rule(r, "unordered-iter").empty());
+}
+
+// ------------------------------------------------------------ raw-random ---
+
+TEST(LintRules, CatchesRawRandAndStdEngines) {
+  const auto r = lint_one("src/x.cpp",
+                          "int f() { return rand() % 6; }\n"
+                          "std::mt19937 gen_;\n");
+  const auto hits = findings_for_rule(r, "raw-random");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->token, "rand");
+  EXPECT_EQ(hits[1]->token, "mt19937");
+}
+
+TEST(LintRules, RngModuleIsExemptAndMembersDontTrip) {
+  // src/sim/random.* implements the sanctioned Rng — exempt. A member
+  // *call* named rand (rng.rand()) is not the libc symbol.
+  const auto exempt =
+      lint_one("src/sim/random.cpp", "int f() { return rand(); }\n");
+  EXPECT_TRUE(findings_for_rule(exempt, "raw-random").empty());
+  const auto member =
+      lint_one("src/x.cpp", "int f(Rng& rng) { return rng.rand(); }\n");
+  EXPECT_TRUE(findings_for_rule(member, "raw-random").empty());
+}
+
+// ------------------------------------------------------------ wall-clock ---
+
+TEST(LintRules, CatchesClockReads) {
+  const auto r = lint_one(
+      "src/x.cpp",
+      "auto t0 = std::chrono::steady_clock::now();\n"
+      "long stamp() { return time(nullptr); }\n");
+  const auto hits = findings_for_rule(r, "wall-clock");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->token, "steady_clock");
+  EXPECT_EQ(hits[1]->token, "time");
+}
+
+TEST(LintRules, SimTimeMethodsAreNotWallClock) {
+  const auto r = lint_one("src/x.cpp",
+                          "double f(const Engine& e) { return e.time(); }\n");
+  EXPECT_TRUE(findings_for_rule(r, "wall-clock").empty());
+}
+
+// ---------------------------------------------------- fp-accum-unordered ---
+
+TEST(LintRules, CatchesFloatAccumulationInUnorderedLoop) {
+  const auto r = lint_one("src/x.cpp",
+                          "std::unordered_map<int, double> weights_;\n"
+                          "double total() {\n"
+                          "  double sum = 0.0;\n"
+                          "  for (const auto& [k, w] : weights_) {\n"
+                          "    sum += w;\n"
+                          "  }\n"
+                          "  return sum;\n"
+                          "}\n");
+  const auto hits = findings_for_rule(r, "fp-accum-unordered");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->line, 5u);
+  EXPECT_EQ(hits[0]->token, "sum");
+}
+
+TEST(LintRules, IntegerAccumulationInUnorderedLoopOnlyFlagsIteration) {
+  // Integer sums are order-independent: unordered-iter still fires (the
+  // loop may feed ordered output) but fp-accum must not.
+  const auto r = lint_one("src/x.cpp",
+                          "std::unordered_map<int, int> counts_;\n"
+                          "int total() {\n"
+                          "  int sum = 0;\n"
+                          "  for (const auto& [k, v] : counts_) sum += v;\n"
+                          "  return sum;\n"
+                          "}\n");
+  EXPECT_TRUE(findings_for_rule(r, "fp-accum-unordered").empty());
+  EXPECT_EQ(findings_for_rule(r, "unordered-iter").size(), 1u);
+}
+
+// ---------------------------------------------------------- cout-library ---
+
+TEST(LintRules, CatchesCoutInLibraryButNotInToolsOrTests) {
+  const auto lib =
+      lint_one("src/cache/lru.cpp", "void f() { std::cout << 1; }\n");
+  ASSERT_EQ(findings_for_rule(lib, "cout-library").size(), 1u);
+  const auto tool =
+      lint_one("tools/lint/main.cpp", "void f() { std::cout << 1; }\n");
+  EXPECT_TRUE(findings_for_rule(tool, "cout-library").empty());
+  const auto test =
+      lint_one("tests/t.cpp", "void f() { std::cout << 1; }\n");
+  EXPECT_TRUE(findings_for_rule(test, "cout-library").empty());
+}
+
+// ---------------------------------------------------------- suppressions ---
+
+TEST(Suppressions, FileEntryMatchesAndCountsUses) {
+  std::vector<std::string> errors;
+  auto supp = parse_suppressions(
+      "# comment line\n"
+      "\n"
+      "src/x.cpp cout-library cout  # audited output sink\n",
+      errors);
+  ASSERT_TRUE(errors.empty());
+  ASSERT_EQ(supp.size(), 1u);
+  const auto r = lint({{"src/x.cpp", "void f() { std::cout << 1; }\n"}}, supp);
+  EXPECT_EQ(r.unsuppressed, 0u);
+  EXPECT_EQ(r.suppressed, 1u);
+  EXPECT_EQ(supp[0].uses, 1u);
+}
+
+TEST(Suppressions, MissingJustificationIsAnError) {
+  std::vector<std::string> errors;
+  parse_suppressions("src/x.cpp cout-library cout\n", errors);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("justification"), std::string::npos);
+}
+
+TEST(Suppressions, WildcardTokenAndUnusedEntries) {
+  std::vector<std::string> errors;
+  auto supp = parse_suppressions(
+      "src/x.cpp wall-clock *  # demo timing\n"
+      "src/never.cpp raw-random rand  # stale entry\n",
+      errors);
+  ASSERT_TRUE(errors.empty());
+  const auto r = lint(
+      {{"src/x.cpp", "auto t = std::chrono::steady_clock::now();\n"}}, supp);
+  EXPECT_EQ(r.unsuppressed, 0u);
+  EXPECT_EQ(supp[0].uses, 1u);
+  EXPECT_EQ(supp[1].uses, 0u);  // caller reports stale entries
+}
+
+TEST(Suppressions, InlineAllowSilencesOnlyThatLineAndRule) {
+  const auto r = lint_one(
+      "src/x.cpp",
+      "std::unordered_map<int, int> a_;\n"
+      "std::unordered_map<int, int> b_;\n"
+      "void f() {\n"
+      "  for (auto& [k, v] : a_) {}  // ccm-lint: allow(unordered-iter)\n"
+      "  for (auto& [k, v] : b_) {}\n"
+      "}\n");
+  const auto hits = findings_for_rule(r, "unordered-iter");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->line, 5u);
+  EXPECT_EQ(hits[0]->token, "b_");
+}
+
+TEST(LintRules, RuleIdsStable) {
+  const auto& ids = ccmlint::rule_ids();
+  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "unordered-iter"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "fp-accum-unordered"),
+            ids.end());
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// ccm-lint CLI. Scans the repository for determinism/protocol hazards the
+// compiler cannot see (see lint.hpp for the rule catalogue).
+//
+// Usage:
+//   ccm-lint --root=<repo> [--suppressions=<file>] [--list-rules] [--verbose]
+//
+// Exit status: 0 when every finding is suppressed, 1 when unsuppressed
+// findings remain, 2 on usage/IO errors. File discovery is sorted so output
+// order (and therefore CI logs) is deterministic.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::vector<std::string> kScanDirs = {"src", "bench", "tests", "tools",
+                                            "examples"};
+
+bool has_cpp_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh";
+}
+
+std::string slurp(const fs::path& p, bool& ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
+std::string rel_path(const fs::path& root, const fs::path& p) {
+  std::string s = fs::relative(p, root).generic_string();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root_arg;
+  std::string supp_arg;
+  bool verbose = false;
+  bool explain_taint = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--root=", 0) == 0) {
+      root_arg = a.substr(7);
+    } else if (a.rfind("--suppressions=", 0) == 0) {
+      supp_arg = a.substr(15);
+    } else if (a == "--list-rules") {
+      for (const auto& r : ccmlint::rule_ids()) std::cout << r << "\n";
+      return 0;
+    } else if (a == "--verbose") {
+      verbose = true;
+    } else if (a == "--explain-taint") {
+      verbose = true;
+      explain_taint = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: ccm-lint --root=<repo> [--suppressions=<file>] "
+                   "[--list-rules] [--verbose]\n";
+      return 0;
+    } else {
+      std::cerr << "ccm-lint: unknown argument '" << a << "'\n";
+      return 2;
+    }
+  }
+  if (root_arg.empty()) {
+    std::cerr << "ccm-lint: --root=<repo> is required\n";
+    return 2;
+  }
+  const fs::path root(root_arg);
+  if (!fs::is_directory(root)) {
+    std::cerr << "ccm-lint: not a directory: " << root_arg << "\n";
+    return 2;
+  }
+
+  // Collect files, sorted for deterministic reporting.
+  std::vector<fs::path> paths;
+  for (const auto& dir : kScanDirs) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && has_cpp_extension(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<ccmlint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const auto& p : paths) {
+    bool ok = false;
+    std::string content = slurp(p, ok);
+    if (!ok) {
+      std::cerr << "ccm-lint: cannot read " << p << "\n";
+      return 2;
+    }
+    files.push_back({rel_path(root, p), std::move(content)});
+  }
+
+  std::vector<ccmlint::Suppression> suppressions;
+  if (!supp_arg.empty()) {
+    bool ok = false;
+    const std::string text = slurp(fs::path(supp_arg), ok);
+    if (!ok) {
+      std::cerr << "ccm-lint: cannot read suppressions file " << supp_arg
+                << "\n";
+      return 2;
+    }
+    std::vector<std::string> errors;
+    suppressions = ccmlint::parse_suppressions(text, errors);
+    if (!errors.empty()) {
+      for (const auto& e : errors) std::cerr << "ccm-lint: " << e << "\n";
+      return 2;
+    }
+  }
+
+  const ccmlint::Result result = ccmlint::lint(files, suppressions);
+
+  if (explain_taint) {
+    std::cerr << "ccm-lint: unordered aliases:";
+    for (const auto& a : result.aliases) std::cerr << " " << a;
+    std::cerr << "\nccm-lint: tainted names:";
+    for (const auto& t : result.tainted) std::cerr << " " << t;
+    std::cerr << "\n";
+  }
+
+  for (const auto& f : result.findings) {
+    if (f.suppressed && !verbose) continue;
+    std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << (f.suppressed ? "  (suppressed)" : "") << "\n";
+  }
+  for (const auto& s : suppressions) {
+    if (s.uses == 0) {
+      std::cerr << "ccm-lint: stale suppression (matched nothing): "
+                << s.path_substr << " " << s.rule << " " << s.token << "\n";
+    }
+  }
+
+  std::cerr << "ccm-lint: scanned " << result.files_scanned << " files, "
+            << result.unsuppressed << " finding(s), " << result.suppressed
+            << " suppressed\n";
+  const bool stale = std::any_of(suppressions.begin(), suppressions.end(),
+                                 [](const auto& s) { return s.uses == 0; });
+  return (result.unsuppressed == 0 && !stale) ? 0 : 1;
+}
