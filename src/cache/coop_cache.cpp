@@ -46,12 +46,14 @@ AccessResult ClusterCache::access(NodeId node, FileId file,
     // Whole-file adaptation: the file is one cache entry spanning its full
     // block footprint.
     access_block(node, BlockId{file, 0}, result, nblocks);
+    if (access_tap_) access_tap_(node, result);
     return result;
   }
   result.fetches.reserve(nblocks);
   for (std::uint32_t i = 0; i < nblocks; ++i) {
     access_block(node, BlockId{file, i}, result);
   }
+  if (access_tap_) access_tap_(node, result);
   return result;
 }
 
@@ -152,6 +154,7 @@ AccessResult ClusterCache::write(NodeId node, FileId file,
   for (std::uint32_t i = 0; i < nblocks; ++i) {
     write_block(node, BlockId{file, i}, result);
   }
+  if (access_tap_) access_tap_(node, result);
   return result;
 }
 

@@ -181,6 +181,13 @@ class ClusterCache {
   /// owned; must outlive the ClusterCache or be cleared first.
   void set_observer(ActionObserver* observer) { observer_ = observer; }
 
+  /// Observation tap fired once per access()/write() with the requesting
+  /// node and the completed plan. Unlike ActionObserver it sees only the
+  /// aggregate result — enough for hit/miss timelines — and may be installed
+  /// without touching the data plane. Empty function clears it.
+  using AccessTap = std::function<void(NodeId node, const AccessResult& plan)>;
+  void set_access_tap(AccessTap tap) { access_tap_ = std::move(tap); }
+
   /// Sweeps every cross-node protocol invariant (see DESIGN.md and
   /// docs/STATIC_ANALYSIS.md), reporting each violation through coop::audit
   /// with `context` in the detail string. Returns the number of violations
@@ -229,6 +236,7 @@ class ClusterCache {
   CoopCacheConfig config_;
   std::function<NodeId(FileId)> home_of_;
   ActionObserver* observer_ = nullptr;
+  AccessTap access_tap_;
   std::vector<NodeCache> nodes_;
   PerfectDirectory directory_;
   HintedDirectory hints_;

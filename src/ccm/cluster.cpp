@@ -372,6 +372,11 @@ void CcmCluster::reset_stats() {
   cache_.reset_stats();
 }
 
+void CcmCluster::set_access_tap(cache::ClusterCache::AccessTap tap) {
+  std::scoped_lock lock(mu_);
+  cache_.set_access_tap(std::move(tap));
+}
+
 std::uint64_t CcmCluster::cached_bytes(cache::NodeId node) const {
   std::scoped_lock lock(mu_);
   return cache_.node(node).used_blocks() * config_.block_bytes;

@@ -87,6 +87,11 @@ class CcmCluster {
   [[nodiscard]] cache::CacheStats stats() const;
   void reset_stats();
 
+  /// Installs an observability tap on the policy engine (fired once per
+  /// access/write with the completed plan, under the cluster lock — keep it
+  /// cheap and non-reentrant). Empty function clears it. Thread-safe.
+  void set_access_tap(cache::ClusterCache::AccessTap tap);
+
   /// Bytes currently cached at `node` (block-granular accounting).
   [[nodiscard]] std::uint64_t cached_bytes(cache::NodeId node) const;
 

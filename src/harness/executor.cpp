@@ -18,7 +18,8 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-SweepPoint run_cell(const SweepCell& cell) {
+SweepPoint run_cell(const SweepCell& cell, obs::TraceData* trace_out,
+                    bool allow_audit_dump) {
   if (cell.trace == nullptr) {
     throw std::invalid_argument("sweep cell has no trace");
   }
@@ -26,7 +27,16 @@ SweepPoint run_cell(const SweepCell& cell) {
   p.system = cell.config.system;
   p.memory_per_node = cell.config.memory_per_node;
   p.nodes = cell.config.nodes;
-  p.metrics = server::run_simulation(cell.config, *cell.trace);
+  if (cell.obs.enabled) {
+    obs::TraceConfig oc = cell.obs;
+    // The audit span-dump handler is process-global; concurrent cells must
+    // not install it (output files are unaffected either way).
+    if (!allow_audit_dump) oc.audit_dump = false;
+    p.metrics = server::run_simulation(cell.config, *cell.trace, oc,
+                                       trace_out);
+  } else {
+    p.metrics = server::run_simulation(cell.config, *cell.trace);
+  }
   return p;
 }
 
@@ -52,6 +62,10 @@ ExecutionReport execute_cells(const std::vector<SweepCell>& cells,
   report.cell_wall_ms.resize(total, 0.0);
   report.threads = resolve_threads(options.threads, total);
 
+  bool any_traced = false;
+  for (const auto& c : cells) any_traced = any_traced || c.obs.enabled;
+  if (any_traced) report.traces.resize(total);
+
   const auto run_start = Clock::now();
 
   if (report.threads <= 1) {
@@ -59,7 +73,9 @@ ExecutionReport execute_cells(const std::vector<SweepCell>& cells,
     // reference behavior the parallel path must reproduce bit-for-bit.
     for (std::size_t i = 0; i < total; ++i) {
       const auto cell_start = Clock::now();
-      report.points[i] = run_cell(cells[i]);
+      report.points[i] = run_cell(
+          cells[i], any_traced ? &report.traces[i] : nullptr,
+          /*allow_audit_dump=*/true);
       report.cell_wall_ms[i] = ms_since(cell_start);
       if (progress) progress(i + 1, total, report.points[i]);
     }
@@ -79,11 +95,15 @@ ExecutionReport execute_cells(const std::vector<SweepCell>& cells,
       if (i >= total) return;
       try {
         const auto cell_start = Clock::now();
-        SweepPoint p = run_cell(cells[i]);
+        obs::TraceData trace_data;
+        SweepPoint p = run_cell(cells[i],
+                                any_traced ? &trace_data : nullptr,
+                                /*allow_audit_dump=*/false);
         const double wall = ms_since(cell_start);
         std::lock_guard<std::mutex> lock(mu);
         report.points[i] = std::move(p);
         report.cell_wall_ms[i] = wall;
+        if (any_traced) report.traces[i] = std::move(trace_data);
         ++done;
         if (progress) progress(done, total, report.points[i]);
       } catch (...) {

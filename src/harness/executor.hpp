@@ -28,6 +28,9 @@ using Progress =
 struct SweepCell {
   server::ClusterConfig config;
   const trace::Trace* trace = nullptr;
+  /// Observability knobs (disabled by default; not part of config_hash).
+  /// When enabled, the cell's TraceData lands in ExecutionReport::traces.
+  obs::TraceConfig obs;
 };
 
 struct ExecutorOptions {
@@ -46,6 +49,10 @@ struct ExecutionReport {
   double total_wall_ms = 0.0;
   /// Worker threads actually used (after clamping to the cell count).
   std::size_t threads = 1;
+  /// Per-cell observability output, same index order as `points`. Empty
+  /// unless at least one cell had `obs.enabled`; cells without tracing hold
+  /// default-constructed TraceData (config.enabled == false).
+  std::vector<obs::TraceData> traces;
 };
 
 /// Runs every cell and assembles the report. Exceptions thrown by a cell

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/perfetto.hpp"
+
 namespace coop::harness {
 
 void print_heading(const std::string& title, const std::string& subtitle) {
@@ -165,6 +167,53 @@ void maybe_write_json(const util::JsonWriter& json, const std::string& path) {
     std::cout << "(wrote " << path << ")\n";
   } else {
     std::cout << "(FAILED to write " << path << ")\n";
+  }
+}
+
+std::string trace_file_path(const std::string& base, std::size_t panel,
+                            std::size_t cell, bool single_cell) {
+  if (single_cell) return base;
+  const std::string tag =
+      ".p" + std::to_string(panel) + "c" + std::to_string(cell);
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  // Only a dot inside the filename component counts as an extension.
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + tag;
+  }
+  return base.substr(0, dot) + tag + base.substr(dot);
+}
+
+std::string timeline_file_path(const std::string& trace_path) {
+  const std::string json_ext = ".json";
+  if (trace_path.size() >= json_ext.size() &&
+      trace_path.compare(trace_path.size() - json_ext.size(),
+                         json_ext.size(), json_ext) == 0) {
+    return trace_path.substr(0, trace_path.size() - json_ext.size()) +
+           ".timeline.csv";
+  }
+  return trace_path + ".timeline.csv";
+}
+
+void write_trace_outputs(const obs::TraceData& data,
+                         const std::string& trace_path,
+                         const std::string& timeline_path) {
+  {
+    std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+    out << obs::chrome_trace_json(data) << "\n";
+    if (out.good()) {
+      std::cout << "(wrote " << trace_path << ")\n";
+    } else {
+      std::cout << "(FAILED to write " << trace_path << ")\n";
+    }
+  }
+  util::CsvWriter csv;
+  data.timeline.append_csv(csv);
+  if (csv.write_file(timeline_path)) {
+    std::cout << "(wrote " << timeline_path << ")\n";
+  } else {
+    std::cout << "(FAILED to write " << timeline_path << ")\n";
   }
 }
 

@@ -54,4 +54,22 @@ void metrics_to_json(util::JsonWriter& json, const server::RunMetrics& m);
 /// maybe_write_csv.
 void maybe_write_json(const util::JsonWriter& json, const std::string& path);
 
+/// Per-cell output path for --trace-out=PATH. A run with exactly one cell
+/// writes PATH verbatim; otherwise ".p<panel>c<cell>" is inserted before the
+/// filename's extension so every cell gets a distinct file.
+[[nodiscard]] std::string trace_file_path(const std::string& base,
+                                          std::size_t panel, std::size_t cell,
+                                          bool single_cell);
+
+/// Companion timeline CSV path: replaces a trailing ".json" with
+/// ".timeline.csv" (appended verbatim when the trace path has no such
+/// suffix).
+[[nodiscard]] std::string timeline_file_path(const std::string& trace_path);
+
+/// Writes one traced cell's Chrome trace JSON and bucketed timeline CSV,
+/// reporting each file to stdout like maybe_write_csv.
+void write_trace_outputs(const obs::TraceData& data,
+                         const std::string& trace_path,
+                         const std::string& timeline_path);
+
 }  // namespace coop::harness

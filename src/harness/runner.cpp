@@ -18,7 +18,7 @@ std::vector<SweepPoint> run_memory_sweep(
     for (const auto memory : memories) {
       auto config = figure_config(system, nodes, memory);
       if (mutate) mutate(config);
-      cells.push_back({std::move(config), &trace});
+      cells.push_back({std::move(config), &trace, {}});
     }
   }
   return execute_cells(cells, {threads}, progress).points;
@@ -34,7 +34,7 @@ std::vector<SweepPoint> run_node_sweep(
   for (const auto nodes : node_counts) {
     auto config = figure_config(system, nodes, memory_per_node);
     if (mutate) mutate(config);
-    cells.push_back({std::move(config), &trace});
+    cells.push_back({std::move(config), &trace, {}});
   }
   return execute_cells(cells, {threads}, progress).points;
 }

@@ -1,5 +1,6 @@
 #include "harness/spec.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <stdexcept>
@@ -215,6 +216,30 @@ int run_experiment(const ExperimentSpec& spec, int argc, char** argv) {
   const auto threads =
       static_cast<std::size_t>(flags.get_int("threads", 0));
 
+  // Observability flags. --trace historically filters trace presets; a value
+  // containing '.' or '/' can only be a filesystem path, so it is accepted as
+  // an alias for the canonical --trace-out.
+  std::string trace_out = flags.get("trace-out", "");
+  std::string trace_filter;
+  if (flags.has("trace")) {
+    const std::string v = flags.get("trace");
+    const bool looks_like_path = v.find('.') != std::string::npos ||
+                                 v.find('/') != std::string::npos;
+    if (looks_like_path && trace_out.empty()) {
+      trace_out = v;
+    } else {
+      trace_filter = v;
+    }
+  }
+  obs::TraceConfig obs_config;
+  obs_config.enabled = !trace_out.empty();
+  obs_config.sample_every = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, flags.get_int("trace-sample", 1)));
+  obs_config.timeline_bucket_ms =
+      flags.get_double("timeline-bucket-ms", 100.0);
+  obs_config.ring_capacity = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get_int("trace-ring", 512)));
+
   // Resolve the system / memory / variant axes against the flags.
   std::vector<server::SystemKind> systems = spec.systems;
   if (spec.system_flag && flags.has("system")) {
@@ -241,13 +266,12 @@ int run_experiment(const ExperimentSpec& spec, int argc, char** argv) {
       panels.push_back(p);
     }
   }
-  if (flags.has("trace")) {
-    const std::string only = flags.get("trace");
+  if (!trace_filter.empty()) {
     std::vector<ExperimentSpec::Panel> kept;
     for (const auto& p : panels) {
-      if (p.trace == only) kept.push_back(p);
+      if (p.trace == trace_filter) kept.push_back(p);
     }
-    if (kept.empty()) kept.push_back({only, panels.front().nodes});
+    if (kept.empty()) kept.push_back({trace_filter, panels.front().nodes});
     panels = std::move(kept);
   }
   if (flags.has("nodes")) {
@@ -259,7 +283,18 @@ int run_experiment(const ExperimentSpec& spec, int argc, char** argv) {
   std::vector<PanelView> views;
   std::size_t threads_used = 1;
 
-  for (const auto& panel : panels) {
+  // Whether --trace-out names exactly one output file (one panel, one cell)
+  // or needs a ".p<panel>c<cell>" suffix per cell.
+  const std::size_t cells_per_panel =
+      spec.node_counts.empty()
+          ? systems.size() * memories.size() * variants.size()
+          : spec.node_counts.size();
+  const bool single_trace_file =
+      panels.size() == 1 && cells_per_panel == 1;
+
+  for (std::size_t panel_index = 0; panel_index < panels.size();
+       ++panel_index) {
+    const auto& panel = panels[panel_index];
     trace::SyntheticSpec trace_spec;
     try {
       trace_spec = trace::preset_by_name(panel.trace);
@@ -295,7 +330,7 @@ int run_experiment(const ExperimentSpec& spec, int argc, char** argv) {
         if (variants.front().mutate) variants.front().mutate(config);
         view.cell_labels.push_back(variants.front().label);
         view.cell_config_hashes.push_back(server::config_hash(config));
-        cells.push_back({std::move(config), &tr});
+        cells.push_back({std::move(config), &tr, obs_config});
       }
     } else {
       for (const auto system : systems) {
@@ -305,7 +340,7 @@ int run_experiment(const ExperimentSpec& spec, int argc, char** argv) {
             if (variant.mutate) variant.mutate(config);
             view.cell_labels.push_back(variant.label);
             view.cell_config_hashes.push_back(server::config_hash(config));
-            cells.push_back({std::move(config), &tr});
+            cells.push_back({std::move(config), &tr, obs_config});
           }
         }
       }
@@ -328,6 +363,19 @@ int run_experiment(const ExperimentSpec& spec, int argc, char** argv) {
     view.points = std::move(report.points);
     view.cell_wall_ms = std::move(report.cell_wall_ms);
     view.total_wall_ms = report.total_wall_ms;
+
+    // Trace/timeline files are written here on the main thread, in cell
+    // index order, so the bytes are independent of --threads.
+    if (obs_config.enabled) {
+      for (std::size_t i = 0; i < report.traces.size(); ++i) {
+        const std::string trace_path = trace_file_path(
+            trace_out, panel_index, i, single_trace_file);
+        const std::string timeline_path = timeline_file_path(trace_path);
+        write_trace_outputs(report.traces[i], trace_path, timeline_path);
+        view.cell_trace_files.push_back(trace_path);
+        view.cell_timeline_files.push_back(timeline_path);
+      }
+    }
 
     if (spec.render) {
       spec.render(view);
@@ -354,6 +402,14 @@ int run_experiment(const ExperimentSpec& spec, int argc, char** argv) {
     json.key("title").value(spec.title);
     json.key("requests").value(requests);
     json.key("threads").value(threads_used);
+    if (obs_config.enabled) {
+      json.key("observability").begin_object();
+      json.key("trace_out").value(trace_out);
+      json.key("sample_every").value(obs_config.sample_every);
+      json.key("timeline_bucket_ms").value(obs_config.timeline_bucket_ms);
+      json.key("ring_capacity").value(obs_config.ring_capacity);
+      json.end_object();
+    }
     json.key("panels").begin_array();
     for (const auto& v : views) {
       json.begin_object();
@@ -378,6 +434,10 @@ int run_experiment(const ExperimentSpec& spec, int argc, char** argv) {
                           v.cell_config_hashes[i]));
         json.key("config_hash").value(hash_hex);
         json.key("wall_ms").value(v.cell_wall_ms[i]);
+        if (i < v.cell_trace_files.size()) {
+          json.key("trace_file").value(v.cell_trace_files[i]);
+          json.key("timeline_file").value(v.cell_timeline_files[i]);
+        }
         json.key("metrics");
         metrics_to_json(json, p.metrics);
         json.end_object();

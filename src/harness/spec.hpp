@@ -57,6 +57,10 @@ struct PanelView {
   std::vector<std::uint64_t> cell_config_hashes;
   std::vector<double> cell_wall_ms;
   double total_wall_ms = 0.0;
+  /// Observability output files per cell (empty vectors when tracing is
+  /// off); surfaced in the --json run report.
+  std::vector<std::string> cell_trace_files;
+  std::vector<std::string> cell_timeline_files;
 
   /// Grid lookup by axis indices (not valid for node sweeps — index
   /// `points` directly there).
@@ -126,7 +130,10 @@ const std::vector<ExperimentSpec>& all_experiments();
 const ExperimentSpec* find_experiment(const std::string& name);
 
 /// Runs a spec with the shared CLI: --trace --nodes --requests --mem-mb
-/// --system --threads=N --csv=PATH --json=PATH --quiet. Returns a process
+/// --system --threads=N --csv=PATH --json=PATH --quiet, plus the
+/// observability flags --trace-out=PATH --trace-sample=N
+/// --timeline-bucket-ms=B --trace-ring=N (a --trace value containing '.' or
+/// '/' is read as a path, i.e. an alias for --trace-out). Returns a process
 /// exit code.
 int run_experiment(const ExperimentSpec& spec, int argc, char** argv);
 

@@ -17,6 +17,7 @@ void Disk::read_block(std::uint32_t file, std::uint32_t block_index,
                       std::uint32_t bytes, sim::Callback on_done) {
   queue_.push_back(
       Request{file, block_index, bytes, engine_.now(), std::move(on_done)});
+  if (queue_probe_) queue_probe_(engine_.now(), queue_.size());
   if (!busy_flag_) start_next();
 }
 
@@ -49,6 +50,7 @@ void Disk::start_next() {
   const std::size_t idx = pick_next();
   Request r = std::move(queue_[idx]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  if (queue_probe_) queue_probe_(engine_.now(), queue_.size());
 
   const bool contiguous = is_contiguous(r);
   if (!contiguous) {

@@ -17,7 +17,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hw/params.hpp"
@@ -48,6 +50,16 @@ class Disk {
   /// the block is off the platter.
   void read_block(std::uint32_t file, std::uint32_t block_index,
                   std::uint32_t bytes, sim::Callback on_done);
+
+  /// Observer invoked whenever the pending-request count changes, in
+  /// deterministic sim-event order (observability timeline feed).
+  using QueueProbe = std::function<void(sim::SimTime now, std::size_t depth)>;
+  void set_queue_probe(QueueProbe probe) { queue_probe_ = std::move(probe); }
+
+  /// Forwards completed busy intervals to `sink` (see sim::BusyTracker).
+  void set_busy_interval_sink(sim::BusyTracker::IntervalSink sink) {
+    busy_.set_interval_sink(std::move(sink));
+  }
 
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
   [[nodiscard]] bool busy() const { return busy_flag_; }
@@ -97,6 +109,7 @@ class Disk {
   std::uint64_t seek_reads_ = 0;
   sim::BusyTracker busy_;
   sim::Accumulator wait_;
+  QueueProbe queue_probe_;
 };
 
 /// Streams `seq` through `disk` one block at a time: each read is enqueued

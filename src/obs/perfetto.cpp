@@ -1,0 +1,186 @@
+#include "obs/perfetto.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace coop::obs {
+
+namespace {
+
+constexpr double kMsToUs = 1000.0;
+/// Request-phase threads start here; resource threads use the Resource enum.
+constexpr std::uint32_t kRequestTidBase = 1000;
+/// Render tracks per client thread block (branch tracks beyond this merge
+/// onto the last one — cosmetic only).
+constexpr std::uint32_t kTracksPerClient = 64;
+
+std::uint32_t request_tid(const RequestTrace& req, std::uint32_t track) {
+  return kRequestTidBase + req.client * kTracksPerClient +
+         std::min(track, kTracksPerClient - 1);
+}
+
+void event_header(util::JsonWriter& json, const char* ph, std::uint64_t pid,
+                  std::uint64_t tid) {
+  json.begin_object();
+  json.key("ph").value(ph);
+  json.key("pid").value(pid);
+  json.key("tid").value(tid);
+}
+
+void metadata(util::JsonWriter& json, const char* what, std::uint64_t pid,
+              std::uint64_t tid, const std::string& name) {
+  event_header(json, "M", pid, tid);
+  json.key("name").value(what);
+  json.key("args").begin_object();
+  json.key("name").value(name);
+  json.end_object();
+  json.end_object();
+}
+
+void emit_process_metadata(util::JsonWriter& json, const TraceData& data) {
+  for (std::size_t n = 0; n < data.nodes; ++n) {
+    metadata(json, "process_name", n, 0, "node" + std::to_string(n));
+    for (const Resource r :
+         {Resource::kCpu, Resource::kBus, Resource::kNicTx, Resource::kNicRx,
+          Resource::kDisk, Resource::kCache}) {
+      metadata(json, "thread_name", n, static_cast<std::uint64_t>(r),
+               to_string(r));
+    }
+  }
+  metadata(json, "process_name", data.nodes, 0, "cluster");
+  metadata(json, "thread_name", data.nodes,
+           static_cast<std::uint64_t>(Resource::kRouter),
+           to_string(Resource::kRouter));
+
+  // Request-phase threads actually used, in (pid, tid) order.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> threads;
+  for (const auto& req : data.requests) {
+    for (const auto& s : req.spans) {
+      const std::uint64_t tid = request_tid(req, s.track);
+      std::string name = "req client" + std::to_string(req.client);
+      if (s.track > 0) name += " branch" + std::to_string(s.track);
+      threads.emplace(std::make_pair(std::uint64_t{req.landing}, tid),
+                      std::move(name));
+    }
+  }
+  for (const auto& [key, name] : threads) {
+    metadata(json, "thread_name", key.first, key.second, name);
+  }
+}
+
+void emit_request_events(util::JsonWriter& json, const TraceData& data) {
+  for (const auto& req : data.requests) {
+    for (const auto& s : req.spans) {
+      const sim::SimTime end = s.end >= s.begin ? s.end : data.end_ms;
+      event_header(json, "X", req.landing, request_tid(req, s.track));
+      json.key("cat").value("request");
+      json.key("name").value(s.op);
+      json.key("ts").value(s.begin * kMsToUs);
+      json.key("dur").value((end - s.begin) * kMsToUs);
+      json.key("args").begin_object();
+      json.key("request").value(req.id);
+      json.key("node").value(std::uint64_t{s.node});
+      json.key("resource").value(to_string(s.resource));
+      if (&s == &req.spans.front()) {
+        json.key("file").value(std::uint64_t{req.file});
+        json.key("client").value(std::uint64_t{req.client});
+      }
+      if (s.demand > 0.0) {
+        json.key("service_ms").value(s.demand);
+        json.key("queued_ms").value(std::max(0.0, end - s.begin - s.demand));
+      }
+      if (s.bytes > 0) json.key("bytes").value(s.bytes);
+      if (!s.detail.empty()) json.key("detail").value(s.detail);
+      json.end_object();
+      json.end_object();
+    }
+  }
+}
+
+void emit_resource_events(util::JsonWriter& json, const TraceData& data) {
+  for (const auto& req : data.requests) {
+    for (const auto& s : req.spans) {
+      if (s.demand <= 0.0 || s.end < s.begin) continue;
+      if (s.resource == Resource::kPhase || s.resource == Resource::kCache) {
+        continue;
+      }
+      const std::uint64_t pid =
+          s.resource == Resource::kRouter ? data.nodes : s.node;
+      event_header(json, "X", pid, static_cast<std::uint64_t>(s.resource));
+      json.key("cat").value("resource");
+      json.key("name").value(s.op);
+      json.key("ts").value((s.end - s.demand) * kMsToUs);
+      json.key("dur").value(s.demand * kMsToUs);
+      json.key("args").begin_object();
+      json.key("request").value(req.id);
+      json.end_object();
+      json.end_object();
+    }
+  }
+}
+
+void emit_counters(util::JsonWriter& json, const TraceData& data) {
+  const Timeline& tl = data.timeline;
+  for (std::size_t n = 0; n <= data.nodes; ++n) {
+    const std::uint16_t node =
+        n == data.nodes ? kClusterNode : static_cast<std::uint16_t>(n);
+    const std::uint64_t pid = n;
+    for (std::size_t ri = 0; ri < kResourceCount; ++ri) {
+      const auto r = static_cast<Resource>(ri);
+      const auto& lane = tl.lane(node, r);
+      for (std::size_t bi = 0; bi < lane.size(); ++bi) {
+        const TimelineBucket& b = lane[bi];
+        if (b.empty()) continue;
+        event_header(json, "C", pid, 0);
+        json.key("name").value(to_string(r));
+        json.key("ts").value(
+            (tl.origin() + static_cast<double>(bi) * tl.bucket_ms()) *
+            kMsToUs);
+        json.key("args").begin_object();
+        if (r == Resource::kCache) {
+          json.key("hits").value(b.hits);
+          json.key("misses").value(b.misses);
+        } else {
+          json.key("busy_ms").value(b.busy_ms);
+          json.key("max_queue").value(b.max_queue);
+        }
+        if (b.bytes > 0) json.key("bytes").value(b.bytes);
+        json.end_object();
+        json.end_object();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceData& data) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("otherData").begin_object();
+  json.key("sample_every").value(data.config.sample_every);
+  json.key("ring_capacity").value(
+      static_cast<std::uint64_t>(data.config.ring_capacity));
+  json.key("timeline_bucket_ms").value(data.config.timeline_bucket_ms);
+  json.key("requests_sampled").value(data.requests_sampled);
+  json.key("requests_committed").value(data.requests_committed);
+  json.key("requests_evicted").value(data.requests_evicted);
+  json.key("measure_start_ms").value(data.measure_start_ms);
+  json.key("end_ms").value(data.end_ms);
+  json.end_object();
+  json.key("traceEvents").begin_array();
+  emit_process_metadata(json, data);
+  emit_request_events(json, data);
+  emit_resource_events(json, data);
+  emit_counters(json, data);
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace coop::obs

@@ -1,0 +1,66 @@
+// Chrome trace-event ("Perfetto JSON") export of one run's observability
+// data, plus the TraceConfig/TraceData types the harness plumbs around.
+//
+// Layout of the emitted trace (open in https://ui.perfetto.dev or
+// chrome://tracing):
+//   * one *process* per cluster node ("node0", ...) plus a "cluster"
+//     process for the router;
+//   * per process, one *thread* per hardware resource (cpu, bus, nic-tx,
+//     nic-rx, disk, cache) carrying complete ("X") slices for the *service*
+//     portion of every sampled span whose demand is known — single-server
+//     centers serialize service, so these slices never overlap;
+//   * per sampled request, dedicated request threads under the landing
+//     node's process (tid 1000+) carrying the nested phase slices; parallel
+//     phases (per-provider fetches, async master forwards) render on branch
+//     tracks so slices on one track always nest properly;
+//   * counter ("C") events per node/resource from the bucketed Timeline.
+// Timestamps are sim-time milliseconds exported as microseconds (the trace
+// format's native unit); the simulation's t=0 is the trace's t=0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace coop::obs {
+
+/// Run-level observability knobs (CLI: --trace-out/--trace-sample/
+/// --timeline-bucket-ms). Deliberately *not* part of server::ClusterConfig's
+/// config_hash: tracing must never look like a different experiment.
+struct TraceConfig {
+  bool enabled = false;
+  /// Sample request ids divisible by this (deterministic; never RNG/time).
+  std::uint64_t sample_every = 1;
+  double timeline_bucket_ms = 100.0;
+  /// Completed sampled requests retained in the ring buffer.
+  std::size_t ring_capacity = 512;
+  /// In audited builds, install a handler that dumps in-flight spans when an
+  /// invariant trips. The handler is process-global state, so the parallel
+  /// sweep executor clears this for multi-threaded runs; it never affects
+  /// trace/metric output.
+  bool audit_dump = true;
+};
+
+/// Everything one traced run produced; serialized by chrome_trace_json and
+/// Timeline::append_csv.
+struct TraceData {
+  TraceConfig config;
+  std::size_t nodes = 0;
+  std::uint64_t requests_sampled = 0;
+  std::uint64_t requests_committed = 0;
+  std::uint64_t requests_evicted = 0;
+  sim::SimTime measure_start_ms = 0.0;
+  sim::SimTime end_ms = 0.0;
+  std::vector<RequestTrace> requests;  // surviving ring, oldest first
+  Timeline timeline;
+};
+
+/// Serializes `data` as Chrome trace-event JSON. Output bytes depend only on
+/// `data` (itself deterministic for a deterministic run), so trace files are
+/// byte-identical across harness thread counts.
+[[nodiscard]] std::string chrome_trace_json(const TraceData& data);
+
+}  // namespace coop::obs

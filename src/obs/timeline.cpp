@@ -1,0 +1,113 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "util/format.hpp"
+
+namespace coop::obs {
+
+namespace {
+const std::vector<TimelineBucket> kEmptyLane;
+}  // namespace
+
+Timeline::Timeline(std::size_t nodes, double bucket_ms)
+    : nodes_(nodes), bucket_ms_(bucket_ms) {
+  assert(bucket_ms_ > 0.0);
+  lanes_.resize((nodes_ + 1) * kResourceCount);
+}
+
+std::size_t Timeline::lane_index(std::uint16_t node, Resource r) const {
+  const std::size_t n = node == kClusterNode ? nodes_ : node;
+  return n * kResourceCount + static_cast<std::size_t>(r);
+}
+
+TimelineBucket& Timeline::bucket_at(std::uint16_t node, Resource r,
+                                    sim::SimTime t) {
+  auto& lane = lanes_[lane_index(node, r)];
+  const double offset = std::max(0.0, t - origin_);
+  const auto idx = static_cast<std::size_t>(offset / bucket_ms_);
+  if (lane.size() <= idx) lane.resize(idx + 1);
+  return lane[idx];
+}
+
+void Timeline::add_busy(std::uint16_t node, Resource r, sim::SimTime begin,
+                        sim::SimTime end) {
+  if (lanes_.empty()) return;
+  begin = std::max(begin, origin_);
+  if (end <= begin) return;
+  // Split the interval across buckets so a long service burst shows up in
+  // every bucket it covers.
+  sim::SimTime t = begin;
+  while (t < end) {
+    const double offset = t - origin_;
+    const auto idx = static_cast<std::size_t>(offset / bucket_ms_);
+    const sim::SimTime bucket_end =
+        origin_ + static_cast<double>(idx + 1) * bucket_ms_;
+    const sim::SimTime upto = std::min(end, bucket_end);
+    bucket_at(node, r, t).busy_ms += upto - t;
+    if (upto <= t) break;  // numeric safety: never spin
+    t = upto;
+  }
+}
+
+void Timeline::note_queue_depth(std::uint16_t node, Resource r,
+                                sim::SimTime now, std::size_t depth) {
+  if (lanes_.empty() || now < origin_) return;
+  TimelineBucket& b = bucket_at(node, r, now);
+  b.max_queue = std::max(b.max_queue, static_cast<std::uint64_t>(depth));
+}
+
+void Timeline::add_bytes(std::uint16_t node, Resource r, sim::SimTime now,
+                         std::uint64_t bytes) {
+  if (lanes_.empty() || now < origin_) return;
+  bucket_at(node, r, now).bytes += bytes;
+}
+
+void Timeline::add_cache_access(std::uint16_t node, sim::SimTime now,
+                                std::uint64_t hits, std::uint64_t misses) {
+  if (lanes_.empty() || now < origin_) return;
+  TimelineBucket& b = bucket_at(node, Resource::kCache, now);
+  b.hits += hits;
+  b.misses += misses;
+}
+
+void Timeline::rebase(sim::SimTime origin) {
+  origin_ = origin;
+  for (auto& lane : lanes_) lane.clear();
+}
+
+const std::vector<TimelineBucket>& Timeline::lane(std::uint16_t node,
+                                                  Resource r) const {
+  if (lanes_.empty()) return kEmptyLane;
+  return lanes_[lane_index(node, r)];
+}
+
+void Timeline::append_csv(util::CsvWriter& csv) const {
+  if (csv.rows() == 0) {
+    csv.set_header({"bucket_start_ms", "node", "resource", "busy_ms",
+                    "max_queue", "hits", "misses", "bytes"});
+  }
+  // Longest lane bounds the bucket scan.
+  std::size_t buckets = 0;
+  for (const auto& lane : lanes_) buckets = std::max(buckets, lane.size());
+  for (std::size_t bi = 0; bi < buckets; ++bi) {
+    for (std::size_t n = 0; n <= nodes_; ++n) {
+      for (std::size_t ri = 0; ri < kResourceCount; ++ri) {
+        const auto& lane = lanes_[n * kResourceCount + ri];
+        if (lane.size() <= bi || lane[bi].empty()) continue;
+        const TimelineBucket& b = lane[bi];
+        const std::string node_label =
+            n == nodes_ ? "cluster" : std::to_string(n);
+        csv.add_row({util::fixed(origin_ + static_cast<double>(bi) * bucket_ms_, 3),
+                     node_label, to_string(static_cast<Resource>(ri)),
+                     util::fixed(b.busy_ms, 3), std::to_string(b.max_queue),
+                     std::to_string(b.hits), std::to_string(b.misses),
+                     std::to_string(b.bytes)});
+      }
+    }
+  }
+}
+
+}  // namespace coop::obs

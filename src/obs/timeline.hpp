@@ -1,0 +1,90 @@
+// Per-node, per-resource time-bucketed counters (the "how did utilization
+// evolve" half of the observability layer; spans are the "where did this
+// request go" half).
+//
+// A Timeline owns one lane per (node, Resource). Each lane is a vector of
+// fixed-width buckets accumulating busy milliseconds, peak queue depth,
+// cache hits/misses, and bytes moved. Feeds are push-based and passive:
+// BusyTracker interval sinks and ServiceCenter queue probes call in during
+// the simulation; nothing here schedules events or reads wall clock, and
+// bucket arithmetic is in deterministic sim-event order.
+//
+// The warm-up boundary calls rebase(now): buckets restart at the measurement
+// window's origin so the flushed CSV covers the same window as the figures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "util/csv.hpp"
+
+namespace coop::obs {
+
+/// Node index used for cluster-level lanes (the router sits in the switch,
+/// not on a node).
+inline constexpr std::uint16_t kClusterNode = 0xFFFF;
+
+struct TimelineBucket {
+  double busy_ms = 0.0;
+  std::uint64_t max_queue = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] bool empty() const {
+    return busy_ms == 0.0 && max_queue == 0 && hits == 0 && misses == 0 &&
+           bytes == 0;
+  }
+};
+
+class Timeline {
+ public:
+  Timeline() = default;
+  /// `nodes` real nodes plus one cluster lane set; `bucket_ms` > 0.
+  Timeline(std::size_t nodes, double bucket_ms);
+
+  [[nodiscard]] double bucket_ms() const { return bucket_ms_; }
+  [[nodiscard]] sim::SimTime origin() const { return origin_; }
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+
+  /// Credits a busy interval [begin, end) to a lane, split across buckets.
+  void add_busy(std::uint16_t node, Resource r, sim::SimTime begin,
+                sim::SimTime end);
+
+  /// Records an instantaneous queue depth (bucket keeps the maximum).
+  void note_queue_depth(std::uint16_t node, Resource r, sim::SimTime now,
+                        std::size_t depth);
+
+  /// Adds transferred bytes to the bucket containing `now`.
+  void add_bytes(std::uint16_t node, Resource r, sim::SimTime now,
+                 std::uint64_t bytes);
+
+  /// Adds cache hit/miss counts to the node's kCache lane at `now`.
+  void add_cache_access(std::uint16_t node, sim::SimTime now,
+                        std::uint64_t hits, std::uint64_t misses);
+
+  /// Warm-up boundary: discards all buckets and restarts at `origin`.
+  void rebase(sim::SimTime origin);
+
+  /// Appends the tidy per-bucket rows (header set when `csv` is empty):
+  /// bucket_start_ms,node,resource,busy_ms,max_queue,hits,misses,bytes.
+  /// Empty buckets are skipped; rows are ordered bucket, node, resource.
+  void append_csv(util::CsvWriter& csv) const;
+
+  /// Lane accessor for the exporter (empty vector when lane unused).
+  [[nodiscard]] const std::vector<TimelineBucket>& lane(std::uint16_t node,
+                                                        Resource r) const;
+
+ private:
+  [[nodiscard]] std::size_t lane_index(std::uint16_t node, Resource r) const;
+  TimelineBucket& bucket_at(std::uint16_t node, Resource r, sim::SimTime t);
+
+  std::size_t nodes_ = 0;
+  double bucket_ms_ = 100.0;
+  sim::SimTime origin_ = 0.0;
+  std::vector<std::vector<TimelineBucket>> lanes_;
+};
+
+}  // namespace coop::obs

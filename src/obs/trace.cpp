@@ -1,0 +1,178 @@
+#include "obs/trace.hpp"
+
+#include <cassert>
+#include <ostream>
+#include <utility>
+
+namespace coop::obs {
+
+const char* to_string(Resource r) {
+  switch (r) {
+    case Resource::kCpu:
+      return "cpu";
+    case Resource::kBus:
+      return "bus";
+    case Resource::kNicTx:
+      return "nic-tx";
+    case Resource::kNicRx:
+      return "nic-rx";
+    case Resource::kDisk:
+      return "disk";
+    case Resource::kRouter:
+      return "router";
+    case Resource::kCache:
+      return "cache";
+    case Resource::kPhase:
+      return "phase";
+  }
+  return "?";
+}
+
+SpanCtx SpanCtx::begin(const char* op, Resource resource, std::uint16_t node,
+                       sim::SimTime demand, std::uint64_t bytes) const {
+  if (tracer_ == nullptr) return {};
+  return tracer_->open_child(request_, span_, op, resource, node, demand,
+                             bytes, /*new_track=*/false);
+}
+
+SpanCtx SpanCtx::branch(const char* op, Resource resource, std::uint16_t node,
+                        std::uint64_t bytes) const {
+  if (tracer_ == nullptr) return {};
+  return tracer_->open_child(request_, span_, op, resource, node, 0.0, bytes,
+                             /*new_track=*/true);
+}
+
+void SpanCtx::end() const {
+  if (tracer_ != nullptr) tracer_->close_span(request_, span_);
+}
+
+void SpanCtx::note(std::string detail) const {
+  if (tracer_ != nullptr) {
+    tracer_->set_note(request_, span_, std::move(detail));
+  }
+}
+
+Tracer::Tracer(sim::Engine& engine, const TracerConfig& config)
+    : engine_(engine), config_(config) {
+  assert(config_.sample_every > 0);
+}
+
+SpanCtx Tracer::begin_request(std::uint64_t id, std::uint32_t file,
+                              std::uint16_t landing, std::uint32_t client) {
+  if (config_.sample_every == 0 || id % config_.sample_every != 0) return {};
+  ++started_;
+  Active& a = active_[id];
+  a.req.id = id;
+  a.req.file = file;
+  a.req.landing = landing;
+  a.req.client = client;
+  a.open = 1;
+  SpanRecord root;
+  root.op = "request";
+  root.node = landing;
+  root.begin = engine_.now();
+  a.req.spans.push_back(std::move(root));
+  return SpanCtx(this, id, 0);
+}
+
+SpanCtx Tracer::open_child(std::uint64_t request, std::uint32_t parent,
+                           const char* op, Resource resource,
+                           std::uint16_t node, sim::SimTime demand,
+                           std::uint64_t bytes, bool new_track) {
+  const auto it = active_.find(request);
+  if (it == active_.end()) return {};  // committed before an async tail span
+  Active& a = it->second;
+  SpanRecord s;
+  s.parent = parent;
+  s.op = op;
+  s.node = node;
+  s.resource = resource;
+  s.track = new_track ? a.req.tracks++
+                      : (parent < a.req.spans.size()
+                             ? a.req.spans[parent].track
+                             : 0);
+  s.begin = engine_.now();
+  s.demand = demand;
+  s.bytes = bytes;
+  const auto idx = static_cast<std::uint32_t>(a.req.spans.size());
+  a.req.spans.push_back(std::move(s));
+  ++a.open;
+  return SpanCtx(this, request, idx);
+}
+
+void Tracer::close_span(std::uint64_t request, std::uint32_t span) {
+  const auto it = active_.find(request);
+  if (it == active_.end()) return;
+  Active& a = it->second;
+  if (span >= a.req.spans.size()) return;
+  SpanRecord& s = a.req.spans[span];
+  if (s.end >= s.begin) return;  // already closed
+  s.end = engine_.now();
+  assert(a.open > 0);
+  if (--a.open == 0) commit(request);
+}
+
+void Tracer::set_note(std::uint64_t request, std::uint32_t span,
+                      std::string detail) {
+  const auto it = active_.find(request);
+  if (it == active_.end()) return;
+  Active& a = it->second;
+  if (span < a.req.spans.size()) a.req.spans[span].detail = std::move(detail);
+}
+
+void Tracer::commit(std::uint64_t request) {
+  const auto it = active_.find(request);
+  if (it == active_.end()) return;
+  done_.push_back(std::move(it->second.req));
+  active_.erase(it);
+  ++committed_;
+  while (done_.size() > config_.ring_capacity) {
+    done_.pop_front();
+    ++evicted_;
+  }
+}
+
+std::vector<RequestTrace> Tracer::take_completed() {
+  std::vector<RequestTrace> out;
+  out.reserve(done_.size());
+  for (auto& r : done_) out.push_back(std::move(r));
+  done_.clear();
+  return out;
+}
+
+namespace {
+
+void dump_request(std::ostream& os, std::uint64_t id,
+                  const RequestTrace& req) {
+  os << "  request " << id << " file " << req.file << " landing node "
+     << req.landing << " began " << req.begin() << " ms\n";
+  for (const auto& s : req.spans) {
+    os << "    [" << to_string(s.resource) << "@" << s.node << "] " << s.op;
+    if (!s.detail.empty()) os << " (" << s.detail << ")";
+    os << " " << s.begin << " ms -> ";
+    if (s.end >= s.begin) {
+      os << s.end << " ms";
+    } else {
+      os << "(open)";
+    }
+    if (s.bytes > 0) os << " " << s.bytes << " B";
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+void Tracer::dump_in_flight(std::ostream& os, std::uint16_t node) const {
+  for (const auto& [id, a] : active_) {
+    bool touches = a.req.landing == node;
+    for (const auto& s : a.req.spans) touches = touches || s.node == node;
+    if (!touches) continue;
+    dump_request(os, id, a.req);
+  }
+}
+
+void Tracer::dump_in_flight(std::ostream& os) const {
+  for (const auto& [id, a] : active_) dump_request(os, id, a.req);
+}
+
+}  // namespace coop::obs

@@ -1,0 +1,202 @@
+// Deterministic sim-time request tracing (spans).
+//
+// The simulator's figures are end-of-run scalars; this subsystem records
+// *when and where* individual requests spend their time — the paper's §5
+// bottleneck story (disk -> NIC/router as memory grows) made visible per
+// request. Three rules keep observability from perturbing the simulation:
+//
+//  1. Zero wall clock. Every timestamp is sim::Engine::now(); the tracer
+//     never reads a real clock (see the wall-clock lint rule).
+//  2. Passive. The tracer never schedules events, touches the RNG, or
+//     changes a callback's scheduling structure. With tracing disabled every
+//     hook is a null check, so figure CSVs are byte-identical to baseline.
+//  3. Deterministic sampling. Requests are sampled by request id
+//     (id % sample_every == 0) — never by RNG or time — so the same config
+//     and trace produce byte-identical trace output at any --threads.
+//
+// Span model: each sampled request owns a tree of SpanRecords (span 0 is the
+// request root). Phases open/close at sim times via copyable SpanCtx handles
+// that CPS callbacks capture by value. Completed requests live in a bounded
+// ring (oldest evicted first). See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace coop::obs {
+
+/// The hardware lane a span (or timeline sample) is charged to. kPhase marks
+/// pure protocol phases that span multiple resources (e.g. a remote fetch).
+enum class Resource : std::uint8_t {
+  kCpu = 0,
+  kBus,
+  kNicTx,
+  kNicRx,
+  kDisk,
+  kRouter,
+  kCache,
+  kPhase,
+};
+
+[[nodiscard]] const char* to_string(Resource r);
+
+/// Number of distinct Resource values (for lane-indexed tables).
+inline constexpr std::size_t kResourceCount = 8;
+
+inline constexpr std::uint32_t kNoSpan = 0xFFFFFFFFu;
+
+/// One phase of a sampled request. `end < begin` means still open (the
+/// request committed before an async tail span closed — not expected with
+/// unbounded queues, but the exporter tolerates it).
+struct SpanRecord {
+  std::uint32_t parent = kNoSpan;  // index into the owning request's spans
+  const char* op = "";             // static phase name ("cpu.parse", ...)
+  std::string detail;              // small free-form annotation, often empty
+  std::uint16_t node = 0;          // node the phase runs on
+  Resource resource = Resource::kPhase;
+  std::uint32_t track = 0;  // render lane: 0 = serial chain, >0 = parallel
+  sim::SimTime begin = 0.0;
+  sim::SimTime end = -1.0;
+  /// Known service demand (ms) when the span wraps one ServiceCenter submit;
+  /// duration - demand is then the queueing delay. 0 when unknown.
+  sim::SimTime demand = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+/// One sampled request: identity plus its span tree (spans[0] is the root).
+struct RequestTrace {
+  std::uint64_t id = 0;        // request index in the trace stream
+  std::uint32_t file = 0;      // trace::FileId
+  std::uint16_t landing = 0;   // node the dispatcher chose
+  std::uint32_t client = 0;    // closed-loop client that issued it
+  std::uint32_t tracks = 1;    // parallel tracks allocated (render hint)
+  std::vector<SpanRecord> spans;
+
+  [[nodiscard]] sim::SimTime begin() const {
+    return spans.empty() ? 0.0 : spans.front().begin;
+  }
+  [[nodiscard]] sim::SimTime end() const {
+    return spans.empty() ? 0.0 : spans.front().end;
+  }
+};
+
+class Tracer;
+
+/// Copyable, 16-byte handle to one open span. CPS lambdas capture it by
+/// value; every operation is a no-op on an inactive handle (tracing off or
+/// request not sampled), so instrumentation sites need no branching.
+class SpanCtx {
+ public:
+  SpanCtx() = default;
+
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+  /// Opens a child span at the current sim time, on the same render track.
+  [[nodiscard]] SpanCtx begin(const char* op, Resource resource,
+                              std::uint16_t node, sim::SimTime demand = 0.0,
+                              std::uint64_t bytes = 0) const;
+
+  /// Opens a child span on a fresh parallel track (for phases that overlap
+  /// their siblings: per-provider fetch groups, async master forwards).
+  [[nodiscard]] SpanCtx branch(const char* op, Resource resource,
+                               std::uint16_t node,
+                               std::uint64_t bytes = 0) const;
+
+  /// Closes this span at the current sim time.
+  void end() const;
+
+  /// Attaches/overwrites the free-form annotation of this span.
+  void note(std::string detail) const;
+
+ private:
+  friend class Tracer;
+  SpanCtx(Tracer* tracer, std::uint64_t request, std::uint32_t span)
+      : tracer_(tracer), request_(request), span_(span) {}
+
+  Tracer* tracer_ = nullptr;
+  std::uint64_t request_ = 0;
+  std::uint32_t span_ = kNoSpan;
+};
+
+struct TracerConfig {
+  /// Sample request ids congruent to 0 modulo this (1 = every request).
+  std::uint64_t sample_every = 1;
+  /// Completed requests retained; the oldest is evicted beyond this.
+  std::size_t ring_capacity = 512;
+};
+
+/// Records sampled request span trees against one Engine's clock.
+///
+/// A request is *active* from begin_request until its root span ends AND all
+/// child spans have closed (async master forwards outlive the response);
+/// only then does it move to the completed ring. Commit order is therefore
+/// sim-time order — deterministic for a deterministic simulation.
+class Tracer {
+ public:
+  Tracer(sim::Engine& engine, const TracerConfig& config);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts the root span of request `id`; inactive handle when unsampled.
+  [[nodiscard]] SpanCtx begin_request(std::uint64_t id, std::uint32_t file,
+                                      std::uint16_t landing,
+                                      std::uint32_t client);
+
+  [[nodiscard]] const TracerConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t started() const { return started_; }
+  [[nodiscard]] std::uint64_t committed() const { return committed_; }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+  [[nodiscard]] std::size_t in_flight() const { return active_.size(); }
+
+  /// Completed ring, oldest first.
+  [[nodiscard]] const std::deque<RequestTrace>& completed() const {
+    return done_;
+  }
+
+  /// Moves the completed ring out (oldest first). In-flight requests are
+  /// abandoned; call only after the simulation has drained.
+  [[nodiscard]] std::vector<RequestTrace> take_completed();
+
+  /// Writes a human-readable dump of every in-flight request whose landing
+  /// node or any open span touches `node` (the CCM_AUDIT integration: an
+  /// invariant trip prints what the offending node was doing).
+  void dump_in_flight(std::ostream& os, std::uint16_t node) const;
+
+  /// Unfiltered variant: every in-flight request, by ascending request id.
+  void dump_in_flight(std::ostream& os) const;
+
+ private:
+  friend class SpanCtx;
+
+  struct Active {
+    RequestTrace req;
+    std::uint32_t open = 0;  // spans begun and not yet ended (incl. root)
+  };
+
+  [[nodiscard]] SpanCtx open_child(std::uint64_t request, std::uint32_t parent,
+                                   const char* op, Resource resource,
+                                   std::uint16_t node, sim::SimTime demand,
+                                   std::uint64_t bytes, bool new_track);
+  void close_span(std::uint64_t request, std::uint32_t span);
+  void set_note(std::uint64_t request, std::uint32_t span, std::string detail);
+  void commit(std::uint64_t request);
+
+  sim::Engine& engine_;
+  TracerConfig config_;
+  // Ordered map: in-flight dumps and eviction sweeps iterate by request id,
+  // keeping every output deterministic.
+  std::map<std::uint64_t, Active> active_;
+  std::deque<RequestTrace> done_;
+  std::uint64_t started_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace coop::obs

@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <map>
+#include <string>
 #include <utility>
+
+#include "obs/timeline.hpp"
 
 namespace coop::server {
 
@@ -62,30 +65,68 @@ std::uint32_t CcmServer::block_bytes_of(std::uint64_t file_bytes,
       std::min<std::uint64_t>(remain, params_.block_bytes));
 }
 
-void CcmServer::handle(NodeId node, trace::FileId file,
+void CcmServer::handle(NodeId node, trace::FileId file, const RequestInfo& req,
                        sim::Callback on_served) {
   hw::Node& self = *nodes_[node];
   const std::uint64_t size = files_.size_bytes(file);
   const std::uint32_t nblocks = cache::blocks_for(size, params_.block_bytes);
+  const obs::SpanCtx root = req.span;
 
-  self.cpu().submit(params_.parse_ms, [this, node, file, size, nblocks,
+  const obs::SpanCtx parse =
+      root.begin("cpu.parse", obs::Resource::kCpu, node, params_.parse_ms);
+  self.cpu().submit(params_.parse_ms, [this, node, file, size, nblocks, root,
+                                       parse,
                                        done = std::move(on_served)]() mutable {
+    parse.end();
     hw::Node& me = *nodes_[node];
+    const obs::SpanCtx process =
+        root.begin("cpu.process", obs::Resource::kCpu, node,
+                   params_.process_request_ms(nblocks));
     me.cpu().submit(
         params_.process_request_ms(nblocks),
-        [this, node, file, size, done2 = std::move(done)]() mutable {
+        [this, node, file, size, root, process,
+         done2 = std::move(done)]() mutable {
+          process.end();
           // Policy transition (instantaneous, per the paper's optimistic
           // directory assumptions); then charge everything it implies.
           auto plan = cache_.access(node, file, size);
+          if (timeline_ != nullptr) {
+            std::uint64_t hits = 0;
+            std::uint64_t misses = 0;
+            for (const auto& f : plan.fetches) {
+              if (f.source == cache::Source::kDiskRead) {
+                ++misses;
+              } else {
+                ++hits;
+              }
+            }
+            timeline_->add_cache_access(node, engine_.now(), hits, misses);
+          }
+          const obs::SpanCtx fetch =
+              root.begin("fetch", obs::Resource::kPhase, node);
           execute_plan(
-              node, std::move(plan),
-              [this, node, size, done3 = std::move(done2)]() mutable {
+              node, std::move(plan), fetch,
+              [this, node, size, root, fetch,
+               done3 = std::move(done2)]() mutable {
+                fetch.end();
                 hw::Node& n = *nodes_[node];
+                const obs::SpanCtx serve = root.begin(
+                    "cpu.serve", obs::Resource::kCpu, node,
+                    params_.serve_ms(size));
                 n.cpu().submit(
                     params_.serve_ms(size),
-                    [this, node, size, done4 = std::move(done3)]() mutable {
-                      network_.respond_to_client(*nodes_[node], size,
-                                                 std::move(done4));
+                    [this, node, size, root, serve,
+                     done4 = std::move(done3)]() mutable {
+                      serve.end();
+                      const obs::SpanCtx respond =
+                          root.begin("net.respond", obs::Resource::kNicTx,
+                                     node, 0.0, size);
+                      network_.respond_to_client(
+                          *nodes_[node], size,
+                          [respond, done5 = std::move(done4)]() mutable {
+                            respond.end();
+                            if (done5) done5();
+                          });
                     });
               });
         });
@@ -93,7 +134,7 @@ void CcmServer::handle(NodeId node, trace::FileId file,
 }
 
 void CcmServer::execute_plan(NodeId node, cache::AccessResult plan,
-                             sim::Callback on_all_blocks) {
+                             obs::SpanCtx span, sim::Callback on_all_blocks) {
   hw::Node& self = *nodes_[node];
   const std::uint64_t file_bytes =
       plan.fetches.empty() ? 0 : files_.size_bytes(plan.fetches[0].block.file);
@@ -146,14 +187,33 @@ void CcmServer::execute_plan(NodeId node, cache::AccessResult plan,
             : group.blocks.size();
     const auto bytes = group.bytes;
     const bool extra_hop = group.misdirected;
-    auto after_control = [this, &peer, &self, k, bytes, join]() {
+    const obs::SpanCtx g =
+        span.branch("fetch.remote", obs::Resource::kNicRx, node, bytes);
+    if (g.active()) {
+      std::string detail = "provider=" + std::to_string(provider) +
+                           " blocks=" + std::to_string(k);
+      if (extra_hop) detail += " misdirected";
+      g.note(std::move(detail));
+    }
+    auto after_control = [this, &peer, &self, k, bytes, node, provider, g,
+                          join]() {
       peer.cpu().submit(
           params_.serve_peer_block_ms * static_cast<double>(k),
-          [this, &peer, &self, k, bytes, join]() {
-            network_.send(peer, self, bytes, [this, &self, k, join]() {
+          [this, &peer, &self, k, bytes, node, provider, g, join]() {
+            network_.send(peer, self, bytes, [this, &self, k, bytes, node,
+                                              provider, g, join]() {
+              if (timeline_ != nullptr) {
+                timeline_->add_bytes(provider, obs::Resource::kNicTx,
+                                     engine_.now(), bytes);
+                timeline_->add_bytes(node, obs::Resource::kNicRx,
+                                     engine_.now(), bytes);
+              }
               self.cpu().submit(
                   params_.cache_block_ms * static_cast<double>(k),
-                  [join]() { join->arrive(); });
+                  [g, join]() {
+                    g.end();
+                    join->arrive();
+                  });
             });
           });
     };
@@ -181,21 +241,41 @@ void CcmServer::execute_plan(NodeId node, cache::AccessResult plan,
             ? cache::blocks_for(file_bytes, params_.block_bytes)
             : group.blocks.size();
 
+    const obs::SpanCtx g =
+        span.branch("fetch.disk", obs::Resource::kDisk, home, bytes);
+    if (g.active()) {
+      g.note("home=" + std::to_string(home) +
+             " blocks=" + std::to_string(k));
+    }
     auto do_reads = [this, &reader, &self, group = std::move(group), bytes, k,
-                     join, home, node, whole_file]() mutable {
-      auto after_reads = [this, &reader, &self, bytes, k, join, home,
+                     g, join, home, node, whole_file]() mutable {
+      auto after_reads = [this, &reader, &self, bytes, k, g, join, home,
                           node]() {
         if (home == node) {
           // Local disk: bus into memory, then per-block cache cost.
-          self.bus().submit(params_.bus_ms(bytes), [this, &self, k, join]() {
+          self.bus().submit(params_.bus_ms(bytes), [this, &self, k, g,
+                                                    join]() {
             self.cpu().submit(params_.cache_block_ms * static_cast<double>(k),
-                              [join]() { join->arrive(); });
+                              [g, join]() {
+                                g.end();
+                                join->arrive();
+                              });
           });
         } else {
           // Remote home: ship the blocks over, then cache them here.
-          network_.send(reader, self, bytes, [this, &self, k, join]() {
+          network_.send(reader, self, bytes, [this, &self, k, bytes, g, home,
+                                              node, join]() {
+            if (timeline_ != nullptr) {
+              timeline_->add_bytes(home, obs::Resource::kNicTx, engine_.now(),
+                                   bytes);
+              timeline_->add_bytes(node, obs::Resource::kNicRx, engine_.now(),
+                                   bytes);
+            }
             self.cpu().submit(params_.cache_block_ms * static_cast<double>(k),
-                              [join]() { join->arrive(); });
+                              [g, join]() {
+                                g.end();
+                                join->arrive();
+                              });
           });
         }
       };
@@ -233,11 +313,22 @@ void CcmServer::execute_plan(NodeId node, cache::AccessResult plan,
     hw::Node& from = *nodes_[fw.from];
     const std::uint64_t fw_bytes =
         whole_file ? files_.size_bytes(fw.block.file) : params_.block_bytes;
-    from.cpu().submit(params_.evict_master_ms, [this, fw, &from, fw_bytes]() {
-      if (fw.to != cache::kInvalidNode) {
-        network_.send(from, *nodes_[fw.to], fw_bytes, nullptr);
-      }
-    });
+    // Traced forwards keep the request in flight until the transfer lands;
+    // the tracer only commits the request once every span has closed.
+    obs::SpanCtx f;
+    if (span.active() && fw.to != cache::kInvalidNode) {
+      f = span.branch("forward.master", obs::Resource::kNicTx, fw.from,
+                      fw_bytes);
+      if (f.active()) f.note("to=" + std::to_string(fw.to));
+    }
+    from.cpu().submit(params_.evict_master_ms,
+                      [this, fw, &from, fw_bytes, f]() {
+                        if (fw.to == cache::kInvalidNode) return;
+                        sim::Callback on_landed;
+                        if (f.active()) on_landed = [f]() { f.end(); };
+                        network_.send(from, *nodes_[fw.to], fw_bytes,
+                                      std::move(on_landed));
+                      });
   }
 }
 

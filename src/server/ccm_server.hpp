@@ -31,10 +31,15 @@ class CcmServer final : public Server {
             const hw::ModelParams& params,
             std::function<cache::NodeId(cache::FileId)> home_of = {});
 
-  void handle(NodeId node, trace::FileId file,
+  void handle(NodeId node, trace::FileId file, const RequestInfo& req,
               sim::Callback on_served) override;
+  using Server::handle;
 
   void reset_stats() override { cache_.reset_stats(); }
+
+  void attach_timeline(obs::Timeline* timeline) override {
+    timeline_ = timeline;
+  }
 
   [[nodiscard]] double local_hit_rate() const override {
     return cache_.stats().local_hit_rate();
@@ -56,8 +61,9 @@ class CcmServer final : public Server {
 
  private:
   /// Executes fetches/forwards of `plan`; `on_all_blocks` fires when every
-  /// block of the request is in `node`'s memory.
-  void execute_plan(NodeId node, cache::AccessResult plan,
+  /// block of the request is in `node`'s memory. `span` is the request's
+  /// fetch-phase span (inactive when untraced); transfer groups branch off it.
+  void execute_plan(NodeId node, cache::AccessResult plan, obs::SpanCtx span,
                     sim::Callback on_all_blocks);
 
   /// Bytes of block `index` of a file `file_bytes` long.
@@ -70,6 +76,7 @@ class CcmServer final : public Server {
   const trace::FileSet& files_;
   hw::ModelParams params_;
   cache::ClusterCache cache_;
+  obs::Timeline* timeline_ = nullptr;
 };
 
 }  // namespace coop::server

@@ -9,7 +9,8 @@ ClientPool::ClientPool(sim::Engine& engine, hw::Network& network,
                        std::vector<std::unique_ptr<hw::Node>>& nodes,
                        Server& server, const trace::Trace& trace,
                        const ClientPoolConfig& config,
-                       MetricsCollector& collector, sim::Callback on_warm)
+                       MetricsCollector& collector, sim::Callback on_warm,
+                       obs::Tracer* tracer)
     : engine_(engine),
       network_(network),
       nodes_(nodes),
@@ -18,6 +19,7 @@ ClientPool::ClientPool(sim::Engine& engine, hw::Network& network,
       config_(config),
       collector_(collector),
       on_warm_(std::move(on_warm)),
+      tracer_(tracer),
       dispatcher_(nodes.size()),
       warmup_count_(static_cast<std::size_t>(
           static_cast<double>(trace.requests.size()) *
@@ -26,10 +28,12 @@ ClientPool::ClientPool(sim::Engine& engine, hw::Network& network,
 void ClientPool::start() {
   const std::size_t n =
       std::min(config_.clients, trace_.requests.size());
-  for (std::size_t c = 0; c < n; ++c) issue_next();
+  for (std::size_t c = 0; c < n; ++c) {
+    issue_next(static_cast<std::uint32_t>(c));
+  }
 }
 
-void ClientPool::issue_next() {
+void ClientPool::issue_next(std::uint32_t client) {
   if (next_request_ >= trace_.requests.size()) return;  // this client retires
   const std::size_t my = next_request_++;
   if (!warmed_ && my >= warmup_count_) {
@@ -41,16 +45,28 @@ void ClientPool::issue_next() {
   const NodeId node = dispatcher_.pick();
   const sim::SimTime issued_at = engine_.now();
 
+  obs::SpanCtx root;
+  if (tracer_ != nullptr) {
+    root = tracer_->begin_request(my, file, node, client);
+  }
+  const obs::SpanCtx dispatch =
+      root.begin("net.dispatch", obs::Resource::kRouter, node);
+
   network_.client_request(
-      *nodes_[node], [this, node, file, issued_at, measured]() {
-        server_.handle(node, file, [this, file, issued_at, measured]() {
-          ++completed_;
-          if (measured) {
-            collector_.record_response(engine_.now() - issued_at,
-                                       trace_.files.size_bytes(file));
-          }
-          issue_next();
-        });
+      *nodes_[node],
+      [this, node, file, issued_at, measured, client, my, root, dispatch]() {
+        dispatch.end();
+        server_.handle(
+            node, file, RequestInfo{my, root},
+            [this, file, issued_at, measured, client, root]() {
+              ++completed_;
+              if (measured) {
+                collector_.record_response(engine_.now() - issued_at,
+                                           trace_.files.size_bytes(file));
+              }
+              root.end();
+              issue_next(client);
+            });
       });
 }
 

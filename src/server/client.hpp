@@ -10,6 +10,7 @@
 
 #include "hw/network.hpp"
 #include "hw/node.hpp"
+#include "obs/trace.hpp"
 #include "server/dispatcher.hpp"
 #include "server/metrics.hpp"
 #include "server/server.hpp"
@@ -29,10 +30,13 @@ class ClientPool {
  public:
   /// `on_warm` fires once, when the warm-up request prefix has been issued;
   /// the cluster uses it to reset all statistics windows.
+  /// `tracer`, when non-null, records sampled request spans (observability;
+  /// never perturbs scheduling).
   ClientPool(sim::Engine& engine, hw::Network& network,
              std::vector<std::unique_ptr<hw::Node>>& nodes, Server& server,
              const trace::Trace& trace, const ClientPoolConfig& config,
-             MetricsCollector& collector, sim::Callback on_warm);
+             MetricsCollector& collector, sim::Callback on_warm,
+             obs::Tracer* tracer = nullptr);
 
   /// Launches all clients; they run until the trace is exhausted.
   void start();
@@ -46,8 +50,9 @@ class ClientPool {
 
  private:
   /// One client's next iteration: pull the next trace entry, dispatch it,
-  /// and reissue on completion.
-  void issue_next();
+  /// and reissue on completion. `client` identifies the closed-loop client
+  /// slot (span attribution only).
+  void issue_next(std::uint32_t client);
 
   sim::Engine& engine_;
   hw::Network& network_;
@@ -57,6 +62,7 @@ class ClientPool {
   ClientPoolConfig config_;
   MetricsCollector& collector_;
   sim::Callback on_warm_;
+  obs::Tracer* tracer_;
 
   RoundRobinDispatcher dispatcher_;
   std::size_t warmup_count_;

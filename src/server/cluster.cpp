@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cassert>
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "server/ccm_server.hpp"
 #include "server/l2s_server.hpp"
+#include "util/audit.hpp"
 
 namespace coop::server {
 
@@ -142,8 +147,37 @@ std::unique_ptr<Server> build_server(
 
 }  // namespace
 
+namespace {
+
+/// Best-effort extraction of "node <id>" from an audit violation's detail
+/// string, so the span dump can focus on the offending node.
+std::optional<std::uint16_t> node_in_detail(const std::string& detail) {
+  const std::size_t pos = detail.find("node ");
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t i = pos + 5;
+  if (i >= detail.size() || detail[i] < '0' || detail[i] > '9') {
+    return std::nullopt;
+  }
+  unsigned value = 0;
+  while (i < detail.size() && detail[i] >= '0' && detail[i] <= '9') {
+    value = value * 10 + static_cast<unsigned>(detail[i] - '0');
+    if (value > 0xFFFF) return std::nullopt;
+    ++i;
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+}  // namespace
+
 RunMetrics run_simulation(const ClusterConfig& config,
                           const trace::Trace& trace) {
+  return run_simulation(config, trace, obs::TraceConfig{}, nullptr);
+}
+
+RunMetrics run_simulation(const ClusterConfig& config,
+                          const trace::Trace& trace,
+                          const obs::TraceConfig& obs_config,
+                          obs::TraceData* trace_out) {
   if (config.nodes == 0) throw std::invalid_argument("cluster needs nodes");
   if (!hw::validate(config.params)) {
     throw std::invalid_argument("invalid model parameters");
@@ -162,11 +196,83 @@ RunMetrics run_simulation(const ClusterConfig& config,
   std::unique_ptr<Server> server =
       build_server(config, engine, network, nodes, trace);
 
+  // Observability (all passive: sinks and probes record, never schedule).
+  const bool tracing = obs_config.enabled;
+  std::optional<obs::Tracer> tracer;
+  obs::Timeline timeline;
+  if (tracing) {
+    obs::TracerConfig tc;
+    tc.sample_every = std::max<std::uint64_t>(1, obs_config.sample_every);
+    tc.ring_capacity = obs_config.ring_capacity;
+    tracer.emplace(engine, tc);
+    timeline = obs::Timeline(config.nodes, obs_config.timeline_bucket_ms);
+
+    auto attach = [&timeline](sim::ServiceCenter& c, std::uint16_t nid,
+                              obs::Resource r) {
+      c.set_busy_interval_sink(
+          [&timeline, nid, r](sim::SimTime begin, sim::SimTime end_t) {
+            timeline.add_busy(nid, r, begin, end_t);
+          });
+      c.set_queue_probe(
+          [&timeline, nid, r](sim::SimTime now, std::size_t depth) {
+            timeline.note_queue_depth(nid, r, now, depth);
+          });
+    };
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      hw::Node& n = *nodes[i];
+      const auto nid = static_cast<std::uint16_t>(i);
+      attach(n.cpu(), nid, obs::Resource::kCpu);
+      attach(n.bus(), nid, obs::Resource::kBus);
+      attach(n.nic_tx(), nid, obs::Resource::kNicTx);
+      attach(n.nic_rx(), nid, obs::Resource::kNicRx);
+      n.disk().set_busy_interval_sink(
+          [&timeline, nid](sim::SimTime begin, sim::SimTime end_t) {
+            timeline.add_busy(nid, obs::Resource::kDisk, begin, end_t);
+          });
+      n.disk().set_queue_probe(
+          [&timeline, nid](sim::SimTime now, std::size_t depth) {
+            timeline.note_queue_depth(nid, obs::Resource::kDisk, now, depth);
+          });
+    }
+    attach(network.router(), obs::kClusterNode, obs::Resource::kRouter);
+    server->attach_timeline(&timeline);
+  }
+
+  // Audit integration: when an invariant trips in an audited build, dump the
+  // in-flight sampled spans (focused on the offending node when the detail
+  // names one) before deferring to the previous handler. The handler slot is
+  // process-global, so multi-threaded sweeps clear obs.audit_dump.
+  audit::Handler prev_handler;
+  bool handler_installed = false;
+  if (tracing && obs_config.audit_dump && audit::hooks_compiled_in()) {
+    prev_handler = audit::set_handler([&tracer, &prev_handler](
+                                          const audit::Violation& v) {
+      std::cerr << "[obs] in-flight sampled requests at violation '"
+                << v.invariant << "':\n";
+      if (const auto node = node_in_detail(v.detail)) {
+        tracer->dump_in_flight(std::cerr, *node);
+      } else {
+        tracer->dump_in_flight(std::cerr);
+      }
+      if (prev_handler) {
+        prev_handler(v);
+      } else {
+        // Mirror the default handler: an audited build must not keep
+        // simulating from a corrupt state.
+        std::cerr << "CCM_AUDIT violation [" << v.invariant
+                  << "]: " << v.detail << "\n";
+        std::abort();
+      }
+    });
+    handler_installed = true;
+  }
+
   MetricsCollector collector;
   sim::SimTime measure_start = 0.0;
 
   ClientPool clients(engine, network, nodes, *server, trace, config.clients,
-                     collector, [&]() {
+                     collector,
+                     [&]() {
                        // Warm-up boundary: restart every statistics window
                        // but keep cache contents (steady-state measurement).
                        measure_start = engine.now();
@@ -174,9 +280,13 @@ RunMetrics run_simulation(const ClusterConfig& config,
                        server->reset_stats();
                        for (auto& n : nodes) n->reset_stats();
                        network.router().reset_stats();
-                     });
+                       if (tracing) timeline.rebase(engine.now());
+                     },
+                     tracer ? &*tracer : nullptr);
   clients.start();
   engine.run();
+
+  if (handler_installed) audit::set_handler(std::move(prev_handler));
 
   if (!clients.finished()) {
     throw std::logic_error("simulation drained before the trace finished");
@@ -227,6 +337,21 @@ RunMetrics run_simulation(const ClusterConfig& config,
   m.router_utilization = network.router_utilization();
   m.disk_block_reads = disk_reads;
   m.disk_seeks = seeks;
+
+  if (tracing) {
+    server->attach_timeline(nullptr);
+    if (trace_out != nullptr) {
+      trace_out->config = obs_config;
+      trace_out->nodes = config.nodes;
+      trace_out->requests_sampled = tracer->started();
+      trace_out->requests_committed = tracer->committed();
+      trace_out->requests_evicted = tracer->evicted();
+      trace_out->measure_start_ms = measure_start;
+      trace_out->end_ms = end;
+      trace_out->requests = tracer->take_completed();
+      trace_out->timeline = std::move(timeline);
+    }
+  }
   return m;
 }
 

@@ -11,6 +11,7 @@
 
 #include "cache/coop_cache.hpp"
 #include "hw/params.hpp"
+#include "obs/perfetto.hpp"
 #include "server/client.hpp"
 #include "server/metrics.hpp"
 #include "trace/trace.hpp"
@@ -74,5 +75,17 @@ struct ClusterConfig {
 /// (stateless lambdas are; the benches use nothing else).
 RunMetrics run_simulation(const ClusterConfig& config,
                           const trace::Trace& trace);
+
+/// Traced variant. When `obs_config.enabled`, request spans, per-resource
+/// busy/queue timelines, and (in audited builds) the audit span-dump hook are
+/// wired into the run; the results land in `*trace_out` (may be null to
+/// discard). Tracing is strictly passive: the returned metrics are identical
+/// to the untraced overload's, and `obs_config` is deliberately NOT part of
+/// config_hash. With `obs_config.enabled == false` this is exactly the
+/// untraced run.
+RunMetrics run_simulation(const ClusterConfig& config,
+                          const trace::Trace& trace,
+                          const obs::TraceConfig& obs_config,
+                          obs::TraceData* trace_out);
 
 }  // namespace coop::server

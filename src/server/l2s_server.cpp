@@ -3,9 +3,12 @@
 #include <cassert>
 #include <limits>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "cache/types.hpp"
+#include "obs/timeline.hpp"
+#include "util/audit.hpp"
 
 namespace coop::server {
 
@@ -54,55 +57,90 @@ NodeId L2sServer::pick_target(NodeId landing, trace::FileId file) {
   return best;
 }
 
-void L2sServer::handle(NodeId node, trace::FileId file,
+void L2sServer::handle(NodeId node, trace::FileId file, const RequestInfo& req,
                        sim::Callback on_served) {
   hw::Node& self = *nodes_[node];
-  self.cpu().submit(params_.parse_ms, [this, node, file,
+  const obs::SpanCtx root = req.span;
+  const obs::SpanCtx parse =
+      root.begin("cpu.parse", obs::Resource::kCpu, node, params_.parse_ms);
+  self.cpu().submit(params_.parse_ms, [this, node, file, root, parse,
                                        done = std::move(on_served)]() mutable {
+    parse.end();
     const NodeId target = pick_target(node, file);
     ++requests_;
+    CCM_AUDIT_HOOK(audit("handle"));
     if (target == node) {
-      serve_at(node, node, file, std::move(done));
+      serve_at(node, node, file, root, std::move(done));
       return;
     }
     // Migrate the request (TCP hand-off is a small control message).
     ++handoffs_;
+    const obs::SpanCtx handoff =
+        root.begin("handoff", obs::Resource::kNicTx, node);
+    if (handoff.active()) handoff.note("target=" + std::to_string(target));
     network_.send_control(*nodes_[node], *nodes_[target],
-                          [this, target, node, file,
+                          [this, target, node, file, root, handoff,
                            done2 = std::move(done)]() mutable {
-                            serve_at(target, node, file, std::move(done2));
+                            handoff.end();
+                            serve_at(target, node, file, root,
+                                     std::move(done2));
                           });
   });
 }
 
 void L2sServer::serve_at(NodeId target, NodeId landing, trace::FileId file,
-                         sim::Callback on_served) {
+                         obs::SpanCtx root, sim::Callback on_served) {
   hw::Node& server = *nodes_[target];
   const std::uint64_t size = files_.size_bytes(file);
 
   // Response path: with TCP hand-off the serving node answers the client
   // directly; without it, the payload relays through the landing node which
   // pays a second serve cost.
-  auto respond = [this, target, landing, size,
+  auto respond = [this, target, landing, size, root,
                   done = std::move(on_served)]() mutable {
     hw::Node& server2 = *nodes_[target];
+    const obs::SpanCtx serve = root.begin(
+        "cpu.serve", obs::Resource::kCpu, target, params_.serve_ms(size));
     server2.cpu().submit(
         params_.serve_ms(size),
-        [this, target, landing, size, done2 = std::move(done)]() mutable {
+        [this, target, landing, size, root, serve,
+         done2 = std::move(done)]() mutable {
+          serve.end();
           if (config_.tcp_handoff || target == landing) {
-            network_.respond_to_client(*nodes_[target], size,
-                                       std::move(done2));
+            const obs::SpanCtx resp = root.begin(
+                "net.respond", obs::Resource::kNicTx, target, 0.0, size);
+            network_.respond_to_client(
+                *nodes_[target], size,
+                [resp, done3 = std::move(done2)]() mutable {
+                  resp.end();
+                  if (done3) done3();
+                });
             return;
           }
+          const obs::SpanCtx relay = root.begin(
+              "net.relay", obs::Resource::kNicTx, target, 0.0, size);
           network_.send(*nodes_[target], *nodes_[landing], size,
-                        [this, landing, size, done3 = std::move(done2)]() mutable {
+                        [this, landing, size, root, relay,
+                         done3 = std::move(done2)]() mutable {
+                          relay.end();
+                          const obs::SpanCtx serve2 = root.begin(
+                              "cpu.serve", obs::Resource::kCpu, landing,
+                              params_.serve_ms(size));
                           nodes_[landing]->cpu().submit(
                               params_.serve_ms(size),
-                              [this, landing, size,
+                              [this, landing, size, root, serve2,
                                done4 = std::move(done3)]() mutable {
-                                network_.respond_to_client(*nodes_[landing],
-                                                           size,
-                                                           std::move(done4));
+                                serve2.end();
+                                const obs::SpanCtx resp = root.begin(
+                                    "net.respond", obs::Resource::kNicTx,
+                                    landing, 0.0, size);
+                                network_.respond_to_client(
+                                    *nodes_[landing], size,
+                                    [resp,
+                                     done5 = std::move(done4)]() mutable {
+                                      resp.end();
+                                      if (done5) done5();
+                                    });
                               });
                         });
         });
@@ -115,6 +153,17 @@ void L2sServer::serve_at(NodeId target, NodeId landing, trace::FileId file,
     } else {
       ++migrated_hits_;
     }
+    ++serves_;
+    if (timeline_ != nullptr) {
+      timeline_->add_cache_access(target, engine_.now(), 1, 0);
+    }
+    if (root.active()) {
+      const obs::SpanCtx probe =
+          root.begin("cache.probe", obs::Resource::kCache, target);
+      probe.note(target == landing ? "hit local" : "hit migrated");
+      probe.end();
+    }
+    CCM_AUDIT_HOOK(audit("serve_at"));
     respond();
     return;
   }
@@ -136,15 +185,36 @@ void L2sServer::serve_at(NodeId target, NodeId landing, trace::FileId file,
     }
     cache_.insert(target, file, size);
     ++migrated_hits_;  // served from cluster memory, not disk
+    ++serves_;
+    if (timeline_ != nullptr) {
+      timeline_->add_cache_access(target, engine_.now(), 1, 0);
+    }
+    const obs::SpanCtx repl = root.begin("replicate", obs::Resource::kNicRx,
+                                         target, 0.0, size);
+    if (repl.active()) repl.note("donor=" + std::to_string(donor));
+    CCM_AUDIT_HOOK(audit("serve_at"));
     network_.send_control(
         server, *nodes_[donor],
-        [this, donor, target, size, respond = std::move(respond)]() mutable {
+        [this, donor, target, size, repl,
+         respond = std::move(respond)]() mutable {
           nodes_[donor]->cpu().submit(
               params_.serve_ms(size),
-              [this, donor, target, size,
+              [this, donor, target, size, repl,
                respond2 = std::move(respond)]() mutable {
                 network_.send(*nodes_[donor], *nodes_[target], size,
-                              std::move(respond2));
+                              [this, donor, target, size, repl,
+                               respond3 = std::move(respond2)]() mutable {
+                                if (timeline_ != nullptr) {
+                                  timeline_->add_bytes(
+                                      donor, obs::Resource::kNicTx,
+                                      engine_.now(), size);
+                                  timeline_->add_bytes(
+                                      target, obs::Resource::kNicRx,
+                                      engine_.now(), size);
+                                }
+                                repl.end();
+                                respond3();
+                              });
               });
         });
     return;
@@ -154,6 +224,12 @@ void L2sServer::serve_at(NodeId target, NodeId landing, trace::FileId file,
   // admitting the file into the whole-file cache. Blocks stream one at a
   // time, so concurrent misses interleave at the disk like any other stream.
   cache_.insert(target, file, size);
+  ++misses_;
+  ++serves_;
+  if (timeline_ != nullptr) {
+    timeline_->add_cache_access(target, engine_.now(), 0, 1);
+  }
+  CCM_AUDIT_HOOK(audit("serve_at"));
   const std::uint32_t nblocks = cache::blocks_for(size, params_.block_bytes);
   std::vector<hw::BlockRead> seq;
   seq.reserve(nblocks);
@@ -164,11 +240,22 @@ void L2sServer::serve_at(NodeId target, NodeId landing, trace::FileId file,
         size > start ? size - start : 0, params_.block_bytes));
     seq.push_back(hw::BlockRead{file, b, bytes});
   }
+  const obs::SpanCtx read =
+      root.begin("disk.read", obs::Resource::kDisk, target, 0.0, size);
   hw::read_sequence(
       server.disk(), std::move(seq),
-      [this, target, size, respond = std::move(respond)]() mutable {
+      [this, target, size, root, read,
+       respond = std::move(respond)]() mutable {
+        read.end();
         // All blocks on platter: one bus transfer into memory, then respond.
-        nodes_[target]->bus().submit(params_.bus_ms(size), std::move(respond));
+        const obs::SpanCtx copy = root.begin(
+            "bus.copy", obs::Resource::kBus, target, params_.bus_ms(size));
+        nodes_[target]->bus().submit(
+            params_.bus_ms(size),
+            [copy, respond2 = std::move(respond)]() mutable {
+              copy.end();
+              respond2();
+            });
       });
 }
 
@@ -178,6 +265,27 @@ void L2sServer::reset_stats() {
   migrated_hits_ = 0;
   replications_ = 0;
   handoffs_ = 0;
+  misses_ = 0;
+  serves_ = 0;
+}
+
+std::size_t L2sServer::audit(const char* context) const {
+  std::size_t ccm_audit_failures = cache_.audit(context);
+  const std::string ctx = std::string(" [") + context + "]";
+  // Every serve_at accounts exactly one hit or miss in the same event that
+  // bumps serves_, so this equality holds at every event boundary (all four
+  // counters also reset together at the warm-up boundary).
+  CCM_AUDIT(local_hits_ + migrated_hits_ + misses_ == serves_,
+            "l2s-serve-accounting",
+            std::to_string(local_hits_) + " local + " +
+                std::to_string(migrated_hits_) + " migrated + " +
+                std::to_string(misses_) + " misses != " +
+                std::to_string(serves_) + " serves" + ctx);
+  // A hand-off is recorded in the same event as its request.
+  CCM_AUDIT(handoffs_ <= requests_, "l2s-handoff-accounting",
+            std::to_string(handoffs_) + " handoffs exceed " +
+                std::to_string(requests_) + " requests" + ctx);
+  return ccm_audit_failures;
 }
 
 double L2sServer::local_hit_rate() const {

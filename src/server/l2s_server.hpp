@@ -44,10 +44,20 @@ class L2sServer final : public Server {
             const trace::FileSet& files, const L2sConfig& config,
             const hw::ModelParams& params);
 
-  void handle(NodeId node, trace::FileId file,
+  void handle(NodeId node, trace::FileId file, const RequestInfo& req,
               sim::Callback on_served) override;
+  using Server::handle;
 
   void reset_stats() override;
+
+  void attach_timeline(obs::Timeline* timeline) override {
+    timeline_ = timeline;
+  }
+
+  /// Always-compiled invariant sweep (cache state plus the server's own
+  /// serve/hand-off accounting); returns the number of violations. Event
+  /// sites call it via CCM_AUDIT_HOOK in audited builds.
+  std::size_t audit(const char* context) const;
 
   [[nodiscard]] double local_hit_rate() const override;
   [[nodiscard]] double remote_hit_rate() const override;
@@ -64,8 +74,9 @@ class L2sServer final : public Server {
   [[nodiscard]] NodeId pick_target(NodeId landing, trace::FileId file);
 
   /// Runs the request at `target` (cache probe, disk on miss, serve).
+  /// `root` is the request's root span (inactive when untraced).
   void serve_at(NodeId target, NodeId landing, trace::FileId file,
-                sim::Callback on_served);
+                obs::SpanCtx root, sim::Callback on_served);
 
   sim::Engine& engine_;
   hw::Network& network_;
@@ -80,6 +91,16 @@ class L2sServer final : public Server {
   std::uint64_t migrated_hits_ = 0;
   std::uint64_t replications_ = 0;
   std::uint64_t handoffs_ = 0;
+  // Serve accounting: every serve_at records exactly one hit or miss, so
+  // local_hits_ + migrated_hits_ + misses_ == serves_ at every event.
+  std::uint64_t misses_ = 0;
+  std::uint64_t serves_ = 0;
+  obs::Timeline* timeline_ = nullptr;
+
+  friend struct L2sServerTestPeer;
 };
+
+/// Test-only backdoor for corrupting counters to prove audits trip.
+struct L2sServerTestPeer;
 
 }  // namespace coop::server

@@ -2,13 +2,28 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
+
+namespace coop::obs {
+class Timeline;
+}  // namespace coop::obs
 
 namespace coop::server {
 
 using NodeId = std::uint16_t;
+
+/// Per-request context threaded through `Server::handle`. `span` is the
+/// request's root tracing span — inactive (all operations no-ops) unless the
+/// run was started with tracing enabled, so servers can instrument
+/// unconditionally.
+struct RequestInfo {
+  std::uint64_t id = 0;
+  obs::SpanCtx span;
+};
 
 /// A cluster-wide web server. `handle` is invoked when a client request for
 /// `file` has arrived at `node` (router and NIC ingress already charged);
@@ -17,12 +32,22 @@ class Server {
  public:
   virtual ~Server() = default;
 
-  virtual void handle(NodeId node, trace::FileId file,
+  virtual void handle(NodeId node, trace::FileId file, const RequestInfo& req,
                       sim::Callback on_served) = 0;
+
+  /// Convenience overload for untraced callers (tests, tools). Derived
+  /// classes re-expose it with `using Server::handle;`.
+  void handle(NodeId node, trace::FileId file, sim::Callback on_served) {
+    handle(node, file, RequestInfo{}, std::move(on_served));
+  }
 
   /// Restarts hit/operation counters (cache *contents* are preserved) for
   /// the post-warm-up measurement window.
   virtual void reset_stats() = 0;
+
+  /// Points the server at a per-node observability timeline (cache hit/miss
+  /// lanes). Null detaches; the default implementation ignores it.
+  virtual void attach_timeline(obs::Timeline* timeline) { (void)timeline; }
 
   // Hit accounting over the current window. Local = served from the memory
   // of the node the client contacted; remote = served from another node's

@@ -25,6 +25,7 @@ bool ServiceCenter::submit(SimTime service_time, Callback on_done) {
     return false;
   }
   queue_.push_back(Job{service_time, engine_.now(), std::move(on_done)});
+  if (queue_probe_) queue_probe_(engine_.now(), queue_.size());
   return true;
 }
 
@@ -47,6 +48,7 @@ void ServiceCenter::finish(SimTime /*service*/, Callback on_done) {
   if (!queue_.empty()) {
     Job next = std::move(queue_.front());
     queue_.pop_front();
+    if (queue_probe_) queue_probe_(engine_.now(), queue_.size());
     start(std::move(next));
   } else if (in_service_ == 0) {
     busy_.set_busy(false, engine_.now());

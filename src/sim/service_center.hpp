@@ -32,6 +32,16 @@ class ServiceCenter {
   /// counts a drop) if the queue is full; `on_done` is then never called.
   bool submit(SimTime service_time, Callback on_done);
 
+  /// Observer invoked whenever the waiting-queue depth changes, in
+  /// deterministic sim-event order (observability timeline feed).
+  using QueueProbe = std::function<void(SimTime now, std::size_t depth)>;
+  void set_queue_probe(QueueProbe probe) { queue_probe_ = std::move(probe); }
+
+  /// Forwards completed busy intervals to `sink` (see BusyTracker).
+  void set_busy_interval_sink(BusyTracker::IntervalSink sink) {
+    busy_.set_interval_sink(std::move(sink));
+  }
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
   [[nodiscard]] std::size_t in_service() const { return in_service_; }
@@ -80,6 +90,7 @@ class ServiceCenter {
   BusyTracker busy_;
   Accumulator wait_;
   Accumulator service_;
+  QueueProbe queue_probe_;
 };
 
 }  // namespace coop::sim

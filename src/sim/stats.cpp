@@ -26,7 +26,10 @@ double Accumulator::stddev() const { return std::sqrt(variance()); }
 
 void BusyTracker::set_busy(bool busy, SimTime now) {
   if (busy == busy_) return;
-  if (busy_) accumulated_ += now - busy_since_;
+  if (busy_) {
+    accumulated_ += now - busy_since_;
+    if (sink_) sink_(busy_since_, now);
+  }
   busy_ = busy;
   busy_since_ = now;
 }

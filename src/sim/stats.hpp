@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -40,11 +42,19 @@ class Accumulator {
 /// reset(now). Resources call set_busy around each service interval.
 class BusyTracker {
  public:
+  /// Observer invoked with each completed busy interval [begin, end), in
+  /// deterministic sim-event order. Used by the observability timeline; the
+  /// tracker itself never reads wall clock or randomness.
+  using IntervalSink = std::function<void(SimTime begin, SimTime end)>;
+
   /// Marks the resource busy/idle at simulation time `now`.
   void set_busy(bool busy, SimTime now);
 
   /// Clears accumulated busy time and restarts the observation window.
   void reset(SimTime now);
+
+  /// Installs (or clears, with an empty function) the busy-interval sink.
+  void set_interval_sink(IntervalSink sink) { sink_ = std::move(sink); }
 
   /// Busy fraction in [0,1] over [window start, now].
   [[nodiscard]] double utilization(SimTime now) const;
@@ -57,6 +67,7 @@ class BusyTracker {
   SimTime window_start_ = 0.0;
   SimTime busy_since_ = 0.0;
   SimTime accumulated_ = 0.0;
+  IntervalSink sink_;
 };
 
 /// Fixed-boundary histogram with percentile queries, used for response-time

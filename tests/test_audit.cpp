@@ -14,6 +14,7 @@
 #include "cache/whole_file_cache.hpp"
 #include "ccm/cluster.hpp"
 #include "ccm/storage.hpp"
+#include "server/l2s_server.hpp"
 #include "sim/engine.hpp"
 #include "util/audit.hpp"
 
@@ -394,3 +395,91 @@ TEST(CcmClusterAudit, AutoHooksCatchCorruptionOnNextEvent) {
 
 }  // namespace
 }  // namespace coop::ccm
+
+namespace coop::server {
+
+struct L2sServerTestPeer {
+  static std::uint64_t& serves(L2sServer& s) { return s.serves_; }
+  static std::uint64_t& handoffs(L2sServer& s) { return s.handoffs_; }
+  static std::uint64_t& requests(L2sServer& s) { return s.requests_; }
+};
+
+namespace {
+
+struct L2sAuditFixture {
+  sim::Engine engine;
+  hw::ModelParams params;
+  hw::Network network{engine, params};
+  std::vector<std::unique_ptr<hw::Node>> nodes;
+  trace::FileSet files{{16 * 1024, 16 * 1024, 16 * 1024}};
+  std::unique_ptr<L2sServer> server;
+
+  explicit L2sAuditFixture(std::size_t n = 4) {
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<hw::Node>(
+          engine, params, hw::DiskSched::kSeekAware,
+          static_cast<std::uint16_t>(i)));
+    }
+    L2sConfig config;
+    config.cache.nodes = n;
+    config.cache.capacity_bytes = 8ull << 20;
+    server = std::make_unique<L2sServer>(engine, network, nodes, files,
+                                         config, params);
+  }
+
+  void request(NodeId node, trace::FileId file) {
+    bool done = false;
+    server->handle(node, file, [&] { done = true; });
+    engine.run();
+    ASSERT_TRUE(done);
+  }
+};
+
+TEST(L2sServerAudit, HealthyWorkloadAuditsClean) {
+  L2sAuditFixture f;
+  f.request(0, 0);
+  f.request(1, 0);  // hand-off to the holder
+  f.request(2, 1);
+  coop::audit::Recorder rec;
+  EXPECT_EQ(f.server->audit("healthy"), 0u);
+  EXPECT_EQ(rec.count(), 0u);
+}
+
+TEST(L2sServerAudit, ServeAccountingDriftTrips) {
+  L2sAuditFixture f;
+  f.request(0, 0);
+  f.request(2, 1);
+  // Forge the books: a serve that never recorded its hit-or-miss outcome.
+  L2sServerTestPeer::serves(*f.server) += 1;
+  coop::audit::Recorder rec;
+  EXPECT_GT(f.server->audit("corrupt"), 0u);
+  EXPECT_TRUE(rec.saw("l2s-serve-accounting"));
+}
+
+TEST(L2sServerAudit, HandoffAccountingDriftTrips) {
+  L2sAuditFixture f;
+  f.request(0, 0);
+  // More hand-offs than requests is impossible (at most one per request).
+  L2sServerTestPeer::handoffs(*f.server) =
+      L2sServerTestPeer::requests(*f.server) + 1;
+  coop::audit::Recorder rec;
+  EXPECT_GT(f.server->audit("corrupt"), 0u);
+  EXPECT_TRUE(rec.saw("l2s-handoff-accounting"));
+}
+
+// In audited builds every L2S request re-audits automatically; corrupted
+// accounting is caught by the next handle() without an explicit audit call.
+TEST(L2sServerAudit, AutoHooksCatchCorruptionOnNextRequest) {
+  if (!coop::audit::hooks_compiled_in()) {
+    GTEST_SKIP() << "CCM_AUDIT hooks not compiled in this build";
+  }
+  L2sAuditFixture f;
+  f.request(0, 0);
+  L2sServerTestPeer::serves(*f.server) += 1;
+  coop::audit::Recorder rec;
+  f.request(1, 1);
+  EXPECT_TRUE(rec.saw("l2s-serve-accounting"));
+}
+
+}  // namespace
+}  // namespace coop::server

@@ -27,7 +27,7 @@ std::vector<SweepCell> small_grid(const trace::Trace& tr) {
   for (const auto system :
        {server::SystemKind::kL2S, server::SystemKind::kCcNem}) {
     for (const std::uint64_t mem : {8ull << 20, 32ull << 20, 128ull << 20}) {
-      cells.push_back({figure_config(system, 4, mem), &tr});
+      cells.push_back({figure_config(system, 4, mem), &tr, {}});
     }
   }
   return cells;
@@ -93,7 +93,8 @@ TEST(Executor, EmptyCellListYieldsEmptyReport) {
 TEST(Executor, NullTraceThrows) {
   std::vector<SweepCell> cells;
   cells.push_back({figure_config(server::SystemKind::kL2S, 2, 8 << 20),
-                   nullptr});
+                   nullptr,
+                   {}});
   EXPECT_THROW(execute_cells(cells, {1}), std::invalid_argument);
   EXPECT_THROW(execute_cells(cells, {4}), std::invalid_argument);
 }

@@ -123,6 +123,37 @@ TEST(LintRules, CppLocalsDoNotTaintOtherFiles) {
   EXPECT_TRUE(findings_for_rule(r, "unordered-iter").empty());
 }
 
+TEST(LintRules, FunctionReturningUnorderedTaintsItsResults) {
+  // A helper returning an unordered map *by value* taints the helper's name:
+  // both an auto binding of the result and direct iteration over a call
+  // expression are unordered walks.
+  std::vector<Suppression> none;
+  const auto r = lint(
+      {{"src/cache/helpers.hpp",
+        "std::unordered_map<int, int> make_index();\n"},
+       {"src/cache/user.cpp",
+        "void f() {\n"
+        "  auto idx = make_index();\n"
+        "  for (auto& [k, v] : idx) {}\n"
+        "}\n"
+        "void g() { for (auto& [k, v] : make_index()) {} }\n"}},
+      none);
+  const auto hits = findings_for_rule(r, "unordered-iter");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->token, "idx");
+  EXPECT_EQ(hits[1]->token, "make_index");
+}
+
+TEST(LintRules, FunctionReturningOrderedStaysClean) {
+  std::vector<Suppression> none;
+  const auto r = lint(
+      {{"src/cache/helpers.hpp", "std::map<int, int> make_index();\n"},
+       {"src/cache/user.cpp",
+        "void f() { auto idx = make_index(); for (auto& [k, v] : idx) {} }\n"}},
+      none);
+  EXPECT_TRUE(findings_for_rule(r, "unordered-iter").empty());
+}
+
 TEST(LintRules, OrderedContainersAreClean) {
   const auto r = lint_one("src/x.cpp",
                           "std::map<int, int> counts_;\n"

@@ -1,0 +1,353 @@
+// Observability tests: span nesting and commit semantics, ring-buffer
+// eviction, deterministic sampling, timeline bucketing, a golden-file check
+// of the Perfetto JSON exporter, and end-to-end guarantees — tracing leaves
+// metrics untouched and trace bytes are identical at any --threads.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/executor.hpp"
+#include "harness/experiment.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+#include "trace/synthetic.hpp"
+
+namespace coop::obs {
+namespace {
+
+// -------------------------------------------------------------- spans ---
+
+TEST(Tracer, NestsSpansAndCommitsWhenAllClose) {
+  sim::Engine e;
+  Tracer tracer(e, {1, 8});
+  SpanCtx root = tracer.begin_request(0, 7, 2, 3);
+  ASSERT_TRUE(root.active());
+  EXPECT_EQ(tracer.in_flight(), 1u);
+
+  SpanCtx child;
+  e.schedule_at(1.0, [&] {
+    child = root.begin("cpu.parse", Resource::kCpu, 2, 0.25);
+  });
+  e.schedule_at(2.0, [&] { child.end(); });
+  e.schedule_at(4.0, [&] { root.end(); });
+  e.run();
+
+  EXPECT_EQ(tracer.in_flight(), 0u);
+  EXPECT_EQ(tracer.committed(), 1u);
+  ASSERT_EQ(tracer.completed().size(), 1u);
+  const RequestTrace& req = tracer.completed().front();
+  EXPECT_EQ(req.id, 0u);
+  EXPECT_EQ(req.file, 7u);
+  EXPECT_EQ(req.landing, 2u);
+  EXPECT_EQ(req.client, 3u);
+  ASSERT_EQ(req.spans.size(), 2u);
+  EXPECT_EQ(req.spans[0].parent, kNoSpan);
+  EXPECT_DOUBLE_EQ(req.spans[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(req.spans[0].end, 4.0);
+  EXPECT_EQ(req.spans[1].parent, 0u);
+  EXPECT_STREQ(req.spans[1].op, "cpu.parse");
+  EXPECT_DOUBLE_EQ(req.spans[1].begin, 1.0);
+  EXPECT_DOUBLE_EQ(req.spans[1].end, 2.0);
+  EXPECT_DOUBLE_EQ(req.spans[1].demand, 0.25);
+}
+
+TEST(Tracer, CommitWaitsForAsyncTailSpans) {
+  // An async span (master forward) outlives the root: the request must stay
+  // in flight until the tail closes.
+  sim::Engine e;
+  Tracer tracer(e, {1, 8});
+  SpanCtx root = tracer.begin_request(0, 1, 0, 0);
+  SpanCtx tail = root.branch("forward.master", Resource::kNicTx, 0, 4096);
+  e.schedule_at(1.0, [&] { root.end(); });
+  e.schedule_at(3.0, [&] { tail.end(); });
+  e.schedule_at(2.0, [&] { EXPECT_EQ(tracer.in_flight(), 1u); });
+  e.run();
+  EXPECT_EQ(tracer.committed(), 1u);
+  const RequestTrace& req = tracer.completed().front();
+  ASSERT_EQ(req.spans.size(), 2u);
+  EXPECT_EQ(req.spans[1].track, 1u);  // branch got its own render track
+  EXPECT_EQ(req.tracks, 2u);
+  EXPECT_DOUBLE_EQ(req.spans[1].end, 3.0);
+}
+
+TEST(Tracer, EndIsIdempotentAndNoteAttaches) {
+  sim::Engine e;
+  Tracer tracer(e, {1, 8});
+  SpanCtx root = tracer.begin_request(0, 1, 0, 0);
+  SpanCtx child = root.begin("disk.read", Resource::kDisk, 0, 0.0, 8192);
+  child.note("home=0 blocks=1");
+  e.schedule_at(1.0, [&] { child.end(); });
+  e.schedule_at(2.0, [&] {
+    child.end();  // double-close must not reopen or shift the span
+    root.end();
+  });
+  e.run();
+  ASSERT_EQ(tracer.completed().size(), 1u);
+  const auto& spans = tracer.completed().front().spans;
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_DOUBLE_EQ(spans[1].end, 1.0);
+  EXPECT_EQ(spans[1].detail, "home=0 blocks=1");
+  EXPECT_EQ(spans[1].bytes, 8192u);
+}
+
+TEST(Tracer, InactiveHandlesAreNoOps) {
+  SpanCtx none;
+  EXPECT_FALSE(none.active());
+  SpanCtx child = none.begin("x", Resource::kCpu, 0);
+  EXPECT_FALSE(child.active());
+  child.end();
+  none.note("ignored");  // must not crash
+}
+
+// ------------------------------------------------- sampling + eviction ---
+
+TEST(Tracer, SamplesDeterministicallyByRequestId) {
+  sim::Engine e;
+  Tracer tracer(e, {/*sample_every=*/3, /*ring_capacity=*/64});
+  std::vector<bool> sampled;
+  for (std::uint64_t id = 0; id < 9; ++id) {
+    SpanCtx root = tracer.begin_request(id, 0, 0, 0);
+    sampled.push_back(root.active());
+    root.end();
+  }
+  const std::vector<bool> expect{true, false, false, true, false,
+                                 false, true, false, false};
+  EXPECT_EQ(sampled, expect);
+  EXPECT_EQ(tracer.started(), 3u);
+  EXPECT_EQ(tracer.committed(), 3u);
+  ASSERT_EQ(tracer.completed().size(), 3u);
+  EXPECT_EQ(tracer.completed()[0].id, 0u);
+  EXPECT_EQ(tracer.completed()[1].id, 3u);
+  EXPECT_EQ(tracer.completed()[2].id, 6u);
+}
+
+TEST(Tracer, RingEvictsOldestCompleted) {
+  sim::Engine e;
+  Tracer tracer(e, {1, /*ring_capacity=*/2});
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    SpanCtx root = tracer.begin_request(id, 0, 0, 0);
+    root.end();
+  }
+  EXPECT_EQ(tracer.committed(), 5u);
+  EXPECT_EQ(tracer.evicted(), 3u);
+  ASSERT_EQ(tracer.completed().size(), 2u);
+  EXPECT_EQ(tracer.completed()[0].id, 3u);
+  EXPECT_EQ(tracer.completed()[1].id, 4u);
+
+  Tracer drained(e, {1, 2});
+  { auto r = drained.begin_request(0, 0, 0, 0); r.end(); }
+  auto taken = drained.take_completed();
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(drained.completed().empty());
+}
+
+TEST(Tracer, DumpInFlightListsOpenSpans) {
+  sim::Engine e;
+  Tracer tracer(e, {1, 8});
+  SpanCtx root = tracer.begin_request(4, 9, 1, 0);
+  SpanCtx child = root.begin("disk.read", Resource::kDisk, 1);
+  (void)child;
+  std::ostringstream os;
+  tracer.dump_in_flight(os);
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("request 4"), std::string::npos);
+  EXPECT_NE(dump.find("disk.read"), std::string::npos);
+  // Node-filtered variant: node 1 matches, node 0 does not.
+  std::ostringstream hit, miss;
+  tracer.dump_in_flight(hit, 1);
+  tracer.dump_in_flight(miss, 0);
+  EXPECT_NE(hit.str().find("request 4"), std::string::npos);
+  EXPECT_EQ(miss.str().find("request 4"), std::string::npos);
+}
+
+// ----------------------------------------------------------- timeline ---
+
+TEST(Timeline, SplitsBusyIntervalsAcrossBuckets) {
+  Timeline tl(2, 1.0);
+  tl.add_busy(0, Resource::kDisk, 0.5, 2.5);  // 0.5 + 1.0 + 0.5
+  EXPECT_DOUBLE_EQ(tl.lane(0, Resource::kDisk)[0].busy_ms, 0.5);
+  EXPECT_DOUBLE_EQ(tl.lane(0, Resource::kDisk)[1].busy_ms, 1.0);
+  EXPECT_DOUBLE_EQ(tl.lane(0, Resource::kDisk)[2].busy_ms, 0.5);
+}
+
+TEST(Timeline, TracksMaxQueueDepthAndCounts) {
+  Timeline tl(1, 10.0);
+  tl.note_queue_depth(0, Resource::kCpu, 1.0, 3);
+  tl.note_queue_depth(0, Resource::kCpu, 2.0, 7);
+  tl.note_queue_depth(0, Resource::kCpu, 3.0, 5);
+  tl.add_cache_access(0, 1.0, 2, 1);
+  tl.add_bytes(0, Resource::kNicTx, 5.0, 4096);
+  EXPECT_EQ(tl.lane(0, Resource::kCpu)[0].max_queue, 7u);
+  EXPECT_EQ(tl.lane(0, Resource::kCache)[0].hits, 2u);
+  EXPECT_EQ(tl.lane(0, Resource::kCache)[0].misses, 1u);
+  EXPECT_EQ(tl.lane(0, Resource::kNicTx)[0].bytes, 4096u);
+}
+
+TEST(Timeline, RebaseDiscardsWarmupAndShiftsOrigin) {
+  Timeline tl(1, 1.0);
+  tl.add_busy(0, Resource::kCpu, 0.0, 1.0);  // warm-up activity
+  tl.rebase(100.0);
+  EXPECT_TRUE(tl.lane(0, Resource::kCpu).empty());
+  tl.add_busy(0, Resource::kCpu, 100.25, 100.75);
+  ASSERT_EQ(tl.lane(0, Resource::kCpu).size(), 1u);
+  EXPECT_DOUBLE_EQ(tl.lane(0, Resource::kCpu)[0].busy_ms, 0.5);
+
+  util::CsvWriter csv;
+  tl.append_csv(csv);
+  const std::string text = csv.to_string();
+  EXPECT_NE(
+      text.find(
+          "bucket_start_ms,node,resource,busy_ms,max_queue,hits,misses,bytes"),
+      std::string::npos);
+  EXPECT_NE(text.find("100.000,0,cpu,0.500,0,0,0,0"), std::string::npos);
+}
+
+TEST(Timeline, ClusterLaneIsLabelled) {
+  Timeline tl(1, 1.0);
+  tl.add_busy(kClusterNode, Resource::kRouter, 0.0, 0.5);
+  util::CsvWriter csv;
+  tl.append_csv(csv);
+  EXPECT_NE(csv.to_string().find("0.000,cluster,router,0.500,0,0,0,0"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ Perfetto JSON ---
+
+/// Golden check: the exporter's bytes for a tiny fixed TraceData. Times are
+/// powers of two so every double formats exactly; if the exporter's layout
+/// changes intentionally, regenerate this string (the test failure prints
+/// the full actual output).
+TEST(PerfettoExport, GoldenTinyTrace) {
+  TraceData data;
+  data.config.enabled = true;
+  data.config.sample_every = 2;
+  data.config.timeline_bucket_ms = 1.0;
+  data.config.ring_capacity = 4;
+  data.nodes = 2;
+  data.requests_sampled = 1;
+  data.requests_committed = 1;
+  data.requests_evicted = 0;
+  data.measure_start_ms = 0.0;
+  data.end_ms = 4.0;
+
+  RequestTrace req;
+  req.id = 2;
+  req.file = 7;
+  req.landing = 1;
+  req.client = 3;
+  req.tracks = 2;
+  {
+    SpanRecord root;
+    root.parent = kNoSpan;
+    root.op = "request";
+    root.node = 1;
+    root.resource = Resource::kPhase;
+    root.begin = 0.5;
+    root.end = 3.5;
+    req.spans.push_back(root);
+  }
+  {
+    SpanRecord cpu;
+    cpu.parent = 0;
+    cpu.op = "cpu.parse";
+    cpu.node = 1;
+    cpu.resource = Resource::kCpu;
+    cpu.begin = 0.5;
+    cpu.end = 0.75;
+    cpu.demand = 0.25;
+    req.spans.push_back(cpu);
+  }
+  {
+    SpanRecord fetch;
+    fetch.parent = 0;
+    fetch.op = "fetch.remote";
+    fetch.detail = "provider=0 blocks=1";
+    fetch.node = 1;
+    fetch.resource = Resource::kNicRx;
+    fetch.track = 1;
+    fetch.begin = 1.0;
+    fetch.end = 2.0;
+    fetch.bytes = 8192;
+    req.spans.push_back(fetch);
+  }
+  data.requests.push_back(req);
+
+  data.timeline = Timeline(2, 1.0);
+  data.timeline.add_busy(1, Resource::kCpu, 0.5, 0.75);
+  data.timeline.add_bytes(1, Resource::kNicRx, 1.5, 8192);
+  data.timeline.add_cache_access(1, 0.5, 0, 1);
+  data.timeline.note_queue_depth(1, Resource::kCpu, 0.5, 2);
+
+  const std::string kGolden =
+      R"({"displayTimeUnit":"ms","otherData":{"sample_every":2,"ring_capacity":4,"timeline_bucket_ms":1,"requests_sampled":1,"requests_committed":1,"requests_evicted":0,"measure_start_ms":0,"end_ms":4},"traceEvents":[{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"node0"}},{"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"cpu"}},{"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"bus"}},{"ph":"M","pid":0,"tid":2,"name":"thread_name","args":{"name":"nic-tx"}},{"ph":"M","pid":0,"tid":3,"name":"thread_name","args":{"name":"nic-rx"}},{"ph":"M","pid":0,"tid":4,"name":"thread_name","args":{"name":"disk"}},{"ph":"M","pid":0,"tid":6,"name":"thread_name","args":{"name":"cache"}},{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"node1"}},{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"cpu"}},{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"bus"}},{"ph":"M","pid":1,"tid":2,"name":"thread_name","args":{"name":"nic-tx"}},{"ph":"M","pid":1,"tid":3,"name":"thread_name","args":{"name":"nic-rx"}},{"ph":"M","pid":1,"tid":4,"name":"thread_name","args":{"name":"disk"}},{"ph":"M","pid":1,"tid":6,"name":"thread_name","args":{"name":"cache"}},{"ph":"M","pid":2,"tid":0,"name":"process_name","args":{"name":"cluster"}},{"ph":"M","pid":2,"tid":5,"name":"thread_name","args":{"name":"router"}},{"ph":"M","pid":1,"tid":1192,"name":"thread_name","args":{"name":"req client3"}},{"ph":"M","pid":1,"tid":1193,"name":"thread_name","args":{"name":"req client3 branch1"}},{"ph":"X","pid":1,"tid":1192,"cat":"request","name":"request","ts":5e+02,"dur":3e+03,"args":{"request":2,"node":1,"resource":"phase","file":7,"client":3}},{"ph":"X","pid":1,"tid":1192,"cat":"request","name":"cpu.parse","ts":5e+02,"dur":2.5e+02,"args":{"request":2,"node":1,"resource":"cpu","service_ms":0.25,"queued_ms":0}},{"ph":"X","pid":1,"tid":1193,"cat":"request","name":"fetch.remote","ts":1e+03,"dur":1e+03,"args":{"request":2,"node":1,"resource":"nic-rx","bytes":8192,"detail":"provider=0 blocks=1"}},{"ph":"X","pid":1,"tid":0,"cat":"resource","name":"cpu.parse","ts":5e+02,"dur":2.5e+02,"args":{"request":2}},{"ph":"C","pid":1,"tid":0,"name":"cpu","ts":0,"args":{"busy_ms":0.25,"max_queue":2}},{"ph":"C","pid":1,"tid":0,"name":"nic-rx","ts":1e+03,"args":{"busy_ms":0,"max_queue":0,"bytes":8192}},{"ph":"C","pid":1,"tid":0,"name":"cache","ts":0,"args":{"hits":0,"misses":1}}]})";
+  EXPECT_EQ(chrome_trace_json(data), kGolden);
+}
+
+}  // namespace
+}  // namespace coop::obs
+
+// --------------------------------------------- end-to-end guarantees ---
+
+namespace coop::harness {
+namespace {
+
+trace::Trace tiny_trace() {
+  trace::SyntheticSpec spec;
+  spec.num_files = 200;
+  spec.num_requests = 2000;
+  spec.seed = 42;
+  return trace::generate(spec);
+}
+
+std::vector<SweepCell> traced_cells(const trace::Trace& tr,
+                                    const obs::TraceConfig& oc) {
+  std::vector<SweepCell> cells;
+  for (const auto system :
+       {server::SystemKind::kL2S, server::SystemKind::kCcNem}) {
+    cells.push_back({figure_config(system, 4, 32ull << 20), &tr, oc});
+  }
+  return cells;
+}
+
+TEST(TracedRuns, MetricsAreUntouchedByTracing) {
+  const auto tr = tiny_trace();
+  obs::TraceConfig oc;
+  oc.enabled = true;
+  oc.sample_every = 7;
+  oc.timeline_bucket_ms = 50.0;
+  const auto base = execute_cells(traced_cells(tr, obs::TraceConfig{}), {1});
+  const auto traced = execute_cells(traced_cells(tr, oc), {1});
+  ASSERT_EQ(base.points.size(), traced.points.size());
+  for (std::size_t i = 0; i < base.points.size(); ++i) {
+    EXPECT_EQ(base.points[i], traced.points[i]) << "cell " << i;
+  }
+  EXPECT_TRUE(base.traces.empty());
+  ASSERT_EQ(traced.traces.size(), traced.points.size());
+  EXPECT_GT(traced.traces[0].requests_committed, 0u);
+  EXPECT_FALSE(traced.traces[0].requests.empty());
+}
+
+TEST(TracedRuns, TraceBytesIdenticalAcrossThreadCounts) {
+  const auto tr = tiny_trace();
+  obs::TraceConfig oc;
+  oc.enabled = true;
+  oc.sample_every = 3;
+  const auto t1 = execute_cells(traced_cells(tr, oc), {1});
+  const auto t4 = execute_cells(traced_cells(tr, oc), {4});
+  ASSERT_EQ(t1.traces.size(), t4.traces.size());
+  for (std::size_t i = 0; i < t1.traces.size(); ++i) {
+    EXPECT_EQ(obs::chrome_trace_json(t1.traces[i]),
+              obs::chrome_trace_json(t4.traces[i]))
+        << "cell " << i;
+    util::CsvWriter c1, c4;
+    t1.traces[i].timeline.append_csv(c1);
+    t4.traces[i].timeline.append_csv(c4);
+    EXPECT_EQ(c1.to_string(), c4.to_string()) << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace coop::harness

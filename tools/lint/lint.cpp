@@ -140,9 +140,11 @@ bool is_unordered_type_token(const Corpus& c, const std::string& t) {
 }
 
 /// From an unordered-type anchor token, extracts and taints the declared
-/// variable name, handling qualified tails (::iterator), pointers/refs, and
-/// anchors nested inside an enclosing template argument list
-/// (std::vector<Store> stores_).
+/// name, handling qualified tails (::iterator), pointers/refs, and anchors
+/// nested inside an enclosing template argument list
+/// (std::vector<Store> stores_). A declarator followed by '(' is a function
+/// returning the unordered type by value; tainting its *name* makes both
+/// `auto r = make_index();` and `for (auto& kv : make_index())` visible.
 void taint_from_anchor(const std::string& code, const Token& tok,
                        Scope& scope) {
   std::size_t i = tok.pos + tok.text.size();
@@ -186,7 +188,8 @@ void taint_from_anchor(const std::string& code, const Token& tok,
       const std::size_t after = skip_spaces(code, j);
       if (after < code.size() &&
           (code[after] == ';' || code[after] == '=' || code[after] == '{' ||
-           code[after] == ',' || code[after] == ')')) {
+           code[after] == ',' || code[after] == ')' ||
+           code[after] == '(')) {
         scope.tainted.insert(name);
       }
     }
