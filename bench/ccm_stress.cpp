@@ -1,0 +1,223 @@
+// ccm_stress: drives the threaded middleware runtime (CcmCluster) with a
+// mixed read/write/invalidate workload and reports throughput plus the
+// per-shard lock-contention counters that motivated sharding the runtime out
+// of its old global cluster lock. The interesting number is the contention
+// rate per shard: with one lock per node it stays low even with every worker
+// hammering a shared file set, where a single global lock saturates.
+//
+// Flags:
+//   --nodes=N            cluster size                     (default 4)
+//   --blocks-per-node=N  cache capacity per node, blocks  (default 64)
+//   --files=N            file count                       (default 48)
+//   --file-blocks=N      blocks per file                  (default 4)
+//   --workers=N          worker threads per node          (default 2)
+//   --drivers=N          client driver threads            (default nodes)
+//   --iters=N            operations per driver            (default 2000)
+//   --write-pct=P        % of ops that write              (default 20)
+//   --invalidate-pct=P   % of ops that invalidate         (default 2)
+//   --seed=N             workload RNG seed                (default 1)
+//   --policy=nem|basic   eviction policy                  (default nem)
+//   --directory=perfect|hinted                            (default perfect)
+//   --json[=PATH]        emit a JSON report (stdout or PATH)
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ccm/cluster.hpp"
+#include "ccm/storage.hpp"
+#include "sim/random.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace coop;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((seed + i * 7) & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 4));
+  const auto blocks_per_node =
+      static_cast<std::uint64_t>(flags.get_int("blocks-per-node", 64));
+  const auto files = static_cast<std::size_t>(flags.get_int("files", 48));
+  const auto file_blocks =
+      static_cast<std::uint32_t>(flags.get_int("file-blocks", 4));
+  const auto workers = static_cast<std::size_t>(flags.get_int("workers", 2));
+  const auto drivers = static_cast<std::size_t>(
+      flags.get_int("drivers", static_cast<std::int64_t>(nodes)));
+  const auto iters = static_cast<int>(flags.get_int("iters", 2000));
+  const auto write_pct = flags.get_int("write-pct", 20);
+  const auto invalidate_pct = flags.get_int("invalidate-pct", 2);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  ccm::CcmConfig cfg;
+  cfg.nodes = nodes;
+  cfg.block_bytes = 8 * 1024;
+  cfg.capacity_bytes = blocks_per_node * cfg.block_bytes;
+  cfg.workers_per_node = workers;
+  cfg.policy = flags.get("policy", "nem") == "basic"
+                   ? cache::Policy::kBasic
+                   : cache::Policy::kNeverEvictMaster;
+  cfg.directory = flags.get("directory", "perfect") == "hinted"
+                      ? cache::DirectoryMode::kHinted
+                      : cache::DirectoryMode::kPerfect;
+
+  const std::uint32_t file_bytes = file_blocks * cfg.block_bytes;
+  auto storage = std::make_shared<ccm::BufferStorage>(
+      std::vector<std::uint32_t>(files, file_bytes));
+  ccm::CcmCluster cluster(cfg, storage);
+
+  // Seed every file so the steady-state workload starts warm.
+  for (std::size_t f = 0; f < files; ++f) {
+    cluster.write(static_cast<cache::NodeId>(f % nodes),
+                  static_cast<cache::FileId>(f), 0,
+                  pattern(file_bytes, static_cast<std::uint8_t>(f)));
+  }
+  cluster.reset_stats();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t d = 0; d < drivers; ++d) {
+    threads.emplace_back([&, d] {
+      sim::Rng rng(seed * 1000 + d);
+      for (int i = 0; i < iters; ++i) {
+        const auto f =
+            static_cast<cache::FileId>(rng.uniform_int(files));
+        const auto via =
+            static_cast<cache::NodeId>(rng.uniform_int(nodes));
+        const auto roll = static_cast<std::int64_t>(rng.uniform_int(100));
+        if (roll < write_pct) {
+          const std::uint64_t off =
+              rng.uniform_int(file_blocks) * cfg.block_bytes;
+          const auto len = std::min<std::uint64_t>(cfg.block_bytes,
+                                                   file_bytes - off);
+          cluster.write(via, f, off,
+                        pattern(static_cast<std::size_t>(len),
+                                static_cast<std::uint8_t>(f + i)));
+        } else if (roll < write_pct + invalidate_pct) {
+          cluster.invalidate(f);
+        } else {
+          cluster.read(via, f);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const auto s = cluster.stats();
+  const double total_ops = static_cast<double>(drivers) * iters;
+  const bool consistent = cluster.check_consistency();
+
+  std::cout << "ccm_stress: " << drivers << " drivers x " << iters
+            << " ops over " << nodes << " nodes (" << workers
+            << " workers/node), " << files << " files\n"
+            << "  elapsed " << util::fixed(secs, 3) << " s, "
+            << util::fixed(total_ops / secs, 0) << " ops/s, consistency "
+            << (consistent ? "OK" : "BROKEN") << "\n"
+            << "  hits: local " << s.local_hits << ", remote "
+            << s.remote_hits << ", disk " << s.disk_reads << ", writes "
+            << s.writes << ", invalidations " << s.invalidations << "\n";
+  for (std::size_t n = 0; n < s.shards.size(); ++n) {
+    const auto& sh = s.shards[n];
+    const double rate = sh.lock_acquired
+                            ? static_cast<double>(sh.lock_contended) /
+                                  static_cast<double>(sh.lock_acquired)
+                            : 0.0;
+    std::cout << "  shard " << n << ": lock acquired " << sh.lock_acquired
+              << ", contended " << sh.lock_contended << " ("
+              << util::fixed(rate * 100.0, 2) << "%), local reads "
+              << sh.local_reads << ", msgs sent " << sh.messages_sent
+              << ", handled " << sh.messages_handled << "\n";
+  }
+
+  if (flags.has("json")) {
+    util::JsonWriter j;
+    j.begin_object();
+    j.key("bench").value("ccm_stress");
+    j.key("config").begin_object();
+    j.key("nodes").value(static_cast<std::uint64_t>(nodes));
+    j.key("blocks_per_node").value(blocks_per_node);
+    j.key("files").value(static_cast<std::uint64_t>(files));
+    j.key("file_blocks").value(file_blocks);
+    j.key("workers_per_node").value(static_cast<std::uint64_t>(workers));
+    j.key("drivers").value(static_cast<std::uint64_t>(drivers));
+    j.key("iters").value(static_cast<std::int64_t>(iters));
+    j.key("write_pct").value(write_pct);
+    j.key("invalidate_pct").value(invalidate_pct);
+    j.key("seed").value(seed);
+    j.key("policy").value(cfg.policy == cache::Policy::kBasic ? "basic"
+                                                              : "nem");
+    j.key("directory").value(cfg.directory == cache::DirectoryMode::kHinted
+                                 ? "hinted"
+                                 : "perfect");
+    j.end_object();
+    j.key("elapsed_seconds").value(secs);
+    j.key("ops_per_second").value(total_ops / secs);
+    j.key("consistent").value(consistent);
+    j.key("totals").begin_object();
+    j.key("local_hits").value(s.local_hits);
+    j.key("remote_hits").value(s.remote_hits);
+    j.key("disk_reads").value(s.disk_reads);
+    j.key("writes").value(s.writes);
+    j.key("invalidations").value(s.invalidations);
+    j.key("ownership_migrations").value(s.ownership_migrations);
+    j.key("forwards_attempted").value(s.forwards_attempted);
+    j.key("forwards_accepted").value(s.forwards_accepted);
+    j.key("master_drops").value(s.master_drops);
+    j.end_object();
+    j.key("shards").begin_array();
+    for (const auto& sh : s.shards) {
+      j.begin_object();
+      j.key("lock_acquired").value(sh.lock_acquired);
+      j.key("lock_contended").value(sh.lock_contended);
+      j.key("contention_rate")
+          .value(sh.lock_acquired ? static_cast<double>(sh.lock_contended) /
+                                        static_cast<double>(sh.lock_acquired)
+                                  : 0.0);
+      j.key("local_reads").value(sh.local_reads);
+      j.key("messages_sent").value(sh.messages_sent);
+      j.key("messages_handled").value(sh.messages_handled);
+      j.end_object();
+    }
+    j.end_array();
+    j.key("directory_ops").begin_object();
+    j.key("lookups").value(s.directory.lookups);
+    j.key("claims").value(s.directory.claims);
+    j.key("claim_conflicts").value(s.directory.claim_conflicts);
+    j.key("forwards_begun").value(s.directory.forwards_begun);
+    j.key("forward_claims").value(s.directory.forward_claims);
+    j.key("forward_rejects").value(s.directory.forward_rejects);
+    j.key("masters_dropped").value(s.directory.masters_dropped);
+    j.key("write_claims").value(s.directory.write_claims);
+    j.key("hint_misdirects").value(s.directory.hint_misdirects);
+    j.end_object();
+    j.end_object();
+
+    const std::string path = flags.get("json");
+    if (path.empty() || path == "true") {
+      std::cout << j.str() << "\n";
+    } else {
+      std::ofstream out(path);
+      out << j.str() << "\n";
+      std::cout << "  json report -> " << path << "\n";
+    }
+  }
+
+  return consistent ? 0 : 1;
+}

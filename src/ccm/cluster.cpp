@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "util/audit.hpp"
 
@@ -22,27 +23,35 @@ cache::CoopCacheConfig to_cache_config(const CcmConfig& c) {
   return cc;
 }
 
+/// Bounded directory-race retries before falling back to an uncached read.
+constexpr int kAcquireAttempts = 64;
+
 }  // namespace
 
 CcmCluster::CcmCluster(const CcmConfig& config,
                        std::shared_ptr<Storage> storage)
     : config_(config),
       storage_(std::move(storage)),
-      cache_(to_cache_config(config)),
-      stores_(config.nodes),
-      observer_(*this) {
+      directory_(config.nodes, config.directory,
+                 cache::CoopCacheConfig{}.hint_staleness) {
   if (!storage_) throw std::invalid_argument("CcmCluster: null storage");
   if (config_.nodes == 0) throw std::invalid_argument("CcmCluster: 0 nodes");
   if (config_.workers_per_node == 0) {
     throw std::invalid_argument("CcmCluster: 0 workers per node");
   }
-  cache_.set_observer(&observer_);
-
+  const cache::CoopCacheConfig cc = to_cache_config(config_);
+  shards_.reserve(config_.nodes);
   mailboxes_.reserve(config_.nodes);
+  proto_mailboxes_.reserve(config_.nodes);
   for (std::size_t n = 0; n < config_.nodes; ++n) {
+    shards_.push_back(
+        std::make_unique<Shard>(static_cast<cache::NodeId>(n), cc));
     mailboxes_.push_back(std::make_unique<Mailbox<Task>>());
+    proto_mailboxes_.push_back(std::make_unique<Mailbox<Envelope>>());
   }
   for (std::size_t n = 0; n < config_.nodes; ++n) {
+    protocol_threads_.emplace_back(
+        [this, n] { protocol_loop(static_cast<cache::NodeId>(n)); });
     for (std::size_t w = 0; w < config_.workers_per_node; ++w) {
       workers_.emplace_back(
           [this, n] { worker_loop(static_cast<cache::NodeId>(n)); });
@@ -51,8 +60,12 @@ CcmCluster::CcmCluster(const CcmConfig& config,
 }
 
 CcmCluster::~CcmCluster() {
+  // Workers first (they may have RPCs in flight that need the protocol
+  // threads alive), then the protocol layer.
   for (auto& mb : mailboxes_) mb->close();
   for (auto& t : workers_) t.join();
+  for (auto& mb : proto_mailboxes_) mb->close();
+  for (auto& t : protocol_threads_) t.join();
 }
 
 void CcmCluster::worker_loop(cache::NodeId node) {
@@ -70,6 +83,31 @@ void CcmCluster::worker_loop(cache::NodeId node) {
       task->promise.set_exception(std::current_exception());
     }
   }
+}
+
+void CcmCluster::protocol_loop(cache::NodeId node) {
+  auto& mailbox = *proto_mailboxes_[node];
+  while (auto env = mailbox.receive()) {
+    Reply reply = handle_message(node, *env);
+    if (env->reply) env->reply->set_value(std::move(reply));
+  }
+}
+
+CcmCluster::Reply CcmCluster::rpc(const proto::Message& msg, BlockPtr data,
+                                  std::uint64_t epoch) {
+  Envelope env;
+  env.msg = msg;
+  env.data = std::move(data);
+  env.epoch = epoch;
+  env.reply = std::make_shared<std::promise<Reply>>();
+  auto future = env.reply->get_future();
+  if (msg.from != cache::kInvalidNode) {
+    shards_[msg.from]->messages_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!proto_mailboxes_[msg.to]->send(std::move(env))) {
+    throw std::runtime_error("CcmCluster: node is shut down");
+  }
+  return future.get();
 }
 
 std::future<std::vector<std::byte>> CcmCluster::read_async(
@@ -144,53 +182,303 @@ std::uint32_t CcmCluster::block_bytes_of(std::uint64_t file_bytes,
       std::min<std::uint64_t>(file_bytes - start, config_.block_bytes));
 }
 
-// ----------------------------------------------------------- observer ----
+// ----------------------------------------------------------- protocol ----
 
-void CcmCluster::StoreObserver::on_fetch(cache::NodeId requester,
-                                         const cache::BlockFetch& fetch) {
-  auto& stores = owner_.stores_;
-  BlockPtr ptr;
-  switch (fetch.source) {
-    case cache::Source::kLocalHit: {
-      const auto it = stores[requester].find(fetch.block);
-      assert(it != stores[requester].end());
-      ptr = it->second;
-      break;
+CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
+                                             Envelope& env) {
+  Shard& sh = *shards_[self];
+  const proto::Message& msg = env.msg;
+  sh.messages_handled.fetch_add(1, std::memory_order_relaxed);
+
+  switch (msg.kind) {
+    case proto::MsgKind::kPeerFetch: {
+      std::unique_lock lock(sh.mu);
+      if (sh.state.is_master(msg.block)) {
+        sh.state.touch(msg.block, tick());
+        sh.state.publish();
+        const auto it = sh.store.find(msg.block);
+        assert(it != sh.store.end());
+        CCM_AUDIT_HOOK(audit_shard_locked(self, "peer_fetch"));
+        return {proto::Message::peer_fetch_reply(self, msg.from, msg.block,
+                                                 /*hit=*/true,
+                                                 config_.block_bytes),
+                it->second};
+      }
+      // Not the master (any more): the requester re-reads the directory.
+      return {proto::Message::peer_fetch_reply(self, msg.from, msg.block,
+                                               /*hit=*/false, 0),
+              nullptr};
     }
-    case cache::Source::kRemoteHit: {
-      // Non-master copies share the (immutable) bytes with the master.
-      const auto it = stores[fetch.provider].find(fetch.block);
-      assert(it != stores[fetch.provider].end());
-      ptr = it->second;
-      stores[requester][fetch.block] = ptr;
-      break;
+
+    case proto::MsgKind::kMasterForward: {
+      std::unique_lock lock(sh.mu);
+      const proto::PendingForward pf{msg.block, msg.age, msg.count};
+      std::vector<cache::Drop> drops;
+      const auto outcome = sh.state.handle_forward(pf, drops);
+      bool accepted = false;
+      bool promoted = false;
+      if (outcome == proto::ForwardOutcome::kPromoted) {
+        if (directory_.claim_forwarded(msg.block, self, msg.from,
+                                       env.epoch)) {
+          accepted = promoted = true;
+          // Promotion: this node's copy already shares the master's bytes.
+          sh.store.try_emplace(msg.block, env.data);
+        } else {
+          sh.state.demote_to_copy(msg.block);
+        }
+      } else if (outcome == proto::ForwardOutcome::kAccepted) {
+        if (directory_.claim_forwarded(msg.block, self, msg.from,
+                                       env.epoch)) {
+          accepted = true;
+          sh.store[msg.block] = env.data;
+        } else {
+          // A rival claim or an invalidation won; undo the insert.
+          sh.state.erase_entry(msg.block);
+        }
+      }
+      for (const auto& d : drops) {
+        sh.store.erase(d.block);
+        if (d.was_master) directory_.master_dropped(d.block, self);
+      }
+      sh.state.publish();
+      CCM_AUDIT_HOOK(audit_shard_locked(self, "master_forward"));
+      return {proto::Message::forward_ack(self, msg.from, msg.block, accepted,
+                                          promoted),
+              nullptr};
     }
-    case cache::Source::kDiskRead: {
-      ptr = std::make_shared<BlockData>();
-      stores[requester][fetch.block] = ptr;
-      owner_.pending_reads_scratch_.emplace_back(fetch.block, ptr);
-      break;
+
+    case proto::MsgKind::kInvalidateBlock: {
+      std::unique_lock lock(sh.mu);
+      if (const auto drop = sh.state.handle_invalidate(
+              msg.block, msg.has(proto::kFlagDropMaster))) {
+        sh.store.erase(drop->block);
+        if (drop->was_master) directory_.master_dropped(drop->block, self);
+      }
+      sh.state.publish();
+      CCM_AUDIT_HOOK(audit_shard_locked(self, "invalidate_block"));
+      return {proto::Message::invalidate_ack(self, msg.from), nullptr};
+    }
+
+    case proto::MsgKind::kInvalidateFile: {
+      std::unique_lock lock(sh.mu);
+      for (std::uint32_t b = 0; b < msg.count; ++b) {
+        const cache::BlockId block{msg.block.file, b};
+        if (const auto drop =
+                sh.state.handle_invalidate(block, /*drop_master=*/true)) {
+          sh.store.erase(drop->block);
+          if (drop->was_master) directory_.master_dropped(drop->block, self);
+        }
+      }
+      sh.state.publish();
+      CCM_AUDIT_HOOK(audit_shard_locked(self, "invalidate_file"));
+      return {proto::Message::invalidate_ack(self, msg.from), nullptr};
+    }
+
+    case proto::MsgKind::kWriteOwnership: {
+      std::unique_lock lock(sh.mu);
+      if (sh.state.relinquish_master(msg.block)) {
+        const auto it = sh.store.find(msg.block);
+        assert(it != sh.store.end());
+        BlockPtr data = std::move(it->second);
+        sh.store.erase(it);
+        sh.state.publish();
+        CCM_AUDIT_HOOK(audit_shard_locked(self, "write_ownership"));
+        return {proto::Message::write_ownership_reply(
+                    self, msg.from, msg.block, /*transferred=*/true,
+                    config_.block_bytes),
+                std::move(data)};
+      }
+      // Already evicted / forwarded away; the writer faults in from storage.
+      return {proto::Message::write_ownership_reply(self, msg.from, msg.block,
+                                                    /*transferred=*/false, 0),
+              nullptr};
+    }
+
+    default:
+      // Directory-style queries are answered by the DirectoryService
+      // directly in-process; nothing else should arrive here.
+      assert(false && "unexpected message kind at a node protocol thread");
+      return {proto::Message::invalidate_ack(self, msg.from), nullptr};
+  }
+}
+
+// --------------------------------------------------------- replacement ----
+
+void CcmCluster::make_room_locked(std::unique_lock<CountingMutex>& lock,
+                                  cache::NodeId node, std::uint32_t slots) {
+  Shard& sh = *shards_[node];
+  assert(lock.owns_lock());
+  while (true) {
+    std::vector<cache::Drop> drops;
+    auto pf = sh.state.make_room(slots, view_, drops);
+    for (const auto& d : drops) {
+      sh.store.erase(d.block);
+      if (d.was_master) directory_.master_dropped(d.block, node);
+    }
+    sh.state.publish();
+    if (!pf) return;  // enough room (or the cache drained)
+
+    // A master earned its second chance: ship it to a peer. The entry is
+    // already erased locally; unregister it in the directory first so no
+    // reader chases a block that is in flight.
+    const cache::NodeId to =
+        proto::pick_forward_target(node, config_.nodes, view_);
+    if (to == cache::kInvalidNode) {
+      // Single-node cluster: nowhere to forward; the master is lost.
+      directory_.master_dropped(pf->block, node);
+      ++sh.state.stats().master_drops;
+      sh.store.erase(pf->block);
+      continue;
+    }
+    const auto it = sh.store.find(pf->block);
+    assert(it != sh.store.end());
+    BlockPtr data = std::move(it->second);
+    sh.store.erase(it);
+    const auto epoch = directory_.begin_forward(pf->block, node);
+    if (!epoch) {
+      // The directory refused: either a write claim overtook this eviction
+      // (the registered master lives at the writer now) or a write to the
+      // file is mid-span and these bytes may be superseded. Shipping them
+      // would resurrect stale data, so the master is dropped instead. The
+      // conditional master_dropped unregisters only if the directory still
+      // names this node (the in-flight-write case); when a rival owns the
+      // entry it is a no-op.
+      directory_.master_dropped(pf->block, node);
+      ++sh.state.stats().master_drops;
+      continue;
+    }
+    lock.unlock();
+    const Reply ack =
+        rpc(proto::Message::master_forward(node, to, pf->block, pf->age,
+                                           pf->slots, config_.block_bytes),
+            std::move(data), *epoch);
+    lock.lock();
+    if (ack.msg.has(proto::kFlagAccepted)) {
+      ++sh.state.stats().forwards_accepted;
+    } else {
+      directory_.forward_rejected(pf->block, node);
+      ++sh.state.stats().master_drops;
     }
   }
-  owner_.parts_scratch_.push_back(std::move(ptr));
-}
-
-void CcmCluster::StoreObserver::on_drop(const cache::Drop& drop) {
-  owner_.stores_[drop.node].erase(drop.block);
-}
-
-void CcmCluster::StoreObserver::on_forward(const cache::Forward& forward) {
-  auto& from = owner_.stores_[forward.from];
-  const auto it = from.find(forward.block);
-  assert(it != from.end());
-  BlockPtr data = std::move(it->second);
-  from.erase(it);
-  if (!forward.accepted || forward.to == cache::kInvalidNode) return;
-  // Promotion case: the destination already shares these bytes.
-  owner_.stores_[forward.to].try_emplace(forward.block, std::move(data));
 }
 
 // --------------------------------------------------------------- reads ----
+
+CcmCluster::BlockPtr CcmCluster::acquire_block(
+    cache::NodeId node, const cache::BlockId& block,
+    std::vector<std::pair<cache::BlockId, BlockPtr>>& to_read) {
+  Shard& sh = *shards_[node];
+  for (int attempt = 0; attempt < kAcquireAttempts; ++attempt) {
+    if (attempt > 0) std::this_thread::yield();
+
+    // Hot path: a block resident at this node costs one shard lock — no
+    // directory access, no cross-node traffic.
+    {
+      std::unique_lock lock(sh.mu);
+      if (const auto it = sh.store.find(block); it != sh.store.end()) {
+        sh.state.touch(block, tick());
+        ++sh.state.stats().local_hits;
+        sh.local_reads.fetch_add(1, std::memory_order_relaxed);
+        sh.state.publish();
+        CCM_AUDIT_HOOK(audit_shard_locked(node, "local_hit"));
+        return it->second;
+      }
+    }
+
+    const auto lk = directory_.lookup_for_read(node, block);
+    if (lk.master == node) {
+      // Directory says the master is here but the store check above missed:
+      // an in-flight transition (our own forward landing back, a write
+      // ownership migration) — settle and retry.
+      continue;
+    }
+
+    if (lk.master != cache::kInvalidNode) {
+      // Remote hit: fetch a copy from the master holder. In hinted mode a
+      // stale hint was already counted (and the request re-chained) by
+      // lookup_for_read, exactly as ClusterCache charges it.
+      const Reply reply =
+          rpc(proto::Message::peer_fetch(node, lk.master, block,
+                                         lk.misdirected));
+      if (!reply.msg.has(proto::kFlagHit) || !reply.data) {
+        continue;  // the master moved while the fetch was in flight
+      }
+      std::unique_lock lock(sh.mu);
+      if (const auto it = sh.store.find(block); it != sh.store.end()) {
+        // A sibling worker cached the block while we fetched.
+        sh.state.touch(block, tick());
+        ++sh.state.stats().remote_hits;
+        sh.state.publish();
+        return it->second;
+      }
+      ++sh.state.stats().remote_hits;
+      make_room_locked(lock, node, 1);
+      if (const auto it = sh.store.find(block); it != sh.store.end()) {
+        sh.state.touch(block, tick());
+        sh.state.publish();
+        return it->second;
+      }
+      // Don't cache a copy whose master moved — or whose file has a write in
+      // flight or a bumped epoch — while the fetch was in flight: the
+      // writer's invalidation sweep may already have visited this node and
+      // would never drop a copy planted after it. In-flight writes matter
+      // because a whole lookup→fetch→insert can land inside the write span
+      // (after its claim, before its buffer swap) with no visible directory
+      // change. The bytes themselves are still valid to *return*: a read
+      // racing a write may see the superseded content.
+      if (directory_.lookup(block) != lk.master ||
+          !directory_.read_cacheable(block.file, lk.epoch)) {
+        sh.state.publish();
+        return reply.data;
+      }
+      sh.state.insert_copy(block, tick());
+      sh.store[block] = reply.data;
+      sh.state.publish();
+      CCM_AUDIT_HOOK(audit_shard_locked(node, "remote_hit"));
+      return reply.data;
+    }
+
+    // Miss everywhere: claim mastership and fault the block in from storage.
+    {
+      std::unique_lock lock(sh.mu);
+      if (const auto it = sh.store.find(block); it != sh.store.end()) {
+        sh.state.touch(block, tick());
+        ++sh.state.stats().local_hits;
+        sh.local_reads.fetch_add(1, std::memory_order_relaxed);
+        sh.state.publish();
+        return it->second;
+      }
+      make_room_locked(lock, node, 1);
+      if (const auto it = sh.store.find(block); it != sh.store.end()) {
+        sh.state.touch(block, tick());
+        ++sh.state.stats().local_hits;
+        sh.state.publish();
+        return it->second;
+      }
+      if (directory_.try_claim(block, node)) {
+        ++sh.state.stats().disk_reads;
+        sh.state.insert_master(block, tick());
+        auto data = std::make_shared<BlockData>();
+        sh.store.emplace(block, data);
+        to_read.emplace_back(block, data);
+        sh.state.publish();
+        CCM_AUDIT_HOOK(audit_shard_locked(node, "disk_read"));
+        return data;
+      }
+      sh.state.publish();
+    }
+    // Claim lost: somebody else became the master — retry as a remote hit.
+  }
+
+  // Liveness fallback after pathological churn: serve the read uncached.
+  {
+    std::scoped_lock lock(sh.mu);
+    ++sh.state.stats().disk_reads;
+  }
+  auto data = std::make_shared<BlockData>();
+  to_read.emplace_back(block, data);
+  return data;
+}
 
 std::vector<std::byte> CcmCluster::execute_read(cache::NodeId node,
                                                 cache::FileId file,
@@ -200,30 +488,18 @@ std::vector<std::byte> CcmCluster::execute_read(cache::NodeId node,
   const std::uint64_t file_bytes = storage_->file_size(file);
   const std::uint32_t first_block =
       static_cast<std::uint32_t>(offset / config_.block_bytes);
-  const std::uint32_t last_block =
-      length == 0 ? first_block
-                  : static_cast<std::uint32_t>((offset + length - 1) /
-                                               config_.block_bytes);
+  const std::uint32_t last_block = static_cast<std::uint32_t>(
+      (offset + length - 1) / config_.block_bytes);
 
   std::vector<BlockPtr> parts;
+  parts.reserve(last_block - first_block + 1);
   std::vector<std::pair<cache::BlockId, BlockPtr>> to_read;
-  {
-    std::scoped_lock lock(mu_);
-    parts_scratch_.clear();
-    pending_reads_scratch_.clear();
-    cache::AccessResult result;
-    for (std::uint32_t b = first_block; b <= last_block; ++b) {
-      cache_.access_block(node, cache::BlockId{file, b}, result);
-    }
-    parts = std::move(parts_scratch_);
-    to_read = std::move(pending_reads_scratch_);
-    parts_scratch_.clear();
-    pending_reads_scratch_.clear();
-    CCM_AUDIT_HOOK(audit_locked("execute_read"));
+  for (std::uint32_t b = first_block; b <= last_block; ++b) {
+    parts.push_back(acquire_block(node, cache::BlockId{file, b}, to_read));
   }
 
-  // Fault in missing blocks from Storage on this worker thread, outside the
-  // cluster lock. Concurrent readers of the same block wait on its ready cv.
+  // Fault in missing blocks from Storage on this worker thread, outside all
+  // locks. Concurrent readers of the same block wait on its ready cv.
   for (auto& [block, data] : to_read) {
     const std::uint32_t bytes = block_bytes_of(file_bytes, block.index);
     data->bytes.resize(bytes);
@@ -255,14 +531,16 @@ std::vector<std::byte> CcmCluster::execute_read(cache::NodeId node,
     const std::uint64_t copy_to =
         std::min(offset + length, block_start + part->bytes.size());
     if (copy_to <= copy_from) continue;
-    std::memcpy(out.data() + out_pos, part->bytes.data() +
-                                          (copy_from - block_start),
+    std::memcpy(out.data() + out_pos,
+                part->bytes.data() + (copy_from - block_start),
                 copy_to - copy_from);
     out_pos += copy_to - copy_from;
   }
   assert(out_pos == length);
   return out;
 }
+
+// -------------------------------------------------------------- writes ----
 
 void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
                                std::uint64_t offset,
@@ -277,39 +555,91 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
   const std::uint32_t last_block = static_cast<std::uint32_t>(
       (offset + data.size() - 1) / config_.block_bytes);
 
-  // One entry per affected block: the superseded bytes (null if the block
-  // was uncached) and the fresh copy-on-write buffer now installed.
+  Shard& sh = *shards_[node];
+
+  // Open the write span: readers refuse to cache copies of this file until
+  // write_end, closing the window where a fetched pre-write copy could be
+  // inserted after the invalidation sweep below has already passed its node.
+  directory_.write_begin(file);
+
+  // Write-through to backing storage *before* installing any cached master.
+  // Ordering invariant: storage must hold the new bytes before a cached
+  // master of them can exist — and hence be evicted/dropped — or a
+  // subsequent miss would fault the superseded bytes back in as a fresh,
+  // persistent master. Read-modify-write bases below stay correct either
+  // way: re-applying the written slice over post-write storage bytes is
+  // idempotent.
+  writable->write(file, offset, data);
+
+  // One entry per affected block: the superseded bytes (read-modify-write
+  // base; null if the block was uncached everywhere) and the fresh
+  // copy-on-write buffer now installed.
   struct PendingWrite {
     cache::BlockId block;
     BlockPtr old_data;  // may be null or not yet ready
     BlockPtr new_data;
   };
   std::vector<PendingWrite> pending;
-  {
-    std::scoped_lock lock(mu_);
-    parts_scratch_.clear();
-    pending_reads_scratch_.clear();
-    cache::AccessResult result;
-    for (std::uint32_t b = first_block; b <= last_block; ++b) {
-      const cache::BlockId block{file, b};
-      cache_.write_block(node, block, result);
-      // Postcondition: this node is the master holder. Swap in a fresh
-      // buffer (copy-on-write) so concurrent readers holding the old bytes
-      // are unaffected; migrated-in bytes serve as the read-modify-write
-      // base for partial blocks.
-      auto& slot = stores_[node][block];
-      PendingWrite pw{block, std::move(slot), std::make_shared<BlockData>()};
-      slot = pw.new_data;
-      pending.push_back(std::move(pw));
+
+  for (std::uint32_t b = first_block; b <= last_block; ++b) {
+    const cache::BlockId block{file, b};
+
+    // 1. Claim directory ownership first: any reader that fetches the old
+    //    master from here on re-checks the directory before caching a copy,
+    //    so no stale copy can outlive the invalidation pass below.
+    const cache::NodeId previous = directory_.write_claim(block, node);
+
+    // 2. Invalidate every peer's (non-master) copy.
+    for (std::size_t p = 0; p < config_.nodes; ++p) {
+      const auto peer = static_cast<cache::NodeId>(p);
+      if (peer == node) continue;
+      rpc(proto::Message::invalidate_block(node, peer, block,
+                                           /*drop_master=*/false));
     }
-    // write_block never schedules disk reads; clear any scratch the observer
-    // touched for eviction bookkeeping.
-    parts_scratch_.clear();
-    pending_reads_scratch_.clear();
-    CCM_AUDIT_HOOK(audit_locked("execute_write"));
+
+    // 3. Migrate ownership (with bytes) from the previous master holder.
+    BlockPtr migrated;
+    bool migrated_in = false;
+    if (previous != cache::kInvalidNode && previous != node) {
+      const Reply reply =
+          rpc(proto::Message::write_ownership(node, previous, block));
+      if (reply.msg.has(proto::kFlagTransferred)) {
+        migrated = reply.data;
+        migrated_in = true;
+      }
+    }
+
+    // 4. Install the block as a local master and swap in a fresh buffer.
+    {
+      std::unique_lock lock(sh.mu);
+      ++sh.state.stats().writes;
+      if (migrated_in) ++sh.state.stats().ownership_migrations;
+      bool install = directory_.lookup(block) == node;
+      if (install && !sh.state.contains(block)) {
+        make_room_locked(lock, node, 1);
+        // make_room may have released the lock to ship a forward; a rival
+        // writer could have overtaken our claim meanwhile.
+        install = directory_.lookup(block) == node;
+      }
+      if (install) {
+        if (sh.state.contains(block)) {
+          if (!sh.state.is_master(block)) sh.state.promote_to_master(block);
+          sh.state.touch(block, tick());
+        } else {
+          sh.state.insert_master(block, tick());
+        }
+        auto& slot = sh.store[block];
+        PendingWrite pw{block, nullptr, std::make_shared<BlockData>()};
+        pw.old_data = slot ? std::move(slot) : std::move(migrated);
+        slot = pw.new_data;
+        pending.push_back(std::move(pw));
+      }
+      sh.state.publish();
+      CCM_AUDIT_HOOK(audit_shard_locked(node, "execute_write"));
+    }
   }
 
-  // Assemble block contents outside the lock.
+  // Assemble block contents outside all locks.
   for (auto& pw : pending) {
     const std::uint32_t bytes = block_bytes_of(file_bytes, pw.block.index);
     const std::uint64_t block_start =
@@ -345,74 +675,172 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
     pw.new_data->cv.notify_all();
   }
 
-  // Write-through to backing storage.
-  writable->write(file, offset, data);
+  directory_.write_end(file);
 }
+
+// -------------------------------------------------------- invalidation ----
 
 void CcmCluster::invalidate(cache::FileId file) {
   if (file >= storage_->file_count()) throw std::out_of_range("bad file id");
-  std::scoped_lock lock(mu_);
-  parts_scratch_.clear();
-  pending_reads_scratch_.clear();
-  cache_.invalidate_file(file, storage_->file_size(file));
-  parts_scratch_.clear();
-  pending_reads_scratch_.clear();
-  CCM_AUDIT_HOOK(audit_locked("invalidate"));
+  const std::uint32_t nblocks =
+      cache::blocks_for(storage_->file_size(file), config_.block_bytes);
+  // Epoch fence first: any master forward of this file still in flight is
+  // rejected by claim_forwarded, so it cannot resurrect a stale block after
+  // the per-node sweep below.
+  directory_.invalidate_file(file);
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    rpc(proto::Message::invalidate_file(cache::kInvalidNode,
+                                        static_cast<cache::NodeId>(n), file,
+                                        nblocks));
+  }
 }
 
 // --------------------------------------------------------------- stats ----
 
-cache::CacheStats CcmCluster::stats() const {
-  std::scoped_lock lock(mu_);
-  return cache_.stats();
+CcmStats CcmCluster::stats() const {
+  CcmStats s;
+  s.shards.resize(config_.nodes);
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    const Shard& sh = *shards_[n];
+    std::scoped_lock lock(sh.mu);
+    const cache::CacheStats& slice = sh.state.stats();
+    s.local_hits += slice.local_hits;
+    s.remote_hits += slice.remote_hits;
+    s.disk_reads += slice.disk_reads;
+    s.forwards_attempted += slice.forwards_attempted;
+    s.forwards_accepted += slice.forwards_accepted;
+    s.master_drops += slice.master_drops;
+    s.copy_drops += slice.copy_drops;
+    s.invalidations += slice.invalidations;
+    s.writes += slice.writes;
+    s.ownership_migrations += slice.ownership_migrations;
+    auto& out = s.shards[n];
+    out.lock_acquired = sh.mu.acquired();
+    out.lock_contended = sh.mu.contended();
+    out.local_reads = sh.local_reads.load(std::memory_order_relaxed);
+    out.messages_sent = sh.messages_sent.load(std::memory_order_relaxed);
+    out.messages_handled = sh.messages_handled.load(std::memory_order_relaxed);
+  }
+  s.directory = directory_.ops();
+  s.hint_misdirects = s.directory.hint_misdirects;
+  return s;
 }
 
 void CcmCluster::reset_stats() {
-  std::scoped_lock lock(mu_);
-  cache_.reset_stats();
-}
-
-void CcmCluster::set_access_tap(cache::ClusterCache::AccessTap tap) {
-  std::scoped_lock lock(mu_);
-  cache_.set_access_tap(std::move(tap));
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    Shard& sh = *shards_[n];
+    std::scoped_lock lock(sh.mu);
+    sh.state.stats() = cache::CacheStats{};
+    sh.mu.reset_counts();
+    sh.local_reads.store(0, std::memory_order_relaxed);
+    sh.messages_sent.store(0, std::memory_order_relaxed);
+    sh.messages_handled.store(0, std::memory_order_relaxed);
+  }
+  directory_.reset_ops();
 }
 
 std::uint64_t CcmCluster::cached_bytes(cache::NodeId node) const {
-  std::scoped_lock lock(mu_);
-  return cache_.node(node).used_blocks() * config_.block_bytes;
+  const Shard& sh = *shards_[node];
+  std::scoped_lock lock(sh.mu);
+  return sh.state.cache().used_blocks() * config_.block_bytes;
 }
 
-std::size_t CcmCluster::audit_locked(const char* context) const {
+// --------------------------------------------------------------- audit ----
+
+std::size_t CcmCluster::audit_shard_locked(cache::NodeId node,
+                                           const char* context) const {
+  std::size_t ccm_audit_failures = 0;
+  const std::string ctx = std::string(" [") + context + "]";
+  const Shard& sh = *shards_[node];
+  const cache::NodeCache& cache = sh.state.cache();
+  CCM_AUDIT(cache.used_blocks() == sh.store.size(), "ccm-store-policy-size",
+            "node " + std::to_string(node) + " policy books " +
+                std::to_string(cache.used_blocks()) +
+                " blocks but the byte store holds " +
+                std::to_string(sh.store.size()) + ctx);
+  // Order-insensitive sweep over the (unordered) byte store: each check is
+  // independent of iteration order.
+  for (const auto& [block, data] : sh.store) {  // ccm-lint: allow(unordered-iter)
+    CCM_AUDIT(cache.contains(block), "ccm-store-orphan",
+              "node " + std::to_string(node) + " stores bytes for file " +
+                  std::to_string(block.file) + " block " +
+                  std::to_string(block.index) + " with no policy entry" + ctx);
+    CCM_AUDIT(data != nullptr, "ccm-store-null",
+              "node " + std::to_string(node) + " stores null bytes for file " +
+                  std::to_string(block.file) + " block " +
+                  std::to_string(block.index) + ctx);
+  }
+  CCM_AUDIT(cache.used_blocks() <= cache.capacity_blocks() ||
+                cache.entry_count() <= 1,
+            "cache-occupancy",
+            "node " + std::to_string(node) + " uses " +
+                std::to_string(cache.used_blocks()) + " of " +
+                std::to_string(cache.capacity_blocks()) + " blocks" + ctx);
+  std::uint64_t slots = 0;
+  for (const auto& e : cache.masters()) slots += cache.slots_of(e.block);
+  for (const auto& e : cache.copies()) slots += cache.slots_of(e.block);
+  CCM_AUDIT(slots == cache.used_blocks(), "cache-slot-accounting",
+            "node " + std::to_string(node) + " books " +
+                std::to_string(cache.used_blocks()) +
+                " used blocks but entries cover " + std::to_string(slots) +
+                ctx);
+  return ccm_audit_failures;
+}
+
+std::size_t CcmCluster::audit_all_locked(const char* context) const {
   std::size_t ccm_audit_failures = 0;
   const std::string ctx = std::string(" [") + context + "]";
   for (std::size_t n = 0; n < config_.nodes; ++n) {
-    const auto& node = cache_.node(static_cast<cache::NodeId>(n));
-    const auto& store = stores_[n];
-    CCM_AUDIT(node.used_blocks() == store.size(), "ccm-store-policy-size",
-              "node " + std::to_string(n) + " policy books " +
-                  std::to_string(node.used_blocks()) +
-                  " blocks but the byte store holds " +
-                  std::to_string(store.size()) + ctx);
-    // Order-insensitive sweep over the (unordered) byte store: each check is
-    // independent of iteration order.
-    for (const auto& [block, data] : store) {  // ccm-lint: allow(unordered-iter)
-      CCM_AUDIT(node.contains(block), "ccm-store-orphan",
-                "node " + std::to_string(n) + " stores bytes for file " +
-                    std::to_string(block.file) + " block " +
-                    std::to_string(block.index) +
-                    " with no policy entry" + ctx);
-      CCM_AUDIT(data != nullptr, "ccm-store-null",
-                "node " + std::to_string(n) + " stores null bytes for file " +
-                    std::to_string(block.file) + " block " +
-                    std::to_string(block.index) + ctx);
+    ccm_audit_failures +=
+        audit_shard_locked(static_cast<cache::NodeId>(n), context);
+    // Cross-shard: every cached master must be registered in the directory,
+    // pointing here; in hinted mode the hint layer's authoritative view must
+    // agree with the directory.
+    const cache::NodeCache& cache = shards_[n]->state.cache();
+    for (const auto& e : cache.masters()) {
+      CCM_AUDIT(directory_.lookup(e.block) == static_cast<cache::NodeId>(n),
+                "cache-master-registered",
+                "master of file " + std::to_string(e.block.file) + " block " +
+                    std::to_string(e.block.index) + " cached at node " +
+                    std::to_string(n) + " but directory says node " +
+                    std::to_string(directory_.lookup(e.block)) + ctx);
+      if (config_.directory == cache::DirectoryMode::kHinted) {
+        CCM_AUDIT(directory_.hint_truth(e.block) ==
+                      static_cast<cache::NodeId>(n),
+                  "cache-hint-truth",
+                  "hint truth for file " + std::to_string(e.block.file) +
+                      " block " + std::to_string(e.block.index) +
+                      " is node " +
+                      std::to_string(directory_.hint_truth(e.block)) +
+                      " but the master is cached at node " +
+                      std::to_string(n) + ctx);
+      }
     }
   }
-  return ccm_audit_failures + cache_.audit(context);
+  // Every cached master points at its own directory entry (checked above);
+  // equal counts then make that correspondence a bijection, which rules out
+  // duplicate masters and dangling directory entries — i.e. at most one
+  // master copy per block cluster-wide.
+  std::size_t cached_masters = 0;
+  for (const auto& sh : shards_) {
+    cached_masters += sh->state.cache().master_count();
+  }
+  CCM_AUDIT(directory_.master_count() == cached_masters, "cache-single-master",
+            "directory tracks " + std::to_string(directory_.master_count()) +
+                " masters but nodes cache " + std::to_string(cached_masters) +
+                ctx);
+  ccm_audit_failures += directory_.audit(context);
+  return ccm_audit_failures;
 }
 
 std::size_t CcmCluster::audit(const char* context) const {
-  std::scoped_lock lock(mu_);
-  return audit_locked(context);
+  // Take every shard lock (index order) for a cluster-wide consistent view.
+  std::vector<std::unique_lock<CountingMutex>> locks;
+  locks.reserve(config_.nodes);
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    locks.emplace_back(shards_[n]->mu);
+  }
+  return audit_all_locked(context);
 }
 
 bool CcmCluster::check_consistency() const {

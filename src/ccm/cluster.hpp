@@ -3,21 +3,35 @@
 // building block for diverse distributed services".
 //
 // CcmCluster runs N logical nodes inside one process. Each node has a worker
-// pool (its "service threads"), a byte store for cached blocks, and a share
-// of the cluster-wide cooperative caching policy (the same cache::ClusterCache
-// the simulator uses, so every behavior validated against the paper holds
-// here verbatim). Reads go through any node and are satisfied from local
-// memory, a peer's memory, or backing Storage, with the paper's replacement
-// and master-forwarding rules deciding what stays cached where.
+// pool (its "service threads"), a byte store for cached blocks, and — since
+// the protocol-layer refactor — its own *shard* of the cooperative caching
+// policy: a proto::NodeState (this node's entry books, LRU ages, and stats
+// slice) guarded by a per-node lock. The cluster-wide master map lives in a
+// separately-locked proto::DirectoryService. Cross-node traffic travels as
+// proto::Message envelopes through per-node mailboxes to a dedicated
+// protocol thread per node — the exact message vocabulary the simulator
+// charges with the paper's Table-1 latencies (see docs/MIDDLEWARE.md for the
+// correspondence).
 //
-// Concurrency model: policy metadata and store maps are guarded by one
-// cluster mutex (policy transitions are cheap); Storage reads happen outside
-// the lock with per-block pending states, so concurrent readers of a block
-// being faulted in block only on that block. In a multi-machine deployment
-// the mutex becomes the directory service and Mailbox the wire transport —
-// those seams are deliberately narrow.
+// Concurrency model:
+//  * A read that only touches blocks resident at its own node takes that
+//    node's shard lock and nothing else — no global mutex, no directory
+//    lock. Per-shard acquisition/contention counters in stats() demonstrate
+//    the isolation.
+//  * Cross-node operations (peer fetch, master forward, invalidation, write
+//    ownership transfer) are RPCs over Mailbox<Envelope>; the receiving
+//    protocol thread works under its own shard lock plus the directory (a
+//    strict shard → directory lock order, with the directory a leaf).
+//    Workers never hold a shard lock while waiting on an RPC reply.
+//  * Directory claims are conditional, so racing misses/forwards/writes
+//    resolve by retry instead of blocking; a bounded retry loop falls back
+//    to an uncached storage read for liveness.
+//  * Storage reads happen outside all locks with per-block pending states;
+//    concurrent readers of a block being faulted in block only on that
+//    block.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <future>
@@ -30,6 +44,9 @@
 #include "cache/coop_cache.hpp"
 #include "ccm/storage.hpp"
 #include "ccm/transport.hpp"
+#include "proto/directory_service.hpp"
+#include "proto/message.hpp"
+#include "proto/node_state.hpp"
 
 namespace coop::ccm {
 
@@ -42,6 +59,55 @@ struct CcmConfig {
   cache::DirectoryMode directory = cache::DirectoryMode::kPerfect;
   /// Worker threads per node.
   std::size_t workers_per_node = 2;
+};
+
+/// A mutex that counts acquisitions and contended acquisitions (relaxed
+/// atomics — the counters are observability, not synchronization).
+class CountingMutex {
+ public:
+  void lock() {
+    if (!mu_.try_lock()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      mu_.lock();
+    }
+    acquired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void unlock() { mu_.unlock(); }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    acquired_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t acquired() const {
+    return acquired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+  void reset_counts() {
+    acquired_.store(0, std::memory_order_relaxed);
+    contended_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::atomic<std::uint64_t> acquired_{0};
+  std::atomic<std::uint64_t> contended_{0};
+};
+
+/// Policy statistics plus the runtime's per-shard and directory counters.
+struct CcmStats : cache::CacheStats {
+  struct Shard {
+    std::uint64_t lock_acquired = 0;
+    std::uint64_t lock_contended = 0;
+    /// Reads satisfied entirely under this shard's lock (the hot path).
+    std::uint64_t local_reads = 0;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_handled = 0;
+  };
+  std::vector<Shard> shards;
+  proto::DirectoryService::Ops directory;
 };
 
 class CcmCluster {
@@ -67,38 +133,43 @@ class CcmCluster {
 
   /// Write-protocol extension (the paper's §6 future work). Writes `data` at
   /// [offset, offset+data.size()) of `file` through node `via`: the write
-  /// invalidates every peer copy, migrates block ownership to `via`
-  /// (owner-based coherence), updates the cached bytes copy-on-write, and
-  /// writes through to Storage (which must be a WritableStorage; throws
-  /// std::logic_error otherwise). Reads racing a write see either the old or
-  /// the new block content, never a mix within one block.
+  /// claims directory ownership, invalidates every peer copy, migrates the
+  /// master (with its bytes) to `via`, updates the cached bytes
+  /// copy-on-write, and writes through to Storage (which must be a
+  /// WritableStorage; throws std::logic_error otherwise). Reads racing a
+  /// write see either the old or the new block content, never a mix within
+  /// one block. Concurrent writers to the *same* block race last-writer-wins
+  /// per layer, as in any write-through design without a serialization
+  /// point; writers of disjoint blocks are fully coherent.
   void write(cache::NodeId via, cache::FileId file, std::uint64_t offset,
              std::span<const std::byte> data);
 
   /// Drops every cached block of `file` cluster-wide (content changed
   /// outside the caching layer). Safe to call concurrently with reads; reads
-  /// already in flight may still return the superseded bytes.
+  /// already in flight may still return the superseded bytes. In-flight
+  /// master forwards of the file are fenced off by a directory epoch so they
+  /// cannot resurrect stale blocks.
   void invalidate(cache::FileId file);
 
   [[nodiscard]] const CcmConfig& config() const { return config_; }
   [[nodiscard]] std::size_t node_count() const { return config_.nodes; }
 
-  /// Snapshot of the policy statistics (hits, forwards, ...).
-  [[nodiscard]] cache::CacheStats stats() const;
+  /// Snapshot of the policy statistics plus per-shard lock/message counters.
+  [[nodiscard]] CcmStats stats() const;
   void reset_stats();
-
-  /// Installs an observability tap on the policy engine (fired once per
-  /// access/write with the completed plan, under the cluster lock — keep it
-  /// cheap and non-reentrant). Empty function clears it. Thread-safe.
-  void set_access_tap(cache::ClusterCache::AccessTap tap);
 
   /// Bytes currently cached at `node` (block-granular accounting).
   [[nodiscard]] std::uint64_t cached_bytes(cache::NodeId node) const;
 
-  /// Sweeps policy/data-plane consistency: every cached policy entry has
-  /// bytes, every stored block has a policy entry, and the underlying policy
-  /// invariants hold. Violations are reported through coop::audit; returns
-  /// the violation count. Takes the cluster lock.
+  /// Hinted mode: observed hint accuracy (paper cites ~98% for [18]).
+  [[nodiscard]] double hint_accuracy() const { return directory_.hint_accuracy(); }
+
+  /// Sweeps policy/data-plane consistency across every shard and the
+  /// directory: every cached policy entry has bytes, every stored block has
+  /// a policy entry, every master is registered, and exactly one master
+  /// exists per block. Violations are reported through coop::audit; returns
+  /// the violation count. Takes every shard lock (index order); call at
+  /// quiescence.
   std::size_t audit(const char* context) const;
 
   /// Convenience wrapper: audit("check_consistency") == 0.
@@ -107,8 +178,6 @@ class CcmCluster {
  private:
   friend struct CcmClusterTestPeer;  // test-only corruption (audit tests)
 
-  /// Body of audit(); caller must hold mu_.
-  std::size_t audit_locked(const char* context) const;
   /// A cached block's bytes; `ready` flips once the Storage read lands.
   struct BlockData {
     std::mutex m;
@@ -117,20 +186,37 @@ class CcmCluster {
     std::vector<std::byte> bytes;
   };
   using BlockPtr = std::shared_ptr<BlockData>;
-  using Store = std::unordered_map<cache::BlockId, BlockPtr,
-                                   cache::BlockIdHash>;
+  using Store =
+      std::unordered_map<cache::BlockId, BlockPtr, cache::BlockIdHash>;
 
-  /// Wires policy actions into the byte stores, in policy order.
-  class StoreObserver final : public cache::ActionObserver {
-   public:
-    explicit StoreObserver(CcmCluster& owner) : owner_(owner) {}
-    void on_fetch(cache::NodeId requester,
-                  const cache::BlockFetch& fetch) override;
-    void on_drop(const cache::Drop& drop) override;
-    void on_forward(const cache::Forward& forward) override;
+  /// One node's share of the runtime: its policy slice, byte store, and the
+  /// lock that guards both.
+  struct Shard {
+    Shard(cache::NodeId id, const cache::CoopCacheConfig& cfg)
+        : state(id, cfg) {}
+    mutable CountingMutex mu;
+    proto::NodeState state;
+    Store store;
+    std::atomic<std::uint64_t> local_reads{0};
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> messages_handled{0};
+  };
 
-   private:
-    CcmCluster& owner_;
+  /// A protocol reply: the wire message plus (for fetches and ownership
+  /// transfers) the block bytes riding along.
+  struct Reply {
+    proto::Message msg;
+    BlockPtr data;
+  };
+
+  /// A protocol message in flight: wire message, payload, the sender's
+  /// observed invalidation epoch (master forwards), and the reply promise
+  /// (null for one-way posts).
+  struct Envelope {
+    proto::Message msg;
+    BlockPtr data;
+    std::uint64_t epoch = 0;
+    std::shared_ptr<std::promise<Reply>> reply;
   };
 
   struct Task {
@@ -143,8 +229,40 @@ class CcmCluster {
     std::promise<std::vector<std::byte>> promise;
   };
 
-  /// Worker-thread loop for node `node`.
+  /// Lock-free published view of every shard (forward-target selection).
+  class ShardView final : public proto::PeerView {
+   public:
+    explicit ShardView(const CcmCluster& owner) : owner_(owner) {}
+    [[nodiscard]] std::uint64_t peer_oldest_age(
+        cache::NodeId n) const override {
+      return owner_.shards_[n]->state.published_oldest_age();
+    }
+    [[nodiscard]] bool peer_full(cache::NodeId n) const override {
+      return owner_.shards_[n]->state.published_full();
+    }
+
+   private:
+    const CcmCluster& owner_;
+  };
+
+  /// Worker-thread loop for node `node` (serves read/write tasks).
   void worker_loop(cache::NodeId node);
+
+  /// Protocol-thread loop for node `node` (serves peer messages). Handlers
+  /// take this node's shard lock and the directory only — they never block
+  /// on another node, so cross-node request chains cannot deadlock.
+  void protocol_loop(cache::NodeId node);
+  Reply handle_message(cache::NodeId self, Envelope& env);
+
+  /// Sends `msg` to its destination's protocol thread and awaits the reply.
+  /// Callers must not hold any shard lock.
+  Reply rpc(const proto::Message& msg, BlockPtr data = nullptr,
+            std::uint64_t epoch = 0);
+
+  /// Next logical LRU age (cluster-global, monotonic).
+  std::uint64_t tick() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   /// Executes one read on the calling (worker) thread.
   std::vector<std::byte> execute_read(cache::NodeId node, cache::FileId file,
@@ -155,23 +273,43 @@ class CcmCluster {
   void execute_write(cache::NodeId node, cache::FileId file,
                      std::uint64_t offset, std::span<const std::byte> data);
 
+  /// Materializes one block at `node` per the cooperative caching protocol:
+  /// local hit, peer fetch (RPC to the master holder), or a disk-read claim
+  /// (appended to `to_read` for the caller to fault in). Retries around
+  /// directory races; falls back to an uncached read for liveness.
+  BlockPtr acquire_block(cache::NodeId node, const cache::BlockId& block,
+                         std::vector<std::pair<cache::BlockId, BlockPtr>>&
+                             to_read);
+
+  /// Frees `slots` at `node` per the replacement policy. Requires `lock`
+  /// held on the node's shard; releases it while shipping a master forward
+  /// (re-acquired before returning), so callers must re-validate any state
+  /// read before the call.
+  void make_room_locked(std::unique_lock<CountingMutex>& lock,
+                        cache::NodeId node, std::uint32_t slots);
+
+  /// Shard-local audit subset (per-event hooks; caller holds the shard
+  /// lock). Cross-shard invariants are checked only by audit().
+  std::size_t audit_shard_locked(cache::NodeId node, const char* context)
+      const;
+  /// Full sweep; caller holds every shard lock.
+  std::size_t audit_all_locked(const char* context) const;
+
   [[nodiscard]] std::uint32_t block_bytes_of(std::uint64_t file_bytes,
                                              std::uint32_t index) const;
 
   CcmConfig config_;
   std::shared_ptr<Storage> storage_;
 
-  mutable std::mutex mu_;  // guards cache_, stores_, and observer scratch
-  cache::ClusterCache cache_;
-  std::vector<Store> stores_;
-  StoreObserver observer_;
-
-  // Scratch filled by the observer during one access (under mu_).
-  std::vector<BlockPtr> parts_scratch_;
-  std::vector<std::pair<cache::BlockId, BlockPtr>> pending_reads_scratch_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable proto::DirectoryService directory_;
+  ShardView view_{*this};
+  std::atomic<std::uint64_t> clock_{0};
 
   std::vector<std::unique_ptr<Mailbox<Task>>> mailboxes_;
+  std::vector<std::unique_ptr<Mailbox<Envelope>>> proto_mailboxes_;
   std::vector<std::thread> workers_;
+  std::vector<std::thread> protocol_threads_;
 };
 
 }  // namespace coop::ccm

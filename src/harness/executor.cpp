@@ -18,8 +18,7 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-SweepPoint run_cell(const SweepCell& cell, obs::TraceData* trace_out,
-                    bool allow_audit_dump) {
+SweepPoint run_cell(const SweepCell& cell, obs::TraceData* trace_out) {
   if (cell.trace == nullptr) {
     throw std::invalid_argument("sweep cell has no trace");
   }
@@ -28,11 +27,7 @@ SweepPoint run_cell(const SweepCell& cell, obs::TraceData* trace_out,
   p.memory_per_node = cell.config.memory_per_node;
   p.nodes = cell.config.nodes;
   if (cell.obs.enabled) {
-    obs::TraceConfig oc = cell.obs;
-    // The audit span-dump handler is process-global; concurrent cells must
-    // not install it (output files are unaffected either way).
-    if (!allow_audit_dump) oc.audit_dump = false;
-    p.metrics = server::run_simulation(cell.config, *cell.trace, oc,
+    p.metrics = server::run_simulation(cell.config, *cell.trace, cell.obs,
                                        trace_out);
   } else {
     p.metrics = server::run_simulation(cell.config, *cell.trace);
@@ -73,9 +68,8 @@ ExecutionReport execute_cells(const std::vector<SweepCell>& cells,
     // reference behavior the parallel path must reproduce bit-for-bit.
     for (std::size_t i = 0; i < total; ++i) {
       const auto cell_start = Clock::now();
-      report.points[i] = run_cell(
-          cells[i], any_traced ? &report.traces[i] : nullptr,
-          /*allow_audit_dump=*/true);
+      report.points[i] =
+          run_cell(cells[i], any_traced ? &report.traces[i] : nullptr);
       report.cell_wall_ms[i] = ms_since(cell_start);
       if (progress) progress(i + 1, total, report.points[i]);
     }
@@ -96,9 +90,8 @@ ExecutionReport execute_cells(const std::vector<SweepCell>& cells,
       try {
         const auto cell_start = Clock::now();
         obs::TraceData trace_data;
-        SweepPoint p = run_cell(cells[i],
-                                any_traced ? &trace_data : nullptr,
-                                /*allow_audit_dump=*/false);
+        SweepPoint p =
+            run_cell(cells[i], any_traced ? &trace_data : nullptr);
         const double wall = ms_since(cell_start);
         std::lock_guard<std::mutex> lock(mu);
         report.points[i] = std::move(p);

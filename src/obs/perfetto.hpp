@@ -38,8 +38,8 @@ struct TraceConfig {
   /// Completed sampled requests retained in the ring buffer.
   std::size_t ring_capacity = 512;
   /// In audited builds, install a handler that dumps in-flight spans when an
-  /// invariant trips. The handler is process-global state, so the parallel
-  /// sweep executor clears this for multi-threaded runs; it never affects
+  /// invariant trips. The handler is a per-thread overlay, so parallel sweep
+  /// workers dump their own cell's spans independently; it never affects
   /// trace/metric output.
   bool audit_dump = true;
 };

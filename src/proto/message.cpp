@@ -1,0 +1,286 @@
+#include "proto/message.hpp"
+
+#include <cstring>
+
+namespace coop::proto {
+
+namespace {
+
+void put_u16(std::byte* p, std::uint16_t v) {
+  p[0] = static_cast<std::byte>(v & 0xFF);
+  p[1] = static_cast<std::byte>((v >> 8) & 0xFF);
+}
+
+void put_u32(std::byte* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void put_u64(std::byte* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint16_t get_u16(const std::byte* p) {
+  return static_cast<std::uint16_t>(std::to_integer<std::uint16_t>(p[0]) |
+                                    (std::to_integer<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::to_integer<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::to_integer<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Message Message::block_lookup(NodeId from, const BlockId& b) {
+  Message m;
+  m.kind = MsgKind::kBlockLookup;
+  m.from = from;
+  m.block = b;
+  return m;
+}
+
+Message Message::lookup_reply(NodeId to, const BlockId& b, NodeId master,
+                              bool misdirected) {
+  Message m;
+  m.kind = MsgKind::kBlockLookupReply;
+  m.from = master;  // by convention the reply names the master holder
+  m.to = to;
+  m.block = b;
+  if (misdirected) m.flags |= kFlagMisdirected;
+  if (master != cache::kInvalidNode) m.flags |= kFlagHit;
+  return m;
+}
+
+Message Message::master_claim(NodeId from, const BlockId& b) {
+  Message m;
+  m.kind = MsgKind::kMasterClaim;
+  m.from = from;
+  m.block = b;
+  return m;
+}
+
+Message Message::claim_reply(NodeId to, const BlockId& b, bool granted,
+                             NodeId holder) {
+  Message m;
+  m.kind = MsgKind::kMasterClaimReply;
+  m.from = holder;
+  m.to = to;
+  m.block = b;
+  if (granted) m.flags |= kFlagGranted;
+  return m;
+}
+
+Message Message::peer_fetch(NodeId from, NodeId to, const BlockId& b,
+                            bool misdirected) {
+  Message m;
+  m.kind = MsgKind::kPeerFetch;
+  m.from = from;
+  m.to = to;
+  m.block = b;
+  if (misdirected) m.flags |= kFlagMisdirected;
+  return m;
+}
+
+Message Message::peer_fetch_reply(NodeId from, NodeId to, const BlockId& b,
+                                  bool hit, std::uint64_t bytes) {
+  Message m;
+  m.kind = MsgKind::kPeerFetchReply;
+  m.from = from;
+  m.to = to;
+  m.block = b;
+  m.bytes = bytes;
+  if (hit) m.flags |= kFlagHit;
+  return m;
+}
+
+Message Message::redirect(NodeId from, NodeId to, const BlockId& b) {
+  Message m;
+  m.kind = MsgKind::kRedirect;
+  m.from = from;
+  m.to = to;
+  m.block = b;
+  m.flags = kFlagMisdirected;
+  return m;
+}
+
+Message Message::home_read(NodeId from, NodeId home, const BlockId& first,
+                           std::uint32_t blocks) {
+  Message m;
+  m.kind = MsgKind::kHomeRead;
+  m.from = from;
+  m.to = home;
+  m.block = first;
+  m.count = blocks;
+  return m;
+}
+
+Message Message::block_data(NodeId from, NodeId to, const BlockId& first,
+                            std::uint32_t blocks, std::uint64_t bytes) {
+  Message m;
+  m.kind = MsgKind::kBlockData;
+  m.from = from;
+  m.to = to;
+  m.block = first;
+  m.count = blocks;
+  m.bytes = bytes;
+  return m;
+}
+
+Message Message::master_forward(NodeId from, NodeId to, const BlockId& b,
+                                std::uint64_t age, std::uint32_t slots,
+                                std::uint64_t bytes) {
+  Message m;
+  m.kind = MsgKind::kMasterForward;
+  m.from = from;
+  m.to = to;
+  m.block = b;
+  m.count = slots;
+  m.age = age;
+  m.bytes = bytes;
+  return m;
+}
+
+Message Message::forward_ack(NodeId from, NodeId to, const BlockId& b,
+                             bool accepted, bool promoted) {
+  Message m;
+  m.kind = MsgKind::kMasterForwardAck;
+  m.from = from;
+  m.to = to;
+  m.block = b;
+  if (accepted) m.flags |= kFlagAccepted;
+  if (promoted) m.flags |= kFlagPromoted;
+  return m;
+}
+
+Message Message::eviction_notice(NodeId from, const BlockId& b) {
+  Message m;
+  m.kind = MsgKind::kEvictionNotice;
+  m.from = from;
+  m.block = b;
+  return m;
+}
+
+Message Message::invalidate_file(NodeId from, NodeId to, FileId file,
+                                 std::uint32_t blocks) {
+  Message m;
+  m.kind = MsgKind::kInvalidateFile;
+  m.from = from;
+  m.to = to;
+  m.block = BlockId{file, 0};
+  m.count = blocks;
+  m.flags = kFlagDropMaster;
+  return m;
+}
+
+Message Message::invalidate_block(NodeId from, NodeId to, const BlockId& b,
+                                  bool drop_master) {
+  Message m;
+  m.kind = MsgKind::kInvalidateBlock;
+  m.from = from;
+  m.to = to;
+  m.block = b;
+  if (drop_master) m.flags |= kFlagDropMaster;
+  return m;
+}
+
+Message Message::invalidate_ack(NodeId from, NodeId to) {
+  Message m;
+  m.kind = MsgKind::kInvalidateAck;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+Message Message::write_ownership(NodeId from, NodeId to, const BlockId& b) {
+  Message m;
+  m.kind = MsgKind::kWriteOwnership;
+  m.from = from;
+  m.to = to;
+  m.block = b;
+  return m;
+}
+
+Message Message::write_ownership_reply(NodeId from, NodeId to, const BlockId& b,
+                                       bool transferred, std::uint64_t bytes) {
+  Message m;
+  m.kind = MsgKind::kWriteOwnershipReply;
+  m.from = from;
+  m.to = to;
+  m.block = b;
+  m.bytes = bytes;
+  if (transferred) m.flags |= kFlagTransferred;
+  return m;
+}
+
+const char* kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kBlockLookup: return "block-lookup";
+    case MsgKind::kBlockLookupReply: return "block-lookup-reply";
+    case MsgKind::kMasterClaim: return "master-claim";
+    case MsgKind::kMasterClaimReply: return "master-claim-reply";
+    case MsgKind::kPeerFetch: return "peer-fetch";
+    case MsgKind::kPeerFetchReply: return "peer-fetch-reply";
+    case MsgKind::kRedirect: return "redirect";
+    case MsgKind::kHomeRead: return "home-read";
+    case MsgKind::kBlockData: return "block-data";
+    case MsgKind::kMasterForward: return "master-forward";
+    case MsgKind::kMasterForwardAck: return "master-forward-ack";
+    case MsgKind::kEvictionNotice: return "eviction-notice";
+    case MsgKind::kInvalidateFile: return "invalidate-file";
+    case MsgKind::kInvalidateBlock: return "invalidate-block";
+    case MsgKind::kInvalidateAck: return "invalidate-ack";
+    case MsgKind::kWriteOwnership: return "write-ownership";
+    case MsgKind::kWriteOwnershipReply: return "write-ownership-reply";
+  }
+  return "unknown";
+}
+
+WireBytes encode(const Message& m) {
+  WireBytes out{};
+  std::byte* p = out.data();
+  p[0] = static_cast<std::byte>(m.kind);
+  put_u16(p + 1, m.from);
+  put_u16(p + 3, m.to);
+  put_u32(p + 5, m.block.file);
+  put_u32(p + 9, m.block.index);
+  put_u32(p + 13, m.count);
+  put_u64(p + 17, m.age);
+  put_u64(p + 25, m.bytes);
+  p[33] = static_cast<std::byte>(m.flags);
+  return out;
+}
+
+std::optional<Message> decode(std::span<const std::byte> wire) {
+  if (wire.size() < kWireSize) return std::nullopt;
+  const std::byte* p = wire.data();
+  const auto raw_kind = std::to_integer<std::uint8_t>(p[0]);
+  if (raw_kind >= kMsgKindCount) return std::nullopt;
+  Message m;
+  m.kind = static_cast<MsgKind>(raw_kind);
+  m.from = get_u16(p + 1);
+  m.to = get_u16(p + 3);
+  m.block.file = get_u32(p + 5);
+  m.block.index = get_u32(p + 9);
+  m.count = get_u32(p + 13);
+  m.age = get_u64(p + 17);
+  m.bytes = get_u64(p + 25);
+  m.flags = std::to_integer<std::uint8_t>(p[33]);
+  if ((m.flags & ~(kFlagMisdirected | kFlagHit | kFlagAccepted | kFlagPromoted |
+                   kFlagDropMaster | kFlagTransferred | kFlagGranted)) != 0) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+}  // namespace coop::proto

@@ -1,0 +1,138 @@
+// The CCM wire protocol: every cross-node interaction in the cooperative
+// caching middleware expressed as a typed message.
+//
+// Both execution paths speak this protocol. The event-driven simulator
+// (server::CcmServer) *emits* the messages an access plan implies and charges
+// each one with the paper's Table-1 latencies; the threaded runtime
+// (ccm::CcmCluster) *transports* the same messages between per-node protocol
+// threads through Mailbox<proto::Message> envelopes. Keeping one message
+// vocabulary is what makes the two provably the same protocol — and is the
+// seam where a socket transport, fault injection, or dropped-hint scenarios
+// plug in later.
+//
+// Messages are a flat POD (not a variant): every kind uses a subset of the
+// same fields, which keeps them trivially copyable, mailbox-friendly, and
+// serializable with a fixed wire layout (encode/decode below round-trip
+// exactly; see tests/test_proto.cpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "cache/types.hpp"
+
+namespace coop::proto {
+
+using cache::BlockId;
+using cache::FileId;
+using cache::NodeId;
+
+enum class MsgKind : std::uint8_t {
+  kBlockLookup = 0,       // requester -> directory: who holds the master?
+  kBlockLookupReply,      // directory -> requester: master node (or none)
+  kMasterClaim,           // requester -> directory: claim mastership if free
+  kMasterClaimReply,      // directory -> requester: granted / current holder
+  kPeerFetch,             // requester -> master holder: send me a copy
+  kPeerFetchReply,        // holder -> requester: block bytes (or a miss)
+  kRedirect,              // stale-hint hop: probed node bounces the request
+  kHomeRead,              // requester -> home node: read blocks from disk
+  kBlockData,             // home -> requester: disk blocks shipped over
+  kMasterForward,         // evicting node -> target: adopt this master
+  kMasterForwardAck,      // target -> evicting node: accepted / rejected
+  kEvictionNotice,        // node -> directory: a master was dropped
+  kInvalidateFile,        // writer/API -> node: drop every block of a file
+  kInvalidateBlock,       // writer -> node: drop one block (copy or master)
+  kInvalidateAck,         // node -> writer
+  kWriteOwnership,        // writer -> master holder: relinquish + send bytes
+  kWriteOwnershipReply,   // holder -> writer: bytes attached / already gone
+};
+
+/// Number of distinct message kinds (wire-format validation bound).
+inline constexpr std::uint8_t kMsgKindCount =
+    static_cast<std::uint8_t>(MsgKind::kWriteOwnershipReply) + 1;
+
+/// Flag bits (meaning depends on kind; unused bits must be zero).
+inline constexpr std::uint8_t kFlagMisdirected = 1u << 0;  // stale-hint hop(s)
+inline constexpr std::uint8_t kFlagHit = 1u << 1;          // fetch served
+inline constexpr std::uint8_t kFlagAccepted = 1u << 2;     // forward adopted
+inline constexpr std::uint8_t kFlagPromoted = 1u << 3;     // copy promoted
+inline constexpr std::uint8_t kFlagDropMaster = 1u << 4;   // invalidate masters
+inline constexpr std::uint8_t kFlagTransferred = 1u << 5;  // ownership moved
+inline constexpr std::uint8_t kFlagGranted = 1u << 6;      // claim succeeded
+
+struct Message {
+  MsgKind kind = MsgKind::kBlockLookup;
+  NodeId from = cache::kInvalidNode;
+  NodeId to = cache::kInvalidNode;
+  BlockId block{0, 0};
+  /// Block count for file-level / multi-block operations (kInvalidateFile,
+  /// kHomeRead), slot footprint for kMasterForward.
+  std::uint32_t count = 1;
+  /// LRU age carried by kMasterForward (the paper: forwarded masters keep
+  /// their age so they stay eviction candidates at the receiver).
+  std::uint64_t age = 0;
+  /// Payload size for bulk transfers (kPeerFetchReply, kBlockData,
+  /// kMasterForward); zero for pure control messages.
+  std::uint64_t bytes = 0;
+  std::uint8_t flags = 0;
+
+  [[nodiscard]] bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+
+  /// True for messages charged as control round-trips by the simulator
+  /// (everything that carries no payload bytes).
+  [[nodiscard]] bool is_control() const { return bytes == 0; }
+
+  friend bool operator==(const Message&, const Message&) = default;
+
+  // ---- named constructors (the only places field conventions live) ----
+  static Message block_lookup(NodeId from, const BlockId& b);
+  static Message lookup_reply(NodeId to, const BlockId& b, NodeId master,
+                              bool misdirected);
+  static Message master_claim(NodeId from, const BlockId& b);
+  static Message claim_reply(NodeId to, const BlockId& b, bool granted,
+                             NodeId holder);
+  static Message peer_fetch(NodeId from, NodeId to, const BlockId& b,
+                            bool misdirected);
+  static Message peer_fetch_reply(NodeId from, NodeId to, const BlockId& b,
+                                  bool hit, std::uint64_t bytes);
+  static Message redirect(NodeId from, NodeId to, const BlockId& b);
+  static Message home_read(NodeId from, NodeId home, const BlockId& first,
+                           std::uint32_t blocks);
+  static Message block_data(NodeId from, NodeId to, const BlockId& first,
+                            std::uint32_t blocks, std::uint64_t bytes);
+  static Message master_forward(NodeId from, NodeId to, const BlockId& b,
+                                std::uint64_t age, std::uint32_t slots,
+                                std::uint64_t bytes);
+  static Message forward_ack(NodeId from, NodeId to, const BlockId& b,
+                             bool accepted, bool promoted);
+  static Message eviction_notice(NodeId from, const BlockId& b);
+  static Message invalidate_file(NodeId from, NodeId to, FileId file,
+                                 std::uint32_t blocks);
+  static Message invalidate_block(NodeId from, NodeId to, const BlockId& b,
+                                  bool drop_master);
+  static Message invalidate_ack(NodeId from, NodeId to);
+  static Message write_ownership(NodeId from, NodeId to, const BlockId& b);
+  static Message write_ownership_reply(NodeId from, NodeId to,
+                                       const BlockId& b, bool transferred,
+                                       std::uint64_t bytes);
+};
+
+/// Stable display name of a message kind ("peer-fetch", ...).
+const char* kind_name(MsgKind kind);
+
+/// Fixed wire size of an encoded message.
+inline constexpr std::size_t kWireSize = 1 + 2 + 2 + 4 + 4 + 4 + 8 + 8 + 1;
+
+using WireBytes = std::array<std::byte, kWireSize>;
+
+/// Encodes `m` with a fixed little-endian layout.
+WireBytes encode(const Message& m);
+
+/// Decodes a message; nullopt on short input, unknown kind, or nonzero
+/// reserved bits. decode(encode(m)) == m for every valid message.
+std::optional<Message> decode(std::span<const std::byte> wire);
+
+}  // namespace coop::proto

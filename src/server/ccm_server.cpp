@@ -1,7 +1,6 @@
 #include "server/ccm_server.hpp"
 
 #include <cassert>
-#include <map>
 #include <string>
 #include <utility>
 
@@ -133,113 +132,116 @@ void CcmServer::handle(NodeId node, trace::FileId file, const RequestInfo& req,
   });
 }
 
+void CcmServer::send_control_chain(std::shared_ptr<proto::TransferPlan> keep,
+                                   const std::vector<proto::Message>* msgs,
+                                   std::size_t i, sim::Callback done) {
+  if (i >= msgs->size()) {
+    if (done) done();
+    return;
+  }
+  const proto::Message& m = (*msgs)[i];
+  network_.send_control(
+      *nodes_[m.from], *nodes_[m.to],
+      [this, keep = std::move(keep), msgs, i,
+       done = std::move(done)]() mutable {
+        send_control_chain(std::move(keep), msgs, i + 1, std::move(done));
+      });
+}
+
 void CcmServer::execute_plan(NodeId node, cache::AccessResult plan,
                              obs::SpanCtx span, sim::Callback on_all_blocks) {
   hw::Node& self = *nodes_[node];
-  const std::uint64_t file_bytes =
-      plan.fetches.empty() ? 0 : files_.size_bytes(plan.fetches[0].block.file);
   // Whole-file mode: one fetch entry stands for the file's full block
   // footprint (transfers carry the whole file; per-block CPU costs still
   // apply to every real block).
   const bool whole_file = cache_.config().whole_file;
 
-  // Group the required transfers. A file has one home, so there is at most
-  // one disk group per provider; remote fetches may span several peers.
-  struct Group {
-    std::vector<cache::BlockId> blocks;
-    std::uint64_t bytes = 0;
-    bool misdirected = false;
+  // Lower the policy actions to the CCM wire protocol: one transfer group
+  // per provider, each with its control-message sequence and bulk payload.
+  // The simulator charges exactly these messages — the same vocabulary the
+  // threaded runtime transports (docs/MIDDLEWARE.md).
+  proto::PlanContext pctx;
+  pctx.block_bytes = params_.block_bytes;
+  pctx.whole_file = whole_file;
+  pctx.file_bytes_of = [this](cache::FileId f) {
+    return files_.size_bytes(f);
   };
-  std::map<NodeId, Group> remote;  // provider -> blocks (master holder)
-  std::map<NodeId, Group> disk;    // home -> blocks to read
+  auto tplan = std::make_shared<proto::TransferPlan>(
+      proto::build_transfer_plan(node, plan, pctx));
 
-  for (const auto& f : plan.fetches) {
-    const std::uint64_t bytes =
-        whole_file ? file_bytes : block_bytes_of(file_bytes, f.block.index);
-    switch (f.source) {
-      case cache::Source::kLocalHit:
-        break;  // already in memory: covered by the process-request CPU cost
-      case cache::Source::kRemoteHit: {
-        auto& g = remote[f.provider];
-        g.blocks.push_back(f.block);
-        g.bytes += bytes;
-        g.misdirected |= f.misdirected;
-        break;
-      }
-      case cache::Source::kDiskRead: {
-        auto& g = disk[f.provider];
-        g.blocks.push_back(f.block);
-        g.bytes += bytes;
-        g.misdirected |= f.misdirected;
-        break;
-      }
-    }
-  }
+  auto join =
+      Join::make(tplan->remote.size() + tplan->disk.size(),
+                 std::move(on_all_blocks));
 
-  auto join = Join::make(remote.size() + disk.size(), std::move(on_all_blocks));
-
-  // --- Peer fetches: control msg -> peer CPU -> bulk transfer -> cache. ---
-  for (auto& [provider, group] : remote) {
+  // --- Peer fetches: control msg(s) -> peer CPU -> bulk transfer -> cache. ---
+  for (const auto& tg : tplan->remote) {
+    const NodeId provider = tg.provider;
     hw::Node& peer = *nodes_[provider];
-    const auto k =
-        whole_file
-            ? cache::blocks_for(file_bytes, params_.block_bytes)
-            : group.blocks.size();
-    const auto bytes = group.bytes;
-    const bool extra_hop = group.misdirected;
+    const std::uint64_t k = tg.charge_blocks;
+    const std::uint64_t bytes = tg.bytes;
     const obs::SpanCtx g =
         span.branch("fetch.remote", obs::Resource::kNicRx, node, bytes);
     if (g.active()) {
       std::string detail = "provider=" + std::to_string(provider) +
                            " blocks=" + std::to_string(k);
-      if (extra_hop) detail += " misdirected";
+      if (tg.misdirected) detail += " misdirected";
       g.note(std::move(detail));
     }
+    // Whole-file transfers are long enough to be worth phase-level spans
+    // (serve at the peer, wire time, caching here); block-mode traces keep
+    // their original single-span shape.
+    const bool sub_spans = whole_file && g.active();
     auto after_control = [this, &peer, &self, k, bytes, node, provider, g,
-                          join]() {
+                          sub_spans, join]() {
+      const obs::SpanCtx serve =
+          sub_spans ? g.begin("wholefile.serve", obs::Resource::kCpu, provider,
+                              params_.serve_peer_block_ms *
+                                  static_cast<double>(k))
+                    : obs::SpanCtx{};
       peer.cpu().submit(
           params_.serve_peer_block_ms * static_cast<double>(k),
-          [this, &peer, &self, k, bytes, node, provider, g, join]() {
+          [this, &peer, &self, k, bytes, node, provider, g, serve, sub_spans,
+           join]() {
+            serve.end();
+            const obs::SpanCtx ship =
+                sub_spans ? g.begin("wholefile.ship", obs::Resource::kNicTx,
+                                    provider, 0.0, bytes)
+                          : obs::SpanCtx{};
             network_.send(peer, self, bytes, [this, &self, k, bytes, node,
-                                              provider, g, join]() {
+                                              provider, g, ship, sub_spans,
+                                              join]() {
+              ship.end();
               if (timeline_ != nullptr) {
                 timeline_->add_bytes(provider, obs::Resource::kNicTx,
                                      engine_.now(), bytes);
                 timeline_->add_bytes(node, obs::Resource::kNicRx,
                                      engine_.now(), bytes);
               }
+              const obs::SpanCtx cache_cpu =
+                  sub_spans ? g.begin("wholefile.cache", obs::Resource::kCpu,
+                                      node,
+                                      params_.cache_block_ms *
+                                          static_cast<double>(k))
+                            : obs::SpanCtx{};
               self.cpu().submit(
                   params_.cache_block_ms * static_cast<double>(k),
-                  [g, join]() {
+                  [g, cache_cpu, join]() {
+                    cache_cpu.end();
                     g.end();
                     join->arrive();
                   });
             });
           });
     };
-    if (extra_hop) {
-      // A stale hint wasted one control round trip before reaching the
-      // real master holder.
-      network_.send_control(self, peer, [this, &peer, &self, cb = std::move(
-                                             after_control)]() mutable {
-        network_.send_control(peer, self, [this, &peer, &self,
-                                           cb2 = std::move(cb)]() mutable {
-          network_.send_control(self, peer, std::move(cb2));
-        });
-      });
-    } else {
-      network_.send_control(self, peer, std::move(after_control));
-    }
+    send_control_chain(tplan, &tg.control, 0, std::move(after_control));
   }
 
   // --- Disk reads at the home node (possibly this node). ---
-  for (auto& [home, group] : disk) {
+  for (const auto& tg : tplan->disk) {
+    const NodeId home = tg.provider;
     hw::Node& reader = *nodes_[home];
-    const auto bytes = group.bytes;
-    const auto k =
-        whole_file
-            ? cache::blocks_for(file_bytes, params_.block_bytes)
-            : group.blocks.size();
+    const std::uint64_t bytes = tg.bytes;
+    const std::uint64_t k = tg.charge_blocks;
 
     const obs::SpanCtx g =
         span.branch("fetch.disk", obs::Resource::kDisk, home, bytes);
@@ -247,32 +249,57 @@ void CcmServer::execute_plan(NodeId node, cache::AccessResult plan,
       g.note("home=" + std::to_string(home) +
              " blocks=" + std::to_string(k));
     }
-    auto do_reads = [this, &reader, &self, group = std::move(group), bytes, k,
-                     g, join, home, node, whole_file]() mutable {
-      auto after_reads = [this, &reader, &self, bytes, k, g, join, home,
-                          node]() {
+    const bool sub_spans = whole_file && g.active();
+    auto do_reads = [this, &reader, &self, blocks = &tg.blocks, tplan, bytes,
+                     k, g, sub_spans, join, home, node, whole_file]() mutable {
+      const obs::SpanCtx read =
+          sub_spans ? g.begin("wholefile.read", obs::Resource::kDisk, home,
+                              0.0, bytes)
+                    : obs::SpanCtx{};
+      auto after_reads = [this, &reader, &self, bytes, k, g, read, sub_spans,
+                          join, home, node]() {
+        read.end();
         if (home == node) {
           // Local disk: bus into memory, then per-block cache cost.
           self.bus().submit(params_.bus_ms(bytes), [this, &self, k, g,
-                                                    join]() {
+                                                    sub_spans, join, node]() {
+            const obs::SpanCtx cache_cpu =
+                sub_spans ? g.begin("wholefile.cache", obs::Resource::kCpu,
+                                    node,
+                                    params_.cache_block_ms *
+                                        static_cast<double>(k))
+                          : obs::SpanCtx{};
             self.cpu().submit(params_.cache_block_ms * static_cast<double>(k),
-                              [g, join]() {
+                              [g, cache_cpu, join]() {
+                                cache_cpu.end();
                                 g.end();
                                 join->arrive();
                               });
           });
         } else {
           // Remote home: ship the blocks over, then cache them here.
-          network_.send(reader, self, bytes, [this, &self, k, bytes, g, home,
-                                              node, join]() {
+          const obs::SpanCtx ship =
+              sub_spans ? g.begin("wholefile.ship", obs::Resource::kNicTx,
+                                  home, 0.0, bytes)
+                        : obs::SpanCtx{};
+          network_.send(reader, self, bytes, [this, &self, k, bytes, g, ship,
+                                              sub_spans, home, node, join]() {
+            ship.end();
             if (timeline_ != nullptr) {
               timeline_->add_bytes(home, obs::Resource::kNicTx, engine_.now(),
                                    bytes);
               timeline_->add_bytes(node, obs::Resource::kNicRx, engine_.now(),
                                    bytes);
             }
+            const obs::SpanCtx cache_cpu =
+                sub_spans ? g.begin("wholefile.cache", obs::Resource::kCpu,
+                                    node,
+                                    params_.cache_block_ms *
+                                        static_cast<double>(k))
+                          : obs::SpanCtx{};
             self.cpu().submit(params_.cache_block_ms * static_cast<double>(k),
-                              [g, join]() {
+                              [g, cache_cpu, join]() {
+                                cache_cpu.end();
                                 g.end();
                                 join->arrive();
                               });
@@ -282,18 +309,18 @@ void CcmServer::execute_plan(NodeId node, cache::AccessResult plan,
       // Blocks are demand-read one at a time, so concurrent request streams
       // interleave at the disk exactly as in the paper's §5 analysis.
       const std::uint64_t fb =
-          group.blocks.empty() ? 0 : files_.size_bytes(group.blocks[0].file);
+          blocks->empty() ? 0 : files_.size_bytes((*blocks)[0].file);
       std::vector<hw::BlockRead> seq;
-      if (whole_file && !group.blocks.empty()) {
+      if (whole_file && !blocks->empty()) {
         const std::uint32_t nb = cache::blocks_for(fb, params_.block_bytes);
         seq.reserve(nb);
         for (std::uint32_t i = 0; i < nb; ++i) {
-          seq.push_back(hw::BlockRead{group.blocks[0].file, i,
+          seq.push_back(hw::BlockRead{(*blocks)[0].file, i,
                                       block_bytes_of(fb, i)});
         }
       } else {
-        seq.reserve(group.blocks.size());
-        for (const auto& b : group.blocks) {
+        seq.reserve(blocks->size());
+        for (const auto& b : *blocks) {
           seq.push_back(
               hw::BlockRead{b.file, b.index, block_bytes_of(fb, b.index)});
         }
@@ -301,22 +328,18 @@ void CcmServer::execute_plan(NodeId node, cache::AccessResult plan,
       hw::read_sequence(reader.disk(), std::move(seq), std::move(after_reads));
     };
 
-    if (home == node) {
-      do_reads();
-    } else {
-      network_.send_control(self, reader, std::move(do_reads));
-    }
+    send_control_chain(tplan, &tg.control, 0, std::move(do_reads));
   }
 
   // --- Master forwards: asynchronous, off the request's critical path. ---
-  for (const auto& fw : plan.forwards) {
+  for (const auto& step : tplan->forwards) {
+    const cache::Forward fw = step.forward;
     hw::Node& from = *nodes_[fw.from];
-    const std::uint64_t fw_bytes =
-        whole_file ? files_.size_bytes(fw.block.file) : params_.block_bytes;
+    const std::uint64_t fw_bytes = step.bytes;
     // Traced forwards keep the request in flight until the transfer lands;
     // the tracer only commits the request once every span has closed.
     obs::SpanCtx f;
-    if (span.active() && fw.to != cache::kInvalidNode) {
+    if (span.active() && step.message.has_value()) {
       f = span.branch("forward.master", obs::Resource::kNicTx, fw.from,
                       fw_bytes);
       if (f.active()) f.note("to=" + std::to_string(fw.to));

@@ -15,6 +15,7 @@
 #include "cache/coop_cache.hpp"
 #include "hw/network.hpp"
 #include "hw/node.hpp"
+#include "proto/plan.hpp"
 #include "server/server.hpp"
 
 namespace coop::server {
@@ -65,6 +66,13 @@ class CcmServer final : public Server {
   /// fetch-phase span (inactive when untraced); transfer groups branch off it.
   void execute_plan(NodeId node, cache::AccessResult plan, obs::SpanCtx span,
                     sim::Callback on_all_blocks);
+
+  /// Charges the control messages `(*msgs)[i..]` as network control hops, in
+  /// order, then fires `done`. `keep` pins the TransferPlan the messages
+  /// live in for the duration of the chain.
+  void send_control_chain(std::shared_ptr<proto::TransferPlan> keep,
+                          const std::vector<proto::Message>* msgs,
+                          std::size_t i, sim::Callback done);
 
   /// Bytes of block `index` of a file `file_bytes` long.
   [[nodiscard]] std::uint32_t block_bytes_of(std::uint64_t file_bytes,

@@ -240,13 +240,15 @@ RunMetrics run_simulation(const ClusterConfig& config,
 
   // Audit integration: when an invariant trips in an audited build, dump the
   // in-flight sampled spans (focused on the offending node when the detail
-  // names one) before deferring to the previous handler. The handler slot is
-  // process-global, so multi-threaded sweeps clear obs.audit_dump.
+  // names one) before deferring. The handler is a per-thread overlay, so
+  // parallel sweep workers each dump their own tracer's spans; report_global
+  // then routes to whatever process-wide handler (Recorder, default abort)
+  // is installed.
   audit::Handler prev_handler;
   bool handler_installed = false;
   if (tracing && obs_config.audit_dump && audit::hooks_compiled_in()) {
-    prev_handler = audit::set_handler([&tracer, &prev_handler](
-                                          const audit::Violation& v) {
+    prev_handler = audit::set_thread_handler([&tracer, &prev_handler](
+                                                 const audit::Violation& v) {
       std::cerr << "[obs] in-flight sampled requests at violation '"
                 << v.invariant << "':\n";
       if (const auto node = node_in_detail(v.detail)) {
@@ -257,11 +259,7 @@ RunMetrics run_simulation(const ClusterConfig& config,
       if (prev_handler) {
         prev_handler(v);
       } else {
-        // Mirror the default handler: an audited build must not keep
-        // simulating from a corrupt state.
-        std::cerr << "CCM_AUDIT violation [" << v.invariant
-                  << "]: " << v.detail << "\n";
-        std::abort();
+        audit::report_global(v);
       }
     });
     handler_installed = true;
@@ -286,7 +284,7 @@ RunMetrics run_simulation(const ClusterConfig& config,
   clients.start();
   engine.run();
 
-  if (handler_installed) audit::set_handler(std::move(prev_handler));
+  if (handler_installed) audit::set_thread_handler(std::move(prev_handler));
 
   if (!clients.finished()) {
     throw std::logic_error("simulation drained before the trace finished");

@@ -2,14 +2,19 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace coop::audit {
 
 namespace {
 
-// Intentionally not thread-local: the threaded middleware audits under its
-// cluster mutex, and test Recorders are installed before threads start.
-Handler g_handler;  // NOLINT(cert-err58-cpp)
+std::mutex g_mu;     // guards g_handler
+Handler g_handler;   // NOLINT(cert-err58-cpp)
+
+// Per-thread overlay: a sweep worker can route its own violations (e.g. to
+// dump its own tracer's in-flight spans) without racing other workers for
+// the global slot.
+thread_local Handler t_handler;  // NOLINT(cert-err58-cpp)
 
 void default_handler(const Violation& v) {
   std::fprintf(stderr, "CCM_AUDIT violation [%s]: %s\n", v.invariant.c_str(),
@@ -20,21 +25,43 @@ void default_handler(const Violation& v) {
 }  // namespace
 
 Handler set_handler(Handler h) {
+  std::scoped_lock lock(g_mu);
   Handler previous = std::move(g_handler);
   g_handler = std::move(h);
   return previous;
 }
 
-void report(std::string invariant, std::string detail) {
-  const Violation v{std::move(invariant), std::move(detail)};
-  if (g_handler) {
-    g_handler(v);
+Handler set_thread_handler(Handler h) {
+  Handler previous = std::move(t_handler);
+  t_handler = std::move(h);
+  return previous;
+}
+
+void report_global(const Violation& v) {
+  Handler h;
+  {
+    // Copy out so a slow handler never holds the slot lock.
+    std::scoped_lock lock(g_mu);
+    h = g_handler;
+  }
+  if (h) {
+    h(v);
   } else {
     default_handler(v);
   }
 }
 
+void report(std::string invariant, std::string detail) {
+  const Violation v{std::move(invariant), std::move(detail)};
+  if (t_handler) {
+    t_handler(v);
+    return;
+  }
+  report_global(v);
+}
+
 bool Recorder::saw(const std::string& invariant) const {
+  std::scoped_lock lock(mu_);
   for (const auto& v : violations_) {
     if (v.invariant == invariant) return true;
   }
@@ -42,8 +69,10 @@ bool Recorder::saw(const std::string& invariant) const {
 }
 
 Recorder::Recorder() {
-  previous_ = set_handler(
-      [this](const Violation& v) { violations_.push_back(v); });
+  previous_ = set_handler([this](const Violation& v) {
+    std::scoped_lock lock(mu_);
+    violations_.push_back(v);
+  });
 }
 
 Recorder::~Recorder() { set_handler(std::move(previous_)); }

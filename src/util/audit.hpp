@@ -14,6 +14,12 @@
 //     (CMake option -DCOOPCACHE_AUDIT=ON). A normal build pays nothing; the
 //     audit CI job replays the tier-1 suites with every event audited.
 //
+// Threading: report() first consults a per-thread handler overlay
+// (set_thread_handler — e.g. a sweep worker dumping its own tracer's
+// in-flight spans), then the process-global slot (set_handler, guarded by a
+// mutex). Concurrent reporters are safe: the Recorder serializes its own
+// collection internally.
+//
 // Without an installed handler a violation prints to stderr and aborts: an
 // audited build must not keep simulating from a corrupt state, because every
 // figure depends on the protocol accounting being exact.
@@ -21,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,15 +62,30 @@ using Handler = std::function<void(const Violation&)>;
 /// True when the build compiles the per-event auto hooks.
 constexpr bool hooks_compiled_in() { return CCM_AUDIT_ENABLED != 0; }
 
-/// Installs `h` as the violation handler and returns the previous one.
-/// Passing nullptr restores the default print-and-abort handler.
+/// Installs `h` as the process-global violation handler and returns the
+/// previous one. Passing nullptr restores the default print-and-abort
+/// handler. Thread-safe.
 Handler set_handler(Handler h);
 
-/// Routes a violation to the installed handler (or print-and-abort).
+/// Installs `h` as this thread's handler overlay and returns the previous
+/// overlay. While set, violations reported *on this thread* go to `h`
+/// instead of the global handler; `h` may defer by calling report_global.
+/// Passing nullptr removes the overlay.
+Handler set_thread_handler(Handler h);
+
+/// Routes a violation to the calling thread's overlay if one is installed,
+/// else to the global handler (or print-and-abort). Thread-safe.
 void report(std::string invariant, std::string detail);
 
+/// Routes a violation directly to the global handler (or print-and-abort),
+/// bypassing the calling thread's overlay — the overlay's defer path.
+void report_global(const Violation& v);
+
 /// RAII collector for tests: while alive, violations are recorded instead of
-/// aborting; the previous handler is restored on destruction.
+/// aborting; the previous global handler is restored on destruction.
+/// Collection is internally serialized, so worker and protocol threads may
+/// report concurrently; violations()/count()/saw() are meant for quiescent
+/// inspection after the audited operation returns.
 class Recorder {
  public:
   Recorder();
@@ -74,11 +96,18 @@ class Recorder {
   [[nodiscard]] const std::vector<Violation>& violations() const {
     return violations_;
   }
-  [[nodiscard]] std::size_t count() const { return violations_.size(); }
+  [[nodiscard]] std::size_t count() const {
+    std::scoped_lock lock(mu_);
+    return violations_.size();
+  }
   [[nodiscard]] bool saw(const std::string& invariant) const;
-  void clear() { violations_.clear(); }
+  void clear() {
+    std::scoped_lock lock(mu_);
+    violations_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<Violation> violations_;
   Handler previous_;
 };

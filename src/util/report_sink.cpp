@@ -1,0 +1,21 @@
+#include "util/report_sink.hpp"
+
+#include <iostream>
+
+namespace coop::util {
+
+namespace {
+std::ostream* g_report_out = nullptr;
+}
+
+std::ostream& report_out() {
+  return g_report_out != nullptr ? *g_report_out : std::cout;
+}
+
+std::ostream* set_report_out(std::ostream* os) {
+  std::ostream* previous = g_report_out;
+  g_report_out = os;
+  return previous;
+}
+
+}  // namespace coop::util

@@ -1,0 +1,23 @@
+// The sanctioned output stream for library-side reporting.
+//
+// The cout-library lint rule bans std::cout/printf/puts under src/: libraries
+// return data, the report layer prints. Code that legitimately needs a text
+// sink below the harness writes to report_out() instead — it defaults to
+// std::cout but is redirectable, so tests and embedders can capture or
+// silence it. `ccm-lint --fix` rewrites stray `std::cout` uses in src/ to
+// this function.
+#pragma once
+
+#include <iosfwd>
+
+namespace coop::util {
+
+/// The current report stream (std::cout unless redirected).
+std::ostream& report_out();
+
+/// Redirects report_out() to `os`; nullptr restores std::cout. Returns the
+/// previous override (nullptr when none was set). Not thread-safe — redirect
+/// before spawning workers.
+std::ostream* set_report_out(std::ostream* os);
+
+}  // namespace coop::util

@@ -55,7 +55,9 @@ struct EngineTestPeer {
 namespace coop::ccm {
 
 struct CcmClusterTestPeer {
-  static auto& stores(CcmCluster& c) { return c.stores_; }
+  static auto& store(CcmCluster& c, std::size_t n) {
+    return c.shards_[n]->store;
+  }
 };
 
 }  // namespace coop::ccm
@@ -345,9 +347,9 @@ TEST(CcmClusterAudit, MissingStoreEntryTrips) {
   CcmCluster cluster(ccm_config(2, 16), tiny_storage());
   (void)cluster.read(0, 0);
   // Drop one cached block's bytes while the policy still lists it.
-  auto& stores = CcmClusterTestPeer::stores(cluster);
-  ASSERT_FALSE(stores[0].empty());
-  stores[0].erase(stores[0].begin());
+  auto& store = CcmClusterTestPeer::store(cluster, 0);
+  ASSERT_FALSE(store.empty());
+  store.erase(store.begin());  // ccm-lint: allow(unordered-iter)
   coop::audit::Recorder rec;
   EXPECT_GT(cluster.audit("corrupt"), 0u);
   EXPECT_TRUE(rec.saw("ccm-store-policy-size"));
@@ -357,9 +359,9 @@ TEST(CcmClusterAudit, OrphanedBytesTrip) {
   CcmCluster cluster(ccm_config(2, 16), tiny_storage());
   (void)cluster.read(0, 0);
   // Bytes appear for a block the policy has never heard of.
-  auto& stores = CcmClusterTestPeer::stores(cluster);
+  auto& store = CcmClusterTestPeer::store(cluster, 0);
   const auto ghost = cache::BlockId{2, 0};
-  stores[0][ghost] = stores[0].begin()->second;
+  store[ghost] = store.begin()->second;  // ccm-lint: allow(unordered-iter)
   coop::audit::Recorder rec;
   EXPECT_GT(cluster.audit("corrupt"), 0u);
   EXPECT_TRUE(rec.saw("ccm-store-orphan"));
@@ -368,28 +370,28 @@ TEST(CcmClusterAudit, OrphanedBytesTrip) {
 TEST(CcmClusterAudit, NullBlockPointerTrips) {
   CcmCluster cluster(ccm_config(2, 16), tiny_storage());
   (void)cluster.read(0, 0);
-  auto& stores = CcmClusterTestPeer::stores(cluster);
-  ASSERT_FALSE(stores[0].empty());
-  stores[0].begin()->second = nullptr;
+  auto& store = CcmClusterTestPeer::store(cluster, 0);
+  ASSERT_FALSE(store.empty());
+  store.begin()->second = nullptr;  // ccm-lint: allow(unordered-iter)
   coop::audit::Recorder rec;
   EXPECT_GT(cluster.audit("corrupt"), 0u);
   EXPECT_TRUE(rec.saw("ccm-store-null"));
 }
 
 // In audited builds (-DCOOPCACHE_AUDIT=ON) every protocol event re-audits
-// automatically; a corrupt cluster is then caught by the very next read
-// without anyone calling audit() explicitly.
+// the shard it ran on; a corrupt shard is then caught by the very next event
+// touching that shard without anyone calling audit() explicitly.
 TEST(CcmClusterAudit, AutoHooksCatchCorruptionOnNextEvent) {
   if (!coop::audit::hooks_compiled_in()) {
     GTEST_SKIP() << "CCM_AUDIT hooks not compiled in this build";
   }
   CcmCluster cluster(ccm_config(2, 16), tiny_storage());
   (void)cluster.read(0, 0);
-  auto& stores = CcmClusterTestPeer::stores(cluster);
-  ASSERT_FALSE(stores[0].empty());
-  stores[0].begin()->second = nullptr;
+  auto& store = CcmClusterTestPeer::store(cluster, 0);
+  ASSERT_FALSE(store.empty());
+  store.begin()->second = nullptr;  // ccm-lint: allow(unordered-iter)
   coop::audit::Recorder rec;
-  (void)cluster.read(1, 1);  // unrelated event — the hook audits everything
+  (void)cluster.read(0, 1);  // unrelated event on the same shard
   EXPECT_TRUE(rec.saw("ccm-store-null"));
 }
 

@@ -453,6 +453,85 @@ TEST(CcmWrite, ConcurrentDisjointWritersStayConsistent) {
   EXPECT_TRUE(cluster.check_consistency());
 }
 
+TEST(CcmStress, MixedReadersWritersInvalidatorsStayConsistent) {
+  // The read-only and disjoint-writer stresses above each cover one verb;
+  // this one races all three on shared files. Each file has exactly one
+  // owner thread (so a file's writes and invalidations never race each
+  // other and its owner always knows the true bytes), but every thread
+  // reads every file — so reads cross in flight with writes, invalidations,
+  // evictions, and master forwards.
+  const std::size_t files = 12;
+  const std::size_t nodes = 4;
+  std::vector<std::uint32_t> sizes(files, 4 * kBlock);
+  auto storage = std::make_shared<BufferStorage>(sizes);
+  CcmConfig cfg = small_config(nodes, 8);  // 32 cache blocks for 48 on disk
+  cfg.workers_per_node = 2;
+  CcmCluster cluster(cfg, storage);
+
+  std::vector<std::vector<std::byte>> mirrors(files);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> owners;
+  for (std::size_t t = 0; t < nodes; ++t) {
+    owners.emplace_back([&, t] {
+      sim::Rng rng(40 + t);
+      // Seed this thread's files (and their owner-side mirrors).
+      for (cache::FileId f = static_cast<cache::FileId>(t); f < files;
+           f += nodes) {
+        auto full = pattern(4 * kBlock, static_cast<std::uint8_t>(0xA0 + f));
+        cluster.write(static_cast<cache::NodeId>(t), f, 0, full);
+        mirrors[f] = std::move(full);
+      }
+      for (int i = 0; i < 250; ++i) {
+        const auto f = static_cast<cache::FileId>(
+            t + nodes * rng.uniform_int(files / nodes));
+        const auto via = static_cast<cache::NodeId>(rng.uniform_int(nodes));
+        switch (rng.uniform_int(8)) {
+          case 0:
+          case 1:
+          case 2: {  // verified read of an owned file
+            if (cluster.read(via, f) != mirrors[f]) ++failures;
+            break;
+          }
+          case 3:
+          case 4: {  // write-through, mirrored locally
+            const std::uint64_t off =
+                rng.uniform_int(3) * kBlock + rng.uniform_int(kBlock / 2);
+            const auto data =
+                pattern(kBlock, static_cast<std::uint8_t>(f * 8 + i));
+            cluster.write(via, f, off, data);
+            std::copy(data.begin(), data.end(),
+                      mirrors[f].begin() + static_cast<std::ptrdiff_t>(off));
+            break;
+          }
+          case 5:  // drop every cached copy; storage still holds the truth
+            cluster.invalidate(f);
+            break;
+          default: {  // unverified read of somebody else's file (it may be
+                      // mid-write: only the size is guaranteed)
+            const auto other =
+                static_cast<cache::FileId>(rng.uniform_int(files));
+            const auto got = cluster.read_range(via, other, kBlock, kBlock);
+            if (got.size() != kBlock) ++failures;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : owners) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(cluster.check_consistency());
+  // Every file's final bytes are exactly its owner's last writes.
+  for (cache::FileId f = 0; f < files; ++f) {
+    EXPECT_EQ(cluster.read(static_cast<cache::NodeId>(f % nodes), f),
+              mirrors[f])
+        << "file " << f;
+  }
+  const auto s = cluster.stats();
+  EXPECT_GT(s.writes, 0u);
+  EXPECT_GT(s.invalidations, 0u);
+}
+
 TEST(CcmCluster, InvalidateDropsEveryCopy) {
   auto storage =
       std::make_shared<BufferStorage>(std::vector<std::uint32_t>{2 * kBlock});

@@ -249,6 +249,70 @@ TEST(LintRules, CatchesCoutInLibraryButNotInToolsOrTests) {
   EXPECT_TRUE(findings_for_rule(test, "cout-library").empty());
 }
 
+// ------------------------------------------------------ cout-library fix ---
+
+TEST(Fixer, RewritesCoutToReportSinkAndInsertsInclude) {
+  const std::string src =
+      "#include <iostream>\n"
+      "void f(int x) { std::cout << x; }\n"
+      "void g(int y) { cout << y; }\n";
+  const auto r = lint_one("src/x.cpp", src);
+  const auto fr = ccmlint::fix_cout_library({"src/x.cpp", src}, r.findings);
+  EXPECT_EQ(fr.rewrites, 2u);
+  EXPECT_EQ(fr.unfixable, 0u);
+  EXPECT_NE(fr.content.find("#include \"util/report_sink.hpp\""),
+            std::string::npos);
+  EXPECT_NE(fr.content.find("void f(int x) { coop::util::report_out() << x; }"),
+            std::string::npos);
+  EXPECT_NE(fr.content.find("void g(int y) { coop::util::report_out() << y; }"),
+            std::string::npos);
+  EXPECT_EQ(fr.content.find("cout"), std::string::npos);
+}
+
+TEST(Fixer, FixedContentLintsCleanAndRefixIsNoOp) {
+  const std::string src =
+      "#include <iostream>\n"
+      "void f(int x) { std::cout << x; }\n";
+  const auto r1 = lint_one("src/x.cpp", src);
+  const auto fix1 = ccmlint::fix_cout_library({"src/x.cpp", src}, r1.findings);
+  ASSERT_EQ(fix1.rewrites, 1u);
+  const auto r2 = lint_one("src/x.cpp", fix1.content);
+  EXPECT_TRUE(findings_for_rule(r2, "cout-library").empty());
+  const auto fix2 =
+      ccmlint::fix_cout_library({"src/x.cpp", fix1.content}, r2.findings);
+  EXPECT_EQ(fix2.rewrites, 0u);
+  EXPECT_EQ(fix2.content, fix1.content);
+}
+
+TEST(Fixer, PrintfAndUsingDeclarationAreReportedUnfixable) {
+  const std::string src =
+      "#include <cstdio>\n"
+      "using std::cout;\n"
+      "void f() { printf(\"x\"); }\n"
+      "void g() { cout << 1; }\n";
+  const auto r = lint_one("src/x.cpp", src);
+  const auto fr = ccmlint::fix_cout_library({"src/x.cpp", src}, r.findings);
+  // The using-declaration and printf stay; the bare `cout <<` use is fixed.
+  EXPECT_EQ(fr.rewrites, 1u);
+  EXPECT_EQ(fr.unfixable, 2u);
+  EXPECT_NE(fr.content.find("using std::cout;"), std::string::npos);
+  EXPECT_NE(fr.content.find("printf(\"x\");"), std::string::npos);
+  EXPECT_NE(fr.content.find("coop::util::report_out() << 1;"),
+            std::string::npos);
+}
+
+TEST(Fixer, SuppressedFindingsAreNotRewritten) {
+  std::vector<std::string> errors;
+  auto supp = parse_suppressions(
+      "src/x.cpp cout-library cout  # audited output sink\n", errors);
+  ASSERT_TRUE(errors.empty());
+  const std::string src = "void f() { std::cout << 1; }\n";
+  const auto r = lint({{"src/x.cpp", src}}, supp);
+  const auto fr = ccmlint::fix_cout_library({"src/x.cpp", src}, r.findings);
+  EXPECT_EQ(fr.rewrites, 0u);
+  EXPECT_EQ(fr.content, src);
+}
+
 // ---------------------------------------------------------- suppressions ---
 
 TEST(Suppressions, FileEntryMatchesAndCountsUses) {

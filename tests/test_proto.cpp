@@ -1,0 +1,600 @@
+// Protocol-layer tests: wire round-trips, plan lowering, and — the load-
+// bearing one — serial parity between the sharded building blocks
+// (proto::NodeState + proto::DirectoryService) and the monolithic
+// cache::ClusterCache policy engine. The runtime (ccm::CcmCluster) is these
+// pieces plus locks; if the pieces match the oracle action for action, the
+// runtime's policy decisions are ClusterCache's.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/coop_cache.hpp"
+#include "proto/directory_service.hpp"
+#include "proto/message.hpp"
+#include "proto/node_state.hpp"
+#include "proto/plan.hpp"
+
+namespace coop::proto {
+namespace {
+
+constexpr std::uint32_t kBlock = 8 * 1024;
+
+// ------------------------------------------------------------ wire format ---
+
+std::vector<Message> all_message_kinds() {
+  const BlockId b{7, 3};
+  return {
+      Message::block_lookup(1, b),
+      Message::lookup_reply(1, b, 2, /*misdirected=*/true),
+      Message::lookup_reply(1, b, cache::kInvalidNode, false),
+      Message::master_claim(0, b),
+      Message::claim_reply(0, b, /*granted=*/true, 0),
+      Message::claim_reply(0, b, /*granted=*/false, 3),
+      Message::peer_fetch(0, 2, b, /*misdirected=*/true),
+      Message::peer_fetch_reply(2, 0, b, /*hit=*/true, 8192),
+      Message::redirect(2, 0, b),
+      Message::home_read(0, 1, b, 4),
+      Message::block_data(1, 0, b, 4, 4 * 8192),
+      Message::master_forward(0, 3, b, /*age=*/99, /*slots=*/2, 8192),
+      Message::forward_ack(3, 0, b, /*accepted=*/true, /*promoted=*/true),
+      Message::eviction_notice(3, b),
+      Message::invalidate_file(0, 1, b.file, 6),
+      Message::invalidate_block(0, 1, b, /*drop_master=*/true),
+      Message::invalidate_ack(1, 0),
+      Message::write_ownership(0, 2, b),
+      Message::write_ownership_reply(2, 0, b, /*transferred=*/true, 8192),
+  };
+}
+
+TEST(WireFormat, EveryNamedConstructorRoundTrips) {
+  for (const Message& m : all_message_kinds()) {
+    const WireBytes wire = encode(m);
+    const auto back = decode(wire);
+    ASSERT_TRUE(back.has_value()) << kind_name(m.kind);
+    EXPECT_EQ(*back, m) << kind_name(m.kind);
+  }
+}
+
+TEST(WireFormat, DecodeRejectsShortInput) {
+  const WireBytes wire = encode(Message::block_lookup(0, {1, 2}));
+  for (std::size_t len = 0; len < kWireSize; ++len) {
+    EXPECT_FALSE(decode({wire.data(), len}).has_value()) << len;
+  }
+}
+
+TEST(WireFormat, DecodeRejectsUnknownKind) {
+  WireBytes wire = encode(Message::block_lookup(0, {1, 2}));
+  wire[0] = static_cast<std::byte>(kMsgKindCount);
+  EXPECT_FALSE(decode(wire).has_value());
+  wire[0] = static_cast<std::byte>(0xFF);
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(WireFormat, DecodeRejectsReservedFlagBits) {
+  WireBytes wire = encode(Message::peer_fetch(0, 1, {1, 2}, false));
+  wire[kWireSize - 1] = static_cast<std::byte>(1u << 7);  // reserved bit
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(WireFormat, KindNamesAreStable) {
+  EXPECT_STREQ(kind_name(MsgKind::kPeerFetch), "peer-fetch");
+  EXPECT_STREQ(kind_name(MsgKind::kMasterForward), "master-forward");
+  EXPECT_STREQ(kind_name(MsgKind::kWriteOwnershipReply),
+               "write-ownership-reply");
+}
+
+// ---------------------------------------------------------- plan lowering ---
+
+TEST(PlanLowering, BlockPayloadBytesHandlesTailsAndEmptyFiles) {
+  EXPECT_EQ(block_payload_bytes(0, 0, kBlock), 0u);          // zero-byte file
+  EXPECT_EQ(block_payload_bytes(kBlock, 0, kBlock), kBlock);
+  EXPECT_EQ(block_payload_bytes(kBlock + 100, 1, kBlock), 100u);
+  EXPECT_EQ(block_payload_bytes(kBlock + 100, 5, kBlock), 0u);  // past end
+}
+
+cache::AccessResult mixed_plan() {
+  cache::AccessResult plan;
+  plan.fetches = {
+      {{9, 0}, cache::Source::kLocalHit, 0, false},
+      {{9, 1}, cache::Source::kRemoteHit, 2, false},
+      {{9, 2}, cache::Source::kRemoteHit, 1, false},
+      {{9, 3}, cache::Source::kRemoteHit, 2, false},
+      {{9, 4}, cache::Source::kDiskRead, 3, false},
+      {{9, 5}, cache::Source::kDiskRead, 0, false},  // requester's own disk
+  };
+  return plan;
+}
+
+PlanContext block_ctx(std::uint64_t file_bytes) {
+  PlanContext ctx;
+  ctx.block_bytes = kBlock;
+  ctx.whole_file = false;
+  ctx.file_bytes_of = [file_bytes](FileId) { return file_bytes; };
+  return ctx;
+}
+
+TEST(PlanLowering, GroupsByProviderInAscendingOrder) {
+  const std::uint64_t file_bytes = 6 * kBlock - 1000;  // short tail block
+  const TransferPlan tp =
+      build_transfer_plan(0, mixed_plan(), block_ctx(file_bytes));
+
+  ASSERT_EQ(tp.remote.size(), 2u);
+  EXPECT_EQ(tp.remote[0].provider, 1);
+  EXPECT_EQ(tp.remote[1].provider, 2);
+  ASSERT_EQ(tp.remote[1].blocks.size(), 2u);  // blocks 1 and 3 share provider
+  EXPECT_EQ(tp.remote[1].bytes, 2ull * kBlock);
+
+  ASSERT_EQ(tp.disk.size(), 2u);
+  EXPECT_EQ(tp.disk[0].provider, 0);
+  EXPECT_EQ(tp.disk[1].provider, 3);
+}
+
+TEST(PlanLowering, CleanRemoteFetchCostsOneControlHop) {
+  const TransferPlan tp =
+      build_transfer_plan(0, mixed_plan(), block_ctx(6 * kBlock));
+  const TransferGroup& g = tp.remote[1];
+  ASSERT_EQ(g.control.size(), 1u);
+  EXPECT_EQ(g.control[0].kind, MsgKind::kPeerFetch);
+  EXPECT_FALSE(g.control[0].has(kFlagMisdirected));
+  ASSERT_TRUE(g.bulk.has_value());
+  EXPECT_EQ(g.bulk->kind, MsgKind::kPeerFetchReply);
+  EXPECT_EQ(g.bulk->bytes, g.bytes);
+}
+
+TEST(PlanLowering, StaleHintCostsThreeControlHops) {
+  cache::AccessResult plan;
+  plan.fetches = {{{4, 0}, cache::Source::kRemoteHit, 2, true}};
+  const TransferPlan tp = build_transfer_plan(0, plan, block_ctx(kBlock));
+  ASSERT_EQ(tp.remote.size(), 1u);
+  const TransferGroup& g = tp.remote[0];
+  EXPECT_TRUE(g.misdirected);
+  ASSERT_EQ(g.control.size(), 3u);
+  EXPECT_EQ(g.control[0].kind, MsgKind::kPeerFetch);   // stale probe
+  EXPECT_TRUE(g.control[0].has(kFlagMisdirected));
+  EXPECT_EQ(g.control[1].kind, MsgKind::kRedirect);    // bounce
+  EXPECT_EQ(g.control[2].kind, MsgKind::kPeerFetch);   // re-sent fetch
+  EXPECT_FALSE(g.control[2].has(kFlagMisdirected));
+}
+
+TEST(PlanLowering, LocalDiskMovesNoWireBytes) {
+  const TransferPlan tp =
+      build_transfer_plan(0, mixed_plan(), block_ctx(6 * kBlock));
+  const TransferGroup& local = tp.disk[0];  // home == requester
+  EXPECT_TRUE(local.control.empty());
+  EXPECT_FALSE(local.bulk.has_value());
+  const TransferGroup& remote = tp.disk[1];
+  ASSERT_EQ(remote.control.size(), 1u);
+  EXPECT_EQ(remote.control[0].kind, MsgKind::kHomeRead);
+  ASSERT_TRUE(remote.bulk.has_value());
+  EXPECT_EQ(remote.bulk->kind, MsgKind::kBlockData);
+}
+
+TEST(PlanLowering, ForwardsCarryMessagesOnlyWithATarget) {
+  cache::AccessResult plan;
+  plan.forwards = {{{5, 0}, 0, 2, true},
+                   {{5, 1}, 0, cache::kInvalidNode, false}};
+  const TransferPlan tp = build_transfer_plan(0, plan, block_ctx(2 * kBlock));
+  ASSERT_EQ(tp.forwards.size(), 2u);
+  ASSERT_TRUE(tp.forwards[0].message.has_value());
+  EXPECT_EQ(tp.forwards[0].message->kind, MsgKind::kMasterForward);
+  EXPECT_FALSE(tp.forwards[1].message.has_value());
+}
+
+TEST(PlanLowering, ChargeBlocksCountsTheGroupedBlocks) {
+  // Regression: charge_blocks drives the per-block CPU costs the simulator
+  // charges (serve_peer_block_ms, cache_block_ms). An early version computed
+  // it from a moved-from group and silently charged zero.
+  const TransferPlan tp =
+      build_transfer_plan(0, mixed_plan(), block_ctx(6 * kBlock));
+  ASSERT_EQ(tp.remote.size(), 2u);
+  EXPECT_EQ(tp.remote[0].charge_blocks, 1u);  // provider 1: block 2
+  EXPECT_EQ(tp.remote[1].charge_blocks, 2u);  // provider 2: blocks 1 and 3
+  ASSERT_EQ(tp.disk.size(), 2u);
+  EXPECT_EQ(tp.disk[0].charge_blocks, 1u);
+  EXPECT_EQ(tp.disk[1].charge_blocks, 1u);
+
+  // Whole-file mode charges the file's full block footprint regardless of
+  // how many fetch entries stood in for it.
+  auto ctx = block_ctx(6 * kBlock);
+  ctx.whole_file = true;
+  const TransferPlan wf = build_transfer_plan(0, mixed_plan(), ctx);
+  ASSERT_FALSE(wf.remote.empty());
+  EXPECT_EQ(wf.remote[0].charge_blocks, 6u);
+}
+
+TEST(PlanLowering, LoweringIsDeterministic) {
+  const auto ctx = block_ctx(6 * kBlock - 1000);
+  const TransferPlan a = build_transfer_plan(0, mixed_plan(), ctx);
+  const TransferPlan b = build_transfer_plan(0, mixed_plan(), ctx);
+  ASSERT_EQ(a.remote.size(), b.remote.size());
+  for (std::size_t i = 0; i < a.remote.size(); ++i) {
+    EXPECT_EQ(a.remote[i].control, b.remote[i].control);
+    EXPECT_EQ(a.remote[i].bulk, b.remote[i].bulk);
+  }
+}
+
+// ------------------------------------------------- forward-target policy ---
+
+struct FakeView final : PeerView {
+  std::vector<std::uint64_t> ages;
+  std::vector<bool> full;
+  [[nodiscard]] std::uint64_t peer_oldest_age(cache::NodeId n) const override {
+    return ages[n];
+  }
+  [[nodiscard]] bool peer_full(cache::NodeId n) const override {
+    return full[n];
+  }
+};
+
+TEST(ForwardTarget, PrefersFreePeerInIndexOrderThenOldest) {
+  FakeView view;
+  view.ages = {5, 10, 3, 8};
+  view.full = {true, false, true, false};
+  EXPECT_EQ(pick_forward_target(0, 4, view), 1);  // first non-full peer
+  view.full = {true, true, true, true};
+  EXPECT_EQ(pick_forward_target(0, 4, view), 2);  // oldest block wins
+  EXPECT_EQ(pick_forward_target(2, 4, view), 0);  // never forwards to self
+  EXPECT_EQ(pick_forward_target(0, 1, view), cache::kInvalidNode);
+}
+
+TEST(ForwardTarget, GloballyOldestMasterGetsNoSecondChance) {
+  FakeView view;
+  view.ages = {4, 10, kNoAge, 8};
+  view.full = {true, true, false, true};
+  EXPECT_TRUE(holds_globally_oldest(0, 4, 4, view));
+  EXPECT_FALSE(holds_globally_oldest(1, 10, 4, view));
+}
+
+// -------------------------------------------- NodeState vs ClusterCache ---
+
+/// Serial re-implementation of the runtime's orchestration over the shared
+/// protocol pieces: the same transitions CcmCluster runs under shard locks,
+/// minus the locks and messages. Drives NodeState + DirectoryService with
+/// the runtime's tick conventions (local hit 1 tick; remote hit 2 ticks —
+/// holder touch then requester insert; miss 1 tick; evictions/forwards tick
+/// nothing) so the outcome must equal ClusterCache on the same script.
+class SerialHarness {
+ public:
+  explicit SerialHarness(const cache::CoopCacheConfig& config)
+      : config_(config),
+        dir_(config.nodes, config.directory, config.hint_staleness) {
+    for (std::size_t n = 0; n < config.nodes; ++n) {
+      nodes_.push_back(std::make_unique<NodeState>(
+          static_cast<cache::NodeId>(n), config));
+    }
+    view_.harness = this;
+  }
+
+  void access(cache::NodeId node, cache::FileId file,
+              std::uint64_t file_bytes) {
+    const std::uint32_t blocks =
+        cache::blocks_for(file_bytes, config_.block_bytes);
+    for (std::uint32_t i = 0; i < blocks; ++i) {
+      access_block(node, BlockId{file, i});
+    }
+  }
+
+  [[nodiscard]] cache::CacheStats summed_stats() const {
+    cache::CacheStats total;
+    for (const auto& n : nodes_) {
+      const cache::CacheStats& s = n->stats();
+      total.local_hits += s.local_hits;
+      total.remote_hits += s.remote_hits;
+      total.disk_reads += s.disk_reads;
+      total.forwards_attempted += s.forwards_attempted;
+      total.forwards_accepted += s.forwards_accepted;
+      total.master_drops += s.master_drops;
+      total.copy_drops += s.copy_drops;
+    }
+    total.hint_misdirects = dir_.ops().hint_misdirects;
+    return total;
+  }
+
+  [[nodiscard]] const NodeState& node(cache::NodeId n) const {
+    return *nodes_[n];
+  }
+  [[nodiscard]] const DirectoryService& directory() const { return dir_; }
+
+ private:
+  struct View final : PeerView {
+    const SerialHarness* harness = nullptr;
+    [[nodiscard]] std::uint64_t peer_oldest_age(
+        cache::NodeId n) const override {
+      return harness->nodes_[n]->published_oldest_age();
+    }
+    [[nodiscard]] bool peer_full(cache::NodeId n) const override {
+      return harness->nodes_[n]->published_full();
+    }
+  };
+
+  std::uint64_t tick() { return ++clock_; }
+
+  void apply_drops(const std::vector<cache::Drop>& drops) {
+    for (const auto& d : drops) {
+      if (d.was_master) dir_.master_dropped(d.block, d.node);
+    }
+  }
+
+  void make_room(NodeState& st, std::uint32_t slots = 1) {
+    std::vector<cache::Drop> drops;
+    for (;;) {
+      drops.clear();
+      const auto pf = st.make_room(slots, view_, drops);
+      apply_drops(drops);
+      st.publish();
+      if (!pf) return;
+      forward(st, *pf);
+    }
+  }
+
+  void forward(NodeState& st, const PendingForward& pf) {
+    const cache::NodeId to =
+        pick_forward_target(st.id(), nodes_.size(), view_);
+    if (to == cache::kInvalidNode) {
+      dir_.master_dropped(pf.block, st.id());
+      ++st.stats().master_drops;
+      return;
+    }
+    const auto epoch = dir_.begin_forward(pf.block, st.id());
+    ASSERT_TRUE(epoch.has_value()) << "serial forward cannot be superseded";
+    NodeState& dest = *nodes_[to];
+    std::vector<cache::Drop> dest_drops;
+    const ForwardOutcome outcome = dest.handle_forward(pf, dest_drops);
+    apply_drops(dest_drops);
+    bool accepted = false;
+    if (outcome != ForwardOutcome::kRejected &&
+        dir_.claim_forwarded(pf.block, to, st.id(), *epoch)) {
+      accepted = true;
+    } else if (outcome == ForwardOutcome::kAccepted) {
+      dest.erase_entry(pf.block);  // claim lost: undo the insert
+    } else if (outcome == ForwardOutcome::kPromoted) {
+      dest.demote_to_copy(pf.block);
+    }
+    dest.publish();
+    if (accepted) {
+      ++st.stats().forwards_accepted;
+    } else {
+      dir_.forward_rejected(pf.block, st.id());
+      ++st.stats().master_drops;
+    }
+  }
+
+  void access_block(cache::NodeId node, const BlockId& b) {
+    NodeState& st = *nodes_[node];
+    if (st.contains(b)) {
+      st.touch(b, tick());
+      ++st.stats().local_hits;
+      st.publish();
+      return;
+    }
+    const auto lk = dir_.lookup_for_read(node, b);
+    if (lk.master != cache::kInvalidNode && lk.master != node) {
+      NodeState& holder = *nodes_[lk.master];
+      ASSERT_TRUE(holder.is_master(b)) << "serial directory must be exact";
+      holder.touch(b, tick());
+      holder.publish();
+      ++st.stats().remote_hits;
+      make_room(st);
+      st.insert_copy(b, tick());
+      st.publish();
+      return;
+    }
+    make_room(st);
+    ASSERT_TRUE(dir_.try_claim(b, node)) << "serial claim cannot conflict";
+    ++st.stats().disk_reads;
+    st.insert_master(b, tick());
+    st.publish();
+  }
+
+  cache::CoopCacheConfig config_;
+  DirectoryService dir_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  View view_;
+  std::uint64_t clock_ = 0;
+};
+
+class ProtoParityParam : public testing::TestWithParam<cache::Policy> {};
+
+TEST_P(ProtoParityParam, SerialScriptMatchesClusterCacheOracle) {
+  cache::CoopCacheConfig config;
+  config.nodes = 4;
+  config.capacity_bytes = 8 * kBlock;  // tiny: constant eviction churn
+  config.block_bytes = kBlock;
+  config.policy = GetParam();
+
+  const std::size_t kFiles = 10;
+  const auto file_bytes = [](cache::FileId f) -> std::uint64_t {
+    return (f % 3 + 1) * kBlock - (f % 2) * 700;
+  };
+
+  cache::ClusterCache oracle(config);
+  SerialHarness harness(config);
+
+  // Deterministic churn script: enough accesses to exercise hits, misses,
+  // evictions, master forwards, promotions, and rejections on both sides.
+  for (int i = 0; i < 400; ++i) {
+    const auto node = static_cast<cache::NodeId>((7 * i + i * i) % 4);
+    const auto file = static_cast<cache::FileId>((13 * i + 5) % kFiles);
+    oracle.access(node, file, file_bytes(file));
+    harness.access(node, file, file_bytes(file));
+  }
+
+  // Identical statistics...
+  const cache::CacheStats& want = oracle.stats();
+  const cache::CacheStats got = harness.summed_stats();
+  EXPECT_EQ(got.local_hits, want.local_hits);
+  EXPECT_EQ(got.remote_hits, want.remote_hits);
+  EXPECT_EQ(got.disk_reads, want.disk_reads);
+  EXPECT_EQ(got.forwards_attempted, want.forwards_attempted);
+  EXPECT_EQ(got.forwards_accepted, want.forwards_accepted);
+  EXPECT_EQ(got.master_drops, want.master_drops);
+  EXPECT_EQ(got.copy_drops, want.copy_drops);
+
+  // ...and identical cache contents, mastership, and directory census.
+  std::size_t masters = 0;
+  for (cache::NodeId n = 0; n < 4; ++n) {
+    const cache::NodeCache& a = harness.node(n).cache();
+    const cache::NodeCache& b = oracle.node(n);
+    EXPECT_EQ(a.used_blocks(), b.used_blocks()) << "node " << n;
+    EXPECT_EQ(a.master_count(), b.master_count()) << "node " << n;
+    EXPECT_EQ(a.copy_count(), b.copy_count()) << "node " << n;
+    for (cache::FileId f = 0; f < kFiles; ++f) {
+      const std::uint32_t blocks =
+          cache::blocks_for(file_bytes(f), config.block_bytes);
+      for (std::uint32_t idx = 0; idx < blocks; ++idx) {
+        const BlockId b_id{f, idx};
+        EXPECT_EQ(a.contains(b_id), b.contains(b_id))
+            << "node " << n << " block " << f << "/" << idx;
+        EXPECT_EQ(a.is_master(b_id), b.is_master(b_id))
+            << "node " << n << " block " << f << "/" << idx;
+      }
+    }
+    masters += a.master_count();
+  }
+  EXPECT_EQ(harness.directory().master_count(), masters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ProtoParityParam,
+                         testing::Values(cache::Policy::kBasic,
+                                         cache::Policy::kNeverEvictMaster));
+
+// -------------------------------------------------- directory conditions ---
+
+TEST(DirectoryService, ClaimIsSetIfAbsent) {
+  DirectoryService dir(4, cache::DirectoryMode::kPerfect, 1);
+  const BlockId b{1, 0};
+  EXPECT_TRUE(dir.try_claim(b, 2));
+  EXPECT_FALSE(dir.try_claim(b, 3));  // somebody was faster
+  EXPECT_EQ(dir.lookup(b), 2);
+  EXPECT_EQ(dir.ops().claims, 1u);
+  EXPECT_EQ(dir.ops().claim_conflicts, 1u);
+}
+
+TEST(DirectoryService, MasterDroppedIsConditionalOnHolder) {
+  DirectoryService dir(4, cache::DirectoryMode::kPerfect, 1);
+  const BlockId b{1, 0};
+  ASSERT_TRUE(dir.try_claim(b, 2));
+  dir.master_dropped(b, 3);  // a rival's stale notice must not erase node 2
+  EXPECT_EQ(dir.lookup(b), 2);
+  dir.master_dropped(b, 2);
+  EXPECT_EQ(dir.lookup(b), cache::kInvalidNode);
+}
+
+TEST(DirectoryService, InvalidationEpochFencesInFlightForwards) {
+  DirectoryService dir(4, cache::DirectoryMode::kPerfect, 1);
+  const BlockId b{5, 0};
+  ASSERT_TRUE(dir.try_claim(b, 0));
+  const auto epoch = dir.begin_forward(b, 0);
+  ASSERT_TRUE(epoch.has_value());
+  EXPECT_EQ(dir.lookup(b), cache::kInvalidNode);  // in flight: unregistered
+  dir.invalidate_file(b.file);                    // crosses the forward
+  EXPECT_FALSE(dir.claim_forwarded(b, 1, 0, *epoch));
+  EXPECT_EQ(dir.lookup(b), cache::kInvalidNode);
+}
+
+TEST(DirectoryService, ForwardClaimLosesToRivalDiskRead) {
+  DirectoryService dir(4, cache::DirectoryMode::kPerfect, 1);
+  const BlockId b{5, 0};
+  ASSERT_TRUE(dir.try_claim(b, 0));
+  const auto epoch = dir.begin_forward(b, 0);
+  ASSERT_TRUE(epoch.has_value());
+  ASSERT_TRUE(dir.try_claim(b, 2));  // rival misses and claims while in flight
+  EXPECT_FALSE(dir.claim_forwarded(b, 1, 0, *epoch));
+  EXPECT_EQ(dir.lookup(b), 2);
+}
+
+TEST(DirectoryService, BeginForwardRefusesASupersededMaster) {
+  // Regression: a writer's write_claim can overtake an eviction's forward.
+  // begin_forward must refuse to unregister the writer — otherwise the
+  // forwarded (pre-write) bytes re-register as master and readers serve
+  // stale data. Found by CcmStress.MixedReadersWritersInvalidatorsStay-
+  // Consistent in tests/test_ccm.cpp.
+  DirectoryService dir(4, cache::DirectoryMode::kPerfect, 1);
+  const BlockId b{5, 0};
+  ASSERT_TRUE(dir.try_claim(b, 0));
+  EXPECT_EQ(dir.write_claim(b, 3), 0);          // writer overtakes node 0
+  EXPECT_FALSE(dir.begin_forward(b, 0).has_value());
+  EXPECT_EQ(dir.lookup(b), 3);                  // the writer stays registered
+  EXPECT_EQ(dir.ops().forwards_begun, 0u);
+
+  // Regression: an in-place re-write (previous holder == writer) keeps the
+  // lookup pointing at the writer, so only the write span reveals that the
+  // holder's cached bytes are being superseded. A forward begun inside the
+  // span would ship them to a peer as a live master.
+  dir.write_begin(b.file);
+  EXPECT_EQ(dir.write_claim(b, 3), 3);          // holder re-write
+  EXPECT_FALSE(dir.begin_forward(b, 3).has_value());
+  EXPECT_EQ(dir.lookup(b), 3);
+  dir.write_end(b.file);
+  EXPECT_TRUE(dir.begin_forward(b, 3).has_value());  // quiescent again
+}
+
+TEST(DirectoryService, WriteClaimIsUnconditionalAndReturnsPrevious) {
+  DirectoryService dir(4, cache::DirectoryMode::kPerfect, 1);
+  const BlockId b{2, 1};
+  EXPECT_EQ(dir.write_claim(b, 1), cache::kInvalidNode);  // cold write
+  EXPECT_EQ(dir.write_claim(b, 3), 1);                    // migrates from 1
+  EXPECT_EQ(dir.write_claim(b, 3), 3);                    // holder re-write
+  EXPECT_EQ(dir.lookup(b), 3);
+  // Every write bumps the file epoch — including the holder re-write, whose
+  // content change is invisible through the master lookup alone. Readers
+  // compare it against ReadLookup::epoch before caching fetched bytes.
+  EXPECT_EQ(dir.file_epoch(b.file), 3u);
+  EXPECT_EQ(dir.lookup_for_read(0, b).epoch, 3u);
+}
+
+TEST(DirectoryService, WriteSpanBlocksReadCachingUntilItCloses) {
+  DirectoryService dir(4, cache::DirectoryMode::kPerfect, 1);
+  const BlockId b{5, 2};
+  ASSERT_TRUE(dir.try_claim(b, 0));
+
+  const auto before = dir.lookup_for_read(1, b);
+  EXPECT_TRUE(dir.read_cacheable(b.file, before.epoch));
+
+  // A write span opens: nothing fetched under any epoch may be cached, even
+  // under an epoch observed *inside* the span (after the per-block claim).
+  dir.write_begin(b.file);
+  EXPECT_FALSE(dir.read_cacheable(b.file, before.epoch));
+  dir.write_claim(b, 0);  // holder re-write: lookup alone shows no change
+  const auto inside = dir.lookup_for_read(1, b);
+  EXPECT_EQ(inside.master, 0);
+  EXPECT_FALSE(dir.read_cacheable(b.file, inside.epoch));
+
+  // Closing the span bumps the epoch once more, so the in-span snapshot
+  // stays uncacheable forever; only a fresh lookup is trusted again.
+  dir.write_end(b.file);
+  EXPECT_FALSE(dir.read_cacheable(b.file, before.epoch));
+  EXPECT_FALSE(dir.read_cacheable(b.file, inside.epoch));
+  const auto after = dir.lookup_for_read(1, b);
+  EXPECT_TRUE(dir.read_cacheable(b.file, after.epoch));
+
+  // Overlapping spans: cacheability returns only when the last one closes.
+  dir.write_begin(b.file);
+  dir.write_begin(b.file);
+  dir.write_end(b.file);
+  EXPECT_FALSE(dir.read_cacheable(b.file, dir.file_epoch(b.file)));
+  dir.write_end(b.file);
+  EXPECT_TRUE(dir.read_cacheable(b.file, dir.file_epoch(b.file)));
+}
+
+TEST(DirectoryService, MessageAdapterAnswersLookupAndClaim) {
+  DirectoryService dir(4, cache::DirectoryMode::kPerfect, 1);
+  const BlockId b{3, 0};
+  const Message miss = dir.handle(Message::block_lookup(1, b));
+  EXPECT_EQ(miss.kind, MsgKind::kBlockLookupReply);
+  EXPECT_FALSE(miss.has(kFlagHit));
+
+  const Message granted = dir.handle(Message::master_claim(1, b));
+  EXPECT_EQ(granted.kind, MsgKind::kMasterClaimReply);
+  EXPECT_TRUE(granted.has(kFlagGranted));
+
+  const Message hit = dir.handle(Message::block_lookup(2, b));
+  EXPECT_TRUE(hit.has(kFlagHit));
+  EXPECT_EQ(hit.from, 1);  // reply names the master holder
+}
+
+}  // namespace
+}  // namespace coop::proto

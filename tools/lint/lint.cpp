@@ -555,6 +555,103 @@ const std::vector<std::string>& rule_ids() {
   return kRules;
 }
 
+FixResult fix_cout_library(const SourceFile& file,
+                           const std::vector<Finding>& findings) {
+  FixResult out;
+  out.content = file.content;
+
+  // Lines with an unsuppressed `cout` finding for this file.
+  std::set<std::size_t> flagged;
+  for (const auto& f : findings) {
+    if (f.path != file.path || f.rule != "cout-library" || f.suppressed) {
+      continue;
+    }
+    if (f.token == "cout") {
+      flagged.insert(f.line);
+    } else {
+      ++out.unfixable;  // printf/puts need a by-hand stream rewrite
+    }
+  }
+  if (flagged.empty()) return out;
+
+  // strip_code preserves length and newlines, so stripped offsets are valid
+  // in the raw bytes — edits computed on the stripped view apply directly.
+  const std::string code = strip_code(file.content);
+  const auto lines = line_starts(code);
+  const auto tokens = tokenize(code);
+
+  struct Edit {
+    std::size_t begin;
+    std::size_t end;
+    std::string text;
+  };
+  std::vector<Edit> edits;
+
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const Token& tok = tokens[t];
+    if (tok.text != "cout") continue;
+    if (flagged.count(line_of(lines, tok.pos)) == 0) continue;
+
+    // Extend the span over a preceding `std ::` qualifier.
+    std::size_t begin = tok.pos;
+    std::size_t i = tok.pos;
+    while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1]))) --i;
+    if (i >= 2 && code[i - 1] == ':' && code[i - 2] == ':') {
+      std::size_t j = i - 2;
+      while (j > 0 && std::isspace(static_cast<unsigned char>(code[j - 1]))) {
+        --j;
+      }
+      if (j >= 3 && code.compare(j - 3, 3, "std") == 0 &&
+          (j == 3 || !ident_char(code[j - 4]))) {
+        begin = j - 3;
+      }
+    }
+
+    // `using std::cout;` is a declaration, not a stream expression — a
+    // mechanical swap would produce `using coop::util::report_out();`.
+    std::size_t prev = t;
+    if (t > 0 && tokens[t - 1].text == "std" && tokens[t - 1].pos == begin) {
+      prev = t - 1;
+    }
+    if (prev > 0 && tokens[prev - 1].text == "using") {
+      ++out.unfixable;
+      continue;
+    }
+
+    edits.push_back({begin, tok.pos + 4, "coop::util::report_out()"});
+  }
+  out.rewrites = edits.size();
+  if (edits.empty()) return out;
+
+  // Insert the sink include after the last include line, unless present.
+  if (file.content.find("util/report_sink.hpp") == std::string::npos) {
+    std::size_t insert_at = 0;
+    bool found = false;
+    for (const std::size_t s : lines) {
+      if (code.compare(s, 8, "#include") == 0) {
+        const std::size_t eol = code.find('\n', s);
+        insert_at = eol == std::string::npos ? code.size() : eol + 1;
+        found = true;
+      }
+    }
+    edits.push_back({insert_at, insert_at,
+                     found ? "#include \"util/report_sink.hpp\"\n"
+                           : "#include \"util/report_sink.hpp\"\n\n"});
+  }
+
+  // Back-to-front so earlier offsets stay valid; at a shared offset the
+  // rewrite goes first so the zero-width include insertion cannot be
+  // clobbered by it.
+  std::sort(edits.begin(), edits.end(), [](const Edit& a, const Edit& b) {
+    if (a.begin != b.begin) return a.begin > b.begin;
+    return a.end > b.end;
+  });
+  for (const auto& e : edits) {
+    out.content.replace(e.begin, e.end - e.begin, e.text);
+  }
+  return out;
+}
+
 Result lint(const std::vector<SourceFile>& files,
             std::vector<Suppression>& suppressions) {
   Result result;

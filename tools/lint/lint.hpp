@@ -92,4 +92,22 @@ Result lint(const std::vector<SourceFile>& files,
 /// All rule ids, for --list-rules and tests.
 const std::vector<std::string>& rule_ids();
 
+/// Outcome of fix_cout_library on one file.
+struct FixResult {
+  std::string content;        // rewritten file bytes (== input when no-op)
+  std::size_t rewrites = 0;   // `cout` references rewritten to report_out()
+  std::size_t unfixable = 0;  // cout-library findings left for a human
+};
+
+/// Auto-fixes the cout-library rule: every unsuppressed `cout` finding in
+/// `file` (taken from a prior lint() over the same contents) is rewritten
+/// from `std::cout` / `cout` to `coop::util::report_out()`, and
+/// `#include "util/report_sink.hpp"` is inserted after the file's last
+/// include when anything was rewritten. printf/puts findings and
+/// `using std::cout;` declarations are not mechanically fixable and are
+/// counted in `unfixable`. Idempotent: fixing already-fixed content is a
+/// no-op, since report_out() never trips the rule.
+FixResult fix_cout_library(const SourceFile& file,
+                           const std::vector<Finding>& findings);
+
 }  // namespace ccmlint

@@ -3,6 +3,11 @@
 //
 // Usage:
 //   ccm-lint --root=<repo> [--suppressions=<file>] [--list-rules] [--verbose]
+//            [--fix]
+//
+// --fix auto-rewrites unsuppressed cout-library `cout` findings to the
+// coop::util::report_out() sink (inserting its include) and writes the files
+// back, then re-lints; printf/puts are reported but left for a human.
 //
 // Exit status: 0 when every finding is suppressed, 1 when unsuppressed
 // findings remain, 2 on usage/IO errors. File discovery is sorted so output
@@ -54,6 +59,7 @@ int main(int argc, char** argv) {
   std::string supp_arg;
   bool verbose = false;
   bool explain_taint = false;
+  bool fix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--root=", 0) == 0) {
@@ -68,9 +74,11 @@ int main(int argc, char** argv) {
     } else if (a == "--explain-taint") {
       verbose = true;
       explain_taint = true;
+    } else if (a == "--fix") {
+      fix = true;
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: ccm-lint --root=<repo> [--suppressions=<file>] "
-                   "[--list-rules] [--verbose]\n";
+                   "[--list-rules] [--verbose] [--fix]\n";
       return 0;
     } else {
       std::cerr << "ccm-lint: unknown argument '" << a << "'\n";
@@ -129,7 +137,39 @@ int main(int argc, char** argv) {
     }
   }
 
-  const ccmlint::Result result = ccmlint::lint(files, suppressions);
+  ccmlint::Result result = ccmlint::lint(files, suppressions);
+
+  if (fix) {
+    std::size_t fixed_files = 0;
+    std::size_t rewrites = 0;
+    std::size_t unfixable = 0;
+    for (auto& f : files) {
+      const ccmlint::FixResult fr =
+          ccmlint::fix_cout_library(f, result.findings);
+      unfixable += fr.unfixable;
+      if (fr.rewrites == 0) continue;
+      std::ofstream outf(root / f.path, std::ios::binary);
+      if (!outf) {
+        std::cerr << "ccm-lint: cannot write " << f.path << "\n";
+        return 2;
+      }
+      outf << fr.content;
+      f.content = fr.content;
+      ++fixed_files;
+      rewrites += fr.rewrites;
+    }
+    std::cerr << "ccm-lint: --fix rewrote " << rewrites << " 'cout' use(s) in "
+              << fixed_files << " file(s)";
+    if (unfixable > 0) {
+      std::cerr << "; " << unfixable
+                << " cout-library finding(s) need a by-hand rewrite";
+    }
+    std::cerr << "\n";
+    // Re-lint the (possibly rewritten) corpus so the report and exit status
+    // reflect the post-fix state; reset use counts to avoid double-counting.
+    for (auto& s : suppressions) s.uses = 0;
+    result = ccmlint::lint(files, suppressions);
+  }
 
   if (explain_taint) {
     std::cerr << "ccm-lint: unordered aliases:";
