@@ -1,0 +1,207 @@
+// ccm_node: one cooperative-caching node as its own OS process. Launch N of
+// these (node ids 0..N-1) against the same --port-base and they form a
+// middleware cluster over 127.0.0.1 TCP sockets, then serve the identical
+// mixed read/write/invalidate workload as bench/ccm_stress — the
+// multi-process deployment of the exact same CcmCluster runtime, swapped
+// onto the socket transport.
+//
+// The process hosting node 0 ("home") owns the backing BufferStorage, the
+// master DirectoryService, and the barrier service; every other process
+// mounts RemoteStorage / RemoteDirectory proxies that reach home over kDir*
+// and kStorage* RPCs. Driver threads are partitioned by id (driver d runs in
+// process d % nodes) and pin their operations to the local node while
+// consuming the same RNG streams as ccm_stress, so with
+// --deterministic-writes the final storage bytes at home are byte-identical
+// to an in-process run — `--dump-storage` emits them for the comparison (see
+// docs/MIDDLEWARE.md, "Multi-process loopback cluster").
+//
+// Flags (workload flags must match across all N processes):
+//   --node=I             this process's node id               (required)
+//   --nodes=N            cluster size                         (default 4)
+//   --port-base=P        node i listens on P+i                (default 37100)
+//   --blocks-per-node, --files, --file-blocks, --workers, --drivers,
+//   --iters, --write-pct, --invalidate-pct, --seed, --policy, --directory,
+//   --deterministic-writes   as in ccm_stress
+//   --dump-storage=PATH  home only: final storage bytes -> PATH
+//   --connect-timeout-ms=N   peer dial/mesh deadline          (default 20000)
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ccm/cluster.hpp"
+#include "ccm/directory_client.hpp"
+#include "ccm/remote_storage.hpp"
+#include "ccm/storage.hpp"
+#include "ccm_workload.hpp"
+#include "net/tcp_transport.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+using namespace coop;
+
+namespace {
+
+/// Seed (all files written once) and done (all ops retired) fences.
+constexpr std::uint32_t kPhaseSeeded = 0;
+constexpr std::uint32_t kPhaseDone = 1;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  if (!flags.has("node")) {
+    std::cerr << "ccm_node: --node=I is required\n";
+    return 2;
+  }
+  const auto local = static_cast<cache::NodeId>(flags.get_int("node", 0));
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 4));
+  const auto port_base =
+      static_cast<std::uint16_t>(flags.get_int("port-base", 37100));
+  const auto blocks_per_node =
+      static_cast<std::uint64_t>(flags.get_int("blocks-per-node", 64));
+  const auto files = static_cast<std::size_t>(flags.get_int("files", 48));
+  const auto file_blocks =
+      static_cast<std::uint32_t>(flags.get_int("file-blocks", 4));
+  const auto workers = static_cast<std::size_t>(flags.get_int("workers", 2));
+  const auto drivers = static_cast<std::size_t>(
+      flags.get_int("drivers", static_cast<std::int64_t>(nodes)));
+  if (local >= nodes) {
+    std::cerr << "ccm_node: --node must be < --nodes\n";
+    return 2;
+  }
+
+  ccm::CcmConfig cfg;
+  cfg.nodes = nodes;
+  cfg.block_bytes = 8 * 1024;
+  cfg.capacity_bytes = blocks_per_node * cfg.block_bytes;
+  cfg.workers_per_node = workers;
+  cfg.policy = flags.get("policy", "nem") == "basic"
+                   ? cache::Policy::kBasic
+                   : cache::Policy::kNeverEvictMaster;
+  cfg.directory = flags.get("directory", "perfect") == "hinted"
+                      ? cache::DirectoryMode::kHinted
+                      : cache::DirectoryMode::kPerfect;
+
+  ccm_bench::Workload wl;
+  wl.nodes = nodes;
+  wl.files = files;
+  wl.file_blocks = file_blocks;
+  wl.block_bytes = cfg.block_bytes;
+  wl.drivers = drivers;
+  wl.iters = static_cast<int>(flags.get_int("iters", 2000));
+  wl.write_pct = flags.get_int("write-pct", 20);
+  wl.invalidate_pct = flags.get_int("invalidate-pct", 2);
+  wl.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  wl.deterministic_writes = flags.get_bool("deterministic-writes", false);
+  wl.validate();
+
+  const cache::NodeId home = 0;
+  const bool is_home = local == home;
+
+  // --- transport: bind, then mesh with every peer over loopback ---
+  net::TcpConfig tcfg;
+  tcfg.local_node = local;
+  tcfg.nodes = nodes;
+  tcfg.listen_port = static_cast<std::uint16_t>(port_base + local);
+  tcfg.connect_timeout =
+      std::chrono::milliseconds(flags.get_int("connect-timeout-ms", 20000));
+  auto transport = std::make_shared<net::TcpTransport>(tcfg);
+  std::vector<net::TcpPeer> peers;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    peers.push_back(
+        {"127.0.0.1", static_cast<std::uint16_t>(port_base + n)});
+  }
+  try {
+    transport->connect_peers(peers);
+  } catch (const std::exception& e) {
+    std::cerr << "ccm_node " << local << ": mesh failed: " << e.what()
+              << "\n";
+    return 1;
+  }
+
+  // --- the node: home hosts the real storage + directory, peers proxy ---
+  ccm::CcmHosting hosting;
+  hosting.transport = transport;
+  hosting.local_nodes = {local};
+  hosting.home = home;
+  std::shared_ptr<ccm::Storage> storage;
+  if (is_home) {
+    storage = std::make_shared<ccm::BufferStorage>(
+        std::vector<std::uint32_t>(files, wl.file_bytes()));
+  } else {
+    storage = std::make_shared<ccm::RemoteStorage>(
+        transport, local, home,
+        std::vector<std::uint32_t>(files, wl.file_bytes()));
+    hosting.directory =
+        std::make_shared<ccm::RemoteDirectory>(transport, local, home);
+  }
+  ccm::CcmCluster cluster(cfg, storage, hosting);
+  transport->set_summary_source(
+      [&cluster, local] { return cluster.published_summary(local); });
+
+  // --- seed (home), fence, run this process's driver slice, fence ---
+  if (is_home) wl.seed_files(cluster, {home});
+  cluster.barrier(local, kPhaseSeeded);
+  cluster.reset_stats();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::size_t local_drivers = 0;
+  for (std::size_t d = 0; d < drivers; ++d) {
+    if (d % nodes != local) continue;
+    ++local_drivers;
+    threads.emplace_back([&, d] { wl.run_driver(cluster, d, local); });
+  }
+  for (auto& t : threads) t.join();
+  cluster.barrier(local, kPhaseDone);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const auto s = cluster.stats();
+  const auto ts = transport->stats();
+  const double batching =
+      ts.flushes ? static_cast<double>(ts.sent) /
+                       static_cast<double>(ts.flushes)
+                 : 0.0;
+  std::cout << "ccm_node " << local << ": " << local_drivers << " drivers x "
+            << wl.iters << " ops, elapsed " << util::fixed(secs, 3) << " s\n"
+            << "  hits: local " << s.local_hits << ", remote "
+            << s.remote_hits << ", disk " << s.disk_reads << ", writes "
+            << s.writes << "\n"
+            << "  transport: rpcs " << ts.rpcs << ", frames sent " << ts.sent
+            << " in " << ts.flushes << " flushes ("
+            << util::fixed(batching, 2) << " msgs/syscall), bytes tx "
+            << ts.bytes_sent << " rx " << ts.bytes_received
+            << ", frame errors " << ts.frame_errors << "\n";
+
+  int rc = 0;
+  if (is_home) {
+    // Let the peers finish their final barrier polls and disconnect before
+    // tearing the services down under them.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (transport->connected_peers() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (flags.has("dump-storage")) {
+      const std::string path = flags.get("dump-storage");
+      if (!ccm_bench::dump_storage(*storage, path)) {
+        std::cerr << "ccm_node: cannot write storage dump to " << path
+                  << "\n";
+        rc = 1;
+      } else {
+        std::cout << "  storage dump -> " << path << "\n";
+      }
+    }
+    if (!cluster.check_consistency()) {
+      std::cerr << "ccm_node: home shard consistency BROKEN\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -18,6 +18,11 @@
 //   --seed=N             workload RNG seed                (default 1)
 //   --policy=nem|basic   eviction policy                  (default nem)
 //   --directory=perfect|hinted                            (default perfect)
+//   --deterministic-writes  partition write targets per driver so the final
+//                           storage bytes are schedule-independent (the
+//                           multi-process equality harness; needs
+//                           files % drivers == 0)
+//   --dump-storage=PATH  write final storage bytes to PATH (file-id order)
 //   --json[=PATH]        emit a JSON report (stdout or PATH)
 #include <chrono>
 #include <fstream>
@@ -28,24 +33,12 @@
 
 #include "ccm/cluster.hpp"
 #include "ccm/storage.hpp"
-#include "sim/random.hpp"
+#include "ccm_workload.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/json.hpp"
 
-namespace {
-
 using namespace coop;
-
-std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed) {
-  std::vector<std::byte> out(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = static_cast<std::byte>((seed + i * 7) & 0xFF);
-  }
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
@@ -75,45 +68,35 @@ int main(int argc, char** argv) {
                       ? cache::DirectoryMode::kHinted
                       : cache::DirectoryMode::kPerfect;
 
-  const std::uint32_t file_bytes = file_blocks * cfg.block_bytes;
+  ccm_bench::Workload wl;
+  wl.nodes = nodes;
+  wl.files = files;
+  wl.file_blocks = file_blocks;
+  wl.block_bytes = cfg.block_bytes;
+  wl.drivers = drivers;
+  wl.iters = iters;
+  wl.write_pct = write_pct;
+  wl.invalidate_pct = invalidate_pct;
+  wl.seed = seed;
+  wl.deterministic_writes = flags.get_bool("deterministic-writes", false);
+  wl.validate();
+
   auto storage = std::make_shared<ccm::BufferStorage>(
-      std::vector<std::uint32_t>(files, file_bytes));
+      std::vector<std::uint32_t>(files, wl.file_bytes()));
   ccm::CcmCluster cluster(cfg, storage);
 
   // Seed every file so the steady-state workload starts warm.
-  for (std::size_t f = 0; f < files; ++f) {
-    cluster.write(static_cast<cache::NodeId>(f % nodes),
-                  static_cast<cache::FileId>(f), 0,
-                  pattern(file_bytes, static_cast<std::uint8_t>(f)));
+  std::vector<cache::NodeId> vias;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    vias.push_back(static_cast<cache::NodeId>(n));
   }
+  wl.seed_files(cluster, vias);
   cluster.reset_stats();
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   for (std::size_t d = 0; d < drivers; ++d) {
-    threads.emplace_back([&, d] {
-      sim::Rng rng(seed * 1000 + d);
-      for (int i = 0; i < iters; ++i) {
-        const auto f =
-            static_cast<cache::FileId>(rng.uniform_int(files));
-        const auto via =
-            static_cast<cache::NodeId>(rng.uniform_int(nodes));
-        const auto roll = static_cast<std::int64_t>(rng.uniform_int(100));
-        if (roll < write_pct) {
-          const std::uint64_t off =
-              rng.uniform_int(file_blocks) * cfg.block_bytes;
-          const auto len = std::min<std::uint64_t>(cfg.block_bytes,
-                                                   file_bytes - off);
-          cluster.write(via, f, off,
-                        pattern(static_cast<std::size_t>(len),
-                                static_cast<std::uint8_t>(f + i)));
-        } else if (roll < write_pct + invalidate_pct) {
-          cluster.invalidate(f);
-        } else {
-          cluster.read(via, f);
-        }
-      }
-    });
+    threads.emplace_back([&, d] { wl.run_driver(cluster, d, std::nullopt); });
   }
   for (auto& t : threads) t.join();
   const double secs =
@@ -132,7 +115,9 @@ int main(int argc, char** argv) {
             << (consistent ? "OK" : "BROKEN") << "\n"
             << "  hits: local " << s.local_hits << ", remote "
             << s.remote_hits << ", disk " << s.disk_reads << ", writes "
-            << s.writes << ", invalidations " << s.invalidations << "\n";
+            << s.writes << ", invalidations " << s.invalidations << "\n"
+            << "  transport: sent " << s.transport.sent << ", received "
+            << s.transport.received << ", rpcs " << s.transport.rpcs << "\n";
   for (std::size_t n = 0; n < s.shards.size(); ++n) {
     const auto& sh = s.shards[n];
     const double rate = sh.lock_acquired
@@ -207,6 +192,11 @@ int main(int argc, char** argv) {
     j.key("write_claims").value(s.directory.write_claims);
     j.key("hint_misdirects").value(s.directory.hint_misdirects);
     j.end_object();
+    j.key("transport").begin_object();
+    j.key("sent").value(s.transport.sent);
+    j.key("received").value(s.transport.received);
+    j.key("rpcs").value(s.transport.rpcs);
+    j.end_object();
     j.end_object();
 
     const std::string path = flags.get("json");
@@ -217,6 +207,16 @@ int main(int argc, char** argv) {
       out << j.str() << "\n";
       std::cout << "  json report -> " << path << "\n";
     }
+  }
+
+  if (flags.has("dump-storage")) {
+    const std::string path = flags.get("dump-storage");
+    if (!ccm_bench::dump_storage(*storage, path)) {
+      std::cerr << "ccm_stress: cannot write storage dump to " << path
+                << "\n";
+      return 1;
+    }
+    std::cout << "  storage dump -> " << path << "\n";
   }
 
   return consistent ? 0 : 1;

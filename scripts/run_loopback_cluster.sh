@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Launches an N-process CCM cluster on 127.0.0.1 and checks that its final
+# backing-storage bytes are identical to an in-process ccm_stress run of the
+# same deterministic workload. This is the acceptance check for the socket
+# transport: same runtime, same RNG streams, different deployment — the
+# bytes must not care.
+#
+# Usage: run_loopback_cluster.sh [build-dir] [nodes] [iters] [port-base]
+set -euo pipefail
+
+BUILD="${1:-build}"
+NODES="${2:-3}"
+ITERS="${3:-400}"
+PORT_BASE="${4:-37400}"
+FILES=48
+WORK=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+COMMON=(--nodes="$NODES" --drivers="$NODES" --files="$FILES" \
+        --iters="$ITERS" --deterministic-writes)
+
+echo "== in-process reference (ccm_stress) =="
+"$BUILD/bench/ccm_stress" "${COMMON[@]}" --dump-storage="$WORK/inproc.bin"
+
+echo "== $NODES-process loopback cluster (ccm_node) =="
+for ((i = 1; i < NODES; i++)); do
+  "$BUILD/bench/ccm_node" --node="$i" --port-base="$PORT_BASE" \
+      "${COMMON[@]}" >"$WORK/node$i.log" 2>&1 &
+  pids+=($!)
+done
+"$BUILD/bench/ccm_node" --node=0 --port-base="$PORT_BASE" "${COMMON[@]}" \
+    --dump-storage="$WORK/multiproc.bin"
+rc=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || rc=$?
+done
+for ((i = 1; i < NODES; i++)); do
+  sed "s/^/  [node $i] /" "$WORK/node$i.log"
+done
+if [[ $rc -ne 0 ]]; then
+  echo "FAIL: a peer process exited non-zero" >&2
+  exit 1
+fi
+
+if cmp -s "$WORK/inproc.bin" "$WORK/multiproc.bin"; then
+  echo "OK: storage bytes identical across runtimes ($(md5sum <"$WORK/inproc.bin" | cut -d' ' -f1))"
+else
+  echo "FAIL: storage bytes differ between in-process and multi-process runs" >&2
+  exit 1
+fi

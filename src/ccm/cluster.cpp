@@ -30,42 +30,77 @@ constexpr int kAcquireAttempts = 64;
 
 CcmCluster::CcmCluster(const CcmConfig& config,
                        std::shared_ptr<Storage> storage)
-    : config_(config),
-      storage_(std::move(storage)),
-      directory_(config.nodes, config.directory,
-                 cache::CoopCacheConfig{}.hint_staleness) {
+    : CcmCluster(config, std::move(storage), CcmHosting{}) {}
+
+CcmCluster::CcmCluster(const CcmConfig& config,
+                       std::shared_ptr<Storage> storage, CcmHosting hosting)
+    : config_(config), storage_(std::move(storage)) {
   if (!storage_) throw std::invalid_argument("CcmCluster: null storage");
   if (config_.nodes == 0) throw std::invalid_argument("CcmCluster: 0 nodes");
   if (config_.workers_per_node == 0) {
     throw std::invalid_argument("CcmCluster: 0 workers per node");
   }
-  const cache::CoopCacheConfig cc = to_cache_config(config_);
-  shards_.reserve(config_.nodes);
-  mailboxes_.reserve(config_.nodes);
-  proto_mailboxes_.reserve(config_.nodes);
-  for (std::size_t n = 0; n < config_.nodes; ++n) {
-    shards_.push_back(
-        std::make_unique<Shard>(static_cast<cache::NodeId>(n), cc));
-    mailboxes_.push_back(std::make_unique<Mailbox<Task>>());
-    proto_mailboxes_.push_back(std::make_unique<Mailbox<Envelope>>());
+
+  transport_ = hosting.transport
+                   ? std::move(hosting.transport)
+                   : std::make_shared<net::InProcTransport>(config_.nodes);
+  dir_ = hosting.directory
+             ? std::move(hosting.directory)
+             : std::make_shared<LocalDirectory>(
+                   config_.nodes, config_.directory,
+                   cache::CoopCacheConfig{}.hint_staleness);
+  home_dir_ = dir_->service();
+  home_ = hosting.home;
+
+  local_nodes_ = std::move(hosting.local_nodes);
+  if (local_nodes_.empty()) {
+    for (std::size_t n = 0; n < config_.nodes; ++n) {
+      local_nodes_.push_back(static_cast<cache::NodeId>(n));
+    }
   }
-  for (std::size_t n = 0; n < config_.nodes; ++n) {
-    protocol_threads_.emplace_back(
-        [this, n] { protocol_loop(static_cast<cache::NodeId>(n)); });
+  std::sort(local_nodes_.begin(), local_nodes_.end());
+  local_nodes_.erase(std::unique(local_nodes_.begin(), local_nodes_.end()),
+                     local_nodes_.end());
+  for (const cache::NodeId n : local_nodes_) {
+    if (n >= config_.nodes) {
+      throw std::invalid_argument("CcmCluster: local node out of range");
+    }
+  }
+  all_local_ = local_nodes_.size() == config_.nodes;
+
+  const cache::CoopCacheConfig cc = to_cache_config(config_);
+  shards_.resize(config_.nodes);
+  mailboxes_.resize(config_.nodes);
+  for (const cache::NodeId n : local_nodes_) {
+    shards_[n] = std::make_unique<Shard>(n, cc);
+    mailboxes_[n] = std::make_unique<Mailbox<Task>>();
+  }
+  for (const cache::NodeId n : local_nodes_) {
+    protocol_threads_.emplace_back([this, n] { protocol_loop(n); });
     for (std::size_t w = 0; w < config_.workers_per_node; ++w) {
-      workers_.emplace_back(
-          [this, n] { worker_loop(static_cast<cache::NodeId>(n)); });
+      workers_.emplace_back([this, n] { worker_loop(n); });
     }
   }
 }
 
 CcmCluster::~CcmCluster() {
   // Workers first (they may have RPCs in flight that need the protocol
-  // threads alive), then the protocol layer.
-  for (auto& mb : mailboxes_) mb->close();
+  // threads alive), then the transport, which ends the protocol loops.
+  for (auto& mb : mailboxes_) {
+    if (mb) mb->close();
+  }
   for (auto& t : workers_) t.join();
-  for (auto& mb : proto_mailboxes_) mb->close();
+  transport_->close();
   for (auto& t : protocol_threads_) t.join();
+}
+
+CcmCluster::Shard& CcmCluster::shard_at(cache::NodeId via) const {
+  if (via >= config_.nodes) throw std::out_of_range("bad node id");
+  if (!shards_[via]) {
+    throw std::invalid_argument("CcmCluster: node " + std::to_string(via) +
+                                " is hosted by another process");
+  }
+  return *shards_[via];
 }
 
 void CcmCluster::worker_loop(cache::NodeId node) {
@@ -86,33 +121,33 @@ void CcmCluster::worker_loop(cache::NodeId node) {
 }
 
 void CcmCluster::protocol_loop(cache::NodeId node) {
-  auto& mailbox = *proto_mailboxes_[node];
-  while (auto env = mailbox.receive()) {
+  while (auto env = transport_->receive(node)) {
     Reply reply = handle_message(node, *env);
-    if (env->reply) env->reply->set_value(std::move(reply));
+    if (env->seq == 0) continue;  // one-way: nobody waits for the answer
+    net::Envelope out;
+    out.msg = reply.msg;
+    out.seq = env->seq;  // correlates with the caller blocked in call()
+    out.data = std::move(reply.data);
+    transport_->post(std::move(out));
   }
 }
 
 CcmCluster::Reply CcmCluster::rpc(const proto::Message& msg, BlockPtr data,
                                   std::uint64_t epoch) {
-  Envelope env;
-  env.msg = msg;
-  env.data = std::move(data);
-  env.epoch = epoch;
-  env.reply = std::make_shared<std::promise<Reply>>();
-  auto future = env.reply->get_future();
-  if (msg.from != cache::kInvalidNode) {
+  if (msg.from != cache::kInvalidNode && shards_[msg.from]) {
     shards_[msg.from]->messages_sent.fetch_add(1, std::memory_order_relaxed);
   }
-  if (!proto_mailboxes_[msg.to]->send(std::move(env))) {
-    throw std::runtime_error("CcmCluster: node is shut down");
-  }
-  return future.get();
+  net::Envelope env;
+  env.msg = msg;
+  env.epoch = epoch;
+  env.data = std::move(data);
+  net::Envelope reply = transport_->call(std::move(env));
+  return {reply.msg, std::move(reply.data)};
 }
 
 std::future<std::vector<std::byte>> CcmCluster::read_async(
     cache::NodeId via, cache::FileId file) {
-  if (via >= config_.nodes) throw std::out_of_range("bad node id");
+  shard_at(via);
   if (file >= storage_->file_count()) throw std::out_of_range("bad file id");
   Task task;
   task.file = file;
@@ -134,7 +169,7 @@ std::vector<std::byte> CcmCluster::read_range(cache::NodeId via,
                                               cache::FileId file,
                                               std::uint64_t offset,
                                               std::uint64_t length) {
-  if (via >= config_.nodes) throw std::out_of_range("bad node id");
+  shard_at(via);
   if (file >= storage_->file_count()) throw std::out_of_range("bad file id");
   if (offset + length > storage_->file_size(file)) {
     throw std::out_of_range("range beyond end of file");
@@ -152,7 +187,7 @@ std::vector<std::byte> CcmCluster::read_range(cache::NodeId via,
 
 void CcmCluster::write(cache::NodeId via, cache::FileId file,
                        std::uint64_t offset, std::span<const std::byte> data) {
-  if (via >= config_.nodes) throw std::out_of_range("bad node id");
+  shard_at(via);
   if (file >= storage_->file_count()) throw std::out_of_range("bad file id");
   if (offset + data.size() > storage_->file_size(file)) {
     throw std::out_of_range("write beyond end of file");
@@ -185,7 +220,7 @@ std::uint32_t CcmCluster::block_bytes_of(std::uint64_t file_bytes,
 // ----------------------------------------------------------- protocol ----
 
 CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
-                                             Envelope& env) {
+                                             net::Envelope& env) {
   Shard& sh = *shards_[self];
   const proto::Message& msg = env.msg;
   sh.messages_handled.fetch_add(1, std::memory_order_relaxed);
@@ -218,8 +253,7 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
       bool accepted = false;
       bool promoted = false;
       if (outcome == proto::ForwardOutcome::kPromoted) {
-        if (directory_.claim_forwarded(msg.block, self, msg.from,
-                                       env.epoch)) {
+        if (dir_->claim_forwarded(msg.block, self, msg.from, env.epoch)) {
           accepted = promoted = true;
           // Promotion: this node's copy already shares the master's bytes.
           sh.store.try_emplace(msg.block, env.data);
@@ -227,8 +261,7 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
           sh.state.demote_to_copy(msg.block);
         }
       } else if (outcome == proto::ForwardOutcome::kAccepted) {
-        if (directory_.claim_forwarded(msg.block, self, msg.from,
-                                       env.epoch)) {
+        if (dir_->claim_forwarded(msg.block, self, msg.from, env.epoch)) {
           accepted = true;
           sh.store[msg.block] = env.data;
         } else {
@@ -238,7 +271,7 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
       }
       for (const auto& d : drops) {
         sh.store.erase(d.block);
-        if (d.was_master) directory_.master_dropped(d.block, self);
+        if (d.was_master) dir_->master_dropped(d.block, self);
       }
       sh.state.publish();
       CCM_AUDIT_HOOK(audit_shard_locked(self, "master_forward"));
@@ -252,7 +285,7 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
       if (const auto drop = sh.state.handle_invalidate(
               msg.block, msg.has(proto::kFlagDropMaster))) {
         sh.store.erase(drop->block);
-        if (drop->was_master) directory_.master_dropped(drop->block, self);
+        if (drop->was_master) dir_->master_dropped(drop->block, self);
       }
       sh.state.publish();
       CCM_AUDIT_HOOK(audit_shard_locked(self, "invalidate_block"));
@@ -266,7 +299,7 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
         if (const auto drop =
                 sh.state.handle_invalidate(block, /*drop_master=*/true)) {
           sh.store.erase(drop->block);
-          if (drop->was_master) directory_.master_dropped(drop->block, self);
+          if (drop->was_master) dir_->master_dropped(drop->block, self);
         }
       }
       sh.state.publish();
@@ -294,11 +327,145 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
               nullptr};
     }
 
+    // --- home-process services (remote directory / storage / barrier) ---
+
+    case proto::MsgKind::kDirLookupRead:
+    case proto::MsgKind::kDirLookup:
+    case proto::MsgKind::kDirTryClaim:
+    case proto::MsgKind::kDirBeginForward:
+    case proto::MsgKind::kDirClaimForwarded:
+    case proto::MsgKind::kDirForwardRejected:
+    case proto::MsgKind::kDirMasterDropped:
+    case proto::MsgKind::kDirWriteClaim:
+    case proto::MsgKind::kDirWriteBegin:
+    case proto::MsgKind::kDirWriteEnd:
+    case proto::MsgKind::kDirReadCacheable:
+    case proto::MsgKind::kDirInvalidateFile:
+      return handle_directory(self, msg);
+
+    case proto::MsgKind::kStorageRead: {
+      assert(self == home_);
+      auto data = std::make_shared<BlockData>();
+      data->bytes.resize(msg.bytes);
+      storage_->read(msg.block.file, msg.age, data->bytes);
+      data->ready = true;
+      return {proto::Message::storage_data(self, msg.from, msg.block.file,
+                                           msg.bytes),
+              std::move(data)};
+    }
+
+    case proto::MsgKind::kStorageWrite: {
+      assert(self == home_);
+      auto* writable = dynamic_cast<WritableStorage*>(storage_.get());
+      if (writable == nullptr) {
+        throw std::logic_error("kStorageWrite against a read-only storage");
+      }
+      assert(env.data != nullptr);
+      env.data->wait_ready();
+      writable->write(msg.block.file, msg.age, env.data->bytes);
+      return {proto::Message::storage_ack(self, msg.from, msg.block.file),
+              nullptr};
+    }
+
+    case proto::MsgKind::kBarrier: {
+      assert(self == home_);
+      std::scoped_lock lock(barrier_mu_);
+      auto& arrived = barrier_arrivals_[msg.count];
+      arrived.insert(msg.from);
+      const bool granted = arrived.size() >= config_.nodes;
+      return {proto::Message::barrier_reply(self, msg.from, msg.count,
+                                            granted),
+              nullptr};
+    }
+
     default:
-      // Directory-style queries are answered by the DirectoryService
-      // directly in-process; nothing else should arrive here.
+      // Reply kinds are routed to call() waiters by the transport; anything
+      // else here is a protocol error.
       assert(false && "unexpected message kind at a node protocol thread");
       return {proto::Message::invalidate_ack(self, msg.from), nullptr};
+  }
+}
+
+CcmCluster::Reply CcmCluster::handle_directory(cache::NodeId self,
+                                               const proto::Message& msg) {
+  assert(home_dir_ != nullptr && self == home_);
+  proto::DirectoryService& d = *home_dir_;
+  const cache::NodeId to = msg.from;
+  switch (msg.kind) {
+    case proto::MsgKind::kDirLookupRead: {
+      const auto lk = d.lookup_for_read(msg.from, msg.block);
+      return {proto::Message::dir_reply(self, to, msg.block, lk.master,
+                                        lk.epoch, /*granted=*/false,
+                                        lk.misdirected),
+              nullptr};
+    }
+    case proto::MsgKind::kDirLookup:
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        d.lookup(msg.block), 0, false, false),
+              nullptr};
+    case proto::MsgKind::kDirTryClaim:
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        cache::kInvalidNode, 0,
+                                        d.try_claim(msg.block, msg.from),
+                                        false),
+              nullptr};
+    case proto::MsgKind::kDirBeginForward: {
+      const auto epoch = d.begin_forward(msg.block, msg.from);
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        cache::kInvalidNode,
+                                        epoch.value_or(0), epoch.has_value(),
+                                        false),
+              nullptr};
+    }
+    case proto::MsgKind::kDirClaimForwarded: {
+      const bool granted = d.claim_forwarded(
+          msg.block, msg.from, static_cast<cache::NodeId>(msg.count),
+          msg.age);
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        cache::kInvalidNode, 0, granted,
+                                        false),
+              nullptr};
+    }
+    case proto::MsgKind::kDirForwardRejected:
+      d.forward_rejected(msg.block, msg.from);
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        cache::kInvalidNode, 0, true, false),
+              nullptr};
+    case proto::MsgKind::kDirMasterDropped:
+      d.master_dropped(msg.block, msg.from);
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        cache::kInvalidNode, 0, true, false),
+              nullptr};
+    case proto::MsgKind::kDirWriteClaim:
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        d.write_claim(msg.block, msg.from), 0,
+                                        true, false),
+              nullptr};
+    case proto::MsgKind::kDirWriteBegin:
+      d.write_begin(msg.block.file);
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        cache::kInvalidNode, 0, true, false),
+              nullptr};
+    case proto::MsgKind::kDirWriteEnd:
+      d.write_end(msg.block.file);
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        cache::kInvalidNode, 0, true, false),
+              nullptr};
+    case proto::MsgKind::kDirReadCacheable:
+      return {proto::Message::dir_reply(
+                  self, to, msg.block, cache::kInvalidNode, 0,
+                  d.read_cacheable(msg.block.file, msg.age), false),
+              nullptr};
+    case proto::MsgKind::kDirInvalidateFile:
+      d.invalidate_file(msg.block.file);
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        cache::kInvalidNode, 0, true, false),
+              nullptr};
+    default:
+      assert(false && "not a directory request");
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        cache::kInvalidNode, 0, false, false),
+              nullptr};
   }
 }
 
@@ -313,7 +480,7 @@ void CcmCluster::make_room_locked(std::unique_lock<CountingMutex>& lock,
     auto pf = sh.state.make_room(slots, view_, drops);
     for (const auto& d : drops) {
       sh.store.erase(d.block);
-      if (d.was_master) directory_.master_dropped(d.block, node);
+      if (d.was_master) dir_->master_dropped(d.block, node);
     }
     sh.state.publish();
     if (!pf) return;  // enough room (or the cache drained)
@@ -325,7 +492,7 @@ void CcmCluster::make_room_locked(std::unique_lock<CountingMutex>& lock,
         proto::pick_forward_target(node, config_.nodes, view_);
     if (to == cache::kInvalidNode) {
       // Single-node cluster: nowhere to forward; the master is lost.
-      directory_.master_dropped(pf->block, node);
+      dir_->master_dropped(pf->block, node);
       ++sh.state.stats().master_drops;
       sh.store.erase(pf->block);
       continue;
@@ -334,7 +501,7 @@ void CcmCluster::make_room_locked(std::unique_lock<CountingMutex>& lock,
     assert(it != sh.store.end());
     BlockPtr data = std::move(it->second);
     sh.store.erase(it);
-    const auto epoch = directory_.begin_forward(pf->block, node);
+    const auto epoch = dir_->begin_forward(pf->block, node);
     if (!epoch) {
       // The directory refused: either a write claim overtook this eviction
       // (the registered master lives at the writer now) or a write to the
@@ -343,7 +510,7 @@ void CcmCluster::make_room_locked(std::unique_lock<CountingMutex>& lock,
       // conditional master_dropped unregisters only if the directory still
       // names this node (the in-flight-write case); when a rival owns the
       // entry it is a no-op.
-      directory_.master_dropped(pf->block, node);
+      dir_->master_dropped(pf->block, node);
       ++sh.state.stats().master_drops;
       continue;
     }
@@ -356,7 +523,7 @@ void CcmCluster::make_room_locked(std::unique_lock<CountingMutex>& lock,
     if (ack.msg.has(proto::kFlagAccepted)) {
       ++sh.state.stats().forwards_accepted;
     } else {
-      directory_.forward_rejected(pf->block, node);
+      dir_->forward_rejected(pf->block, node);
       ++sh.state.stats().master_drops;
     }
   }
@@ -385,7 +552,7 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
       }
     }
 
-    const auto lk = directory_.lookup_for_read(node, block);
+    const auto lk = dir_->lookup_for_read(node, block);
     if (lk.master == node) {
       // Directory says the master is here but the store check above missed:
       // an in-flight transition (our own forward landing back, a write
@@ -426,8 +593,8 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
       // (after its claim, before its buffer swap) with no visible directory
       // change. The bytes themselves are still valid to *return*: a read
       // racing a write may see the superseded content.
-      if (directory_.lookup(block) != lk.master ||
-          !directory_.read_cacheable(block.file, lk.epoch)) {
+      if (dir_->lookup(block) != lk.master ||
+          !dir_->read_cacheable(block.file, lk.epoch)) {
         sh.state.publish();
         return reply.data;
       }
@@ -455,7 +622,7 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
         sh.state.publish();
         return it->second;
       }
-      if (directory_.try_claim(block, node)) {
+      if (dir_->try_claim(block, node)) {
         ++sh.state.stats().disk_reads;
         sh.state.insert_master(block, tick());
         auto data = std::make_shared<BlockData>();
@@ -521,10 +688,7 @@ std::vector<std::byte> CcmCluster::execute_read(cache::NodeId node,
   std::uint64_t out_pos = 0;
   for (std::uint32_t b = first_block; b <= last_block; ++b) {
     BlockPtr& part = parts[b - first_block];
-    {
-      std::unique_lock block_lock(part->m);
-      part->cv.wait(block_lock, [&] { return part->ready; });
-    }
+    part->wait_ready();
     const std::uint64_t block_start =
         static_cast<std::uint64_t>(b) * config_.block_bytes;
     const std::uint64_t copy_from = std::max(offset, block_start);
@@ -560,7 +724,7 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
   // Open the write span: readers refuse to cache copies of this file until
   // write_end, closing the window where a fetched pre-write copy could be
   // inserted after the invalidation sweep below has already passed its node.
-  directory_.write_begin(file);
+  dir_->write_begin(file);
 
   // Write-through to backing storage *before* installing any cached master.
   // Ordering invariant: storage must hold the new bytes before a cached
@@ -587,7 +751,7 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
     // 1. Claim directory ownership first: any reader that fetches the old
     //    master from here on re-checks the directory before caching a copy,
     //    so no stale copy can outlive the invalidation pass below.
-    const cache::NodeId previous = directory_.write_claim(block, node);
+    const cache::NodeId previous = dir_->write_claim(block, node);
 
     // 2. Invalidate every peer's (non-master) copy.
     for (std::size_t p = 0; p < config_.nodes; ++p) {
@@ -614,12 +778,12 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
       std::unique_lock lock(sh.mu);
       ++sh.state.stats().writes;
       if (migrated_in) ++sh.state.stats().ownership_migrations;
-      bool install = directory_.lookup(block) == node;
+      bool install = dir_->lookup(block) == node;
       if (install && !sh.state.contains(block)) {
         make_room_locked(lock, node, 1);
         // make_room may have released the lock to ship a forward; a rival
         // writer could have overtaken our claim meanwhile.
-        install = directory_.lookup(block) == node;
+        install = dir_->lookup(block) == node;
       }
       if (install) {
         if (sh.state.contains(block)) {
@@ -652,8 +816,7 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
     if (!covers_whole_block) {
       // Read-modify-write base: superseded cached bytes if any, else storage.
       if (pw.old_data) {
-        std::unique_lock block_lock(pw.old_data->m);
-        pw.old_data->cv.wait(block_lock, [&] { return pw.old_data->ready; });
+        pw.old_data->wait_ready();
         assert(pw.old_data->bytes.size() == bytes);
         out = pw.old_data->bytes;
       } else if (bytes > 0) {
@@ -675,7 +838,7 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
     pw.new_data->cv.notify_all();
   }
 
-  directory_.write_end(file);
+  dir_->write_end(file);
 }
 
 // -------------------------------------------------------- invalidation ----
@@ -686,12 +849,24 @@ void CcmCluster::invalidate(cache::FileId file) {
       cache::blocks_for(storage_->file_size(file), config_.block_bytes);
   // Epoch fence first: any master forward of this file still in flight is
   // rejected by claim_forwarded, so it cannot resurrect a stale block after
-  // the per-node sweep below.
-  directory_.invalidate_file(file);
+  // the per-node sweep below. The sweep is issued in this hosted node's
+  // name (a transport needs a routable reply address).
+  const cache::NodeId self = local_nodes_.front();
+  dir_->invalidate_file(file);
   for (std::size_t n = 0; n < config_.nodes; ++n) {
-    rpc(proto::Message::invalidate_file(cache::kInvalidNode,
-                                        static_cast<cache::NodeId>(n), file,
-                                        nblocks));
+    rpc(proto::Message::invalidate_file(self, static_cast<cache::NodeId>(n),
+                                        file, nblocks));
+  }
+}
+
+// ------------------------------------------------------------- barrier ----
+
+void CcmCluster::barrier(cache::NodeId via, std::uint32_t phase) {
+  shard_at(via);
+  while (true) {
+    const Reply r = rpc(proto::Message::barrier(via, home_, phase));
+    if (r.msg.has(proto::kFlagGranted)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
 }
 
@@ -701,6 +876,7 @@ CcmStats CcmCluster::stats() const {
   CcmStats s;
   s.shards.resize(config_.nodes);
   for (std::size_t n = 0; n < config_.nodes; ++n) {
+    if (!shards_[n]) continue;  // hosted by another process
     const Shard& sh = *shards_[n];
     std::scoped_lock lock(sh.mu);
     const cache::CacheStats& slice = sh.state.stats();
@@ -721,13 +897,15 @@ CcmStats CcmCluster::stats() const {
     out.messages_sent = sh.messages_sent.load(std::memory_order_relaxed);
     out.messages_handled = sh.messages_handled.load(std::memory_order_relaxed);
   }
-  s.directory = directory_.ops();
+  s.directory = dir_->ops();
   s.hint_misdirects = s.directory.hint_misdirects;
+  s.transport = transport_->stats();
   return s;
 }
 
 void CcmCluster::reset_stats() {
   for (std::size_t n = 0; n < config_.nodes; ++n) {
+    if (!shards_[n]) continue;
     Shard& sh = *shards_[n];
     std::scoped_lock lock(sh.mu);
     sh.state.stats() = cache::CacheStats{};
@@ -736,13 +914,19 @@ void CcmCluster::reset_stats() {
     sh.messages_sent.store(0, std::memory_order_relaxed);
     sh.messages_handled.store(0, std::memory_order_relaxed);
   }
-  directory_.reset_ops();
+  dir_->reset_ops();
 }
 
 std::uint64_t CcmCluster::cached_bytes(cache::NodeId node) const {
-  const Shard& sh = *shards_[node];
+  const Shard& sh = shard_at(node);
   std::scoped_lock lock(sh.mu);
   return sh.state.cache().used_blocks() * config_.block_bytes;
+}
+
+std::pair<std::uint64_t, bool> CcmCluster::published_summary(
+    cache::NodeId node) const {
+  const Shard& sh = shard_at(node);
+  return {sh.state.published_oldest_age(), sh.state.published_full()};
 }
 
 // --------------------------------------------------------------- audit ----
@@ -790,28 +974,24 @@ std::size_t CcmCluster::audit_shard_locked(cache::NodeId node,
 std::size_t CcmCluster::audit_all_locked(const char* context) const {
   std::size_t ccm_audit_failures = 0;
   const std::string ctx = std::string(" [") + context + "]";
-  for (std::size_t n = 0; n < config_.nodes; ++n) {
-    ccm_audit_failures +=
-        audit_shard_locked(static_cast<cache::NodeId>(n), context);
+  for (const cache::NodeId n : local_nodes_) {
+    ccm_audit_failures += audit_shard_locked(n, context);
     // Cross-shard: every cached master must be registered in the directory,
     // pointing here; in hinted mode the hint layer's authoritative view must
     // agree with the directory.
     const cache::NodeCache& cache = shards_[n]->state.cache();
     for (const auto& e : cache.masters()) {
-      CCM_AUDIT(directory_.lookup(e.block) == static_cast<cache::NodeId>(n),
-                "cache-master-registered",
+      CCM_AUDIT(dir_->lookup(e.block) == n, "cache-master-registered",
                 "master of file " + std::to_string(e.block.file) + " block " +
                     std::to_string(e.block.index) + " cached at node " +
                     std::to_string(n) + " but directory says node " +
-                    std::to_string(directory_.lookup(e.block)) + ctx);
-      if (config_.directory == cache::DirectoryMode::kHinted) {
-        CCM_AUDIT(directory_.hint_truth(e.block) ==
-                      static_cast<cache::NodeId>(n),
-                  "cache-hint-truth",
+                    std::to_string(dir_->lookup(e.block)) + ctx);
+      if (config_.directory == cache::DirectoryMode::kHinted && all_local_) {
+        CCM_AUDIT(dir_->hint_truth(e.block) == n, "cache-hint-truth",
                   "hint truth for file " + std::to_string(e.block.file) +
                       " block " + std::to_string(e.block.index) +
                       " is node " +
-                      std::to_string(directory_.hint_truth(e.block)) +
+                      std::to_string(dir_->hint_truth(e.block)) +
                       " but the master is cached at node " +
                       std::to_string(n) + ctx);
       }
@@ -820,24 +1000,27 @@ std::size_t CcmCluster::audit_all_locked(const char* context) const {
   // Every cached master points at its own directory entry (checked above);
   // equal counts then make that correspondence a bijection, which rules out
   // duplicate masters and dangling directory entries — i.e. at most one
-  // master copy per block cluster-wide.
-  std::size_t cached_masters = 0;
-  for (const auto& sh : shards_) {
-    cached_masters += sh->state.cache().master_count();
+  // master copy per block cluster-wide. Only checkable when this process
+  // can see every shard.
+  if (all_local_) {
+    std::size_t cached_masters = 0;
+    for (const auto& sh : shards_) {
+      cached_masters += sh->state.cache().master_count();
+    }
+    CCM_AUDIT(dir_->master_count() == cached_masters, "cache-single-master",
+              "directory tracks " + std::to_string(dir_->master_count()) +
+                  " masters but nodes cache " +
+                  std::to_string(cached_masters) + ctx);
   }
-  CCM_AUDIT(directory_.master_count() == cached_masters, "cache-single-master",
-            "directory tracks " + std::to_string(directory_.master_count()) +
-                " masters but nodes cache " + std::to_string(cached_masters) +
-                ctx);
-  ccm_audit_failures += directory_.audit(context);
+  ccm_audit_failures += dir_->audit(context);
   return ccm_audit_failures;
 }
 
 std::size_t CcmCluster::audit(const char* context) const {
-  // Take every shard lock (index order) for a cluster-wide consistent view.
+  // Take every hosted shard lock (index order) for a consistent view.
   std::vector<std::unique_lock<CountingMutex>> locks;
-  locks.reserve(config_.nodes);
-  for (std::size_t n = 0; n < config_.nodes; ++n) {
+  locks.reserve(local_nodes_.size());
+  for (const cache::NodeId n : local_nodes_) {
     locks.emplace_back(shards_[n]->mu);
   }
   return audit_all_locked(context);

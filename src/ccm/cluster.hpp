@@ -2,16 +2,19 @@
 // argues for: "a generic middleware layer (or library) ... usable as a
 // building block for diverse distributed services".
 //
-// CcmCluster runs N logical nodes inside one process. Each node has a worker
-// pool (its "service threads"), a byte store for cached blocks, and — since
-// the protocol-layer refactor — its own *shard* of the cooperative caching
-// policy: a proto::NodeState (this node's entry books, LRU ages, and stats
-// slice) guarded by a per-node lock. The cluster-wide master map lives in a
-// separately-locked proto::DirectoryService. Cross-node traffic travels as
-// proto::Message envelopes through per-node mailboxes to a dedicated
-// protocol thread per node — the exact message vocabulary the simulator
-// charges with the paper's Table-1 latencies (see docs/MIDDLEWARE.md for the
-// correspondence).
+// CcmCluster hosts the cluster's logical nodes — all of them in one process
+// (the default), or one slice of them when several processes form the
+// cluster over a socket transport. Each hosted node has a worker pool (its
+// "service threads"), a byte store for cached blocks, and its own *shard* of
+// the cooperative caching policy: a proto::NodeState (this node's entry
+// books, LRU ages, and stats slice) guarded by a per-node lock. The
+// cluster-wide master map is reached through a DirectoryClient — a local
+// proto::DirectoryService in-process, kDir* RPCs to the node-0 process in a
+// multi-process cluster. Cross-node traffic travels as proto::Message
+// envelopes through a pluggable net::Transport (in-process mailboxes or
+// length-prefixed frames on TCP sockets) to a dedicated protocol thread per
+// node — the exact message vocabulary the simulator charges with the paper's
+// Table-1 latencies (see docs/MIDDLEWARE.md for the correspondence).
 //
 // Concurrency model:
 //  * A read that only touches blocks resident at its own node takes that
@@ -19,10 +22,14 @@
 //    lock. Per-shard acquisition/contention counters in stats() demonstrate
 //    the isolation.
 //  * Cross-node operations (peer fetch, master forward, invalidation, write
-//    ownership transfer) are RPCs over Mailbox<Envelope>; the receiving
+//    ownership transfer) are RPCs through the transport; the receiving
 //    protocol thread works under its own shard lock plus the directory (a
 //    strict shard → directory lock order, with the directory a leaf).
 //    Workers never hold a shard lock while waiting on an RPC reply.
+//  * In a multi-process cluster the directory "leaf" is itself an RPC to the
+//    home process. The wait-for graph stays acyclic: only the home process
+//    hosts the directory and storage, its handlers never block on another
+//    node, so every blocking chain ends there.
 //  * Directory claims are conditional, so racing misses/forwards/writes
 //    resolve by retry instead of blocking; a bounded retry loop falls back
 //    to an uncached storage read for liveness.
@@ -35,15 +42,19 @@
 #include <condition_variable>
 #include <cstddef>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/coop_cache.hpp"
+#include "ccm/directory_client.hpp"
 #include "ccm/storage.hpp"
 #include "ccm/transport.hpp"
+#include "net/transport.hpp"
 #include "proto/directory_service.hpp"
 #include "proto/message.hpp"
 #include "proto/node_state.hpp"
@@ -59,6 +70,22 @@ struct CcmConfig {
   cache::DirectoryMode directory = cache::DirectoryMode::kPerfect;
   /// Worker threads per node.
   std::size_t workers_per_node = 2;
+};
+
+/// How this process participates in the cluster. Default-constructed: every
+/// node lives here, over an in-process transport with a local directory (the
+/// original single-process runtime, unchanged in cost).
+struct CcmHosting {
+  /// Node-to-node message fabric; null builds an InProcTransport.
+  std::shared_ptr<net::Transport> transport;
+  /// Cluster master directory; null builds a LocalDirectory. A process that
+  /// is not `home` passes a RemoteDirectory (and a RemoteStorage).
+  std::shared_ptr<DirectoryClient> directory;
+  /// Nodes served by this process; empty means all of them.
+  std::vector<cache::NodeId> local_nodes;
+  /// The node whose process hosts the directory, backing storage, and
+  /// barrier service in a multi-process cluster.
+  cache::NodeId home = 0;
 };
 
 /// A mutex that counts acquisitions and contended acquisitions (relaxed
@@ -96,7 +123,9 @@ class CountingMutex {
   std::atomic<std::uint64_t> contended_{0};
 };
 
-/// Policy statistics plus the runtime's per-shard and directory counters.
+/// Policy statistics plus the runtime's per-shard, directory, and transport
+/// counters. In a multi-process cluster each process reports its own slice
+/// (remote shards are all-zero rows; directory ops are home-only).
 struct CcmStats : cache::CacheStats {
   struct Shard {
     std::uint64_t lock_acquired = 0;
@@ -108,6 +137,7 @@ struct CcmStats : cache::CacheStats {
   };
   std::vector<Shard> shards;
   proto::DirectoryService::Ops directory;
+  net::TransportStats transport;
 };
 
 class CcmCluster {
@@ -115,12 +145,20 @@ class CcmCluster {
   /// `storage` is the backing disk layer (shared across nodes, like the
   /// paper's files-distributed-across-all-nodes setup).
   CcmCluster(const CcmConfig& config, std::shared_ptr<Storage> storage);
+
+  /// Multi-process form: host only `hosting.local_nodes` here, over the
+  /// given transport. The home process passes the real storage and a local
+  /// directory (and serves both to its peers); every other process passes
+  /// RemoteStorage / RemoteDirectory proxies.
+  CcmCluster(const CcmConfig& config, std::shared_ptr<Storage> storage,
+             CcmHosting hosting);
   ~CcmCluster();
 
   CcmCluster(const CcmCluster&) = delete;
   CcmCluster& operator=(const CcmCluster&) = delete;
 
   /// Reads the whole file through node `via`'s worker pool. Thread-safe.
+  /// `via` must be hosted in this process.
   std::vector<std::byte> read(cache::NodeId via, cache::FileId file);
 
   /// Asynchronous variant; the future resolves when the bytes are assembled.
@@ -151,25 +189,42 @@ class CcmCluster {
   /// cannot resurrect stale blocks.
   void invalidate(cache::FileId file);
 
+  /// Cluster-wide rendezvous, served by the home process: blocks until every
+  /// node has announced reaching `phase`. The multi-process workload drivers
+  /// use it to fence their seed/run/report phases.
+  void barrier(cache::NodeId via, std::uint32_t phase);
+
   [[nodiscard]] const CcmConfig& config() const { return config_; }
   [[nodiscard]] std::size_t node_count() const { return config_.nodes; }
+
+  /// Nodes hosted in this process.
+  [[nodiscard]] const std::vector<cache::NodeId>& local_nodes() const {
+    return local_nodes_;
+  }
 
   /// Snapshot of the policy statistics plus per-shard lock/message counters.
   [[nodiscard]] CcmStats stats() const;
   void reset_stats();
 
-  /// Bytes currently cached at `node` (block-granular accounting).
+  /// Bytes currently cached at `node` (block-granular accounting; the node
+  /// must be hosted here).
   [[nodiscard]] std::uint64_t cached_bytes(cache::NodeId node) const;
 
-  /// Hinted mode: observed hint accuracy (paper cites ~98% for [18]).
-  [[nodiscard]] double hint_accuracy() const { return directory_.hint_accuracy(); }
+  /// `node`'s published cache summary (oldest LRU age, fullness) — what a
+  /// socket transport piggybacks on outgoing frames so remote peers can
+  /// pick forward targets.
+  [[nodiscard]] std::pair<std::uint64_t, bool> published_summary(
+      cache::NodeId node) const;
 
-  /// Sweeps policy/data-plane consistency across every shard and the
+  /// Hinted mode: observed hint accuracy (paper cites ~98% for [18]).
+  [[nodiscard]] double hint_accuracy() const { return dir_->hint_accuracy(); }
+
+  /// Sweeps policy/data-plane consistency across every hosted shard and the
   /// directory: every cached policy entry has bytes, every stored block has
-  /// a policy entry, every master is registered, and exactly one master
-  /// exists per block. Violations are reported through coop::audit; returns
-  /// the violation count. Takes every shard lock (index order); call at
-  /// quiescence.
+  /// a policy entry, every master is registered, and — when every node lives
+  /// in this process — exactly one master exists per block. Violations are
+  /// reported through coop::audit; returns the violation count. Takes every
+  /// hosted shard lock (index order); call at quiescence.
   std::size_t audit(const char* context) const;
 
   /// Convenience wrapper: audit("check_consistency") == 0.
@@ -178,14 +233,10 @@ class CcmCluster {
  private:
   friend struct CcmClusterTestPeer;  // test-only corruption (audit tests)
 
-  /// A cached block's bytes; `ready` flips once the Storage read lands.
-  struct BlockData {
-    std::mutex m;
-    std::condition_variable cv;
-    bool ready = false;
-    std::vector<std::byte> bytes;
-  };
-  using BlockPtr = std::shared_ptr<BlockData>;
+  // Payload buffers are the transport's latch-guarded blocks; inside one
+  // process both ends of a transfer share the same bytes.
+  using BlockData = net::BlockData;
+  using BlockPtr = net::BlockPtr;
   using Store =
       std::unordered_map<cache::BlockId, BlockPtr, cache::BlockIdHash>;
 
@@ -209,16 +260,6 @@ class CcmCluster {
     BlockPtr data;
   };
 
-  /// A protocol message in flight: wire message, payload, the sender's
-  /// observed invalidation epoch (master forwards), and the reply promise
-  /// (null for one-way posts).
-  struct Envelope {
-    proto::Message msg;
-    BlockPtr data;
-    std::uint64_t epoch = 0;
-    std::shared_ptr<std::promise<Reply>> reply;
-  };
-
   struct Task {
     enum class Kind { kRead, kWrite };
     Kind kind = Kind::kRead;
@@ -230,15 +271,20 @@ class CcmCluster {
   };
 
   /// Lock-free published view of every shard (forward-target selection).
+  /// Remote nodes are answered from the transport's piggybacked summaries.
   class ShardView final : public proto::PeerView {
    public:
     explicit ShardView(const CcmCluster& owner) : owner_(owner) {}
     [[nodiscard]] std::uint64_t peer_oldest_age(
         cache::NodeId n) const override {
-      return owner_.shards_[n]->state.published_oldest_age();
+      if (owner_.shards_[n]) {
+        return owner_.shards_[n]->state.published_oldest_age();
+      }
+      return owner_.transport_->peer_oldest_age(n);
     }
     [[nodiscard]] bool peer_full(cache::NodeId n) const override {
-      return owner_.shards_[n]->state.published_full();
+      if (owner_.shards_[n]) return owner_.shards_[n]->state.published_full();
+      return owner_.transport_->peer_full(n);
     }
 
    private:
@@ -250,16 +296,23 @@ class CcmCluster {
 
   /// Protocol-thread loop for node `node` (serves peer messages). Handlers
   /// take this node's shard lock and the directory only — they never block
-  /// on another node, so cross-node request chains cannot deadlock.
+  /// on another hosted node, so cross-node request chains cannot deadlock.
   void protocol_loop(cache::NodeId node);
-  Reply handle_message(cache::NodeId self, Envelope& env);
+  Reply handle_message(cache::NodeId self, net::Envelope& env);
+  /// Answers kDir* RPCs against the in-process DirectoryService (home only).
+  Reply handle_directory(cache::NodeId self, const proto::Message& msg);
 
   /// Sends `msg` to its destination's protocol thread and awaits the reply.
   /// Callers must not hold any shard lock.
   Reply rpc(const proto::Message& msg, BlockPtr data = nullptr,
             std::uint64_t epoch = 0);
 
-  /// Next logical LRU age (cluster-global, monotonic).
+  /// The hosted shard behind a public-API `via`; throws on a node this
+  /// process does not serve.
+  Shard& shard_at(cache::NodeId via) const;
+
+  /// Next logical LRU age (monotonic per process; cluster-global when every
+  /// node is hosted here).
   std::uint64_t tick() {
     return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
@@ -292,7 +345,7 @@ class CcmCluster {
   /// lock). Cross-shard invariants are checked only by audit().
   std::size_t audit_shard_locked(cache::NodeId node, const char* context)
       const;
-  /// Full sweep; caller holds every shard lock.
+  /// Full sweep; caller holds every hosted shard lock.
   std::size_t audit_all_locked(const char* context) const;
 
   [[nodiscard]] std::uint32_t block_bytes_of(std::uint64_t file_bytes,
@@ -301,13 +354,26 @@ class CcmCluster {
   CcmConfig config_;
   std::shared_ptr<Storage> storage_;
 
+  std::shared_ptr<net::Transport> transport_;
+  std::shared_ptr<DirectoryClient> dir_;
+  /// The in-process DirectoryService when the directory is local (serves
+  /// kDir* RPCs); nullptr in non-home processes.
+  proto::DirectoryService* home_dir_ = nullptr;
+
+  std::vector<cache::NodeId> local_nodes_;
+  bool all_local_ = true;
+  cache::NodeId home_ = 0;
+
+  /// Indexed by node id; null for nodes hosted by other processes.
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable proto::DirectoryService directory_;
   ShardView view_{*this};
   std::atomic<std::uint64_t> clock_{0};
 
+  /// Barrier service state (home only): nodes that announced each phase.
+  std::mutex barrier_mu_;
+  std::map<std::uint32_t, std::set<cache::NodeId>> barrier_arrivals_;
+
   std::vector<std::unique_ptr<Mailbox<Task>>> mailboxes_;
-  std::vector<std::unique_ptr<Mailbox<Envelope>>> proto_mailboxes_;
   std::vector<std::thread> workers_;
   std::vector<std::thread> protocol_threads_;
 };

@@ -1,0 +1,95 @@
+#include "ccm/directory_client.hpp"
+
+namespace coop::ccm {
+
+namespace {
+
+cache::NodeId reply_node(const proto::Message& reply) {
+  return static_cast<cache::NodeId>(reply.count);
+}
+
+}  // namespace
+
+proto::Message RemoteDirectory::ask(const proto::Message& request) {
+  net::Envelope env;
+  env.msg = request;
+  return transport_->call(std::move(env)).msg;
+}
+
+proto::DirectoryService::ReadLookup RemoteDirectory::lookup_for_read(
+    cache::NodeId node, const cache::BlockId& b) {
+  const proto::Message reply = ask(
+      proto::Message::dir_request(proto::MsgKind::kDirLookupRead, node, home_, b));
+  proto::DirectoryService::ReadLookup lk;
+  lk.master = reply_node(reply);
+  lk.misdirected = reply.has(proto::kFlagMisdirected);
+  lk.epoch = reply.age;
+  return lk;
+}
+
+cache::NodeId RemoteDirectory::lookup(const cache::BlockId& b) {
+  return reply_node(ask(proto::Message::dir_request(
+      proto::MsgKind::kDirLookup, local_, home_, b)));
+}
+
+bool RemoteDirectory::try_claim(const cache::BlockId& b, cache::NodeId node) {
+  return ask(proto::Message::dir_request(proto::MsgKind::kDirTryClaim, node,
+                                         home_, b))
+      .has(proto::kFlagGranted);
+}
+
+std::optional<std::uint64_t> RemoteDirectory::begin_forward(
+    const cache::BlockId& b, cache::NodeId from) {
+  const proto::Message reply = ask(proto::Message::dir_request(
+      proto::MsgKind::kDirBeginForward, from, home_, b));
+  if (!reply.has(proto::kFlagGranted)) return std::nullopt;
+  return reply.age;
+}
+
+bool RemoteDirectory::claim_forwarded(const cache::BlockId& b,
+                                      cache::NodeId to, cache::NodeId from,
+                                      std::uint64_t epoch) {
+  return ask(proto::Message::dir_claim_forwarded(to, home_, b, from, epoch))
+      .has(proto::kFlagGranted);
+}
+
+void RemoteDirectory::forward_rejected(const cache::BlockId& b,
+                                       cache::NodeId from) {
+  ask(proto::Message::dir_request(proto::MsgKind::kDirForwardRejected, from,
+                                  home_, b));
+}
+
+void RemoteDirectory::master_dropped(const cache::BlockId& b,
+                                     cache::NodeId node) {
+  ask(proto::Message::dir_request(proto::MsgKind::kDirMasterDropped, node,
+                                  home_, b));
+}
+
+cache::NodeId RemoteDirectory::write_claim(const cache::BlockId& b,
+                                           cache::NodeId writer) {
+  return reply_node(ask(proto::Message::dir_request(
+      proto::MsgKind::kDirWriteClaim, writer, home_, b)));
+}
+
+void RemoteDirectory::invalidate_file(cache::FileId file) {
+  ask(proto::Message::dir_file_request(proto::MsgKind::kDirInvalidateFile,
+                                       local_, home_, file, 0));
+}
+
+void RemoteDirectory::write_begin(cache::FileId file) {
+  ask(proto::Message::dir_file_request(proto::MsgKind::kDirWriteBegin, local_,
+                                       home_, file, 0));
+}
+
+void RemoteDirectory::write_end(cache::FileId file) {
+  ask(proto::Message::dir_file_request(proto::MsgKind::kDirWriteEnd, local_,
+                                       home_, file, 0));
+}
+
+bool RemoteDirectory::read_cacheable(cache::FileId file, std::uint64_t epoch) {
+  return ask(proto::Message::dir_file_request(proto::MsgKind::kDirReadCacheable,
+                                              local_, home_, file, epoch))
+      .has(proto::kFlagGranted);
+}
+
+}  // namespace coop::ccm

@@ -1,0 +1,171 @@
+// Where the runtime's directory lives, abstracted.
+//
+// CcmCluster consults the cluster-wide master directory on every miss,
+// forward, write, and invalidation. In-process the directory is a local
+// object (LocalDirectory wraps a proto::DirectoryService); in the
+// multi-process cluster it lives in the process hosting node 0 and every
+// other process reaches it with kDir* RPCs over the transport
+// (RemoteDirectory). The runtime code is identical either way — it speaks
+// DirectoryClient.
+//
+// The wait-for graph stays acyclic: RemoteDirectory calls block only on the
+// home node, and the home node's directory handlers never block on anything
+// (DirectoryService is a leaf lock with no I/O), so a protocol thread that
+// issues a remote directory RPC mid-handler cannot deadlock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "net/transport.hpp"
+#include "proto/directory_service.hpp"
+
+namespace coop::ccm {
+
+/// The directory operations the runtime needs, mirroring
+/// proto::DirectoryService (see that header for semantics).
+class DirectoryClient {
+ public:
+  virtual ~DirectoryClient() = default;
+
+  virtual proto::DirectoryService::ReadLookup lookup_for_read(
+      cache::NodeId node, const cache::BlockId& b) = 0;
+  virtual cache::NodeId lookup(const cache::BlockId& b) = 0;
+  virtual bool try_claim(const cache::BlockId& b, cache::NodeId node) = 0;
+  virtual std::optional<std::uint64_t> begin_forward(const cache::BlockId& b,
+                                                     cache::NodeId from) = 0;
+  virtual bool claim_forwarded(const cache::BlockId& b, cache::NodeId to,
+                               cache::NodeId from, std::uint64_t epoch) = 0;
+  virtual void forward_rejected(const cache::BlockId& b,
+                                cache::NodeId from) = 0;
+  virtual void master_dropped(const cache::BlockId& b, cache::NodeId node) = 0;
+  virtual cache::NodeId write_claim(const cache::BlockId& b,
+                                    cache::NodeId writer) = 0;
+  virtual void invalidate_file(cache::FileId file) = 0;
+  virtual void write_begin(cache::FileId file) = 0;
+  virtual void write_end(cache::FileId file) = 0;
+  virtual bool read_cacheable(cache::FileId file, std::uint64_t epoch) = 0;
+
+  // Observability. Remote clients return empty/neutral values — directory
+  // counters and audits are read where the directory lives (the home
+  // process).
+  virtual proto::DirectoryService::Ops ops() = 0;
+  virtual void reset_ops() = 0;
+  virtual double hint_accuracy() = 0;
+  virtual cache::NodeId hint_truth(const cache::BlockId& b) = 0;
+  virtual std::size_t master_count() = 0;
+  virtual std::size_t audit(const char* context) = 0;
+
+  /// The in-process service when the directory is local (home process and
+  /// the all-in-one runtime); nullptr behind a remote client. CcmCluster
+  /// uses this to answer kDir* RPCs on the directory's behalf.
+  virtual proto::DirectoryService* service() { return nullptr; }
+};
+
+/// The directory is in this process: thin forwarding wrapper owning the
+/// DirectoryService.
+class LocalDirectory final : public DirectoryClient {
+ public:
+  LocalDirectory(std::size_t nodes, cache::DirectoryMode mode,
+                 std::uint32_t hint_staleness)
+      : svc_(nodes, mode, hint_staleness) {}
+
+  proto::DirectoryService::ReadLookup lookup_for_read(
+      cache::NodeId node, const cache::BlockId& b) override {
+    return svc_.lookup_for_read(node, b);
+  }
+  cache::NodeId lookup(const cache::BlockId& b) override {
+    return svc_.lookup(b);
+  }
+  bool try_claim(const cache::BlockId& b, cache::NodeId node) override {
+    return svc_.try_claim(b, node);
+  }
+  std::optional<std::uint64_t> begin_forward(const cache::BlockId& b,
+                                             cache::NodeId from) override {
+    return svc_.begin_forward(b, from);
+  }
+  bool claim_forwarded(const cache::BlockId& b, cache::NodeId to,
+                       cache::NodeId from, std::uint64_t epoch) override {
+    return svc_.claim_forwarded(b, to, from, epoch);
+  }
+  void forward_rejected(const cache::BlockId& b, cache::NodeId from) override {
+    svc_.forward_rejected(b, from);
+  }
+  void master_dropped(const cache::BlockId& b, cache::NodeId node) override {
+    svc_.master_dropped(b, node);
+  }
+  cache::NodeId write_claim(const cache::BlockId& b,
+                            cache::NodeId writer) override {
+    return svc_.write_claim(b, writer);
+  }
+  void invalidate_file(cache::FileId file) override {
+    svc_.invalidate_file(file);
+  }
+  void write_begin(cache::FileId file) override { svc_.write_begin(file); }
+  void write_end(cache::FileId file) override { svc_.write_end(file); }
+  bool read_cacheable(cache::FileId file, std::uint64_t epoch) override {
+    return svc_.read_cacheable(file, epoch);
+  }
+
+  proto::DirectoryService::Ops ops() override { return svc_.ops(); }
+  void reset_ops() override { svc_.reset_ops(); }
+  double hint_accuracy() override { return svc_.hint_accuracy(); }
+  cache::NodeId hint_truth(const cache::BlockId& b) override {
+    return svc_.hint_truth(b);
+  }
+  std::size_t master_count() override { return svc_.master_count(); }
+  std::size_t audit(const char* context) override {
+    return svc_.audit(context);
+  }
+
+  proto::DirectoryService* service() override { return &svc_; }
+
+ private:
+  proto::DirectoryService svc_;
+};
+
+/// The directory lives at `home` in another process; every operation is one
+/// kDir* RPC over the transport, answered with a generic kDirReply.
+class RemoteDirectory final : public DirectoryClient {
+ public:
+  RemoteDirectory(std::shared_ptr<net::Transport> transport,
+                  cache::NodeId local, cache::NodeId home)
+      : transport_(std::move(transport)), local_(local), home_(home) {}
+
+  proto::DirectoryService::ReadLookup lookup_for_read(
+      cache::NodeId node, const cache::BlockId& b) override;
+  cache::NodeId lookup(const cache::BlockId& b) override;
+  bool try_claim(const cache::BlockId& b, cache::NodeId node) override;
+  std::optional<std::uint64_t> begin_forward(const cache::BlockId& b,
+                                             cache::NodeId from) override;
+  bool claim_forwarded(const cache::BlockId& b, cache::NodeId to,
+                       cache::NodeId from, std::uint64_t epoch) override;
+  void forward_rejected(const cache::BlockId& b, cache::NodeId from) override;
+  void master_dropped(const cache::BlockId& b, cache::NodeId node) override;
+  cache::NodeId write_claim(const cache::BlockId& b,
+                            cache::NodeId writer) override;
+  void invalidate_file(cache::FileId file) override;
+  void write_begin(cache::FileId file) override;
+  void write_end(cache::FileId file) override;
+  bool read_cacheable(cache::FileId file, std::uint64_t epoch) override;
+
+  proto::DirectoryService::Ops ops() override { return {}; }
+  void reset_ops() override {}
+  double hint_accuracy() override { return 1.0; }
+  cache::NodeId hint_truth(const cache::BlockId&) override {
+    return cache::kInvalidNode;
+  }
+  std::size_t master_count() override { return 0; }
+  std::size_t audit(const char*) override { return 0; }
+
+ private:
+  /// Round-trips one request and returns the kDirReply message.
+  proto::Message ask(const proto::Message& request);
+
+  std::shared_ptr<net::Transport> transport_;
+  cache::NodeId local_;
+  cache::NodeId home_;
+};
+
+}  // namespace coop::ccm

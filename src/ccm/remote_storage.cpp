@@ -1,0 +1,39 @@
+#include "ccm/remote_storage.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace coop::ccm {
+
+std::uint64_t RemoteStorage::file_size(cache::FileId file) const {
+  if (file >= sizes_.size()) {
+    throw std::out_of_range("RemoteStorage: bad file id");
+  }
+  return sizes_[file];
+}
+
+void RemoteStorage::read(cache::FileId file, std::uint64_t offset,
+                         std::span<std::byte> out) const {
+  if (out.empty()) return;
+  net::Envelope env;
+  env.msg =
+      proto::Message::storage_read(local_, home_, file, offset, out.size());
+  const net::Envelope reply = transport_->call(std::move(env));
+  if (!reply.data || reply.data->bytes.size() != out.size()) {
+    throw std::runtime_error("RemoteStorage: short read from home node");
+  }
+  std::memcpy(out.data(), reply.data->bytes.data(), out.size());
+}
+
+void RemoteStorage::write(cache::FileId file, std::uint64_t offset,
+                          std::span<const std::byte> data) {
+  if (data.empty()) return;
+  net::Envelope env;
+  env.msg =
+      proto::Message::storage_write(local_, home_, file, offset, data.size());
+  env.data = net::make_ready_block(
+      std::vector<std::byte>(data.begin(), data.end()));
+  transport_->call(std::move(env));  // blocks until the kStorageAck
+}
+
+}  // namespace coop::ccm

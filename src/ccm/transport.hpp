@@ -3,6 +3,7 @@
 // a socket-based transport would plug in.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -34,6 +35,52 @@ class Mailbox {
     std::unique_lock lock(mu_);
     not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
     if (queue_.empty()) return std::nullopt;  // closed and drained
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return msg;
+  }
+
+  /// Non-blocking send; false when the mailbox is full or closed (the
+  /// message is dropped). Lets callers implement their own overflow policy
+  /// instead of blocking forever on a full, never-drained mailbox.
+  bool try_send(T message) {
+    std::scoped_lock lock(mu_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(message));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Deadline-bounded send: waits up to `timeout` for room. False on timeout
+  /// or close (the message is dropped). This is the backpressure primitive
+  /// the socket transport uses — a peer whose outbox stays full past the
+  /// deadline is treated as stalled and its connection is dropped, rather
+  /// than wedging the sender forever.
+  template <typename Rep, typename Period>
+  bool send_for(T message, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_full_.wait_for(lock, timeout, [this] {
+          return closed_ || queue_.size() < capacity_;
+        })) {
+      return false;  // still full at the deadline
+    }
+    if (closed_) return false;
+    queue_.push_back(std::move(message));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Deadline-bounded receive: waits up to `timeout` for a message. Nullopt
+  /// on timeout, or once the mailbox is closed *and drained*. Lets the
+  /// socket transport's writers block for new traffic while still polling
+  /// deferred not-yet-ready payloads.
+  template <typename Rep, typename Period>
+  std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;  // timed out, or closed+drained
     T msg = std::move(queue_.front());
     queue_.pop_front();
     not_full_.notify_one();

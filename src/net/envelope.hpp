@@ -1,0 +1,73 @@
+// The unit of cross-node traffic in the middleware runtime: a typed wire
+// message plus the payload bytes (if any) riding with it and the metadata
+// the transport needs to correlate replies and fence forwards.
+//
+// The payload is a shared latch-guarded buffer (BlockData): inside one
+// process both ends of a transfer share the same bytes (a peer-fetch reply
+// hands the requester the master's buffer, a promotion shares it outright);
+// across the wire the TCP transport defers the envelope until the latch
+// opens, then copies the bytes into a frame. That asymmetry is the whole
+// point of the seam — the runtime never knows which it got.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "proto/message.hpp"
+
+namespace coop::net {
+
+/// A block's bytes; `ready` flips once the producing side (a storage read, a
+/// write assembling its buffer, a frame decode) has filled `bytes`.
+struct BlockData {
+  std::mutex m;
+  std::condition_variable cv;
+  bool ready = false;
+  std::vector<std::byte> bytes;
+
+  /// Blocks until the producer flips `ready`.
+  void wait_ready() {
+    std::unique_lock lock(m);
+    cv.wait(lock, [this] { return ready; });
+  }
+
+  /// Non-blocking readiness probe. The socket transport's writers must
+  /// never wait on the latch: the producer filling the buffer may be a
+  /// storage RPC queued *behind* this envelope on the same connection, so a
+  /// blocking wait here deadlocks the connection. Unready envelopes are
+  /// deferred instead (TcpTransport::writer_loop).
+  [[nodiscard]] bool is_ready() {
+    std::scoped_lock lock(m);
+    return ready;
+  }
+};
+
+using BlockPtr = std::shared_ptr<BlockData>;
+
+/// A payload buffer that is already complete (wire decodes, storage replies).
+inline BlockPtr make_ready_block(std::vector<std::byte> bytes) {
+  auto b = std::make_shared<BlockData>();
+  b->bytes = std::move(bytes);
+  b->ready = true;
+  return b;
+}
+
+/// A protocol message in flight.
+struct Envelope {
+  proto::Message msg;
+  /// RPC correlation id; 0 marks a one-way post. Replies echo the request's
+  /// seq so the transport can wake the caller blocked in call().
+  std::uint64_t seq = 0;
+  /// Directory invalidation epoch observed by the sender (master forwards).
+  std::uint64_t epoch = 0;
+  /// Payload bytes (peer-fetch replies, master forwards, ownership
+  /// transfers, storage traffic); null for pure control messages.
+  BlockPtr data;
+};
+
+}  // namespace coop::net

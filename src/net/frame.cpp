@@ -1,0 +1,141 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace coop::net {
+
+namespace {
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xFF));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint16_t get_u16(const std::byte* p) {
+  return static_cast<std::uint16_t>(
+      std::to_integer<std::uint16_t>(p[0]) |
+      (std::to_integer<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= std::to_integer<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::to_integer<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_handshake(cache::NodeId node) {
+  std::vector<std::byte> out;
+  out.reserve(kHandshakeSize);
+  put_u32(out, kHandshakeMagic);
+  put_u16(out, kProtocolVersion);
+  put_u16(out, node);
+  return out;
+}
+
+std::optional<cache::NodeId> decode_handshake(
+    std::span<const std::byte> bytes) {
+  if (bytes.size() < kHandshakeSize) return std::nullopt;
+  if (get_u32(bytes.data()) != kHandshakeMagic) return std::nullopt;
+  if (get_u16(bytes.data() + 4) != kProtocolVersion) return std::nullopt;
+  return get_u16(bytes.data() + 6);
+}
+
+std::vector<std::byte> encode_frame(const Envelope& env,
+                                    std::uint64_t sender_age,
+                                    bool sender_full) {
+  const std::size_t payload = env.data ? env.data->bytes.size() : 0;
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(kFrameFixedSize + payload);
+  std::vector<std::byte> out;
+  out.reserve(4 + len);
+  put_u32(out, len);
+  out.push_back(static_cast<std::byte>(sender_full ? 1 : 0));
+  put_u64(out, sender_age);
+  put_u64(out, env.seq);
+  put_u64(out, env.epoch);
+  const proto::WireBytes wire = proto::encode(env.msg);
+  out.insert(out.end(), wire.begin(), wire.end());
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  if (payload > 0) {
+    out.insert(out.end(), env.data->bytes.begin(), env.data->bytes.end());
+  }
+  return out;
+}
+
+bool FrameReader::feed(std::span<const std::byte> bytes) {
+  if (poisoned_) return false;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  return parse_available();
+}
+
+bool FrameReader::parse_available() {
+  while (true) {
+    if (buffer_.size() < 4) return true;  // length prefix incomplete
+    const std::uint64_t len = get_u32(buffer_.data());
+    if (len < kFrameFixedSize || 4 + len > max_frame_) {
+      poisoned_ = true;  // corrupt length prefix (or oversize frame)
+      buffer_.clear();
+      return false;
+    }
+    if (buffer_.size() < 4 + len) return true;  // frame body incomplete
+
+    const std::byte* p = buffer_.data() + 4;
+    Frame f;
+    f.sender_full = std::to_integer<std::uint8_t>(p[0]) != 0;
+    f.sender_age = get_u64(p + 1);
+    f.env.seq = get_u64(p + 9);
+    f.env.epoch = get_u64(p + 17);
+    const auto msg =
+        proto::decode(std::span<const std::byte>(p + 25, proto::kWireSize));
+    const std::uint32_t payload_len = get_u32(p + 25 + proto::kWireSize);
+    if (!msg || payload_len != len - kFrameFixedSize) {
+      // Garbage where a message should be, or a payload length that
+      // disagrees with the frame length: never deliver a partial decode.
+      poisoned_ = true;
+      buffer_.clear();
+      return false;
+    }
+    f.env.msg = *msg;
+    if (payload_len > 0) {
+      const std::byte* payload = p + kFrameFixedSize;
+      f.env.data = make_ready_block(
+          std::vector<std::byte>(payload, payload + payload_len));
+    }
+    ready_.push_back(std::move(f));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(4 + len));
+  }
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame f = std::move(ready_.front());
+  ready_.pop_front();
+  return f;
+}
+
+}  // namespace coop::net

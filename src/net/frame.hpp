@@ -1,0 +1,101 @@
+// Wire framing for the socket transport: length-prefixed frames carrying
+// one Envelope each, over the validated fixed-layout proto::encode/decode.
+//
+// Frame layout (all integers little-endian):
+//
+//   u32  len            bytes after this field (validated against bounds)
+//   u8   sender_flags   bit0: sender's cache is full (piggyback summary)
+//   u64  sender_age     sender's published oldest LRU age (kNoAge: empty)
+//   u64  seq            RPC correlation id (0: one-way)
+//   u64  epoch          directory epoch riding on master forwards
+//   34B  message        proto::encode() fixed layout
+//   u32  payload_len    must equal len - fixed header size
+//   ...  payload        block / storage bytes
+//
+// Connection handshake (once per direction, before any frame):
+//
+//   u32  magic          "CCM1"
+//   u16  version        kProtocolVersion
+//   u16  node_id        the sender's node id
+//
+// FrameReader reassembles frames from arbitrary read boundaries. Any
+// malformed input — a length prefix out of bounds, a payload length that
+// disagrees with the frame length, bytes that proto::decode rejects —
+// poisons the stream permanently: the transport must drop the connection.
+// A poisoned reader never yields the malformed frame (no partial delivery).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/envelope.hpp"
+#include "proto/node_state.hpp"
+
+namespace coop::net {
+
+inline constexpr std::uint32_t kHandshakeMagic = 0x314D4343;  // "CCM1"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHandshakeSize = 4 + 2 + 2;
+
+/// Fixed frame bytes after the length prefix, before the payload.
+inline constexpr std::size_t kFrameFixedSize =
+    1 + 8 + 8 + 8 + proto::kWireSize + 4;
+
+/// Default ceiling on one frame (header + payload). Generous: the largest
+/// legitimate payload is one storage read of a whole file.
+inline constexpr std::size_t kDefaultMaxFrame = 64u << 20;
+
+/// One decoded frame: the envelope plus the sender's piggybacked summary.
+struct Frame {
+  Envelope env;
+  std::uint64_t sender_age = proto::kNoAge;
+  bool sender_full = false;
+};
+
+/// Encodes the handshake header for `node`.
+std::vector<std::byte> encode_handshake(cache::NodeId node);
+
+/// Decodes a handshake; nullopt on bad magic or version mismatch.
+std::optional<cache::NodeId> decode_handshake(
+    std::span<const std::byte> bytes);
+
+/// Encodes one envelope (payload copied from env.data->bytes, which must
+/// already be ready — the writer defers unready envelopes) plus the sender
+/// summary.
+std::vector<std::byte> encode_frame(const Envelope& env,
+                                    std::uint64_t sender_age,
+                                    bool sender_full);
+
+/// Incremental frame reassembly over a byte stream.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrame)
+      : max_frame_(max_frame_bytes) {}
+
+  /// Appends stream bytes and parses as many complete frames as they
+  /// finish. Returns false once the stream is poisoned — the connection
+  /// must be dropped; further feeds are ignored.
+  bool feed(std::span<const std::byte> bytes);
+
+  /// Pops the next complete frame in arrival order.
+  std::optional<Frame> next();
+
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+  /// Bytes buffered but not yet parsed into a frame (tests).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  bool parse_available();
+
+  std::size_t max_frame_;
+  std::vector<std::byte> buffer_;
+  std::deque<Frame> ready_;
+  bool poisoned_ = false;
+};
+
+}  // namespace coop::net

@@ -1,0 +1,455 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace coop::net {
+
+namespace {
+
+/// Envelopes coalesced into one write syscall at most (bounds the latency a
+/// huge backlog can add to the first message of a flush).
+constexpr std::size_t kMaxBatch = 64;
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Reads exactly `len` bytes; false on EOF/error.
+bool read_exact(int fd, std::byte* out, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, out + got, len - got, 0);
+    if (n <= 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Writes all of `buf`; false on error (peer gone).
+bool write_all(int fd, const std::byte* buf, std::size_t len) {
+  std::size_t put = 0;
+  while (put < len) {
+    const ssize_t n = ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    put += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(const TcpConfig& config)
+    : config_(config),
+      inbound_(config.outbox_capacity),
+      peer_age_(config.nodes),
+      peer_full_(config.nodes) {
+  if (config_.nodes == 0 || config_.local_node >= config_.nodes) {
+    throw std::invalid_argument("TcpTransport: bad local node / node count");
+  }
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    peer_age_[n].store(proto::kNoAge, std::memory_order_relaxed);
+    peer_full_[n].store(false, std::memory_order_relaxed);
+  }
+  conns_.resize(config_.nodes);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpTransport: socket failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(config_.listen_port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, static_cast<int>(config_.nodes) + 4) != 0) {
+    close_fd(listen_fd_);
+    throw std::runtime_error("TcpTransport: bind/listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  listen_port_ = ntohs(bound.sin_port);
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+void TcpTransport::set_summary_source(
+    std::function<std::pair<std::uint64_t, bool>()> source) {
+  summary_ = std::move(source);
+}
+
+std::optional<cache::NodeId> TcpTransport::handshake(int fd) {
+  // Symmetric: both sides send first, then read (8 bytes — never fills the
+  // socket buffer, so simultaneous sends cannot deadlock).
+  const std::vector<std::byte> ours = encode_handshake(config_.local_node);
+  if (!write_all(fd, ours.data(), ours.size())) return std::nullopt;
+  std::array<std::byte, kHandshakeSize> theirs{};
+  if (!read_exact(fd, theirs.data(), theirs.size())) return std::nullopt;
+  return decode_handshake(theirs);
+}
+
+void TcpTransport::adopt_connection(int fd, cache::NodeId peer) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::scoped_lock lock(mu_);
+  if (closed_ || conns_[peer] != nullptr) {
+    ::close(fd);  // duplicate or late connection
+    return;
+  }
+  auto conn = std::make_unique<Connection>(config_.outbox_capacity);
+  conn->fd = fd;
+  conn->peer = peer;
+  conn->alive.store(true, std::memory_order_release);
+  Connection* raw = conn.get();
+  conns_[peer] = std::move(conn);
+  raw->reader = std::thread([this, raw] { reader_loop(*raw); });
+  raw->writer = std::thread([this, raw] { writer_loop(*raw); });
+}
+
+void TcpTransport::connect_peers(const std::vector<TcpPeer>& peers) {
+  if (peers.size() < config_.nodes) {
+    throw std::invalid_argument("TcpTransport: peer table too small");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.connect_timeout;
+  // Dial every lower-id peer, retrying until it listens.
+  for (cache::NodeId peer = 0; peer < config_.local_node; ++peer) {
+    while (true) {
+      if (closed_) throw std::runtime_error("TcpTransport: closed");
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) throw std::runtime_error("TcpTransport: socket failed");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(peers[peer].port);
+      if (::inet_pton(AF_INET, peers[peer].host.c_str(), &addr.sin_addr) !=
+          1) {
+        ::close(fd);
+        throw std::invalid_argument("TcpTransport: bad peer host " +
+                                    peers[peer].host);
+      }
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        const auto got = handshake(fd);
+        if (got && *got == peer) {
+          adopt_connection(fd, peer);
+          break;
+        }
+        ::close(fd);  // wrong node answered — fatal config error
+        throw std::runtime_error("TcpTransport: handshake with peer " +
+                                 std::to_string(peer) + " failed");
+      }
+      ::close(fd);
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw std::runtime_error("TcpTransport: timed out dialing peer " +
+                                 std::to_string(peer));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  // Higher-id peers dial us; wait for the mesh to complete.
+  while (connected_peers() + 1 < config_.nodes) {
+    if (closed_) throw std::runtime_error("TcpTransport: closed");
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("TcpTransport: timed out waiting for peers");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void TcpTransport::accept_loop() {
+  while (!closed_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const auto peer = handshake(fd);
+    // Accept only higher-id peers (they dial down); anything else is a
+    // misconfigured or foreign client.
+    if (!peer || *peer <= config_.local_node || *peer >= config_.nodes) {
+      ::close(fd);
+      continue;
+    }
+    adopt_connection(fd, *peer);
+  }
+}
+
+void TcpTransport::reader_loop(Connection& conn) {
+  FrameReader reader(config_.max_frame_bytes);
+  std::vector<std::byte> buf(64 * 1024);
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buf.data(), buf.size(), 0);
+    if (n <= 0) {
+      // EOF or error; bytes stranded mid-frame mean the stream was cut
+      // inside a message — count it with the malformed frames.
+      drop_connection(conn.peer, reader.buffered() > 0);
+      return;
+    }
+    {
+      std::scoped_lock lock(mu_);
+      stats_.bytes_received += static_cast<std::uint64_t>(n);
+    }
+    if (!reader.feed(std::span<const std::byte>(
+            buf.data(), static_cast<std::size_t>(n)))) {
+      drop_connection(conn.peer, /*frame_error=*/true);
+      return;
+    }
+    while (auto frame = reader.next()) {
+      peer_age_[conn.peer].store(frame->sender_age,
+                                 std::memory_order_relaxed);
+      peer_full_[conn.peer].store(frame->sender_full,
+                                  std::memory_order_relaxed);
+      {
+        std::scoped_lock lock(mu_);
+        ++stats_.received;
+      }
+      route_incoming(std::move(frame->env));
+    }
+  }
+}
+
+void TcpTransport::route_incoming(Envelope env) {
+  if (proto::is_reply(env.msg.kind) && env.seq != 0) {
+    std::shared_ptr<PendingCall> pending;
+    {
+      std::scoped_lock lock(mu_);
+      const auto it = pending_.find(env.seq);
+      if (it == pending_.end()) return;  // caller gave up / duplicate
+      pending = it->second;
+      pending_.erase(it);
+      pending->reply = std::move(env);
+      pending->done = true;
+    }
+    pending->cv.notify_all();
+    return;
+  }
+  // Blocking send: a full inbound queue backpressures this connection's
+  // reader (and, through TCP flow control, the remote sender).
+  inbound_.send(std::move(env));
+}
+
+void TcpTransport::writer_loop(Connection& conn) {
+  // Envelopes whose payload latch is still closed. The writer must NEVER
+  // block in wait_ready(): the producer filling the buffer can be a storage
+  // RPC queued *behind* the envelope on this very connection (a peer serves
+  // a remote read from a block it is still faulting in from home), so a
+  // blocking wait wedges the connection against its own fill traffic.
+  // Unready envelopes are parked here and retried; everything else flows
+  // past them. Reordering is safe: replies correlate by seq, and requests
+  // from concurrent threads carry no cross-message ordering guarantees.
+  std::deque<Envelope> deferred;
+  constexpr auto kDeferredPoll = std::chrono::milliseconds(1);
+  while (true) {
+    std::optional<Envelope> first =
+        deferred.empty() ? conn.outbox.receive()
+                         : conn.outbox.receive_for(kDeferredPoll);
+    if (!first && deferred.empty()) return;  // closed and fully drained
+    if (!first && conn.outbox.closed()) {
+      // Shutdown with payloads still unready: their producers may be gone;
+      // abandoning them here is the same as the connection dying mid-send.
+      return;
+    }
+    std::vector<Envelope> batch;
+    for (auto it = deferred.begin(); it != deferred.end();) {
+      if (it->data && !it->data->is_ready()) {
+        ++it;
+      } else {
+        batch.push_back(std::move(*it));
+        it = deferred.erase(it);
+      }
+    }
+    if (first) batch.push_back(std::move(*first));
+    while (batch.size() < kMaxBatch) {
+      auto more = conn.outbox.try_receive();
+      if (!more) break;
+      batch.push_back(std::move(*more));
+    }
+    std::uint64_t age = proto::kNoAge;
+    bool full = false;
+    if (summary_) std::tie(age, full) = summary_();
+    std::vector<std::byte> buf;
+    for (auto& env : batch) {
+      if (env.data && !env.data->is_ready()) {
+        deferred.push_back(std::move(env));
+        continue;
+      }
+      const std::vector<std::byte> frame = encode_frame(env, age, full);
+      buf.insert(buf.end(), frame.begin(), frame.end());
+    }
+    if (buf.empty()) continue;
+    if (!write_all(conn.fd, buf.data(), buf.size())) {
+      drop_connection(conn.peer, /*frame_error=*/false);
+      return;
+    }
+    std::scoped_lock lock(mu_);
+    ++stats_.flushes;
+    stats_.bytes_sent += buf.size();
+  }
+}
+
+void TcpTransport::drop_connection(cache::NodeId peer, bool frame_error) {
+  {
+    std::scoped_lock lock(mu_);
+    Connection* conn = conns_[peer].get();
+    if (conn == nullptr || !conn->alive.load(std::memory_order_acquire)) {
+      return;  // already dropped
+    }
+    conn->alive.store(false, std::memory_order_release);
+    if (frame_error) ++stats_.frame_errors;
+    ::shutdown(conn->fd, SHUT_RDWR);  // unblocks the reader
+    conn->outbox.close();             // unblocks the writer
+  }
+  fail_pending(peer);
+}
+
+void TcpTransport::fail_pending(cache::NodeId peer) {
+  std::vector<std::shared_ptr<PendingCall>> failed;
+  {
+    std::scoped_lock lock(mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (peer == cache::kInvalidNode || it->second->dest == peer) {
+        it->second->failed = true;
+        it->second->done = true;
+        failed.push_back(it->second);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& p : failed) p->cv.notify_all();
+}
+
+Envelope TcpTransport::call(Envelope env) {
+  auto pending = std::make_shared<PendingCall>();
+  pending->dest = env.msg.to;
+  {
+    std::scoped_lock lock(mu_);
+    if (closed_) throw std::runtime_error("transport is shut down");
+    env.seq = next_seq_++;
+    pending_.emplace(env.seq, pending);
+  }
+  const std::uint64_t seq = env.seq;
+  if (!post(std::move(env))) {
+    {
+      std::scoped_lock lock(mu_);
+      pending_.erase(seq);
+    }
+    throw std::runtime_error("peer " + std::to_string(pending->dest) +
+                             " is unreachable");
+  }
+  std::unique_lock lock(mu_);
+  pending->cv.wait(lock, [&] { return pending->done; });
+  if (pending->failed) {
+    throw std::runtime_error("peer " + std::to_string(pending->dest) +
+                             " dropped while a call was pending");
+  }
+  ++stats_.rpcs;
+  return std::move(pending->reply);
+}
+
+bool TcpTransport::post(Envelope env) {
+  if (env.msg.to >= config_.nodes) {
+    throw std::invalid_argument("TcpTransport: bad destination node");
+  }
+  if (env.msg.to == config_.local_node) return deliver_local(std::move(env));
+  Connection* conn = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    if (closed_) return false;
+    conn = conns_[env.msg.to].get();
+    if (conn == nullptr || !conn->alive.load(std::memory_order_acquire)) {
+      return false;
+    }
+    ++stats_.sent;
+  }
+  const cache::NodeId to = env.msg.to;
+  if (!conn->outbox.send_for(std::move(env), config_.send_timeout)) {
+    // Stalled past the deadline (or already closing): treat the peer as
+    // dead rather than wedging this sender forever.
+    drop_connection(to, /*frame_error=*/false);
+    return false;
+  }
+  return true;
+}
+
+bool TcpTransport::deliver_local(Envelope env) {
+  {
+    std::scoped_lock lock(mu_);
+    if (closed_) return false;
+    ++stats_.sent;
+    ++stats_.received;
+  }
+  if (proto::is_reply(env.msg.kind) && env.seq != 0) {
+    route_incoming(std::move(env));
+    return true;
+  }
+  return inbound_.send(std::move(env));
+}
+
+std::optional<Envelope> TcpTransport::receive(cache::NodeId node) {
+  if (node != config_.local_node) {
+    throw std::invalid_argument("TcpTransport: receive for non-local node");
+  }
+  return inbound_.receive();
+}
+
+void TcpTransport::close() {
+  if (closed_.exchange(true)) return;
+  inbound_.close();
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& conn : conns_) {
+    if (!conn) continue;
+    {
+      std::scoped_lock lock(mu_);
+      conn->alive.store(false, std::memory_order_release);
+      ::shutdown(conn->fd, SHUT_RDWR);
+      conn->outbox.close();
+    }
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    close_fd(conn->fd);
+  }
+  close_fd(listen_fd_);
+  fail_pending(cache::kInvalidNode);
+}
+
+TransportStats TcpTransport::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+std::uint64_t TcpTransport::peer_oldest_age(cache::NodeId n) const {
+  return peer_age_[n].load(std::memory_order_relaxed);
+}
+
+bool TcpTransport::peer_full(cache::NodeId n) const {
+  return peer_full_[n].load(std::memory_order_relaxed);
+}
+
+std::size_t TcpTransport::connected_peers() const {
+  std::scoped_lock lock(mu_);
+  std::size_t live = 0;
+  for (const auto& conn : conns_) {
+    if (conn && conn->alive.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
+}
+
+}  // namespace coop::net

@@ -1,0 +1,91 @@
+#include "net/transport.hpp"
+
+#include <stdexcept>
+
+namespace coop::net {
+
+InProcTransport::InProcTransport(std::size_t nodes, std::size_t capacity) {
+  if (nodes == 0) throw std::invalid_argument("InProcTransport: 0 nodes");
+  mailboxes_.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    mailboxes_.push_back(std::make_unique<ccm::Mailbox<Envelope>>(capacity));
+  }
+}
+
+Envelope InProcTransport::call(Envelope env) {
+  auto pending = std::make_shared<PendingCall>();
+  {
+    std::scoped_lock lock(mu_);
+    if (closed_) throw std::runtime_error("transport is shut down");
+    env.seq = next_seq_++;
+    pending_.emplace(env.seq, pending);
+  }
+  const std::uint64_t seq = env.seq;
+  if (!post(std::move(env))) {
+    std::scoped_lock lock(mu_);
+    pending_.erase(seq);
+    throw std::runtime_error("transport is shut down");
+  }
+  std::unique_lock lock(mu_);
+  pending->cv.wait(lock, [&] { return pending->done || closed_; });
+  if (!pending->done) {
+    pending_.erase(seq);
+    throw std::runtime_error("transport is shut down");
+  }
+  ++stats_.rpcs;
+  return std::move(pending->reply);
+}
+
+bool InProcTransport::post(Envelope env) {
+  if (env.msg.to >= mailboxes_.size()) {
+    throw std::invalid_argument("InProcTransport: bad destination node");
+  }
+  if (proto::is_reply(env.msg.kind) && env.seq != 0) {
+    // Complete the caller blocked in call() directly — replies never take
+    // the mailbox hop.
+    std::shared_ptr<PendingCall> pending;
+    {
+      std::scoped_lock lock(mu_);
+      ++stats_.sent;
+      ++stats_.received;
+      const auto it = pending_.find(env.seq);
+      if (it == pending_.end()) return false;  // caller gave up (shutdown)
+      pending = it->second;
+      pending_.erase(it);
+      pending->reply = std::move(env);
+      pending->done = true;
+    }
+    pending->cv.notify_all();
+    return true;
+  }
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.sent;
+  }
+  if (!mailboxes_[env.msg.to]->send(std::move(env))) return false;
+  std::scoped_lock lock(mu_);
+  ++stats_.received;
+  return true;
+}
+
+std::optional<Envelope> InProcTransport::receive(cache::NodeId node) {
+  if (node >= mailboxes_.size()) {
+    throw std::invalid_argument("InProcTransport: bad local node");
+  }
+  return mailboxes_[node]->receive();
+}
+
+void InProcTransport::close() {
+  for (auto& mb : mailboxes_) mb->close();
+  std::scoped_lock lock(mu_);
+  closed_ = true;
+  for (auto& [seq, pending] : pending_) pending->cv.notify_all();
+  pending_.clear();
+}
+
+TransportStats InProcTransport::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace coop::net

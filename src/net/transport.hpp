@@ -1,0 +1,113 @@
+// The pluggable node-to-node transport behind the middleware runtime.
+//
+// CcmCluster speaks only this interface: workers issue blocking RPCs with
+// call(), protocol threads pull requests with receive() and answer with
+// post(). Two implementations exist:
+//
+//  * InProcTransport — every node lives in this process; delivery is a
+//    Mailbox<Envelope> hop and payloads are shared by pointer. This is the
+//    original runtime path, unchanged in cost.
+//  * TcpTransport (tcp_transport.hpp) — this process hosts one node; peers
+//    are separate processes reached over length-prefixed frames on real
+//    sockets (127.0.0.1 in the loopback cluster, anything routable in
+//    general).
+//
+// Reply routing is the transport's job: an envelope whose kind satisfies
+// proto::is_reply() completes the pending call() with the matching seq and
+// is never surfaced through receive(). That keeps protocol threads free to
+// block on their own outbound RPCs (a remote directory claim, say) while
+// replies for them arrive — the receive path and the wait path never share a
+// thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "ccm/transport.hpp"
+#include "net/envelope.hpp"
+#include "proto/node_state.hpp"
+
+namespace coop::net {
+
+/// Delivery counters, uniform across implementations; the socket transport
+/// also fills the byte/flush fields (one flush == one write syscall, so
+/// sent/flushes is the control-message batching factor).
+struct TransportStats {
+  std::uint64_t sent = 0;            // envelopes handed to the transport
+  std::uint64_t received = 0;        // envelopes delivered (incl. replies)
+  std::uint64_t rpcs = 0;            // call() round trips completed
+  std::uint64_t bytes_sent = 0;      // framed bytes written (TCP)
+  std::uint64_t bytes_received = 0;  // framed bytes read (TCP)
+  std::uint64_t flushes = 0;         // write syscalls (TCP)
+  std::uint64_t frame_errors = 0;    // malformed frames -> dropped peers
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocking request/response: assigns a fresh seq, delivers to
+  /// env.msg.to, waits for the reply. Throws std::runtime_error when the
+  /// transport (or the peer) is shut down.
+  virtual Envelope call(Envelope env) = 0;
+
+  /// One-way delivery to env.msg.to (replies, fire-and-forget posts).
+  /// False when the destination is closed.
+  virtual bool post(Envelope env) = 0;
+
+  /// Next *request* envelope addressed to locally-hosted node `node`;
+  /// nullopt once the transport is closed and drained.
+  virtual std::optional<Envelope> receive(cache::NodeId node) = 0;
+
+  /// Shuts delivery down: pending call()s fail, receive() drains then ends.
+  virtual void close() = 0;
+
+  [[nodiscard]] virtual TransportStats stats() const = 0;
+
+  /// Best-effort view of a remote peer's published cache summary (oldest
+  /// LRU age / fullness), refreshed from the piggyback fields every frame
+  /// carries. proto::kNoAge / false until the peer has been heard from.
+  [[nodiscard]] virtual std::uint64_t peer_oldest_age(cache::NodeId n) const {
+    (void)n;
+    return proto::kNoAge;
+  }
+  [[nodiscard]] virtual bool peer_full(cache::NodeId n) const {
+    (void)n;
+    return false;
+  }
+};
+
+/// All nodes in one process: per-node request mailboxes (the original
+/// runtime seam) plus a shared pending-reply table for call().
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(std::size_t nodes, std::size_t capacity = 1024);
+
+  Envelope call(Envelope env) override;
+  bool post(Envelope env) override;
+  std::optional<Envelope> receive(cache::NodeId node) override;
+  void close() override;
+  [[nodiscard]] TransportStats stats() const override;
+
+ private:
+  struct PendingCall {
+    std::condition_variable cv;
+    bool done = false;
+    Envelope reply;
+  };
+
+  std::vector<std::unique_ptr<ccm::Mailbox<Envelope>>> mailboxes_;
+
+  mutable std::mutex mu_;  // pending table + counters
+  bool closed_ = false;
+  std::uint64_t next_seq_ = 1;
+  // std::map, not unordered: tiny, and the close() sweep iterates it.
+  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_;
+  TransportStats stats_;
+};
+
+}  // namespace coop::net

@@ -223,6 +223,137 @@ Message Message::write_ownership_reply(NodeId from, NodeId to, const BlockId& b,
   return m;
 }
 
+Message Message::dir_request(MsgKind kind, NodeId from, NodeId home,
+                             const BlockId& b) {
+  Message m;
+  m.kind = kind;
+  m.from = from;
+  m.to = home;
+  m.block = b;
+  return m;
+}
+
+Message Message::dir_claim_forwarded(NodeId from, NodeId home,
+                                     const BlockId& b, NodeId forwarder,
+                                     std::uint64_t epoch) {
+  Message m;
+  m.kind = MsgKind::kDirClaimForwarded;
+  m.from = from;
+  m.to = home;
+  m.block = b;
+  m.count = forwarder;  // the forwarding node, credited as hint observer
+  m.age = epoch;
+  return m;
+}
+
+Message Message::dir_file_request(MsgKind kind, NodeId from, NodeId home,
+                                  FileId file, std::uint64_t epoch) {
+  Message m;
+  m.kind = kind;
+  m.from = from;
+  m.to = home;
+  m.block = BlockId{file, 0};
+  m.age = epoch;
+  return m;
+}
+
+Message Message::dir_reply(NodeId home, NodeId to, const BlockId& b,
+                           NodeId result, std::uint64_t epoch, bool granted,
+                           bool misdirected) {
+  Message m;
+  m.kind = MsgKind::kDirReply;
+  m.from = home;
+  m.to = to;
+  m.block = b;
+  m.count = result;
+  m.age = epoch;
+  if (granted) m.flags |= kFlagGranted;
+  if (misdirected) m.flags |= kFlagMisdirected;
+  return m;
+}
+
+Message Message::storage_read(NodeId from, NodeId home, FileId file,
+                              std::uint64_t offset, std::uint64_t length) {
+  Message m;
+  m.kind = MsgKind::kStorageRead;
+  m.from = from;
+  m.to = home;
+  m.block = BlockId{file, 0};
+  m.age = offset;
+  m.bytes = length;
+  return m;
+}
+
+Message Message::storage_data(NodeId home, NodeId to, FileId file,
+                              std::uint64_t bytes) {
+  Message m;
+  m.kind = MsgKind::kStorageData;
+  m.from = home;
+  m.to = to;
+  m.block = BlockId{file, 0};
+  m.bytes = bytes;
+  return m;
+}
+
+Message Message::storage_write(NodeId from, NodeId home, FileId file,
+                               std::uint64_t offset, std::uint64_t bytes) {
+  Message m;
+  m.kind = MsgKind::kStorageWrite;
+  m.from = from;
+  m.to = home;
+  m.block = BlockId{file, 0};
+  m.age = offset;
+  m.bytes = bytes;
+  return m;
+}
+
+Message Message::storage_ack(NodeId home, NodeId to, FileId file) {
+  Message m;
+  m.kind = MsgKind::kStorageAck;
+  m.from = home;
+  m.to = to;
+  m.block = BlockId{file, 0};
+  return m;
+}
+
+Message Message::barrier(NodeId from, NodeId home, std::uint32_t phase) {
+  Message m;
+  m.kind = MsgKind::kBarrier;
+  m.from = from;
+  m.to = home;
+  m.count = phase;
+  return m;
+}
+
+Message Message::barrier_reply(NodeId home, NodeId to, std::uint32_t phase,
+                               bool granted) {
+  Message m;
+  m.kind = MsgKind::kBarrierReply;
+  m.from = home;
+  m.to = to;
+  m.count = phase;
+  if (granted) m.flags |= kFlagGranted;
+  return m;
+}
+
+bool is_reply(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kBlockLookupReply:
+    case MsgKind::kMasterClaimReply:
+    case MsgKind::kPeerFetchReply:
+    case MsgKind::kMasterForwardAck:
+    case MsgKind::kInvalidateAck:
+    case MsgKind::kWriteOwnershipReply:
+    case MsgKind::kDirReply:
+    case MsgKind::kStorageData:
+    case MsgKind::kStorageAck:
+    case MsgKind::kBarrierReply:
+      return true;
+    default:
+      return false;
+  }
+}
+
 const char* kind_name(MsgKind kind) {
   switch (kind) {
     case MsgKind::kBlockLookup: return "block-lookup";
@@ -242,6 +373,25 @@ const char* kind_name(MsgKind kind) {
     case MsgKind::kInvalidateAck: return "invalidate-ack";
     case MsgKind::kWriteOwnership: return "write-ownership";
     case MsgKind::kWriteOwnershipReply: return "write-ownership-reply";
+    case MsgKind::kDirLookupRead: return "dir-lookup-read";
+    case MsgKind::kDirLookup: return "dir-lookup";
+    case MsgKind::kDirTryClaim: return "dir-try-claim";
+    case MsgKind::kDirBeginForward: return "dir-begin-forward";
+    case MsgKind::kDirClaimForwarded: return "dir-claim-forwarded";
+    case MsgKind::kDirForwardRejected: return "dir-forward-rejected";
+    case MsgKind::kDirMasterDropped: return "dir-master-dropped";
+    case MsgKind::kDirWriteClaim: return "dir-write-claim";
+    case MsgKind::kDirWriteBegin: return "dir-write-begin";
+    case MsgKind::kDirWriteEnd: return "dir-write-end";
+    case MsgKind::kDirReadCacheable: return "dir-read-cacheable";
+    case MsgKind::kDirInvalidateFile: return "dir-invalidate-file";
+    case MsgKind::kDirReply: return "dir-reply";
+    case MsgKind::kStorageRead: return "storage-read";
+    case MsgKind::kStorageData: return "storage-data";
+    case MsgKind::kStorageWrite: return "storage-write";
+    case MsgKind::kStorageAck: return "storage-ack";
+    case MsgKind::kBarrier: return "barrier";
+    case MsgKind::kBarrierReply: return "barrier-reply";
   }
   return "unknown";
 }

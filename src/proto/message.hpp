@@ -48,11 +48,40 @@ enum class MsgKind : std::uint8_t {
   kInvalidateAck,         // node -> writer
   kWriteOwnership,        // writer -> master holder: relinquish + send bytes
   kWriteOwnershipReply,   // holder -> writer: bytes attached / already gone
+
+  // Remote-directory RPCs (multi-process clusters only). The DirectoryService
+  // lives in the process hosting node 0; every other process reaches it with
+  // these requests, all answered by a single generic kDirReply correlated by
+  // the transport's sequence number.
+  kDirLookupRead,         // node -> home: lookup_for_read(from, block)
+  kDirLookup,             // node -> home: authoritative master of block
+  kDirTryClaim,           // node -> home: try_claim(block, from)
+  kDirBeginForward,       // node -> home: begin_forward(block, from)
+  kDirClaimForwarded,     // node -> home: claim_forwarded(block, from, ...)
+  kDirForwardRejected,    // node -> home: forward_rejected(block, from)
+  kDirMasterDropped,      // node -> home: master_dropped(block, from)
+  kDirWriteClaim,         // node -> home: write_claim(block, from)
+  kDirWriteBegin,         // node -> home: write_begin(file)
+  kDirWriteEnd,           // node -> home: write_end(file)
+  kDirReadCacheable,      // node -> home: read_cacheable(file, epoch)
+  kDirInvalidateFile,     // node -> home: invalidate_file(file) epoch fence
+  kDirReply,              // home -> node: generic directory answer
+
+  // Remote-storage RPCs (the backing store also lives at node 0's process).
+  kStorageRead,           // node -> home: read [offset, offset+len) of file
+  kStorageData,           // home -> node: the requested bytes (payload)
+  kStorageWrite,          // node -> home: write payload at offset of file
+  kStorageAck,            // home -> node: write landed
+
+  // Cluster-level rendezvous for the multi-process drivers (seed / finish
+  // phases of the loopback workload).
+  kBarrier,               // node -> home: I reached phase `count`
+  kBarrierReply,          // home -> node: granted once every node reached it
 };
 
 /// Number of distinct message kinds (wire-format validation bound).
 inline constexpr std::uint8_t kMsgKindCount =
-    static_cast<std::uint8_t>(MsgKind::kWriteOwnershipReply) + 1;
+    static_cast<std::uint8_t>(MsgKind::kBarrierReply) + 1;
 
 /// Flag bits (meaning depends on kind; unused bits must be zero).
 inline constexpr std::uint8_t kFlagMisdirected = 1u << 0;  // stale-hint hop(s)
@@ -118,7 +147,41 @@ struct Message {
   static Message write_ownership_reply(NodeId from, NodeId to,
                                        const BlockId& b, bool transferred,
                                        std::uint64_t bytes);
+
+  // Remote-directory RPCs. `home` is the directory-hosting node (node 0 in
+  // the loopback cluster). Field conventions for kDirReply: `count` carries a
+  // result NodeId (kInvalidNode widened to 32 bits when absent), `age`
+  // carries an epoch, kFlagGranted reports boolean outcomes.
+  static Message dir_request(MsgKind kind, NodeId from, NodeId home,
+                             const BlockId& b);
+  static Message dir_claim_forwarded(NodeId from, NodeId home,
+                                     const BlockId& b, NodeId forwarder,
+                                     std::uint64_t epoch);
+  static Message dir_file_request(MsgKind kind, NodeId from, NodeId home,
+                                  FileId file, std::uint64_t epoch);
+  static Message dir_reply(NodeId home, NodeId to, const BlockId& b,
+                           NodeId result, std::uint64_t epoch, bool granted,
+                           bool misdirected);
+
+  // Remote-storage RPCs: `age` carries the byte offset, `bytes` the length.
+  static Message storage_read(NodeId from, NodeId home, FileId file,
+                              std::uint64_t offset, std::uint64_t length);
+  static Message storage_data(NodeId home, NodeId to, FileId file,
+                              std::uint64_t bytes);
+  static Message storage_write(NodeId from, NodeId home, FileId file,
+                               std::uint64_t offset, std::uint64_t bytes);
+  static Message storage_ack(NodeId home, NodeId to, FileId file);
+
+  // Cluster barrier: `count` is the phase index.
+  static Message barrier(NodeId from, NodeId home, std::uint32_t phase);
+  static Message barrier_reply(NodeId home, NodeId to, std::uint32_t phase,
+                               bool granted);
 };
+
+/// True for kinds that answer a request (the transport routes these to the
+/// caller blocked in call(); everything else is delivered to the node's
+/// protocol thread).
+bool is_reply(MsgKind kind);
 
 /// Stable display name of a message kind ("peer-fetch", ...).
 const char* kind_name(MsgKind kind);

@@ -1,0 +1,490 @@
+// The transport layer: Mailbox backpressure primitives, wire framing
+// robustness (truncation, corruption, reassembly), the InProc/Tcp Transport
+// implementations, and the end-to-end check that a CcmCluster split across
+// three TCP transports computes byte-identical storage to the in-process
+// runtime. Frame-corruption tests assert the failure contract: malformed
+// input poisons the stream (drop the connection) and never crashes or
+// delivers a partial message.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ccm/cluster.hpp"
+#include "ccm/directory_client.hpp"
+#include "ccm/remote_storage.hpp"
+#include "ccm/storage.hpp"
+#include "ccm/transport.hpp"
+#include "net/frame.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/transport.hpp"
+#include "sim/random.hpp"
+
+namespace coop {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ------------------------------------------------------------- Mailbox ----
+
+TEST(Mailbox, TrySendFailsWhenFullThenRecoversAfterDrain) {
+  ccm::Mailbox<int> mb(2);
+  EXPECT_TRUE(mb.try_send(1));
+  EXPECT_TRUE(mb.try_send(2));
+  EXPECT_FALSE(mb.try_send(3));  // full: dropped, not blocked
+  EXPECT_EQ(mb.receive(), 1);
+  EXPECT_TRUE(mb.try_send(4));
+  mb.close();
+  EXPECT_FALSE(mb.try_send(5));  // closed: dropped
+}
+
+TEST(Mailbox, SendForTimesOutAgainstAFullMailbox) {
+  ccm::Mailbox<int> mb(1);
+  ASSERT_TRUE(mb.try_send(1));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(mb.send_for(2, 30ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 25ms);
+}
+
+TEST(Mailbox, SendForSucceedsOnceAConsumerMakesRoom) {
+  ccm::Mailbox<int> mb(1);
+  ASSERT_TRUE(mb.try_send(1));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(20ms);
+    EXPECT_EQ(mb.receive(), 1);
+  });
+  EXPECT_TRUE(mb.send_for(2, 5s));  // unblocks well before the deadline
+  consumer.join();
+  EXPECT_EQ(mb.receive(), 2);
+}
+
+TEST(Mailbox, ReceiveForTimesOutEmptyAndDeliversWhenFed) {
+  ccm::Mailbox<int> mb;
+  EXPECT_EQ(mb.receive_for(20ms), std::nullopt);
+  ASSERT_TRUE(mb.try_send(7));
+  EXPECT_EQ(mb.receive_for(20ms), 7);
+  mb.close();
+  EXPECT_EQ(mb.receive_for(20ms), std::nullopt);  // closed and drained
+}
+
+// ------------------------------------------------------------- framing ----
+
+net::Envelope make_envelope(std::uint64_t seq, std::size_t payload = 0) {
+  net::Envelope env;
+  env.msg = proto::Message::barrier(/*from=*/1, /*home=*/0, /*phase=*/3);
+  env.seq = seq;
+  env.epoch = 42;
+  if (payload > 0) {
+    std::vector<std::byte> bytes(payload);
+    for (std::size_t i = 0; i < payload; ++i) {
+      bytes[i] = static_cast<std::byte>(i & 0xFF);
+    }
+    env.data = net::make_ready_block(std::move(bytes));
+  }
+  return env;
+}
+
+TEST(Frame, HandshakeRoundtripAndRejection) {
+  const auto hs = net::encode_handshake(5);
+  ASSERT_EQ(hs.size(), net::kHandshakeSize);
+  const auto peer = net::decode_handshake(hs);
+  ASSERT_TRUE(peer.has_value());
+  EXPECT_EQ(*peer, 5);
+
+  auto bad_magic = hs;
+  bad_magic[0] = std::byte{0xFF};
+  EXPECT_FALSE(net::decode_handshake(bad_magic).has_value());
+
+  auto bad_version = hs;
+  bad_version[4] = std::byte{0xEE};
+  EXPECT_FALSE(net::decode_handshake(bad_version).has_value());
+}
+
+TEST(Frame, RoundtripWithAndWithoutPayload) {
+  net::FrameReader reader;
+  const auto a = net::encode_frame(make_envelope(9), 1234, true);
+  const auto b = net::encode_frame(make_envelope(10, 96), proto::kNoAge,
+                                   false);
+  ASSERT_TRUE(reader.feed(a));
+  ASSERT_TRUE(reader.feed(b));
+
+  auto fa = reader.next();
+  ASSERT_TRUE(fa.has_value());
+  EXPECT_EQ(fa->env.msg.kind, proto::MsgKind::kBarrier);
+  EXPECT_EQ(fa->env.msg.from, 1);
+  EXPECT_EQ(fa->env.msg.count, 3u);
+  EXPECT_EQ(fa->env.seq, 9u);
+  EXPECT_EQ(fa->env.epoch, 42u);
+  EXPECT_EQ(fa->env.data, nullptr);
+  EXPECT_EQ(fa->sender_age, 1234u);
+  EXPECT_TRUE(fa->sender_full);
+
+  auto fb = reader.next();
+  ASSERT_TRUE(fb.has_value());
+  ASSERT_NE(fb->env.data, nullptr);
+  EXPECT_TRUE(fb->env.data->is_ready());  // wire decodes are always ready
+  ASSERT_EQ(fb->env.data->bytes.size(), 96u);
+  EXPECT_EQ(fb->env.data->bytes[95], std::byte{95});
+  EXPECT_EQ(fb->sender_age, proto::kNoAge);
+  EXPECT_FALSE(fb->sender_full);
+
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.poisoned());
+}
+
+TEST(Frame, ReassemblesAcrossArbitraryReadBoundaries) {
+  std::vector<std::byte> stream;
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    const auto f =
+        net::encode_frame(make_envelope(s, (s % 2) ? 33 : 0), s * 10, false);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  // Every chunk size from pathological (1 byte) past the header size.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}, std::size_t{64},
+                                  std::size_t{1000}}) {
+    net::FrameReader reader;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, stream.size() - off);
+      ASSERT_TRUE(reader.feed({stream.data() + off, n}));
+    }
+    for (std::uint64_t s = 1; s <= 6; ++s) {
+      auto f = reader.next();
+      ASSERT_TRUE(f.has_value()) << "chunk=" << chunk << " frame=" << s;
+      EXPECT_EQ(f->env.seq, s);
+      EXPECT_EQ(f->sender_age, s * 10);
+    }
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_EQ(reader.buffered(), 0u);
+  }
+}
+
+TEST(Frame, TruncatedFrameIsHeldNotDelivered) {
+  const auto f = net::encode_frame(make_envelope(1, 50), 0, false);
+  net::FrameReader reader;
+  ASSERT_TRUE(reader.feed({f.data(), f.size() - 10}));
+  EXPECT_FALSE(reader.next().has_value());  // no partial delivery
+  EXPECT_FALSE(reader.poisoned());          // just incomplete, not malformed
+  EXPECT_GT(reader.buffered(), 0u);
+  ASSERT_TRUE(reader.feed({f.data() + f.size() - 10, 10}));
+  EXPECT_TRUE(reader.next().has_value());
+}
+
+TEST(Frame, CorruptLengthPrefixPoisons) {
+  // Too-short length: below the fixed header size.
+  {
+    auto f = net::encode_frame(make_envelope(1), 0, false);
+    f[0] = std::byte{1};
+    f[1] = f[2] = f[3] = std::byte{0};
+    net::FrameReader reader;
+    EXPECT_FALSE(reader.feed(f));
+    EXPECT_TRUE(reader.poisoned());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_FALSE(reader.feed(f));  // stays poisoned
+  }
+  // Absurd length: past the frame ceiling.
+  {
+    auto f = net::encode_frame(make_envelope(1), 0, false);
+    f[0] = f[1] = f[2] = f[3] = std::byte{0xFF};
+    net::FrameReader reader(/*max_frame_bytes=*/1 << 16);
+    EXPECT_FALSE(reader.feed(f));
+    EXPECT_TRUE(reader.poisoned());
+    EXPECT_FALSE(reader.next().has_value());
+  }
+}
+
+TEST(Frame, PayloadLengthDisagreementPoisons) {
+  auto f = net::encode_frame(make_envelope(1, 16), 0, false);
+  // payload_len lives at the end of the fixed header: after the u32 length
+  // prefix, flags/age/seq/epoch and the proto message.
+  const std::size_t payload_len_off = 4 + net::kFrameFixedSize - 4;
+  f[payload_len_off] ^= std::byte{0x01};
+  net::FrameReader reader;
+  EXPECT_FALSE(reader.feed(f));
+  EXPECT_TRUE(reader.poisoned());
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Frame, GarbageMessageBytesPoisonWithoutDroppingEarlierFrames) {
+  const auto good = net::encode_frame(make_envelope(1), 0, false);
+  auto bad = net::encode_frame(make_envelope(2), 0, false);
+  for (std::size_t i = 4 + 25; i < 4 + 25 + proto::kWireSize; ++i) {
+    bad[i] = std::byte{0xFF};  // trash the proto message bytes
+  }
+  std::vector<std::byte> stream(good.begin(), good.end());
+  stream.insert(stream.end(), bad.begin(), bad.end());
+  net::FrameReader reader;
+  EXPECT_FALSE(reader.feed(stream));
+  // The valid frame ahead of the corruption still comes out; nothing after.
+  auto f = reader.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->env.seq, 1u);
+  EXPECT_TRUE(reader.poisoned());
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+// ---------------------------------------------------------- transports ----
+
+/// Serves `transport`'s inbound queue, answering kBarrier with a granted
+/// barrier_reply (echoing seq), until the transport closes.
+void echo_server(net::Transport& transport, cache::NodeId node) {
+  while (auto env = transport.receive(node)) {
+    net::Envelope out;
+    out.msg = proto::Message::barrier_reply(node, env->msg.from,
+                                            env->msg.count, true);
+    out.seq = env->seq;
+    out.data = env->data;  // bounce any payload back
+    transport.post(std::move(out));
+  }
+}
+
+TEST(InProcTransport, CallRoundtripAndStats) {
+  net::InProcTransport t(2);
+  std::thread server([&] { echo_server(t, 1); });
+  net::Envelope req;
+  req.msg = proto::Message::barrier(0, 1, 7);
+  const net::Envelope reply = t.call(std::move(req));
+  EXPECT_EQ(reply.msg.kind, proto::MsgKind::kBarrierReply);
+  EXPECT_EQ(reply.msg.count, 7u);
+  EXPECT_EQ(t.stats().rpcs, 1u);
+  t.close();
+  server.join();
+}
+
+TEST(TcpTransport, PairConnectCallAndPayloadRoundtrip) {
+  net::TcpConfig c0;
+  c0.local_node = 0;
+  c0.nodes = 2;
+  net::TcpConfig c1 = c0;
+  c1.local_node = 1;
+  net::TcpTransport t0(c0), t1(c1);
+  const std::vector<net::TcpPeer> peers = {{"127.0.0.1", t0.listen_port()},
+                                           {"127.0.0.1", t1.listen_port()}};
+  std::thread mesh0([&] { t0.connect_peers(peers); });
+  t1.connect_peers(peers);
+  mesh0.join();
+  EXPECT_EQ(t0.connected_peers(), 1u);
+
+  std::thread server([&] { echo_server(t1, 1); });
+  net::Envelope req;
+  req.msg = proto::Message::barrier(0, 1, 9);
+  req.data = net::make_ready_block(
+      std::vector<std::byte>(500, std::byte{0xAB}));
+  const net::Envelope reply = t0.call(std::move(req));
+  EXPECT_EQ(reply.msg.kind, proto::MsgKind::kBarrierReply);
+  ASSERT_NE(reply.data, nullptr);
+  EXPECT_EQ(reply.data->bytes.size(), 500u);
+  EXPECT_EQ(reply.data->bytes[499], std::byte{0xAB});
+  EXPECT_GE(t0.stats().bytes_sent, 500u);
+  EXPECT_GE(t1.stats().bytes_received, 500u);
+
+  t0.close();
+  t1.close();
+  server.join();
+}
+
+// Regression: an envelope whose payload latch is still closed must not stall
+// the connection. The old writer waited wait_ready() inline, so traffic
+// queued behind an unready block — including the very storage RPC that
+// would fill it — deadlocked the connection.
+TEST(TcpTransport, UnreadyPayloadDefersWithoutBlockingLaterTraffic) {
+  net::TcpConfig c0;
+  c0.local_node = 0;
+  c0.nodes = 2;
+  net::TcpConfig c1 = c0;
+  c1.local_node = 1;
+  net::TcpTransport t0(c0), t1(c1);
+  const std::vector<net::TcpPeer> peers = {{"127.0.0.1", t0.listen_port()},
+                                           {"127.0.0.1", t1.listen_port()}};
+  std::thread mesh0([&] { t0.connect_peers(peers); });
+  t1.connect_peers(peers);
+  mesh0.join();
+  std::thread server([&] { echo_server(t1, 1); });
+
+  // Queue a one-way envelope whose payload is NOT ready yet...
+  auto slow = std::make_shared<net::BlockData>();
+  net::Envelope oneway;
+  oneway.msg = proto::Message::barrier(0, 1, 1);
+  oneway.data = slow;
+  ASSERT_TRUE(t0.post(std::move(oneway)));
+
+  // ...then an RPC behind it. It must complete while `slow` is still shut.
+  net::Envelope req;
+  req.msg = proto::Message::barrier(0, 1, 2);
+  const net::Envelope reply = t0.call(std::move(req));
+  EXPECT_EQ(reply.msg.count, 2u);
+  EXPECT_FALSE(slow->is_ready());
+
+  // Open the latch; the deferred envelope ships and echoes back.
+  {
+    std::scoped_lock lock(slow->m);
+    slow->bytes.assign(64, std::byte{0x5C});
+    slow->ready = true;
+  }
+  slow->cv.notify_all();
+  net::Envelope req2;
+  req2.msg = proto::Message::barrier(0, 1, 3);
+  (void)t0.call(std::move(req2));  // any later RPC proves the writer lives
+
+  t0.close();
+  t1.close();
+  server.join();
+}
+
+// ------------------------------------ cluster equality across runtimes ----
+
+std::vector<std::byte> fill_pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((seed + i * 7) & 0xFF);
+  }
+  return out;
+}
+
+constexpr std::size_t kEqNodes = 3;
+constexpr std::size_t kEqFiles = 12;
+constexpr std::uint32_t kEqBlockBytes = 1024;
+constexpr std::uint32_t kEqFileBlocks = 2;
+constexpr std::uint32_t kEqFileBytes = kEqBlockBytes * kEqFileBlocks;
+constexpr int kEqIters = 120;
+
+ccm::CcmConfig equality_config() {
+  ccm::CcmConfig cfg;
+  cfg.nodes = kEqNodes;
+  cfg.block_bytes = kEqBlockBytes;
+  cfg.capacity_bytes = 8 * kEqBlockBytes;
+  cfg.workers_per_node = 2;
+  return cfg;
+}
+
+/// Driver `d` pinned to node `d`: mixed ops whose write targets are
+/// partitioned per driver, so final storage bytes depend only on the RNG
+/// streams (same determinism argument as bench/ccm_workload.hpp).
+void equality_driver(ccm::CcmCluster& cluster, std::size_t d) {
+  sim::Rng rng(7000 + d);
+  const auto via = static_cast<cache::NodeId>(d);
+  for (int i = 0; i < kEqIters; ++i) {
+    const auto f = static_cast<cache::FileId>(rng.uniform_int(kEqFiles));
+    const auto roll = rng.uniform_int(100);
+    if (roll < 30) {
+      constexpr std::size_t kPerDriver = kEqFiles / kEqNodes;
+      const auto wf =
+          static_cast<cache::FileId>((f % kPerDriver) * kEqNodes + d);
+      const std::uint64_t off =
+          rng.uniform_int(kEqFileBlocks) * kEqBlockBytes;
+      cluster.write(via, wf, off,
+                    fill_pattern(kEqBlockBytes,
+                                 static_cast<std::uint8_t>(f + i)));
+    } else if (roll < 34) {
+      cluster.invalidate(f);
+    } else {
+      cluster.read(via, f);
+    }
+  }
+}
+
+std::vector<std::byte> storage_bytes(const ccm::Storage& storage) {
+  std::vector<std::byte> all;
+  for (std::size_t f = 0; f < storage.file_count(); ++f) {
+    const auto file = static_cast<cache::FileId>(f);
+    std::vector<std::byte> buf(storage.file_size(file));
+    storage.read(file, 0, buf);
+    all.insert(all.end(), buf.begin(), buf.end());
+  }
+  return all;
+}
+
+void seed_all(ccm::CcmCluster& cluster) {
+  for (std::size_t f = 0; f < kEqFiles; ++f) {
+    cluster.write(0, static_cast<cache::FileId>(f), 0,
+                  fill_pattern(kEqFileBytes, static_cast<std::uint8_t>(f)));
+  }
+}
+
+TEST(ClusterOverTcp, StorageBytesMatchInProcessRun) {
+  // Reference: the whole cluster in-process on the InProcTransport.
+  std::vector<std::byte> expected;
+  {
+    auto storage = std::make_shared<ccm::BufferStorage>(
+        std::vector<std::uint32_t>(kEqFiles, kEqFileBytes));
+    ccm::CcmCluster cluster(equality_config(), storage);
+    seed_all(cluster);
+    std::vector<std::thread> drivers;
+    for (std::size_t d = 0; d < kEqNodes; ++d) {
+      drivers.emplace_back([&, d] { equality_driver(cluster, d); });
+    }
+    for (auto& t : drivers) t.join();
+    expected = storage_bytes(*storage);
+  }
+
+  // Same workload on three TCP transports, one hosted node each (the
+  // loopback-cluster topology, minus the process boundaries).
+  std::vector<std::unique_ptr<net::TcpTransport>> transports;
+  std::vector<net::TcpPeer> peers;
+  for (std::size_t n = 0; n < kEqNodes; ++n) {
+    net::TcpConfig tc;
+    tc.local_node = static_cast<cache::NodeId>(n);
+    tc.nodes = kEqNodes;
+    transports.push_back(std::make_unique<net::TcpTransport>(tc));
+    peers.push_back({"127.0.0.1", transports.back()->listen_port()});
+  }
+  {
+    std::vector<std::thread> mesh;
+    for (auto& t : transports) {
+      mesh.emplace_back([&peers, &t] { t->connect_peers(peers); });
+    }
+    for (auto& t : mesh) t.join();
+  }
+
+  auto home_storage = std::make_shared<ccm::BufferStorage>(
+      std::vector<std::uint32_t>(kEqFiles, kEqFileBytes));
+  std::vector<std::unique_ptr<ccm::CcmCluster>> clusters(kEqNodes);
+  for (std::size_t n = 0; n < kEqNodes; ++n) {
+    const auto node = static_cast<cache::NodeId>(n);
+    std::shared_ptr<net::Transport> transport(transports[n].get(),
+                                              [](net::Transport*) {});
+    ccm::CcmHosting hosting;
+    hosting.transport = transport;
+    hosting.local_nodes = {node};
+    hosting.home = 0;
+    std::shared_ptr<ccm::Storage> storage;
+    if (n == 0) {
+      storage = home_storage;
+    } else {
+      storage = std::make_shared<ccm::RemoteStorage>(
+          transport, node, 0,
+          std::vector<std::uint32_t>(kEqFiles, kEqFileBytes));
+      hosting.directory =
+          std::make_shared<ccm::RemoteDirectory>(transport, node, 0);
+    }
+    clusters[n] = std::make_unique<ccm::CcmCluster>(equality_config(),
+                                                    storage, hosting);
+  }
+
+  seed_all(*clusters[0]);
+  std::vector<std::thread> drivers;
+  for (std::size_t d = 0; d < kEqNodes; ++d) {
+    drivers.emplace_back([&, d] {
+      const auto node = static_cast<cache::NodeId>(d);
+      clusters[d]->barrier(node, 0);
+      equality_driver(*clusters[d], d);
+      clusters[d]->barrier(node, 1);
+    });
+  }
+  for (auto& t : drivers) t.join();
+
+  // Peers down first (their shutdown RPCs need home alive), then home.
+  clusters[2].reset();
+  clusters[1].reset();
+  clusters[0].reset();
+
+  EXPECT_EQ(storage_bytes(*home_storage), expected);
+}
+
+}  // namespace
+}  // namespace coop
