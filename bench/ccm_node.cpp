@@ -24,7 +24,12 @@
 //   --deterministic-writes   as in ccm_stress
 //   --dump-storage=PATH  home only: final storage bytes -> PATH
 //   --connect-timeout-ms=N   peer dial/mesh deadline          (default 20000)
+//   --lockcheck          arm the lock-order watchdog; violations abort and a
+//                        final whole-graph audit gates the exit code
+//   --lockcheck-report=PATH  also append watchdog violations to PATH
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -37,8 +42,10 @@
 #include "ccm/storage.hpp"
 #include "ccm_workload.hpp"
 #include "net/tcp_transport.hpp"
+#include "util/audit.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
+#include "util/lockcheck.hpp"
 
 using namespace coop;
 
@@ -97,6 +104,26 @@ int main(int argc, char** argv) {
   wl.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   wl.deterministic_writes = flags.get_bool("deterministic-writes", false);
   wl.validate();
+
+  const bool lockcheck_on = flags.get_bool("lockcheck", false);
+  const std::string lockcheck_report = flags.get("lockcheck-report");
+  if (lockcheck_on) {
+    // Armed before the transport exists so socket-layer locks are watched
+    // too. Per process: each ccm_node only sees its own slice of the lock
+    // graph, but the cross-process wait-for chains all end at the home
+    // process by design (see cluster.hpp, "Concurrency model").
+    util::lockcheck::set_enabled(true);
+    audit::set_handler([local, lockcheck_report](const audit::Violation& v) {
+      if (!lockcheck_report.empty()) {
+        std::ofstream out(lockcheck_report, std::ios::app);
+        out << "node " << local << ": " << v.invariant << "\n"
+            << v.detail << "\n";
+      }
+      std::cerr << "ccm_node " << local << ": " << v.invariant
+                << " violated\n" << v.detail << "\n";
+      std::abort();
+    });
+  }
 
   const cache::NodeId home = 0;
   const bool is_home = local == home;
@@ -202,6 +229,14 @@ int main(int argc, char** argv) {
       std::cerr << "ccm_node: home shard consistency BROKEN\n";
       rc = 1;
     }
+  }
+  if (lockcheck_on) {
+    const std::size_t lock_cycles =
+        util::lockcheck::audit("ccm_node-final");
+    std::cout << "  lockcheck: " << util::lockcheck::cycles_detected()
+              << " cycle(s) detected; final graph "
+              << (lock_cycles == 0 ? "acyclic" : "CYCLIC") << "\n";
+    if (lock_cycles != 0) rc = 1;
   }
   return rc;
 }

@@ -24,7 +24,13 @@
 //                           files % drivers == 0)
 //   --dump-storage=PATH  write final storage bytes to PATH (file-id order)
 //   --json[=PATH]        emit a JSON report (stdout or PATH)
+//   --lockcheck          arm the lock-order watchdog for the whole run; any
+//                        acquisition-order cycle is reported and aborts, and
+//                        a final whole-graph audit gates the exit code
+//   --lockcheck-report=PATH  also append watchdog violations to PATH (a CI
+//                            artifact) before aborting
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -34,14 +40,34 @@
 #include "ccm/cluster.hpp"
 #include "ccm/storage.hpp"
 #include "ccm_workload.hpp"
+#include "util/audit.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/json.hpp"
+#include "util/lockcheck.hpp"
 
 using namespace coop;
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+  const bool lockcheck_on = flags.get_bool("lockcheck", false);
+  const std::string lockcheck_report = flags.get("lockcheck-report");
+  if (lockcheck_on) {
+    // Arm the watchdog before any runtime lock exists so every acquisition
+    // lands in the order graph; a violation is written out (report file
+    // first, for the CI artifact) and then aborts the run — a stress bench
+    // must not keep hammering a runtime whose lock discipline just broke.
+    util::lockcheck::set_enabled(true);
+    audit::set_handler([lockcheck_report](const audit::Violation& v) {
+      if (!lockcheck_report.empty()) {
+        std::ofstream out(lockcheck_report, std::ios::app);
+        out << v.invariant << "\n" << v.detail << "\n";
+      }
+      std::cerr << "ccm_stress: " << v.invariant << " violated\n"
+                << v.detail << "\n";
+      std::abort();
+    });
+  }
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 4));
   const auto blocks_per_node =
       static_cast<std::uint64_t>(flags.get_int("blocks-per-node", 64));
@@ -217,6 +243,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "  storage dump -> " << path << "\n";
+  }
+
+  if (lockcheck_on) {
+    // Quiescent whole-graph sweep: catches any inversion recorded by edges
+    // that never happened to close at acquire time on this schedule.
+    const std::size_t lock_cycles = util::lockcheck::audit("ccm_stress-final");
+    std::cout << "  lockcheck: " << util::lockcheck::cycles_detected()
+              << " cycle(s) detected; final graph "
+              << (lock_cycles == 0 ? "acyclic" : "CYCLIC") << "\n";
+    if (lock_cycles != 0) return 1;
   }
 
   return consistent ? 0 : 1;

@@ -6,6 +6,10 @@
 # bytes must not care.
 #
 # Usage: run_loopback_cluster.sh [build-dir] [nodes] [iters] [port-base]
+#
+# LOCKCHECK=1 arms the lock-order watchdog in every process (--lockcheck);
+# LOCKCHECK_REPORT_DIR names a directory that collects per-process violation
+# dumps (the CI failure artifact).
 set -euo pipefail
 
 BUILD="${1:-build}"
@@ -23,18 +27,30 @@ trap cleanup EXIT
 
 COMMON=(--nodes="$NODES" --drivers="$NODES" --files="$FILES" \
         --iters="$ITERS" --deterministic-writes)
+if [[ "${LOCKCHECK:-0}" == "1" ]]; then
+  COMMON+=(--lockcheck)
+  REPORT_DIR="${LOCKCHECK_REPORT_DIR:-$WORK}"
+  mkdir -p "$REPORT_DIR"
+  echo "== lock-order watchdog armed (reports -> $REPORT_DIR) =="
+fi
+lockcheck_report() {  # lockcheck_report <name> -> per-process report flag
+  if [[ "${LOCKCHECK:-0}" == "1" ]]; then
+    echo "--lockcheck-report=$REPORT_DIR/lockcheck-$1.txt"
+  fi
+}
 
 echo "== in-process reference (ccm_stress) =="
-"$BUILD/bench/ccm_stress" "${COMMON[@]}" --dump-storage="$WORK/inproc.bin"
+"$BUILD/bench/ccm_stress" "${COMMON[@]}" $(lockcheck_report stress) \
+    --dump-storage="$WORK/inproc.bin"
 
 echo "== $NODES-process loopback cluster (ccm_node) =="
 for ((i = 1; i < NODES; i++)); do
   "$BUILD/bench/ccm_node" --node="$i" --port-base="$PORT_BASE" \
-      "${COMMON[@]}" >"$WORK/node$i.log" 2>&1 &
+      "${COMMON[@]}" $(lockcheck_report "node$i") >"$WORK/node$i.log" 2>&1 &
   pids+=($!)
 done
 "$BUILD/bench/ccm_node" --node=0 --port-base="$PORT_BASE" "${COMMON[@]}" \
-    --dump-storage="$WORK/multiproc.bin"
+    $(lockcheck_report node0) --dump-storage="$WORK/multiproc.bin"
 rc=0
 for pid in "${pids[@]}"; do
   wait "$pid" || rc=$?

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "util/audit.hpp"
+#include "util/mutex.hpp"
 
 namespace coop::ccm {
 
@@ -73,7 +75,8 @@ CcmCluster::CcmCluster(const CcmConfig& config,
   mailboxes_.resize(config_.nodes);
   for (const cache::NodeId n : local_nodes_) {
     shards_[n] = std::make_unique<Shard>(n, cc);
-    mailboxes_[n] = std::make_unique<Mailbox<Task>>();
+    mailboxes_[n] = std::make_unique<Mailbox<Task>>(
+        1024, "ccm.tasks[" + std::to_string(n) + "]");
   }
   for (const cache::NodeId n : local_nodes_) {
     protocol_threads_.emplace_back([this, n] { protocol_loop(n); });
@@ -227,13 +230,13 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
 
   switch (msg.kind) {
     case proto::MsgKind::kPeerFetch: {
-      std::unique_lock lock(sh.mu);
+      util::UniqueLock lock(sh.mu);
       if (sh.state.is_master(msg.block)) {
         sh.state.touch(msg.block, tick());
         sh.state.publish();
         const auto it = sh.store.find(msg.block);
         assert(it != sh.store.end());
-        CCM_AUDIT_HOOK(audit_shard_locked(self, "peer_fetch"));
+        CCM_AUDIT_HOOK(audit_shard_locked(sh, self, "peer_fetch"));
         return {proto::Message::peer_fetch_reply(self, msg.from, msg.block,
                                                  /*hit=*/true,
                                                  config_.block_bytes),
@@ -246,7 +249,7 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
     }
 
     case proto::MsgKind::kMasterForward: {
-      std::unique_lock lock(sh.mu);
+      util::UniqueLock lock(sh.mu);
       const proto::PendingForward pf{msg.block, msg.age, msg.count};
       std::vector<cache::Drop> drops;
       const auto outcome = sh.state.handle_forward(pf, drops);
@@ -274,26 +277,26 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
         if (d.was_master) dir_->master_dropped(d.block, self);
       }
       sh.state.publish();
-      CCM_AUDIT_HOOK(audit_shard_locked(self, "master_forward"));
+      CCM_AUDIT_HOOK(audit_shard_locked(sh, self, "master_forward"));
       return {proto::Message::forward_ack(self, msg.from, msg.block, accepted,
                                           promoted),
               nullptr};
     }
 
     case proto::MsgKind::kInvalidateBlock: {
-      std::unique_lock lock(sh.mu);
+      util::UniqueLock lock(sh.mu);
       if (const auto drop = sh.state.handle_invalidate(
               msg.block, msg.has(proto::kFlagDropMaster))) {
         sh.store.erase(drop->block);
         if (drop->was_master) dir_->master_dropped(drop->block, self);
       }
       sh.state.publish();
-      CCM_AUDIT_HOOK(audit_shard_locked(self, "invalidate_block"));
+      CCM_AUDIT_HOOK(audit_shard_locked(sh, self, "invalidate_block"));
       return {proto::Message::invalidate_ack(self, msg.from), nullptr};
     }
 
     case proto::MsgKind::kInvalidateFile: {
-      std::unique_lock lock(sh.mu);
+      util::UniqueLock lock(sh.mu);
       for (std::uint32_t b = 0; b < msg.count; ++b) {
         const cache::BlockId block{msg.block.file, b};
         if (const auto drop =
@@ -303,19 +306,19 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
         }
       }
       sh.state.publish();
-      CCM_AUDIT_HOOK(audit_shard_locked(self, "invalidate_file"));
+      CCM_AUDIT_HOOK(audit_shard_locked(sh, self, "invalidate_file"));
       return {proto::Message::invalidate_ack(self, msg.from), nullptr};
     }
 
     case proto::MsgKind::kWriteOwnership: {
-      std::unique_lock lock(sh.mu);
+      util::UniqueLock lock(sh.mu);
       if (sh.state.relinquish_master(msg.block)) {
         const auto it = sh.store.find(msg.block);
         assert(it != sh.store.end());
         BlockPtr data = std::move(it->second);
         sh.store.erase(it);
         sh.state.publish();
-        CCM_AUDIT_HOOK(audit_shard_locked(self, "write_ownership"));
+        CCM_AUDIT_HOOK(audit_shard_locked(sh, self, "write_ownership"));
         return {proto::Message::write_ownership_reply(
                     self, msg.from, msg.block, /*transferred=*/true,
                     config_.block_bytes),
@@ -369,7 +372,7 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
 
     case proto::MsgKind::kBarrier: {
       assert(self == home_);
-      std::scoped_lock lock(barrier_mu_);
+      util::ScopedLock lock(barrier_mu_);
       auto& arrived = barrier_arrivals_[msg.count];
       arrived.insert(msg.from);
       const bool granted = arrived.size() >= config_.nodes;
@@ -471,7 +474,7 @@ CcmCluster::Reply CcmCluster::handle_directory(cache::NodeId self,
 
 // --------------------------------------------------------- replacement ----
 
-void CcmCluster::make_room_locked(std::unique_lock<CountingMutex>& lock,
+void CcmCluster::make_room_locked(util::UniqueLock<util::CountingMutex>& lock,
                                   cache::NodeId node, std::uint32_t slots) {
   Shard& sh = *shards_[node];
   assert(lock.owns_lock());
@@ -541,13 +544,13 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
     // Hot path: a block resident at this node costs one shard lock — no
     // directory access, no cross-node traffic.
     {
-      std::unique_lock lock(sh.mu);
+      util::UniqueLock lock(sh.mu);
       if (const auto it = sh.store.find(block); it != sh.store.end()) {
         sh.state.touch(block, tick());
         ++sh.state.stats().local_hits;
         sh.local_reads.fetch_add(1, std::memory_order_relaxed);
         sh.state.publish();
-        CCM_AUDIT_HOOK(audit_shard_locked(node, "local_hit"));
+        CCM_AUDIT_HOOK(audit_shard_locked(sh, node, "local_hit"));
         return it->second;
       }
     }
@@ -570,7 +573,7 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
       if (!reply.msg.has(proto::kFlagHit) || !reply.data) {
         continue;  // the master moved while the fetch was in flight
       }
-      std::unique_lock lock(sh.mu);
+      util::UniqueLock lock(sh.mu);
       if (const auto it = sh.store.find(block); it != sh.store.end()) {
         // A sibling worker cached the block while we fetched.
         sh.state.touch(block, tick());
@@ -601,13 +604,13 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
       sh.state.insert_copy(block, tick());
       sh.store[block] = reply.data;
       sh.state.publish();
-      CCM_AUDIT_HOOK(audit_shard_locked(node, "remote_hit"));
+      CCM_AUDIT_HOOK(audit_shard_locked(sh, node, "remote_hit"));
       return reply.data;
     }
 
     // Miss everywhere: claim mastership and fault the block in from storage.
     {
-      std::unique_lock lock(sh.mu);
+      util::UniqueLock lock(sh.mu);
       if (const auto it = sh.store.find(block); it != sh.store.end()) {
         sh.state.touch(block, tick());
         ++sh.state.stats().local_hits;
@@ -629,7 +632,7 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
         sh.store.emplace(block, data);
         to_read.emplace_back(block, data);
         sh.state.publish();
-        CCM_AUDIT_HOOK(audit_shard_locked(node, "disk_read"));
+        CCM_AUDIT_HOOK(audit_shard_locked(sh, node, "disk_read"));
         return data;
       }
       sh.state.publish();
@@ -639,7 +642,7 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
 
   // Liveness fallback after pathological churn: serve the read uncached.
   {
-    std::scoped_lock lock(sh.mu);
+    util::ScopedLock lock(sh.mu);
     ++sh.state.stats().disk_reads;
   }
   auto data = std::make_shared<BlockData>();
@@ -775,7 +778,7 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
 
     // 4. Install the block as a local master and swap in a fresh buffer.
     {
-      std::unique_lock lock(sh.mu);
+      util::UniqueLock lock(sh.mu);
       ++sh.state.stats().writes;
       if (migrated_in) ++sh.state.stats().ownership_migrations;
       bool install = dir_->lookup(block) == node;
@@ -799,7 +802,7 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
         pending.push_back(std::move(pw));
       }
       sh.state.publish();
-      CCM_AUDIT_HOOK(audit_shard_locked(node, "execute_write"));
+      CCM_AUDIT_HOOK(audit_shard_locked(sh, node, "execute_write"));
     }
   }
 
@@ -878,7 +881,7 @@ CcmStats CcmCluster::stats() const {
   for (std::size_t n = 0; n < config_.nodes; ++n) {
     if (!shards_[n]) continue;  // hosted by another process
     const Shard& sh = *shards_[n];
-    std::scoped_lock lock(sh.mu);
+    util::ScopedLock lock(sh.mu);
     const cache::CacheStats& slice = sh.state.stats();
     s.local_hits += slice.local_hits;
     s.remote_hits += slice.remote_hits;
@@ -893,6 +896,13 @@ CcmStats CcmCluster::stats() const {
     auto& out = s.shards[n];
     out.lock_acquired = sh.mu.acquired();
     out.lock_contended = sh.mu.contended();
+    // Each lock counter is individually monotone non-decreasing between
+    // reset_counts() calls (relaxed atomics tolerate transient cross-counter
+    // skew, never a decrease); serialized here by sh.mu.
+    assert(out.lock_acquired >= sh.lock_acquired_floor);
+    assert(out.lock_contended >= sh.lock_contended_floor);
+    sh.lock_acquired_floor = out.lock_acquired;
+    sh.lock_contended_floor = out.lock_contended;
     out.local_reads = sh.local_reads.load(std::memory_order_relaxed);
     out.messages_sent = sh.messages_sent.load(std::memory_order_relaxed);
     out.messages_handled = sh.messages_handled.load(std::memory_order_relaxed);
@@ -907,9 +917,11 @@ void CcmCluster::reset_stats() {
   for (std::size_t n = 0; n < config_.nodes; ++n) {
     if (!shards_[n]) continue;
     Shard& sh = *shards_[n];
-    std::scoped_lock lock(sh.mu);
+    util::ScopedLock lock(sh.mu);
     sh.state.stats() = cache::CacheStats{};
     sh.mu.reset_counts();
+    sh.lock_acquired_floor = 0;
+    sh.lock_contended_floor = 0;
     sh.local_reads.store(0, std::memory_order_relaxed);
     sh.messages_sent.store(0, std::memory_order_relaxed);
     sh.messages_handled.store(0, std::memory_order_relaxed);
@@ -919,7 +931,7 @@ void CcmCluster::reset_stats() {
 
 std::uint64_t CcmCluster::cached_bytes(cache::NodeId node) const {
   const Shard& sh = shard_at(node);
-  std::scoped_lock lock(sh.mu);
+  util::ScopedLock lock(sh.mu);
   return sh.state.cache().used_blocks() * config_.block_bytes;
 }
 
@@ -931,11 +943,11 @@ std::pair<std::uint64_t, bool> CcmCluster::published_summary(
 
 // --------------------------------------------------------------- audit ----
 
-std::size_t CcmCluster::audit_shard_locked(cache::NodeId node,
+std::size_t CcmCluster::audit_shard_locked(const Shard& sh,
+                                           cache::NodeId node,
                                            const char* context) const {
   std::size_t ccm_audit_failures = 0;
   const std::string ctx = std::string(" [") + context + "]";
-  const Shard& sh = *shards_[node];
   const cache::NodeCache& cache = sh.state.cache();
   CCM_AUDIT(cache.used_blocks() == sh.store.size(), "ccm-store-policy-size",
             "node " + std::to_string(node) + " policy books " +
@@ -975,7 +987,7 @@ std::size_t CcmCluster::audit_all_locked(const char* context) const {
   std::size_t ccm_audit_failures = 0;
   const std::string ctx = std::string(" [") + context + "]";
   for (const cache::NodeId n : local_nodes_) {
-    ccm_audit_failures += audit_shard_locked(n, context);
+    ccm_audit_failures += audit_shard_locked(*shards_[n], n, context);
     // Cross-shard: every cached master must be registered in the directory,
     // pointing here; in hinted mode the hint layer's authoritative view must
     // agree with the directory.
@@ -1017,8 +1029,10 @@ std::size_t CcmCluster::audit_all_locked(const char* context) const {
 }
 
 std::size_t CcmCluster::audit(const char* context) const {
-  // Take every hosted shard lock (index order) for a consistent view.
-  std::vector<std::unique_lock<CountingMutex>> locks;
+  // Take every hosted shard lock (index order) for a consistent view. The
+  // index order makes the lockcheck graph's shard[i] -> shard[j] (i < j)
+  // chain edges, which stay acyclic against every runtime acquisition.
+  std::vector<std::unique_lock<util::CountingMutex>> locks;
   locks.reserve(local_nodes_.size());
   for (const cache::NodeId n : local_nodes_) {
     locks.emplace_back(shards_[n]->mu);

@@ -47,19 +47,19 @@ BufferStorage::BufferStorage(const std::vector<std::uint32_t>& file_sizes) {
 }
 
 std::size_t BufferStorage::file_count() const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   return files_.size();
 }
 
 std::uint64_t BufferStorage::file_size(cache::FileId file) const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   assert(file < files_.size());
   return files_[file].size();
 }
 
 void BufferStorage::read(cache::FileId file, std::uint64_t offset,
                          std::span<std::byte> out) const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   assert(file < files_.size());
   assert(offset + out.size() <= files_[file].size());
   std::copy_n(files_[file].begin() + static_cast<std::ptrdiff_t>(offset),
@@ -68,7 +68,7 @@ void BufferStorage::read(cache::FileId file, std::uint64_t offset,
 
 void BufferStorage::write(cache::FileId file, std::uint64_t offset,
                           std::span<const std::byte> data) {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   assert(file < files_.size());
   assert(offset + data.size() <= files_[file].size());
   std::copy(data.begin(), data.end(),

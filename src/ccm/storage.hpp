@@ -8,12 +8,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "cache/types.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace coop::ccm {
 
@@ -57,8 +58,8 @@ class BufferStorage final : public WritableStorage {
              std::span<const std::byte> data) override;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::vector<std::byte>> files_;
+  mutable util::Mutex mu_{"ccm.storage.buffer"};
+  std::vector<std::vector<std::byte>> files_ GUARDED_BY(mu_);
 };
 
 /// Synthetic in-memory storage with deterministic per-byte content, so tests

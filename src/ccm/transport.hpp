@@ -1,28 +1,39 @@
 // Intra-process message transport: a bounded MPMC mailbox used to hand work
 // to node worker threads. In a distributed deployment this is the seam where
 // a socket-based transport would plug in.
+//
+// The queue state is guarded by an annotated util::Mutex (thread-safety
+// analysis + lock-order watchdog); waits go through condition_variable_any
+// on the annotated UniqueLock, written as explicit while-loops because the
+// analysis cannot see through predicate lambdas. The mailbox lock is a leaf:
+// no callout ever happens while it is held.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
+#include <string>
+#include <utility>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace coop::ccm {
 
 template <typename T>
 class Mailbox {
  public:
-  explicit Mailbox(std::size_t capacity = 1024) : capacity_(capacity) {}
+  explicit Mailbox(std::size_t capacity = 1024,
+                   std::string lock_name = "ccm.mailbox")
+      : mu_(std::move(lock_name)), capacity_(capacity) {}
 
   /// Blocks while the mailbox is full. Returns false if the mailbox was
   /// closed (the message is dropped).
   bool send(T message) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || queue_.size() < capacity_; });
+    util::UniqueLock lock(mu_);
+    while (!closed_ && queue_.size() >= capacity_) not_full_.wait(lock);
     if (closed_) return false;
     queue_.push_back(std::move(message));
     not_empty_.notify_one();
@@ -32,8 +43,8 @@ class Mailbox {
   /// Blocks until a message arrives or the mailbox is closed *and drained*;
   /// returns nullopt only in the latter case.
   std::optional<T> receive() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    util::UniqueLock lock(mu_);
+    while (!closed_ && queue_.empty()) not_empty_.wait(lock);
     if (queue_.empty()) return std::nullopt;  // closed and drained
     T msg = std::move(queue_.front());
     queue_.pop_front();
@@ -45,7 +56,7 @@ class Mailbox {
   /// message is dropped). Lets callers implement their own overflow policy
   /// instead of blocking forever on a full, never-drained mailbox.
   bool try_send(T message) {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     if (closed_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(message));
     not_empty_.notify_one();
@@ -59,11 +70,13 @@ class Mailbox {
   /// than wedging the sender forever.
   template <typename Rep, typename Period>
   bool send_for(T message, std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mu_);
-    if (!not_full_.wait_for(lock, timeout, [this] {
-          return closed_ || queue_.size() < capacity_;
-        })) {
-      return false;  // still full at the deadline
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    util::UniqueLock lock(mu_);
+    while (!closed_ && queue_.size() >= capacity_) {
+      if (not_full_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          (closed_ || queue_.size() >= capacity_)) {
+        return false;  // still full at the deadline
+      }
     }
     if (closed_) return false;
     queue_.push_back(std::move(message));
@@ -77,10 +90,15 @@ class Mailbox {
   /// deferred not-yet-ready payloads.
   template <typename Rep, typename Period>
   std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mu_);
-    not_empty_.wait_for(lock, timeout,
-                        [this] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) return std::nullopt;  // timed out, or closed+drained
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    util::UniqueLock lock(mu_);
+    while (!closed_ && queue_.empty()) {
+      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          queue_.empty()) {
+        return std::nullopt;  // timed out
+      }
+    }
+    if (queue_.empty()) return std::nullopt;  // closed and drained
     T msg = std::move(queue_.front());
     queue_.pop_front();
     not_full_.notify_one();
@@ -89,7 +107,7 @@ class Mailbox {
 
   /// Non-blocking receive; nullopt if empty (whether or not closed).
   std::optional<T> try_receive() {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     if (queue_.empty()) return std::nullopt;
     T msg = std::move(queue_.front());
     queue_.pop_front();
@@ -99,29 +117,29 @@ class Mailbox {
 
   /// Closes the mailbox: senders fail fast; receivers drain then get nullopt.
   void close() {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     return queue_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> queue_;
+  mutable util::Mutex mu_;
+  std::condition_variable_any not_empty_;
+  std::condition_variable_any not_full_;
+  std::deque<T> queue_ GUARDED_BY(mu_);
   std::size_t capacity_;
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace coop::ccm

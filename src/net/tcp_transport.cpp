@@ -52,7 +52,7 @@ bool write_all(int fd, const std::byte* buf, std::size_t len) {
 
 TcpTransport::TcpTransport(const TcpConfig& config)
     : config_(config),
-      inbound_(config.outbox_capacity),
+      inbound_(config.outbox_capacity, "net.tcp.inbound"),
       peer_age_(config.nodes),
       peer_full_(config.nodes) {
   if (config_.nodes == 0 || config_.local_node >= config_.nodes) {
@@ -104,14 +104,13 @@ std::optional<cache::NodeId> TcpTransport::handshake(int fd) {
 void TcpTransport::adopt_connection(int fd, cache::NodeId peer) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   if (closed_ || conns_[peer] != nullptr) {
     ::close(fd);  // duplicate or late connection
     return;
   }
-  auto conn = std::make_unique<Connection>(config_.outbox_capacity);
+  auto conn = std::make_unique<Connection>(config_.outbox_capacity, peer);
   conn->fd = fd;
-  conn->peer = peer;
   conn->alive.store(true, std::memory_order_release);
   Connection* raw = conn.get();
   conns_[peer] = std::move(conn);
@@ -201,7 +200,7 @@ void TcpTransport::reader_loop(Connection& conn) {
       return;
     }
     {
-      std::scoped_lock lock(mu_);
+      util::ScopedLock lock(mu_);
       stats_.bytes_received += static_cast<std::uint64_t>(n);
     }
     if (!reader.feed(std::span<const std::byte>(
@@ -215,7 +214,7 @@ void TcpTransport::reader_loop(Connection& conn) {
       peer_full_[conn.peer].store(frame->sender_full,
                                   std::memory_order_relaxed);
       {
-        std::scoped_lock lock(mu_);
+        util::ScopedLock lock(mu_);
         ++stats_.received;
       }
       route_incoming(std::move(frame->env));
@@ -227,7 +226,7 @@ void TcpTransport::route_incoming(Envelope env) {
   if (proto::is_reply(env.msg.kind) && env.seq != 0) {
     std::shared_ptr<PendingCall> pending;
     {
-      std::scoped_lock lock(mu_);
+      util::ScopedLock lock(mu_);
       const auto it = pending_.find(env.seq);
       if (it == pending_.end()) return;  // caller gave up / duplicate
       pending = it->second;
@@ -296,7 +295,7 @@ void TcpTransport::writer_loop(Connection& conn) {
       drop_connection(conn.peer, /*frame_error=*/false);
       return;
     }
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     ++stats_.flushes;
     stats_.bytes_sent += buf.size();
   }
@@ -304,7 +303,7 @@ void TcpTransport::writer_loop(Connection& conn) {
 
 void TcpTransport::drop_connection(cache::NodeId peer, bool frame_error) {
   {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     Connection* conn = conns_[peer].get();
     if (conn == nullptr || !conn->alive.load(std::memory_order_acquire)) {
       return;  // already dropped
@@ -320,7 +319,7 @@ void TcpTransport::drop_connection(cache::NodeId peer, bool frame_error) {
 void TcpTransport::fail_pending(cache::NodeId peer) {
   std::vector<std::shared_ptr<PendingCall>> failed;
   {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     for (auto it = pending_.begin(); it != pending_.end();) {
       if (peer == cache::kInvalidNode || it->second->dest == peer) {
         it->second->failed = true;
@@ -339,7 +338,7 @@ Envelope TcpTransport::call(Envelope env) {
   auto pending = std::make_shared<PendingCall>();
   pending->dest = env.msg.to;
   {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     if (closed_) throw std::runtime_error("transport is shut down");
     env.seq = next_seq_++;
     pending_.emplace(env.seq, pending);
@@ -347,14 +346,14 @@ Envelope TcpTransport::call(Envelope env) {
   const std::uint64_t seq = env.seq;
   if (!post(std::move(env))) {
     {
-      std::scoped_lock lock(mu_);
+      util::ScopedLock lock(mu_);
       pending_.erase(seq);
     }
     throw std::runtime_error("peer " + std::to_string(pending->dest) +
                              " is unreachable");
   }
-  std::unique_lock lock(mu_);
-  pending->cv.wait(lock, [&] { return pending->done; });
+  util::UniqueLock lock(mu_);
+  while (!pending->done) pending->cv.wait(lock);
   if (pending->failed) {
     throw std::runtime_error("peer " + std::to_string(pending->dest) +
                              " dropped while a call was pending");
@@ -370,7 +369,7 @@ bool TcpTransport::post(Envelope env) {
   if (env.msg.to == config_.local_node) return deliver_local(std::move(env));
   Connection* conn = nullptr;
   {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     if (closed_) return false;
     conn = conns_[env.msg.to].get();
     if (conn == nullptr || !conn->alive.load(std::memory_order_acquire)) {
@@ -390,7 +389,7 @@ bool TcpTransport::post(Envelope env) {
 
 bool TcpTransport::deliver_local(Envelope env) {
   {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     if (closed_) return false;
     ++stats_.sent;
     ++stats_.received;
@@ -414,14 +413,22 @@ void TcpTransport::close() {
   inbound_.close();
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
-  for (auto& conn : conns_) {
-    if (!conn) continue;
-    {
-      std::scoped_lock lock(mu_);
+  // Mark every connection dead under the lock, then join outside it: the
+  // reader/writer threads take mu_ themselves on their way out, and after
+  // closed_ flips no adopt_connection can add entries, so the snapshot of
+  // raw pointers stays valid.
+  std::vector<Connection*> live;
+  {
+    util::ScopedLock lock(mu_);
+    for (auto& conn : conns_) {
+      if (!conn) continue;
       conn->alive.store(false, std::memory_order_release);
       ::shutdown(conn->fd, SHUT_RDWR);
       conn->outbox.close();
+      live.push_back(conn.get());
     }
+  }
+  for (Connection* conn : live) {
     if (conn->reader.joinable()) conn->reader.join();
     if (conn->writer.joinable()) conn->writer.join();
     close_fd(conn->fd);
@@ -431,7 +438,7 @@ void TcpTransport::close() {
 }
 
 TransportStats TcpTransport::stats() const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   return stats_;
 }
 
@@ -444,7 +451,7 @@ bool TcpTransport::peer_full(cache::NodeId n) const {
 }
 
 std::size_t TcpTransport::connected_peers() const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   std::size_t live = 0;
   for (const auto& conn : conns_) {
     if (conn && conn->alive.load(std::memory_order_acquire)) ++live;

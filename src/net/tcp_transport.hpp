@@ -28,7 +28,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -36,6 +35,8 @@
 
 #include "net/frame.hpp"
 #include "net/transport.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace coop::net {
 
@@ -94,6 +95,8 @@ class TcpTransport final : public Transport {
 
  private:
   struct Connection {
+    // fd/peer are set before the reader/writer threads start and are only
+    // read afterwards; alive is the atomic liveness flag.
     int fd = -1;
     cache::NodeId peer = cache::kInvalidNode;
     ccm::Mailbox<Envelope> outbox;
@@ -101,12 +104,17 @@ class TcpTransport final : public Transport {
     std::thread writer;
     std::atomic<bool> alive{false};
 
-    explicit Connection(std::size_t outbox_capacity)
-        : outbox(outbox_capacity) {}
+    Connection(std::size_t outbox_capacity, cache::NodeId peer_id)
+        : peer(peer_id),
+          outbox(outbox_capacity,
+                 "net.tcp.outbox[" + std::to_string(peer_id) + "]") {}
   };
 
   struct PendingCall {
-    std::condition_variable cv;
+    std::condition_variable_any cv;
+    // done/failed/reply are written and read under the owning transport's
+    // mu_ (inexpressible as GUARDED_BY from a nested struct); dest is set
+    // once before the call is registered.
     bool done = false;
     bool failed = false;
     cache::NodeId dest = cache::kInvalidNode;
@@ -136,11 +144,17 @@ class TcpTransport final : public Transport {
   ccm::Mailbox<Envelope> inbound_;
   std::function<std::pair<std::uint64_t, bool>()> summary_;
 
-  mutable std::mutex mu_;  // connections table, pending calls, counters
-  std::vector<std::unique_ptr<Connection>> conns_;  // indexed by node id
-  std::uint64_t next_seq_ = 1;
-  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_;
-  TransportStats stats_;
+  // Connections table, pending calls, counters. Ordered after the shard
+  // locks (a protocol thread RPCs through here with its shard held) and
+  // before the outbox mailbox locks; never held across a blocking send,
+  // a join, or a syscall.
+  mutable util::Mutex mu_{"net.tcp.state"};
+  std::vector<std::unique_ptr<Connection>> conns_
+      GUARDED_BY(mu_);  // indexed by node id
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_
+      GUARDED_BY(mu_);
+  TransportStats stats_ GUARDED_BY(mu_);
 
   /// Piggybacked peer summaries, refreshed on every received frame.
   std::vector<std::atomic<std::uint64_t>> peer_age_;

@@ -8,26 +8,27 @@ InProcTransport::InProcTransport(std::size_t nodes, std::size_t capacity) {
   if (nodes == 0) throw std::invalid_argument("InProcTransport: 0 nodes");
   mailboxes_.reserve(nodes);
   for (std::size_t n = 0; n < nodes; ++n) {
-    mailboxes_.push_back(std::make_unique<ccm::Mailbox<Envelope>>(capacity));
+    mailboxes_.push_back(std::make_unique<ccm::Mailbox<Envelope>>(
+        capacity, "net.inproc.mailbox[" + std::to_string(n) + "]"));
   }
 }
 
 Envelope InProcTransport::call(Envelope env) {
   auto pending = std::make_shared<PendingCall>();
   {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     if (closed_) throw std::runtime_error("transport is shut down");
     env.seq = next_seq_++;
     pending_.emplace(env.seq, pending);
   }
   const std::uint64_t seq = env.seq;
   if (!post(std::move(env))) {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     pending_.erase(seq);
     throw std::runtime_error("transport is shut down");
   }
-  std::unique_lock lock(mu_);
-  pending->cv.wait(lock, [&] { return pending->done || closed_; });
+  util::UniqueLock lock(mu_);
+  while (!pending->done && !closed_) pending->cv.wait(lock);
   if (!pending->done) {
     pending_.erase(seq);
     throw std::runtime_error("transport is shut down");
@@ -45,7 +46,7 @@ bool InProcTransport::post(Envelope env) {
     // the mailbox hop.
     std::shared_ptr<PendingCall> pending;
     {
-      std::scoped_lock lock(mu_);
+      util::ScopedLock lock(mu_);
       ++stats_.sent;
       ++stats_.received;
       const auto it = pending_.find(env.seq);
@@ -59,11 +60,11 @@ bool InProcTransport::post(Envelope env) {
     return true;
   }
   {
-    std::scoped_lock lock(mu_);
+    util::ScopedLock lock(mu_);
     ++stats_.sent;
   }
   if (!mailboxes_[env.msg.to]->send(std::move(env))) return false;
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   ++stats_.received;
   return true;
 }
@@ -77,14 +78,14 @@ std::optional<Envelope> InProcTransport::receive(cache::NodeId node) {
 
 void InProcTransport::close() {
   for (auto& mb : mailboxes_) mb->close();
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   closed_ = true;
   for (auto& [seq, pending] : pending_) pending->cv.notify_all();
   pending_.clear();
 }
 
 TransportStats InProcTransport::stats() const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   return stats_;
 }
 

@@ -20,16 +20,18 @@
 // thread.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "ccm/transport.hpp"
 #include "net/envelope.hpp"
 #include "proto/node_state.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace coop::net {
 
@@ -95,19 +97,22 @@ class InProcTransport final : public Transport {
 
  private:
   struct PendingCall {
-    std::condition_variable cv;
+    std::condition_variable_any cv;
+    // done/reply are written and read under the owning transport's mu_
+    // (inexpressible as GUARDED_BY from a nested struct).
     bool done = false;
     Envelope reply;
   };
 
   std::vector<std::unique_ptr<ccm::Mailbox<Envelope>>> mailboxes_;
 
-  mutable std::mutex mu_;  // pending table + counters
-  bool closed_ = false;
-  std::uint64_t next_seq_ = 1;
+  mutable util::Mutex mu_{"net.inproc.state"};  // pending table + counters
+  bool closed_ GUARDED_BY(mu_) = false;
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 1;
   // std::map, not unordered: tiny, and the close() sweep iterates it.
-  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_;
-  TransportStats stats_;
+  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_
+      GUARDED_BY(mu_);
+  TransportStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace coop::net

@@ -9,7 +9,7 @@ DirectoryService::DirectoryService(std::size_t nodes,
 
 DirectoryService::ReadLookup DirectoryService::lookup_for_read(
     NodeId node, const BlockId& b) {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   ++ops_.lookups;
   const NodeId truth = map_.lookup(b);
   const std::uint64_t epoch = file_epoch_locked(b.file);
@@ -35,12 +35,12 @@ DirectoryService::ReadLookup DirectoryService::lookup_for_read(
 }
 
 NodeId DirectoryService::lookup(const BlockId& b) const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   return map_.lookup(b);
 }
 
 bool DirectoryService::try_claim(const BlockId& b, NodeId node) {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   if (map_.lookup(b) != cache::kInvalidNode) {
     ++ops_.claim_conflicts;
     return false;
@@ -55,7 +55,7 @@ bool DirectoryService::try_claim(const BlockId& b, NodeId node) {
 
 std::optional<std::uint64_t> DirectoryService::begin_forward(const BlockId& b,
                                                              NodeId from) {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   if (map_.lookup(b) != from) {
     // A rival transition (a write claim, an invalidation sweep) already
     // re-owns or erased this entry; erasing it here would let the forward
@@ -77,7 +77,7 @@ std::optional<std::uint64_t> DirectoryService::begin_forward(const BlockId& b,
 
 bool DirectoryService::claim_forwarded(const BlockId& b, NodeId to,
                                        NodeId from, std::uint64_t epoch) {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   if (file_epoch_locked(b.file) != epoch ||
       map_.lookup(b) != cache::kInvalidNode) {
     // The loser's forward_rejected() call does the counting and hint drop.
@@ -92,7 +92,7 @@ bool DirectoryService::claim_forwarded(const BlockId& b, NodeId to,
 }
 
 void DirectoryService::forward_rejected(const BlockId& b, NodeId from) {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   ++ops_.forward_rejects;
   if (mode_ == cache::DirectoryMode::kHinted) {
     hints_.erase_master(b, from);
@@ -100,7 +100,7 @@ void DirectoryService::forward_rejected(const BlockId& b, NodeId from) {
 }
 
 void DirectoryService::master_dropped(const BlockId& b, NodeId node) {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   if (map_.lookup(b) != node) return;  // a racing claim owns the entry now
   map_.erase_master(b);
   if (mode_ == cache::DirectoryMode::kHinted) {
@@ -110,7 +110,7 @@ void DirectoryService::master_dropped(const BlockId& b, NodeId node) {
 }
 
 NodeId DirectoryService::write_claim(const BlockId& b, NodeId writer) {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   const NodeId previous = map_.lookup(b);
   ++ops_.write_claims;
   // Epoch fence: the write changes the block's bytes even when the
@@ -126,17 +126,17 @@ NodeId DirectoryService::write_claim(const BlockId& b, NodeId writer) {
 }
 
 void DirectoryService::invalidate_file(FileId file) {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   ++epochs_[file];
 }
 
 void DirectoryService::write_begin(FileId file) {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   ++writes_in_flight_[file];
 }
 
 void DirectoryService::write_end(FileId file) {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   const auto it = writes_in_flight_.find(file);
   if (it != writes_in_flight_.end() && --it->second == 0) {
     writes_in_flight_.erase(it);
@@ -147,7 +147,7 @@ void DirectoryService::write_end(FileId file) {
 }
 
 bool DirectoryService::read_cacheable(FileId file, std::uint64_t epoch) const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   return writes_in_flight_.find(file) == writes_in_flight_.end() &&
          file_epoch_locked(file) == epoch;
 }
@@ -158,37 +158,37 @@ std::uint64_t DirectoryService::file_epoch_locked(FileId file) const {
 }
 
 std::uint64_t DirectoryService::file_epoch(FileId file) const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   return file_epoch_locked(file);
 }
 
 std::size_t DirectoryService::master_count() const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   return map_.size();
 }
 
 DirectoryService::Ops DirectoryService::ops() const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   return ops_;
 }
 
 void DirectoryService::reset_ops() {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   ops_ = Ops{};
 }
 
 double DirectoryService::hint_accuracy() const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   return hints_.accuracy();
 }
 
 NodeId DirectoryService::hint_truth(const BlockId& b) const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   return hints_.truth(b);
 }
 
 std::size_t DirectoryService::audit(const char* context) const {
-  std::scoped_lock lock(mu_);
+  util::ScopedLock lock(mu_);
   if (mode_ != cache::DirectoryMode::kHinted) return 0;
   return hints_.audit(context);
 }

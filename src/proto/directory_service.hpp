@@ -16,13 +16,14 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "cache/directory.hpp"
 #include "cache/coop_cache.hpp"
 #include "proto/message.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace coop::proto {
 
@@ -148,15 +149,15 @@ class DirectoryService {
   Message handle(const Message& request);
 
  private:
-  std::uint64_t file_epoch_locked(FileId file) const;
+  std::uint64_t file_epoch_locked(FileId file) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  cache::DirectoryMode mode_;
-  cache::PerfectDirectory map_;
-  cache::HintedDirectory hints_;
-  std::unordered_map<FileId, std::uint64_t> epochs_;
-  std::unordered_map<FileId, std::uint32_t> writes_in_flight_;
-  Ops ops_;
+  mutable util::Mutex mu_{"proto.directory"};
+  cache::DirectoryMode mode_;  // immutable after construction
+  cache::PerfectDirectory map_ GUARDED_BY(mu_);
+  cache::HintedDirectory hints_ GUARDED_BY(mu_);
+  std::unordered_map<FileId, std::uint64_t> epochs_ GUARDED_BY(mu_);
+  std::unordered_map<FileId, std::uint32_t> writes_in_flight_ GUARDED_BY(mu_);
+  Ops ops_ GUARDED_BY(mu_);
 };
 
 }  // namespace coop::proto

@@ -313,6 +313,130 @@ TEST(Fixer, SuppressedFindingsAreNotRewritten) {
   EXPECT_EQ(fr.content, src);
 }
 
+// --------------------------------------------------- blocking-under-lock ---
+
+TEST(LintRules, CatchesMailboxWaitUnderLockGuard) {
+  const auto r = lint_one("src/ccm/x.cpp",
+                          "void f() {\n"
+                          "  std::scoped_lock lock(mu_);\n"
+                          "  box_.send(item);\n"
+                          "}\n");
+  const auto hits = findings_for_rule(r, "blocking-under-lock");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->line, 3u);
+  EXPECT_EQ(hits[0]->token, "send");
+}
+
+TEST(LintRules, CatchesRpcSleepAndStorageIoUnderGuard) {
+  const auto r = lint_one(
+      "src/ccm/x.cpp",
+      "void f() {\n"
+      "  util::UniqueLock lock(sh.mu);\n"
+      "  rpc(msg);\n"
+      "  std::this_thread::sleep_for(d);\n"
+      "  storage_->read(file, off, out);\n"
+      "}\n");
+  const auto hits = findings_for_rule(r, "blocking-under-lock");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0]->token, "rpc");
+  EXPECT_EQ(hits[1]->token, "sleep_for");
+  EXPECT_EQ(hits[2]->token, "read");
+}
+
+TEST(LintRules, UnlockSuspendsTheGuardScopeUntilRelock) {
+  // The make_room_locked hand-off: rpc between unlock() and lock() is the
+  // sanctioned pattern; the same call after re-acquisition is a finding.
+  const auto r = lint_one("src/ccm/x.cpp",
+                          "void f() {\n"
+                          "  util::UniqueLock lock(sh.mu);\n"
+                          "  lock.unlock();\n"
+                          "  rpc(msg);\n"
+                          "  lock.lock();\n"
+                          "  rpc(again);\n"
+                          "}\n");
+  const auto hits = findings_for_rule(r, "blocking-under-lock");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->line, 6u);
+}
+
+TEST(LintRules, BlockingOutsideGuardScopeAndReferenceParamsAreClean) {
+  // The wait after the guard's enclosing block, and a guard *reference*
+  // parameter (no construction), must not open a scope.
+  const auto r = lint_one(
+      "src/ccm/x.cpp",
+      "void f(util::UniqueLock<util::CountingMutex>& lock) { rpc(msg); }\n"
+      "void g() {\n"
+      "  { std::scoped_lock lock(mu_); ++count_; }\n"
+      "  box_.receive();\n"
+      "}\n");
+  EXPECT_TRUE(findings_for_rule(r, "blocking-under-lock").empty());
+}
+
+TEST(LintRules, BlockingUnderLockOnlyAppliesToSrc) {
+  const auto r = lint_one("tests/t.cpp",
+                          "void f() {\n"
+                          "  std::scoped_lock lock(mu_);\n"
+                          "  box_.send(item);\n"
+                          "}\n");
+  EXPECT_TRUE(findings_for_rule(r, "blocking-under-lock").empty());
+}
+
+TEST(LintRules, BlockingUnderLockHonorsInlineAllowAndSuppressions) {
+  const auto inline_allowed = lint_one(
+      "src/ccm/x.cpp",
+      "void f() {\n"
+      "  std::scoped_lock lock(mu_);\n"
+      "  box_.send(item);  // ccm-lint: allow(blocking-under-lock)\n"
+      "}\n");
+  EXPECT_TRUE(
+      findings_for_rule(inline_allowed, "blocking-under-lock").empty());
+
+  std::vector<std::string> errors;
+  auto supp = parse_suppressions(
+      "src/ccm/x.cpp blocking-under-lock send  # audited hand-off\n", errors);
+  ASSERT_TRUE(errors.empty());
+  const auto r = lint({{"src/ccm/x.cpp",
+                        "void f() {\n"
+                        "  std::scoped_lock lock(mu_);\n"
+                        "  box_.send(item);\n"
+                        "}\n"}},
+                      supp);
+  EXPECT_EQ(r.unsuppressed, 0u);
+  EXPECT_EQ(r.suppressed, 1u);
+  EXPECT_EQ(supp[0].uses, 1u);
+}
+
+// -------------------------------------------------------------- raw-mutex ---
+
+TEST(LintRules, CatchesRawStdMutexInRuntimeLayers) {
+  const auto ccm = lint_one("src/ccm/x.hpp", "std::mutex mu_;\n");
+  ASSERT_EQ(findings_for_rule(ccm, "raw-mutex").size(), 1u);
+  EXPECT_EQ(findings_for_rule(ccm, "raw-mutex")[0]->token, "mutex");
+  const auto net =
+      lint_one("src/net/x.hpp", "mutable std::shared_mutex table_mu_;\n");
+  ASSERT_EQ(findings_for_rule(net, "raw-mutex").size(), 1u);
+  EXPECT_EQ(findings_for_rule(net, "raw-mutex")[0]->token, "shared_mutex");
+}
+
+TEST(LintRules, RawMutexIgnoresOtherLayersIncludesAndWrappers) {
+  // Outside src/ccm and src/net the rule is silent; `#include <mutex>` has
+  // no std:: qualifier; the annotated wrappers never spell std::mutex.
+  const auto util = lint_one("src/util/x.hpp", "std::mutex mu_;\n");
+  EXPECT_TRUE(findings_for_rule(util, "raw-mutex").empty());
+  const auto inc = lint_one("src/ccm/x.hpp", "#include <mutex>\n");
+  EXPECT_TRUE(findings_for_rule(inc, "raw-mutex").empty());
+  const auto wrapped =
+      lint_one("src/ccm/x.hpp", "mutable util::Mutex mu_{\"ccm.x\"};\n");
+  EXPECT_TRUE(findings_for_rule(wrapped, "raw-mutex").empty());
+}
+
+TEST(LintRules, RawMutexHonorsInlineAllow) {
+  const auto r = lint_one(
+      "src/net/envelope2.hpp",
+      "std::mutex m;  // ccm-lint: allow(raw-mutex)\n");
+  EXPECT_TRUE(findings_for_rule(r, "raw-mutex").empty());
+}
+
 // ---------------------------------------------------------- suppressions ---
 
 TEST(Suppressions, FileEntryMatchesAndCountsUses) {
@@ -368,10 +492,13 @@ TEST(Suppressions, InlineAllowSilencesOnlyThatLineAndRule) {
 
 TEST(LintRules, RuleIdsStable) {
   const auto& ids = ccmlint::rule_ids();
-  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_EQ(ids.size(), 7u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "unordered-iter"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "fp-accum-unordered"),
             ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "blocking-under-lock"),
+            ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "raw-mutex"), ids.end());
 }
 
 }  // namespace

@@ -35,6 +35,20 @@ const std::array<const char*, 2> kClockCalls = {"time", "clock"};
 
 const std::array<const char*, 3> kPrintTokens = {"cout", "printf", "puts"};
 
+// blocking-under-lock vocabulary.
+const std::array<const char*, 6> kGuardTypes = {
+    "lock_guard", "scoped_lock", "unique_lock",
+    "shared_lock", "ScopedLock",  "UniqueLock"};
+const std::array<const char*, 6> kBlockingMembers = {
+    "send", "send_for", "receive", "receive_for", "call", "wait_ready"};
+const std::array<const char*, 2> kSleepCalls = {"sleep_for", "sleep_until"};
+const std::array<const char*, 3> kStorageReceivers = {"storage_", "storage",
+                                                      "writable"};
+
+// raw-mutex vocabulary: std:: lock types that bypass the annotated wrappers.
+const std::array<const char*, 4> kRawMutexTypes = {
+    "mutex", "timed_mutex", "recursive_mutex", "shared_mutex"};
+
 struct Token {
   std::string text;
   std::size_t pos;  // offset in stripped text
@@ -98,6 +112,18 @@ bool preceded_by_member_access(const std::string& s, std::size_t pos) {
   if (i >= 1 && s[i - 1] == '.') return true;
   if (i >= 2 && s[i - 2] == '-' && s[i - 1] == '>') return true;
   return false;
+}
+
+/// True when the token at `pos` is written `std :: <token>` (whole-token
+/// `std`), so `#include <mutex>` and unqualified member names don't match.
+bool preceded_by_std_qualifier(const std::string& s, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(s[i - 1]))) --i;
+  if (i < 2 || s[i - 1] != ':' || s[i - 2] != ':') return false;
+  std::size_t j = i - 2;
+  while (j > 0 && std::isspace(static_cast<unsigned char>(s[j - 1]))) --j;
+  if (j < 3 || s.compare(j - 3, 3, "std") != 0) return false;
+  return j == 3 || !ident_char(s[j - 4]);
 }
 
 template <typename Seq>
@@ -550,8 +576,9 @@ std::vector<Suppression> parse_suppressions(const std::string& text,
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kRules = {
-      "unordered-iter", "raw-random", "wall-clock", "fp-accum-unordered",
-      "cout-library"};
+      "unordered-iter",      "raw-random", "wall-clock",
+      "fp-accum-unordered",  "cout-library",
+      "blocking-under-lock", "raw-mutex"};
   return kRules;
 }
 
@@ -805,6 +832,99 @@ Result lint(const std::vector<SourceFile>& files,
                       "'" + tok.text +
                           "' in library code: src/ must return data, not "
                           "print; route output through the report layer");
+        }
+      }
+
+      // raw-mutex: std:: lock types spelled directly in the runtime layers.
+      if ((path_contains(path, "src/ccm") || path_contains(path, "src/net")) &&
+          contains(kRawMutexTypes, tok.text) &&
+          preceded_by_std_qualifier(fs.code, tok.pos)) {
+        add_finding(result.findings, fs, tok.pos, "raw-mutex", tok.text,
+                    "raw 'std::" + tok.text +
+                        "' in runtime code: locks in src/ccm and src/net "
+                        "must be coop::util::Mutex / CountingMutex "
+                        "(src/util/mutex.hpp) so they carry thread-safety "
+                        "annotations and register with the lock-order "
+                        "watchdog");
+      }
+    }
+
+    // blocking-under-lock: blocking waits inside a lock-guard scope. The
+    // scope runs from the guard declaration to the enclosing block's `}`;
+    // `guard.unlock()` suspends it and `guard.lock()` resumes it (the
+    // make_room_locked hand-off pattern).
+    if (path_starts_with(path, "src/")) {
+      std::set<std::size_t> flagged;  // dedupe across nested guard scopes
+      for (std::size_t t = 0; t < fs.tokens.size(); ++t) {
+        const Token& gtok = fs.tokens[t];
+        if (!contains(kGuardTypes, gtok.text)) continue;
+        std::size_t i = skip_spaces(fs.code, gtok.pos + gtok.text.size());
+        if (i < fs.code.size() && fs.code[i] == '<') {
+          i = skip_angles(fs.code, i);
+        }
+        i = skip_spaces(fs.code, i);
+        if (i >= fs.code.size() || !ident_start(fs.code[i])) continue;
+        std::size_t j = i + 1;
+        while (j < fs.code.size() && ident_char(fs.code[j])) ++j;
+        const std::string guard = fs.code.substr(i, j - i);
+        const std::size_t k = skip_spaces(fs.code, j);
+        // A declaration constructs the guard; a `&` parameter or a bare
+        // mention does not open a scope here.
+        if (k >= fs.code.size() || (fs.code[k] != '(' && fs.code[k] != '{')) {
+          continue;
+        }
+        const std::size_t decl_end = fs.code.find(';', k);
+        if (decl_end == std::string::npos) continue;
+        std::size_t scope_end = fs.code.size();
+        int depth = 0;
+        for (std::size_t p = decl_end; p < fs.code.size(); ++p) {
+          if (fs.code[p] == '{') {
+            ++depth;
+          } else if (fs.code[p] == '}') {
+            if (depth == 0) {
+              scope_end = p;
+              break;
+            }
+            --depth;
+          }
+        }
+        bool suspended = false;
+        for (std::size_t u = t + 1; u < fs.tokens.size(); ++u) {
+          const Token& bt = fs.tokens[u];
+          if (bt.pos <= decl_end) continue;
+          if (bt.pos >= scope_end) break;
+          if (bt.text == guard && u + 1 < fs.tokens.size() &&
+              preceded_by_member_access(fs.code, fs.tokens[u + 1].pos)) {
+            if (fs.tokens[u + 1].text == "unlock") suspended = true;
+            if (fs.tokens[u + 1].text == "lock") suspended = false;
+            continue;
+          }
+          const std::size_t after =
+              skip_spaces(fs.code, bt.pos + bt.text.size());
+          if (suspended || after >= fs.code.size() || fs.code[after] != '(') {
+            continue;
+          }
+          const bool member = preceded_by_member_access(fs.code, bt.pos);
+          std::string what;
+          if (member && contains(kBlockingMembers, bt.text)) {
+            what = "blocking '." + bt.text + "(...)'";
+          } else if (!member && bt.text == "rpc") {
+            what = "blocking RPC 'rpc(...)'";
+          } else if (contains(kSleepCalls, bt.text)) {
+            what = "sleep '" + bt.text + "(...)'";
+          } else if (member && (bt.text == "read" || bt.text == "write") &&
+                     u > 0 &&
+                     contains(kStorageReceivers, fs.tokens[u - 1].text)) {
+            what = "storage I/O '" + fs.tokens[u - 1].text + "." + bt.text +
+                   "(...)'";
+          }
+          if (what.empty() || !flagged.insert(bt.pos).second) continue;
+          add_finding(result.findings, fs, bt.pos, "blocking-under-lock",
+                      bt.text,
+                      what + " while holding lock guard '" + guard +
+                          "': a wait that can park the thread must not run "
+                          "under a mutex; release the guard first or move "
+                          "the wait out of the critical section");
         }
       }
     }

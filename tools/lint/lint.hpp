@@ -25,6 +25,18 @@
 //   cout-library        std::cout / printf / puts in library code (src/) —
 //                       libraries must return data, not print it; the
 //                       report/CLI layers are audited exceptions.
+//   blocking-under-lock blocking waits (Mailbox send/receive/*_for,
+//                       Transport::call / rpc(), storage read/write I/O,
+//                       this_thread sleeps) inside a lock-guard scope in
+//                       src/ — a parked thread holding a mutex is the seed
+//                       of every convoy and deadlock the runtime's lock
+//                       discipline forbids. `guard.unlock()` suspends the
+//                       scope, `guard.lock()` resumes it.
+//   raw-mutex           a `std::mutex` (or timed/recursive/shared variant)
+//                       spelled directly in src/ccm or src/net — runtime
+//                       locks must be coop::util::Mutex/CountingMutex so
+//                       they carry thread-safety annotations and register
+//                       with the lock-order watchdog (src/util/lockcheck).
 //
 // The analysis is a two-pass lexical scan (no real parser): pass 1 collects
 // unordered-container type aliases and variable names (with a simple taint
