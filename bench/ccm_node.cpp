@@ -24,6 +24,12 @@
 //   --deterministic-writes   as in ccm_stress
 //   --dump-storage=PATH  home only: final storage bytes -> PATH
 //   --connect-timeout-ms=N   peer dial/mesh deadline          (default 20000)
+//   --json[=PATH]        emit a JSON report (stdout or PATH)
+//   --faults=SPEC        inject faults from an explicit schedule spec (see
+//                        net::FaultSchedule::parse / docs/FAULTS.md)
+//   --fault-seed=N       inject a generated schedule drawn from seed N
+//                        (ignored when --faults gives an explicit spec)
+//   --fault-log=PATH     write this process's injected-event log to PATH
 //   --lockcheck          arm the lock-order watchdog; violations abort and a
 //                        final whole-graph audit gates the exit code
 //   --lockcheck-report=PATH  also append watchdog violations to PATH
@@ -41,10 +47,12 @@
 #include "ccm/remote_storage.hpp"
 #include "ccm/storage.hpp"
 #include "ccm_workload.hpp"
+#include "net/fault.hpp"
 #include "net/tcp_transport.hpp"
 #include "util/audit.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/lockcheck.hpp"
 
 using namespace coop;
@@ -149,21 +157,44 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Fault injection: decorate the socket transport so this process's
+  // outbound traffic (runtime RPCs and the home-service proxies alike) is
+  // perturbed under a deterministic schedule.
+  std::shared_ptr<net::FaultyTransport> faulty;
+  std::shared_ptr<net::Transport> fabric = transport;
+  const bool faults_on = flags.has("faults") || flags.has("fault-seed");
+  if (faults_on) {
+    const auto fault_seed =
+        static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+    const std::string spec = flags.get("faults");
+    net::FaultSchedule schedule =
+        (spec.empty() || spec == "true")
+            ? net::FaultSchedule::generated(fault_seed)
+            : net::FaultSchedule::parse(spec, fault_seed);
+    faulty = std::make_shared<net::FaultyTransport>(transport,
+                                                    std::move(schedule));
+    fabric = faulty;
+    std::cout << "ccm_node " << local << ": fault schedule ["
+              << faulty->schedule().seed << "] "
+              << faulty->schedule().to_string() << "\n";
+  }
+
   // --- the node: home hosts the real storage + directory, peers proxy ---
   ccm::CcmHosting hosting;
-  hosting.transport = transport;
+  hosting.transport = fabric;
   hosting.local_nodes = {local};
   hosting.home = home;
+  net::RetryStats proxy_retries;  // RemoteStorage/RemoteDirectory retries
   std::shared_ptr<ccm::Storage> storage;
   if (is_home) {
     storage = std::make_shared<ccm::BufferStorage>(
         std::vector<std::uint32_t>(files, wl.file_bytes()));
   } else {
     storage = std::make_shared<ccm::RemoteStorage>(
-        transport, local, home,
-        std::vector<std::uint32_t>(files, wl.file_bytes()));
-    hosting.directory =
-        std::make_shared<ccm::RemoteDirectory>(transport, local, home);
+        fabric, local, home,
+        std::vector<std::uint32_t>(files, wl.file_bytes()), &proxy_retries);
+    hosting.directory = std::make_shared<ccm::RemoteDirectory>(
+        fabric, local, home, &proxy_retries);
   }
   ccm::CcmCluster cluster(cfg, storage, hosting);
   transport->set_summary_source(
@@ -204,8 +235,19 @@ int main(int argc, char** argv) {
             << util::fixed(batching, 2) << " msgs/syscall), bytes tx "
             << ts.bytes_sent << " rx " << ts.bytes_received
             << ", frame errors " << ts.frame_errors << "\n";
+  if (faults_on) {
+    std::cout << "  faults: drops " << s.transport.injected_drops
+              << ", delays " << s.transport.injected_delays << ", duplicates "
+              << s.transport.injected_duplicates << ", reorders "
+              << s.transport.injected_reorders << "; rpc retries "
+              << s.transport.rpc_retries << ", timeouts "
+              << s.transport.rpc_timeouts << ", failures "
+              << s.transport.rpc_failures << ", proxy retries "
+              << proxy_retries.retries.load() << "\n";
+  }
 
   int rc = 0;
+  bool consistent = true;
   if (is_home) {
     // Let the peers finish their final barrier polls and disconnect before
     // tearing the services down under them.
@@ -225,11 +267,82 @@ int main(int argc, char** argv) {
         std::cout << "  storage dump -> " << path << "\n";
       }
     }
-    if (!cluster.check_consistency()) {
+    consistent = cluster.check_consistency();
+    if (!consistent) {
       std::cerr << "ccm_node: home shard consistency BROKEN\n";
       rc = 1;
     }
   }
+
+  if (flags.has("json")) {
+    util::JsonWriter j;
+    j.begin_object();
+    j.key("bench").value("ccm_node");
+    j.key("node").value(static_cast<std::uint64_t>(local));
+    j.key("nodes").value(static_cast<std::uint64_t>(nodes));
+    j.key("drivers_local").value(static_cast<std::uint64_t>(local_drivers));
+    j.key("iters").value(static_cast<std::int64_t>(wl.iters));
+    j.key("elapsed_seconds").value(secs);
+    j.key("consistent").value(consistent);
+    j.key("totals").begin_object();
+    j.key("local_hits").value(s.local_hits);
+    j.key("remote_hits").value(s.remote_hits);
+    j.key("disk_reads").value(s.disk_reads);
+    j.key("writes").value(s.writes);
+    j.key("invalidations").value(s.invalidations);
+    j.end_object();
+    j.key("directory_ops").begin_object();
+    j.key("lookups").value(s.directory.lookups);
+    j.key("claims").value(s.directory.claims);
+    j.key("masters_purged").value(s.directory.masters_purged);
+    j.end_object();
+    j.key("transport").begin_object();
+    j.key("rpcs").value(ts.rpcs);
+    j.key("frames_sent").value(ts.sent);
+    j.key("flushes").value(ts.flushes);
+    j.key("bytes_sent").value(ts.bytes_sent);
+    j.key("bytes_received").value(ts.bytes_received);
+    j.key("frame_errors").value(ts.frame_errors);
+    j.key("injected_drops").value(s.transport.injected_drops);
+    j.key("injected_delays").value(s.transport.injected_delays);
+    j.key("injected_duplicates").value(s.transport.injected_duplicates);
+    j.key("injected_reorders").value(s.transport.injected_reorders);
+    j.key("rpc_timeouts").value(s.transport.rpc_timeouts);
+    j.key("rpc_retries").value(s.transport.rpc_retries);
+    j.key("rpc_failures").value(s.transport.rpc_failures);
+    j.key("proxy_retries").value(proxy_retries.retries.load());
+    j.key("proxy_failures").value(proxy_retries.failures.load());
+    j.end_object();
+    if (faults_on) {
+      j.key("fault_schedule").begin_object();
+      j.key("seed").value(faulty->schedule().seed);
+      j.key("spec").value(faulty->schedule().to_string());
+      j.key("injected_events")
+          .value(static_cast<std::uint64_t>(faulty->events().size()));
+      j.end_object();
+    }
+    j.end_object();
+    const std::string path = flags.get("json");
+    if (path.empty() || path == "true") {
+      std::cout << j.str() << "\n";
+    } else {
+      std::ofstream out(path);
+      out << j.str() << "\n";
+      std::cout << "  json report -> " << path << "\n";
+    }
+  }
+
+  if (faults_on && flags.has("fault-log")) {
+    const std::string path = flags.get("fault-log");
+    if (!faulty->dump_events(path)) {
+      std::cerr << "ccm_node: cannot write fault log to " << path << "\n";
+      rc = 1;
+    } else {
+      std::cout << "  fault log (" << faulty->events().size()
+                << " events) -> " << path << "\n";
+    }
+  }
+
   if (lockcheck_on) {
     const std::size_t lock_cycles =
         util::lockcheck::audit("ccm_node-final");

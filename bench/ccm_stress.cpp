@@ -24,6 +24,13 @@
 //                           files % drivers == 0)
 //   --dump-storage=PATH  write final storage bytes to PATH (file-id order)
 //   --json[=PATH]        emit a JSON report (stdout or PATH)
+//   --faults=SPEC        inject faults from an explicit schedule spec (see
+//                        net::FaultSchedule::parse / docs/FAULTS.md)
+//   --fault-seed=N       inject a generated schedule drawn from seed N
+//                        (ignored when --faults gives an explicit spec)
+//   --fault-log=PATH     write the injected-event log to PATH, one line per
+//                        event; byte-identical across two runs of the same
+//                        seed+workload with --drivers=1
 //   --lockcheck          arm the lock-order watchdog for the whole run; any
 //                        acquisition-order cycle is reported and aborts, and
 //                        a final whole-graph audit gates the exit code
@@ -40,6 +47,7 @@
 #include "ccm/cluster.hpp"
 #include "ccm/storage.hpp"
 #include "ccm_workload.hpp"
+#include "net/fault.hpp"
 #include "util/audit.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -109,7 +117,28 @@ int main(int argc, char** argv) {
 
   auto storage = std::make_shared<ccm::BufferStorage>(
       std::vector<std::uint32_t>(files, wl.file_bytes()));
-  ccm::CcmCluster cluster(cfg, storage);
+
+  // Fault injection: wrap the in-process transport in a FaultyTransport
+  // driving a parsed or seed-generated schedule.
+  std::shared_ptr<net::FaultyTransport> faulty;
+  ccm::CcmHosting hosting;
+  const bool faults_on = flags.has("faults") || flags.has("fault-seed");
+  if (faults_on) {
+    const auto fault_seed =
+        static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+    const std::string spec = flags.get("faults");
+    net::FaultSchedule schedule =
+        (spec.empty() || spec == "true")
+            ? net::FaultSchedule::generated(fault_seed)
+            : net::FaultSchedule::parse(spec, fault_seed);
+    faulty = std::make_shared<net::FaultyTransport>(
+        std::make_shared<net::InProcTransport>(nodes), std::move(schedule));
+    hosting.transport = faulty;
+    std::cout << "ccm_stress: fault schedule [" << faulty->schedule().seed
+              << "] " << faulty->schedule().to_string() << "\n";
+  }
+
+  ccm::CcmCluster cluster(cfg, storage, hosting);
 
   // Seed every file so the steady-state workload starts warm.
   std::vector<cache::NodeId> vias;
@@ -144,6 +173,15 @@ int main(int argc, char** argv) {
             << s.writes << ", invalidations " << s.invalidations << "\n"
             << "  transport: sent " << s.transport.sent << ", received "
             << s.transport.received << ", rpcs " << s.transport.rpcs << "\n";
+  if (faults_on) {
+    std::cout << "  faults: drops " << s.transport.injected_drops
+              << ", delays " << s.transport.injected_delays << ", duplicates "
+              << s.transport.injected_duplicates << ", reorders "
+              << s.transport.injected_reorders << "; rpc retries "
+              << s.transport.rpc_retries << ", timeouts "
+              << s.transport.rpc_timeouts << ", failures "
+              << s.transport.rpc_failures << "\n";
+  }
   for (std::size_t n = 0; n < s.shards.size(); ++n) {
     const auto& sh = s.shards[n];
     const double rate = sh.lock_acquired
@@ -217,12 +255,28 @@ int main(int argc, char** argv) {
     j.key("masters_dropped").value(s.directory.masters_dropped);
     j.key("write_claims").value(s.directory.write_claims);
     j.key("hint_misdirects").value(s.directory.hint_misdirects);
+    j.key("masters_purged").value(s.directory.masters_purged);
     j.end_object();
     j.key("transport").begin_object();
     j.key("sent").value(s.transport.sent);
     j.key("received").value(s.transport.received);
     j.key("rpcs").value(s.transport.rpcs);
+    j.key("injected_drops").value(s.transport.injected_drops);
+    j.key("injected_delays").value(s.transport.injected_delays);
+    j.key("injected_duplicates").value(s.transport.injected_duplicates);
+    j.key("injected_reorders").value(s.transport.injected_reorders);
+    j.key("rpc_timeouts").value(s.transport.rpc_timeouts);
+    j.key("rpc_retries").value(s.transport.rpc_retries);
+    j.key("rpc_failures").value(s.transport.rpc_failures);
     j.end_object();
+    if (faults_on) {
+      j.key("fault_schedule").begin_object();
+      j.key("seed").value(faulty->schedule().seed);
+      j.key("spec").value(faulty->schedule().to_string());
+      j.key("injected_events")
+          .value(static_cast<std::uint64_t>(faulty->events().size()));
+      j.end_object();
+    }
     j.end_object();
 
     const std::string path = flags.get("json");
@@ -243,6 +297,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "  storage dump -> " << path << "\n";
+  }
+
+  if (faults_on && flags.has("fault-log")) {
+    const std::string path = flags.get("fault-log");
+    if (!faulty->dump_events(path)) {
+      std::cerr << "ccm_stress: cannot write fault log to " << path << "\n";
+      return 1;
+    }
+    std::cout << "  fault log (" << faulty->events().size() << " events) -> "
+              << path << "\n";
   }
 
   if (lockcheck_on) {

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Seeded fault-schedule sweep: the acceptance harness for the fault-injection
+# layer (net::FaultyTransport, docs/FAULTS.md). Two legs per seed:
+#
+#   in-proc   ccm_stress --drivers=1 --deterministic-writes --fault-seed=S,
+#             run twice. The injected-event logs must be byte-identical
+#             (the determinism contract) and the final storage bytes must
+#             equal a fault-free reference run (no lost committed write).
+#
+#   tcp       an N-process ccm_node loopback cluster with every process
+#             injecting the same generated schedule at its transport seam.
+#             The home process's storage dump must equal the in-process
+#             fault-free reference (convergence once faults cease), and
+#             every process must exit zero with consistency OK.
+#
+# Usage: run_fault_sweep.sh [build-dir] [seeds] [nodes] [iters] [port-base]
+#   seeds: space-separated list, e.g. "1 2 3" (default "1 2 3")
+#
+# FAULT_ARTIFACT_DIR, when set, collects fault logs + storage dumps (the CI
+# failure artifact). AUDIT=1 additionally asserts that every run reported
+# consistency OK in its JSON (`"consistent": true`).
+set -euo pipefail
+
+BUILD="${1:-build}"
+SEEDS="${2:-1 2 3}"
+NODES="${3:-3}"
+ITERS="${4:-400}"
+PORT_BASE="${5:-37600}"
+FILES=48
+WORK=$(mktemp -d)
+ARTIFACTS="${FAULT_ARTIFACT_DIR:-$WORK}"
+mkdir -p "$ARTIFACTS"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "  artifacts in $ARTIFACTS" >&2
+  exit 1
+}
+
+check_consistent() {  # check_consistent <json> <label>
+  if [[ "${AUDIT:-0}" == "1" ]]; then
+    grep -Eq '"consistent": ?true' "$1" || fail "$2: consistency not OK"
+  fi
+}
+
+# Single-driver workload: one RNG stream, so the sequence of messages
+# crossing the transport — and therefore the injected-event log — is a pure
+# function of the schedule seed.
+COMMON=(--nodes="$NODES" --drivers=1 --files="$FILES" --iters="$ITERS" \
+        --deterministic-writes)
+
+echo "== fault-free in-process reference =="
+"$BUILD/bench/ccm_stress" "${COMMON[@]}" \
+    --dump-storage="$WORK/reference.bin" \
+    --json="$ARTIFACTS/reference.json" >/dev/null
+check_consistent "$ARTIFACTS/reference.json" "reference"
+
+for SEED in $SEEDS; do
+  echo "== seed $SEED: in-proc determinism + convergence =="
+  for run in 1 2; do
+    "$BUILD/bench/ccm_stress" "${COMMON[@]}" --fault-seed="$SEED" \
+        --fault-log="$ARTIFACTS/faults-s$SEED-r$run.log" \
+        --dump-storage="$WORK/faulted-s$SEED-r$run.bin" \
+        --json="$ARTIFACTS/stress-s$SEED-r$run.json" >/dev/null
+    check_consistent "$ARTIFACTS/stress-s$SEED-r$run.json" "seed $SEED run $run"
+  done
+  cmp -s "$ARTIFACTS/faults-s$SEED-r1.log" "$ARTIFACTS/faults-s$SEED-r2.log" \
+      || fail "seed $SEED: injected-event logs differ between identical runs"
+  cmp -s "$WORK/faulted-s$SEED-r1.bin" "$WORK/faulted-s$SEED-r2.bin" \
+      || fail "seed $SEED: storage bytes differ between identical runs"
+  cmp -s "$WORK/faulted-s$SEED-r1.bin" "$WORK/reference.bin" \
+      || fail "seed $SEED: faulted storage diverged from fault-free reference"
+  events=$(wc -l <"$ARTIFACTS/faults-s$SEED-r1.log")
+  echo "   OK: $events injected events, log + storage deterministic"
+done
+
+# TCP leg: the multi-driver loopback cluster under the same generated
+# schedules. Multiple drivers make the event log schedule-dependent, so here
+# the assertion is the end state, not the log.
+TCP_COMMON=(--nodes="$NODES" --drivers="$NODES" --files="$FILES" \
+            --iters="$ITERS" --deterministic-writes)
+echo "== fault-free tcp reference =="
+"$BUILD/bench/ccm_stress" "${TCP_COMMON[@]}" \
+    --dump-storage="$WORK/tcp-reference.bin" >/dev/null
+
+for SEED in $SEEDS; do
+  echo "== seed $SEED: $NODES-process tcp cluster under faults =="
+  port=$((PORT_BASE + SEED * NODES))
+  pids=()
+  for ((i = 1; i < NODES; i++)); do
+    "$BUILD/bench/ccm_node" --node="$i" --port-base="$port" \
+        "${TCP_COMMON[@]}" --fault-seed="$SEED" \
+        --fault-log="$ARTIFACTS/tcp-s$SEED-node$i.log" \
+        --json="$ARTIFACTS/tcp-s$SEED-node$i.json" \
+        >"$WORK/node$i.log" 2>&1 &
+    pids+=($!)
+  done
+  "$BUILD/bench/ccm_node" --node=0 --port-base="$port" "${TCP_COMMON[@]}" \
+      --fault-seed="$SEED" \
+      --fault-log="$ARTIFACTS/tcp-s$SEED-node0.log" \
+      --json="$ARTIFACTS/tcp-s$SEED-node0.json" \
+      --dump-storage="$WORK/tcp-s$SEED.bin" >"$WORK/node0.log" 2>&1 \
+      || { sed "s/^/  [node 0] /" "$WORK/node0.log"; fail "seed $SEED: home process failed"; }
+  rc=0
+  for pid in "${pids[@]}"; do
+    wait "$pid" || rc=$?
+  done
+  pids=()
+  if [[ $rc -ne 0 ]]; then
+    for ((i = 1; i < NODES; i++)); do
+      sed "s/^/  [node $i] /" "$WORK/node$i.log"
+    done
+    fail "seed $SEED: a peer process exited non-zero"
+  fi
+  for ((i = 0; i < NODES; i++)); do
+    check_consistent "$ARTIFACTS/tcp-s$SEED-node$i.json" "seed $SEED node $i"
+  done
+  cmp -s "$WORK/tcp-s$SEED.bin" "$WORK/tcp-reference.bin" \
+      || fail "seed $SEED: tcp storage diverged from fault-free reference"
+  injected=$(cat "$ARTIFACTS"/tcp-s$SEED-node*.log | wc -l)
+  echo "   OK: $injected injected events across $NODES processes, storage converged"
+done
+
+echo "OK: fault sweep green (seeds: $SEEDS)"

@@ -19,6 +19,29 @@ void PerfectDirectory::set_master(const BlockId& b, NodeId n) {
 
 void PerfectDirectory::erase_master(const BlockId& b) { map_.erase(b); }
 
+std::vector<BlockId> PerfectDirectory::erase_node(NodeId n) {
+  std::vector<BlockId> erased;
+  // Order-insensitive: the caller treats the result as a set (every block's
+  // file is epoch-fenced; no per-entry ordering reaches outputs).
+  for (auto it = map_.begin(); it != map_.end();) {  // ccm-lint: allow(unordered-iter)
+    if (it->second == n) {
+      erased.push_back(it->first);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
+std::vector<std::pair<BlockId, NodeId>> PerfectDirectory::entries() const {
+  std::vector<std::pair<BlockId, NodeId>> out;
+  out.reserve(map_.size());
+  // Order-insensitive: consumed as a set by directory rebuilds.
+  for (const auto& [b, n] : map_) out.emplace_back(b, n);  // ccm-lint: allow(unordered-iter)
+  return out;
+}
+
 HintedDirectory::HintedDirectory(std::size_t nodes, std::uint32_t staleness_lag)
     : staleness_lag_(staleness_lag), hints_(nodes) {}
 

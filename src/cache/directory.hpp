@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/types.hpp"
@@ -28,6 +29,15 @@ class PerfectDirectory {
 
   void set_master(const BlockId& b, NodeId n);
   void erase_master(const BlockId& b);
+
+  /// Unregisters every master held by `n` (crash recovery); returns the
+  /// affected blocks so the caller can epoch-fence their files.
+  std::vector<BlockId> erase_node(NodeId n);
+
+  /// Every (block, holder) pair, in unspecified order (directory rebuild).
+  [[nodiscard]] std::vector<std::pair<BlockId, NodeId>> entries() const;
+
+  void clear() { map_.clear(); }
 
   [[nodiscard]] std::size_t size() const { return map_.size(); }
 

@@ -144,7 +144,12 @@ CcmCluster::Reply CcmCluster::rpc(const proto::Message& msg, BlockPtr data,
   env.msg = msg;
   env.epoch = epoch;
   env.data = std::move(data);
-  net::Envelope reply = transport_->call(std::move(env));
+  // Bounded retry with backoff: no RPC may hang forever on a lossy link or a
+  // dead peer. Exhausted retries surface as net::TransportError; each call
+  // site absorbs the failure according to the protocol's idempotency rules
+  // (see docs/FAULTS.md).
+  net::Envelope reply =
+      net::call_with_retry(*transport_, env, net::RetryPolicy{}, &retry_stats_);
   return {reply.msg, std::move(reply.data)};
 }
 
@@ -344,6 +349,7 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
     case proto::MsgKind::kDirWriteEnd:
     case proto::MsgKind::kDirReadCacheable:
     case proto::MsgKind::kDirInvalidateFile:
+    case proto::MsgKind::kDirPurgeNode:
       return handle_directory(self, msg);
 
     case proto::MsgKind::kStorageRead: {
@@ -464,6 +470,16 @@ CcmCluster::Reply CcmCluster::handle_directory(cache::NodeId self,
       return {proto::Message::dir_reply(self, to, msg.block,
                                         cache::kInvalidNode, 0, true, false),
               nullptr};
+    case proto::MsgKind::kDirPurgeNode: {
+      // `count` names the dead node; the purged-master count rides back in
+      // the reply's epoch slot. Idempotent: a re-ask purges nothing more.
+      const std::size_t purged =
+          d.purge_node(static_cast<cache::NodeId>(msg.count));
+      return {proto::Message::dir_reply(self, to, msg.block,
+                                        cache::kInvalidNode, purged, true,
+                                        false),
+              nullptr};
+    }
     default:
       assert(false && "not a directory request");
       return {proto::Message::dir_reply(self, to, msg.block,
@@ -518,12 +534,21 @@ void CcmCluster::make_room_locked(util::UniqueLock<util::CountingMutex>& lock,
       continue;
     }
     lock.unlock();
-    const Reply ack =
-        rpc(proto::Message::master_forward(node, to, pf->block, pf->age,
-                                           pf->slots, config_.block_bytes),
-            std::move(data), *epoch);
+    bool accepted = false;
+    try {
+      const Reply ack =
+          rpc(proto::Message::master_forward(node, to, pf->block, pf->age,
+                                             pf->slots, config_.block_bytes),
+              std::move(data), *epoch);
+      accepted = ack.msg.has(proto::kFlagAccepted);
+    } catch (const net::TransportError&) {
+      // The receiver is dead or the link ate every retry. Either the forward
+      // never landed (the block is simply lost — safe, it has a disk copy) or
+      // it landed and only the ack was lost, in which case forward_rejected
+      // below merely skews stats: the receiver's registered claim stays.
+    }
     lock.lock();
-    if (ack.msg.has(proto::kFlagAccepted)) {
+    if (accepted) {
       ++sh.state.stats().forwards_accepted;
     } else {
       dir_->forward_rejected(pf->block, node);
@@ -567,9 +592,16 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
       // Remote hit: fetch a copy from the master holder. In hinted mode a
       // stale hint was already counted (and the request re-chained) by
       // lookup_for_read, exactly as ClusterCache charges it.
-      const Reply reply =
-          rpc(proto::Message::peer_fetch(node, lk.master, block,
-                                         lk.misdirected));
+      Reply reply;
+      try {
+        reply = rpc(proto::Message::peer_fetch(node, lk.master, block,
+                                               lk.misdirected));
+      } catch (const net::TransportError&) {
+        // Master unreachable (crashed, or the link ate every retry): re-read
+        // the directory — a crash purge re-homes the block; otherwise the
+        // bounded acquire loop falls back to an uncached storage read.
+        continue;
+      }
       if (!reply.msg.has(proto::kFlagHit) || !reply.data) {
         continue;  // the master moved while the fetch was in flight
       }
@@ -760,19 +792,31 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
     for (std::size_t p = 0; p < config_.nodes; ++p) {
       const auto peer = static_cast<cache::NodeId>(p);
       if (peer == node) continue;
-      rpc(proto::Message::invalidate_block(node, peer, block,
-                                           /*drop_master=*/false));
+      try {
+        rpc(proto::Message::invalidate_block(node, peer, block,
+                                             /*drop_master=*/false));
+      } catch (const net::TransportError&) {
+        // An unreachable peer under the runtime's fault model is crashed —
+        // its cache (and any stale copy) died with it, and its rejoin starts
+        // cold. Transient losses were already healed by the rpc retries.
+      }
     }
 
     // 3. Migrate ownership (with bytes) from the previous master holder.
     BlockPtr migrated;
     bool migrated_in = false;
     if (previous != cache::kInvalidNode && previous != node) {
-      const Reply reply =
-          rpc(proto::Message::write_ownership(node, previous, block));
-      if (reply.msg.has(proto::kFlagTransferred)) {
-        migrated = reply.data;
-        migrated_in = true;
+      try {
+        const Reply reply =
+            rpc(proto::Message::write_ownership(node, previous, block));
+        if (reply.msg.has(proto::kFlagTransferred)) {
+          migrated = reply.data;
+          migrated_in = true;
+        }
+      } catch (const net::TransportError&) {
+        // Previous holder unreachable: proceed without the migrated bytes —
+        // the read-modify-write base falls back to post-write-through
+        // storage, which already holds the new bytes (idempotent re-apply).
       }
     }
 
@@ -857,8 +901,13 @@ void CcmCluster::invalidate(cache::FileId file) {
   const cache::NodeId self = local_nodes_.front();
   dir_->invalidate_file(file);
   for (std::size_t n = 0; n < config_.nodes; ++n) {
-    rpc(proto::Message::invalidate_file(self, static_cast<cache::NodeId>(n),
-                                        file, nblocks));
+    try {
+      rpc(proto::Message::invalidate_file(self, static_cast<cache::NodeId>(n),
+                                          file, nblocks));
+    } catch (const net::TransportError&) {
+      // A crashed node holds no cached blocks; the epoch fence above already
+      // blocks any of its in-flight forwards from resurrecting the file.
+    }
   }
 }
 
@@ -867,10 +916,57 @@ void CcmCluster::invalidate(cache::FileId file) {
 void CcmCluster::barrier(cache::NodeId via, std::uint32_t phase) {
   shard_at(via);
   while (true) {
-    const Reply r = rpc(proto::Message::barrier(via, home_, phase));
-    if (r.msg.has(proto::kFlagGranted)) return;
+    try {
+      const Reply r = rpc(proto::Message::barrier(via, home_, phase));
+      if (r.msg.has(proto::kFlagGranted)) return;
+    } catch (const net::TransportError& e) {
+      // Re-announcing a barrier arrival is idempotent (a std::set insert at
+      // the home), so transient losses are simply re-polled; only a shutdown
+      // ends the wait.
+      if (!e.transient()) throw;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
+}
+
+// ----------------------------------------------------- crash / recovery ----
+
+std::size_t CcmCluster::crash_node(cache::NodeId node) {
+  Shard& sh = shard_at(node);
+  {
+    util::ScopedLock lock(sh.mu);
+    sh.state.reset();
+    sh.store.clear();
+  }
+  // Shard lock released before the directory fence: purge_node may be an RPC
+  // to the home process, and workers never hold a shard lock across one.
+  // Ordering is safe either way — a peer fetch that races the wipe sees
+  // "not the master" and re-reads the directory.
+  return dir_->purge_node(node);
+}
+
+void CcmCluster::rejoin_node(cache::NodeId node) {
+  Shard& sh = shard_at(node);
+  util::ScopedLock lock(sh.mu);
+  sh.state.reset();
+  sh.store.clear();
+}
+
+void CcmCluster::reconstruct_directory() {
+  if (home_dir_ == nullptr || !all_local_) {
+    throw std::logic_error(
+        "reconstruct_directory: requires the directory and every shard in "
+        "this process");
+  }
+  std::vector<std::pair<cache::BlockId, cache::NodeId>> masters;
+  for (const cache::NodeId n : local_nodes_) {
+    const Shard& sh = *shards_[n];
+    util::ScopedLock lock(sh.mu);
+    for (const auto& e : sh.state.cache().masters()) {
+      masters.emplace_back(e.block, n);
+    }
+  }
+  home_dir_->rebuild_masters(masters);
 }
 
 // --------------------------------------------------------------- stats ----
@@ -910,6 +1006,11 @@ CcmStats CcmCluster::stats() const {
   s.directory = dir_->ops();
   s.hint_misdirects = s.directory.hint_misdirects;
   s.transport = transport_->stats();
+  // Retries live at the rpc() layer, above any transport decorator.
+  s.transport.rpc_retries +=
+      retry_stats_.retries.load(std::memory_order_relaxed);
+  s.transport.rpc_failures +=
+      retry_stats_.failures.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -926,6 +1027,8 @@ void CcmCluster::reset_stats() {
     sh.messages_sent.store(0, std::memory_order_relaxed);
     sh.messages_handled.store(0, std::memory_order_relaxed);
   }
+  retry_stats_.retries.store(0, std::memory_order_relaxed);
+  retry_stats_.failures.store(0, std::memory_order_relaxed);
   dir_->reset_ops();
 }
 

@@ -160,6 +160,31 @@ class CcmCluster {
   /// use it to fence their seed/run/report phases.
   void barrier(cache::NodeId via, std::uint32_t phase);
 
+  // --- crash / recovery (fault-injection support) ---
+
+  /// Simulates a crash of hosted node `node`: wipes its policy state and
+  /// byte store (as if the process died and lost its memory) and purges the
+  /// node's masters from the directory, epoch-fencing every affected file so
+  /// claims/forwards the dead node still has in flight are rejected instead
+  /// of resurrecting its masters. Committed writes survive: every write went
+  /// through to Storage before any cached master existed. Returns how many
+  /// masters the directory purged. Call with the node's workload quiesced
+  /// (its workers idle); peer traffic may keep flowing.
+  std::size_t crash_node(cache::NodeId node);
+
+  /// Brings a previously crashed hosted node back cold: the shard restarts
+  /// empty (idempotent — resets state again) and re-publishes its summary.
+  /// The node simply resumes serving; blocks re-enter its cache through the
+  /// normal miss/claim protocol.
+  void rejoin_node(cache::NodeId node);
+
+  /// Rebuilds the cluster master map from the hosted shards' caches — the
+  /// recovery path when the directory itself must be reconstructed from
+  /// surviving per-node state. Requires the directory in this process and
+  /// every node hosted here; epoch-fences everything in flight across the
+  /// rebuild. Call at quiescence (takes every shard lock, index order).
+  void reconstruct_directory();
+
   [[nodiscard]] const CcmConfig& config() const { return config_; }
   [[nodiscard]] std::size_t node_count() const { return config_.nodes; }
 
@@ -348,6 +373,9 @@ class CcmCluster {
   std::vector<std::unique_ptr<Shard>> shards_;
   ShardView view_{*this};
   std::atomic<std::uint64_t> clock_{0};
+
+  /// Bounded-retry counters for every rpc() (merged into stats().transport).
+  net::RetryStats retry_stats_;
 
   /// Barrier service state (home only): nodes that announced each phase.
   util::Mutex barrier_mu_{"ccm.barrier"};

@@ -13,7 +13,13 @@ cache::NodeId reply_node(const proto::Message& reply) {
 proto::Message RemoteDirectory::ask(const proto::Message& request) {
   net::Envelope env;
   env.msg = request;
-  return transport_->call(std::move(env)).msg;
+  // Bounded retry: a directory RPC must never hang on a lossy or slow link,
+  // and every kDir* operation RemoteDirectory issues is idempotent or
+  // conditional at the service (see DirectoryService), so a re-ask whose
+  // first reply was lost is safe.
+  return net::call_with_retry(*transport_, env, net::RetryPolicy{},
+                              retry_stats_)
+      .msg;
 }
 
 proto::DirectoryService::ReadLookup RemoteDirectory::lookup_for_read(
@@ -90,6 +96,12 @@ bool RemoteDirectory::read_cacheable(cache::FileId file, std::uint64_t epoch) {
   return ask(proto::Message::dir_file_request(proto::MsgKind::kDirReadCacheable,
                                               local_, home_, file, epoch))
       .has(proto::kFlagGranted);
+}
+
+std::size_t RemoteDirectory::purge_node(cache::NodeId node) {
+  // The purged count rides back in the reply's epoch slot (`age`).
+  return static_cast<std::size_t>(
+      ask(proto::Message::dir_purge_node(local_, home_, node)).age);
 }
 
 }  // namespace coop::ccm

@@ -46,6 +46,10 @@ class DirectoryClient {
   virtual void write_begin(cache::FileId file) = 0;
   virtual void write_end(cache::FileId file) = 0;
   virtual bool read_cacheable(cache::FileId file, std::uint64_t epoch) = 0;
+  /// Crash fence: unregisters every master at `node` and epoch-fences the
+  /// affected files (see DirectoryService::purge_node). Returns the number
+  /// of masters purged.
+  virtual std::size_t purge_node(cache::NodeId node) = 0;
 
   // Observability. Remote clients return empty/neutral values — directory
   // counters and audits are read where the directory lives (the home
@@ -107,6 +111,9 @@ class LocalDirectory final : public DirectoryClient {
   bool read_cacheable(cache::FileId file, std::uint64_t epoch) override {
     return svc_.read_cacheable(file, epoch);
   }
+  std::size_t purge_node(cache::NodeId node) override {
+    return svc_.purge_node(node);
+  }
 
   proto::DirectoryService::Ops ops() override { return svc_.ops(); }
   void reset_ops() override { svc_.reset_ops(); }
@@ -129,9 +136,15 @@ class LocalDirectory final : public DirectoryClient {
 /// kDir* RPC over the transport, answered with a generic kDirReply.
 class RemoteDirectory final : public DirectoryClient {
  public:
+  /// `retry_stats` (optional, must outlive the client) accumulates the
+  /// bounded-retry counters of every directory RPC.
   RemoteDirectory(std::shared_ptr<net::Transport> transport,
-                  cache::NodeId local, cache::NodeId home)
-      : transport_(std::move(transport)), local_(local), home_(home) {}
+                  cache::NodeId local, cache::NodeId home,
+                  net::RetryStats* retry_stats = nullptr)
+      : transport_(std::move(transport)),
+        local_(local),
+        home_(home),
+        retry_stats_(retry_stats) {}
 
   proto::DirectoryService::ReadLookup lookup_for_read(
       cache::NodeId node, const cache::BlockId& b) override;
@@ -149,6 +162,7 @@ class RemoteDirectory final : public DirectoryClient {
   void write_begin(cache::FileId file) override;
   void write_end(cache::FileId file) override;
   bool read_cacheable(cache::FileId file, std::uint64_t epoch) override;
+  std::size_t purge_node(cache::NodeId node) override;
 
   proto::DirectoryService::Ops ops() override { return {}; }
   void reset_ops() override {}
@@ -166,6 +180,7 @@ class RemoteDirectory final : public DirectoryClient {
   std::shared_ptr<net::Transport> transport_;
   cache::NodeId local_;
   cache::NodeId home_;
+  net::RetryStats* retry_stats_;
 };
 
 }  // namespace coop::ccm

@@ -18,7 +18,9 @@ void RemoteStorage::read(cache::FileId file, std::uint64_t offset,
   net::Envelope env;
   env.msg =
       proto::Message::storage_read(local_, home_, file, offset, out.size());
-  const net::Envelope reply = transport_->call(std::move(env));
+  // Bounded retry: a re-read is idempotent and must not hang on a lossy link.
+  const net::Envelope reply =
+      net::call_with_retry(*transport_, env, net::RetryPolicy{}, retry_stats_);
   if (!reply.data || reply.data->bytes.size() != out.size()) {
     throw std::runtime_error("RemoteStorage: short read from home node");
   }
@@ -33,7 +35,9 @@ void RemoteStorage::write(cache::FileId file, std::uint64_t offset,
       proto::Message::storage_write(local_, home_, file, offset, data.size());
   env.data = net::make_ready_block(
       std::vector<std::byte>(data.begin(), data.end()));
-  transport_->call(std::move(env));  // blocks until the kStorageAck
+  // Blocks until the kStorageAck. Retrying a write whose ack was lost
+  // re-applies the same bytes at the same offset — idempotent.
+  net::call_with_retry(*transport_, env, net::RetryPolicy{}, retry_stats_);
 }
 
 }  // namespace coop::ccm

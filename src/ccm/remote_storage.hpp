@@ -24,13 +24,17 @@ namespace coop::ccm {
 
 class RemoteStorage final : public WritableStorage {
  public:
+  /// `retry_stats` (optional, must outlive the proxy) accumulates the
+  /// bounded-retry counters of every storage RPC.
   RemoteStorage(std::shared_ptr<net::Transport> transport,
                 cache::NodeId local, cache::NodeId home,
-                std::vector<std::uint32_t> file_sizes)
+                std::vector<std::uint32_t> file_sizes,
+                net::RetryStats* retry_stats = nullptr)
       : transport_(std::move(transport)),
         local_(local),
         home_(home),
-        sizes_(std::move(file_sizes)) {}
+        sizes_(std::move(file_sizes)),
+        retry_stats_(retry_stats) {}
 
   [[nodiscard]] std::size_t file_count() const override {
     return sizes_.size();
@@ -47,6 +51,7 @@ class RemoteStorage final : public WritableStorage {
   cache::NodeId local_;
   cache::NodeId home_;
   std::vector<std::uint32_t> sizes_;
+  net::RetryStats* retry_stats_;
 };
 
 }  // namespace coop::ccm

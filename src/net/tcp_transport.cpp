@@ -104,9 +104,29 @@ std::optional<cache::NodeId> TcpTransport::handshake(int fd) {
 void TcpTransport::adopt_connection(int fd, cache::NodeId peer) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Reap a dead predecessor first: a peer that crashed and re-dialed still
+  // owns a stale conns_ entry whose threads have exited (or are on their way
+  // out through drop_connection). Extract it under the lock, join outside —
+  // the reader/writer take mu_ themselves as they unwind, and adopt runs
+  // only on the accept_loop / connect_peers threads, never on a reader or
+  // writer, so the join cannot deadlock or self-join.
+  std::unique_ptr<Connection> dead;
+  {
+    util::ScopedLock lock(mu_);
+    Connection* existing = conns_[peer].get();
+    if (existing != nullptr &&
+        !existing->alive.load(std::memory_order_acquire)) {
+      dead = std::move(conns_[peer]);
+    }
+  }
+  if (dead != nullptr) {
+    if (dead->reader.joinable()) dead->reader.join();
+    if (dead->writer.joinable()) dead->writer.join();
+    close_fd(dead->fd);
+  }
   util::ScopedLock lock(mu_);
   if (closed_ || conns_[peer] != nullptr) {
-    ::close(fd);  // duplicate or late connection
+    ::close(fd);  // duplicate live connection, or shutting down
     return;
   }
   auto conn = std::make_unique<Connection>(config_.outbox_capacity, peer);
@@ -339,23 +359,47 @@ Envelope TcpTransport::call(Envelope env) {
   pending->dest = env.msg.to;
   {
     util::ScopedLock lock(mu_);
-    if (closed_) throw std::runtime_error("transport is shut down");
+    if (closed_) {
+      throw TransportError(TransportError::Kind::kShutdown,
+                           "transport is shut down");
+    }
     env.seq = next_seq_++;
     pending_.emplace(env.seq, pending);
   }
   const std::uint64_t seq = env.seq;
   if (!post(std::move(env))) {
+    bool was_closed = false;
     {
       util::ScopedLock lock(mu_);
       pending_.erase(seq);
+      was_closed = closed_;
     }
-    throw std::runtime_error("peer " + std::to_string(pending->dest) +
+    if (was_closed) {
+      throw TransportError(TransportError::Kind::kShutdown,
+                           "transport is shut down");
+    }
+    throw TransportError(TransportError::Kind::kPeerDown,
+                         "peer " + std::to_string(pending->dest) +
                              " is unreachable");
   }
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.call_timeout;
   util::UniqueLock lock(mu_);
-  while (!pending->done) pending->cv.wait(lock);
+  while (!pending->done) {
+    if (pending->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !pending->done) {
+      pending_.erase(seq);
+      ++stats_.rpc_timeouts;
+      throw TransportError(TransportError::Kind::kTimeout,
+                           "call to peer " + std::to_string(pending->dest) +
+                               " timed out after " +
+                               std::to_string(config_.call_timeout.count()) +
+                               " ms");
+    }
+  }
   if (pending->failed) {
-    throw std::runtime_error("peer " + std::to_string(pending->dest) +
+    throw TransportError(TransportError::Kind::kPeerDown,
+                         "peer " + std::to_string(pending->dest) +
                              " dropped while a call was pending");
   }
   ++stats_.rpcs;

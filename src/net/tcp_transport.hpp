@@ -18,8 +18,12 @@
 // deadline is dropped rather than wedging the sender.
 //
 // Failure model: a malformed frame, a mid-frame EOF, or a stalled outbox
-// drops that connection; RPCs pending against the dead peer fail with
-// std::runtime_error, everything else keeps flowing.
+// drops that connection; RPCs pending against the dead peer fail promptly
+// with TransportError (kPeerDown, or kTimeout if the peer simply never
+// answers within call_timeout), everything else keeps flowing. A peer that
+// re-dials after its connection died is adopted back in: adopt_connection
+// reaps the dead connection's threads and installs the new socket, which is
+// what lets a crashed node rejoin a live mesh.
 #pragma once
 
 #include <atomic>
@@ -56,6 +60,9 @@ struct TcpConfig {
   std::chrono::milliseconds connect_timeout{20000};
   /// Outbox backpressure deadline (Mailbox::send_for).
   std::chrono::milliseconds send_timeout{10000};
+  /// call() reply deadline: a call against a peer that stays silent fails
+  /// with TransportError::kTimeout instead of blocking forever.
+  std::chrono::milliseconds call_timeout{30000};
 };
 
 class TcpTransport final : public Transport {

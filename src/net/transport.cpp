@@ -1,10 +1,43 @@
 #include "net/transport.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace coop::net {
 
-InProcTransport::InProcTransport(std::size_t nodes, std::size_t capacity) {
+Envelope call_with_retry(Transport& transport, const Envelope& env,
+                         const RetryPolicy& policy,
+                         RetryStats* retry_stats) {
+  auto backoff = policy.backoff;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      // Fresh copy per attempt: call() stamps a new seq, and the previous
+      // attempt's envelope was consumed (the payload pointer is shared, so
+      // re-sends stay cheap).
+      return transport.call(env);
+    } catch (const TransportError& e) {
+      if (!e.transient() || attempt >= policy.attempts) {
+        if (retry_stats != nullptr) {
+          retry_stats->failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        throw;
+      }
+    }
+    if (retry_stats != nullptr) {
+      retry_stats->retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(
+        std::chrono::milliseconds(static_cast<std::int64_t>(
+            static_cast<double>(backoff.count()) * policy.multiplier)),
+        policy.max_backoff);
+  }
+}
+
+InProcTransport::InProcTransport(std::size_t nodes, std::size_t capacity,
+                                 std::chrono::milliseconds call_timeout)
+    : call_timeout_(call_timeout) {
   if (nodes == 0) throw std::invalid_argument("InProcTransport: 0 nodes");
   mailboxes_.reserve(nodes);
   for (std::size_t n = 0; n < nodes; ++n) {
@@ -17,7 +50,10 @@ Envelope InProcTransport::call(Envelope env) {
   auto pending = std::make_shared<PendingCall>();
   {
     util::ScopedLock lock(mu_);
-    if (closed_) throw std::runtime_error("transport is shut down");
+    if (closed_) {
+      throw TransportError(TransportError::Kind::kShutdown,
+                           "transport is shut down");
+    }
     env.seq = next_seq_++;
     pending_.emplace(env.seq, pending);
   }
@@ -25,13 +61,25 @@ Envelope InProcTransport::call(Envelope env) {
   if (!post(std::move(env))) {
     util::ScopedLock lock(mu_);
     pending_.erase(seq);
-    throw std::runtime_error("transport is shut down");
+    throw TransportError(TransportError::Kind::kShutdown,
+                         "transport is shut down");
   }
+  const auto deadline = std::chrono::steady_clock::now() + call_timeout_;
   util::UniqueLock lock(mu_);
-  while (!pending->done && !closed_) pending->cv.wait(lock);
+  while (!pending->done && !closed_) {
+    if (pending->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !pending->done) {
+      pending_.erase(seq);
+      ++stats_.rpc_timeouts;
+      throw TransportError(TransportError::Kind::kTimeout,
+                           "call timed out after " +
+                               std::to_string(call_timeout_.count()) + " ms");
+    }
+  }
   if (!pending->done) {
     pending_.erase(seq);
-    throw std::runtime_error("transport is shut down");
+    throw TransportError(TransportError::Kind::kShutdown,
+                         "transport is shut down");
   }
   ++stats_.rpcs;
   return std::move(pending->reply);

@@ -20,11 +20,15 @@
 // thread.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "ccm/transport.hpp"
@@ -37,7 +41,9 @@ namespace coop::net {
 
 /// Delivery counters, uniform across implementations; the socket transport
 /// also fills the byte/flush fields (one flush == one write syscall, so
-/// sent/flushes is the control-message batching factor).
+/// sent/flushes is the control-message batching factor). The injected_*
+/// fields are filled only by FaultyTransport (net/fault.hpp); the rpc_*
+/// failure counters by the call()/call_with_retry recovery paths.
 struct TransportStats {
   std::uint64_t sent = 0;            // envelopes handed to the transport
   std::uint64_t received = 0;        // envelopes delivered (incl. replies)
@@ -46,6 +52,54 @@ struct TransportStats {
   std::uint64_t bytes_received = 0;  // framed bytes read (TCP)
   std::uint64_t flushes = 0;         // write syscalls (TCP)
   std::uint64_t frame_errors = 0;    // malformed frames -> dropped peers
+  std::uint64_t injected_drops = 0;      // messages swallowed by a fault rule
+  std::uint64_t injected_delays = 0;     // messages held back by a fault rule
+  std::uint64_t injected_duplicates = 0; // messages delivered twice
+  std::uint64_t injected_reorders = 0;   // messages swapped with a successor
+  std::uint64_t rpc_timeouts = 0;    // call() deadlines that expired
+  std::uint64_t rpc_retries = 0;     // call_with_retry re-attempts
+  std::uint64_t rpc_failures = 0;    // retry budgets exhausted -> error
+};
+
+/// Classified transport failure. Everything the transports throw on a
+/// delivery path is one of these (it derives from std::runtime_error, so
+/// pre-existing catch sites keep working); retry loops key off transient().
+class TransportError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kTimeout,   // call() deadline expired (peer alive but unresponsive?)
+    kPeerDown,  // destination unreachable / dropped mid-call / crashed
+    kShutdown,  // this transport is closed — final, never retried
+    kInjected,  // a FaultSchedule rule consumed the message
+  };
+
+  TransportError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  /// Worth re-attempting? A shut-down transport never heals; a timed-out,
+  /// crashed, or fault-injected delivery may.
+  [[nodiscard]] bool transient() const { return kind_ != Kind::kShutdown; }
+
+ private:
+  Kind kind_;
+};
+
+/// Bounded-retry envelope for call(): geometric backoff, hard attempt cap.
+/// The defaults ride out a few injected drops or a send-window partition
+/// without masking a genuinely dead peer for more than ~a quarter second.
+struct RetryPolicy {
+  int attempts = 4;                       // total tries (1 = no retry)
+  std::chrono::milliseconds backoff{2};   // sleep before the first retry
+  double multiplier = 2.0;                // backoff growth per retry
+  std::chrono::milliseconds max_backoff{100};
+};
+
+/// Shared counters a retry call-site aggregates into (thread-safe; merged
+/// into TransportStats::rpc_retries / rpc_failures by the owner).
+struct RetryStats {
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> failures{0};
 };
 
 class Transport {
@@ -53,8 +107,9 @@ class Transport {
   virtual ~Transport() = default;
 
   /// Blocking request/response: assigns a fresh seq, delivers to
-  /// env.msg.to, waits for the reply. Throws std::runtime_error when the
-  /// transport (or the peer) is shut down.
+  /// env.msg.to, waits for the reply. Throws TransportError when the
+  /// transport (or the peer) is shut down, the peer dies mid-call, or the
+  /// call deadline expires — no call blocks forever on a dead peer.
   virtual Envelope call(Envelope env) = 0;
 
   /// One-way delivery to env.msg.to (replies, fire-and-forget posts).
@@ -83,11 +138,22 @@ class Transport {
   }
 };
 
+/// Issues `env` through transport.call(), re-attempting on transient
+/// TransportErrors under `policy` (each attempt re-sends a fresh copy; the
+/// request must therefore be idempotent or tolerated as at-least-once — see
+/// docs/FAULTS.md for the per-kind analysis). Non-transient errors and
+/// exhausted budgets propagate the last error after counting a failure.
+Envelope call_with_retry(Transport& transport, const Envelope& env,
+                         const RetryPolicy& policy = {},
+                         RetryStats* retry_stats = nullptr);
+
 /// All nodes in one process: per-node request mailboxes (the original
 /// runtime seam) plus a shared pending-reply table for call().
 class InProcTransport final : public Transport {
  public:
-  explicit InProcTransport(std::size_t nodes, std::size_t capacity = 1024);
+  explicit InProcTransport(
+      std::size_t nodes, std::size_t capacity = 1024,
+      std::chrono::milliseconds call_timeout = std::chrono::seconds(30));
 
   Envelope call(Envelope env) override;
   bool post(Envelope env) override;
@@ -105,6 +171,7 @@ class InProcTransport final : public Transport {
   };
 
   std::vector<std::unique_ptr<ccm::Mailbox<Envelope>>> mailboxes_;
+  const std::chrono::milliseconds call_timeout_;
 
   mutable util::Mutex mu_{"net.inproc.state"};  // pending table + counters
   bool closed_ GUARDED_BY(mu_) = false;

@@ -41,7 +41,9 @@ NodeId DirectoryService::lookup(const BlockId& b) const {
 
 bool DirectoryService::try_claim(const BlockId& b, NodeId node) {
   util::ScopedLock lock(mu_);
-  if (map_.lookup(b) != cache::kInvalidNode) {
+  const NodeId current = map_.lookup(b);
+  if (current == node) return true;  // at-least-once re-ask: already ours
+  if (current != cache::kInvalidNode) {
     ++ops_.claim_conflicts;
     return false;
   }
@@ -78,6 +80,9 @@ std::optional<std::uint64_t> DirectoryService::begin_forward(const BlockId& b,
 bool DirectoryService::claim_forwarded(const BlockId& b, NodeId to,
                                        NodeId from, std::uint64_t epoch) {
   util::ScopedLock lock(mu_);
+  if (file_epoch_locked(b.file) == epoch && map_.lookup(b) == to) {
+    return true;  // at-least-once re-ask: the first delivery already landed
+  }
   if (file_epoch_locked(b.file) != epoch ||
       map_.lookup(b) != cache::kInvalidNode) {
     // The loser's forward_rejected() call does the counting and hint drop.
@@ -128,6 +133,37 @@ NodeId DirectoryService::write_claim(const BlockId& b, NodeId writer) {
 void DirectoryService::invalidate_file(FileId file) {
   util::ScopedLock lock(mu_);
   ++epochs_[file];
+}
+
+std::size_t DirectoryService::purge_node(NodeId node) {
+  util::ScopedLock lock(mu_);
+  const std::vector<BlockId> purged = map_.erase_node(node);
+  for (const BlockId& b : purged) {
+    ++epochs_[b.file];  // fence: the dead node's in-flight claims go stale
+    if (mode_ == cache::DirectoryMode::kHinted) {
+      hints_.erase_master(b, node);
+    }
+  }
+  ops_.masters_purged += purged.size();
+  return purged.size();
+}
+
+void DirectoryService::rebuild_masters(
+    const std::vector<std::pair<BlockId, NodeId>>& masters) {
+  util::ScopedLock lock(mu_);
+  // Order-insensitive: per-file epoch increments commute.
+  for (const auto& [b, n] : map_.entries()) {  // ccm-lint: allow(unordered-iter)
+    (void)n;
+    ++epochs_[b.file];
+  }
+  map_.clear();
+  for (const auto& [b, n] : masters) {
+    map_.set_master(b, n);
+    ++epochs_[b.file];
+    if (mode_ == cache::DirectoryMode::kHinted) {
+      hints_.set_master(b, n, n);
+    }
+  }
 }
 
 void DirectoryService::write_begin(FileId file) {

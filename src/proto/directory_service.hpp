@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "cache/directory.hpp"
 #include "cache/coop_cache.hpp"
@@ -40,6 +42,7 @@ class DirectoryService {
     std::uint64_t masters_dropped = 0;
     std::uint64_t write_claims = 0;
     std::uint64_t hint_misdirects = 0;
+    std::uint64_t masters_purged = 0;   // crash fences (purge_node)
   };
 
   DirectoryService(std::size_t nodes, cache::DirectoryMode mode,
@@ -69,6 +72,9 @@ class DirectoryService {
 
   /// Registers `node` as master of `b` iff no master exists (a disk reader
   /// becoming the master holder). False: somebody beat us — retry the read.
+  /// Idempotent for the claimant: re-asking while already registered
+  /// succeeds, so a retried claim whose first reply was lost cannot strand
+  /// a master the claimant believes it failed to take.
   bool try_claim(const BlockId& b, NodeId node);
 
   /// Starts forwarding `b`'s master away from `from`: unregisters it so
@@ -86,6 +92,8 @@ class DirectoryService {
   /// unclaimed and the file has not been invalidated since `epoch` (a rival
   /// disk-read claim, a write claim, or an invalidation wins the race).
   /// `from` is the forwarding node, credited as the hint observer.
+  /// Idempotent for `to`: a retried claim that already landed (same epoch)
+  /// succeeds again instead of reading its own registration as a rival's.
   bool claim_forwarded(const BlockId& b, NodeId to, NodeId from,
                        std::uint64_t epoch);
 
@@ -110,6 +118,20 @@ class DirectoryService {
   /// File invalidation fence: bumps the file's epoch so in-flight master
   /// forwards of its blocks are rejected instead of resurrecting stale data.
   void invalidate_file(FileId file);
+
+  /// Crash fence: unregisters every master held at `node` and bumps the
+  /// epoch of each affected file, so claims/forwards the dead node still
+  /// has in flight carry stale epochs and are rejected rather than
+  /// resurrecting its masters. Returns how many masters were purged.
+  std::size_t purge_node(NodeId node);
+
+  /// Directory reconstruction (e.g. after the directory holder itself is
+  /// restarted): replaces the whole master map with `masters`, gathered
+  /// from surviving per-node caches, and epoch-fences every file touched by
+  /// the old or new map so anything in flight across the rebuild loses its
+  /// race cleanly.
+  void rebuild_masters(
+      const std::vector<std::pair<BlockId, NodeId>>& masters);
 
   /// Write span fence. A writer brackets the whole multi-block write with
   /// write_begin/write_end; while any write to the file is in flight,

@@ -336,6 +336,15 @@ Message Message::barrier_reply(NodeId home, NodeId to, std::uint32_t phase,
   return m;
 }
 
+Message Message::dir_purge_node(NodeId from, NodeId home, NodeId node) {
+  Message m;
+  m.kind = MsgKind::kDirPurgeNode;
+  m.from = from;
+  m.to = home;
+  m.count = node;
+  return m;
+}
+
 bool is_reply(MsgKind kind) {
   switch (kind) {
     case MsgKind::kBlockLookupReply:
@@ -392,6 +401,7 @@ const char* kind_name(MsgKind kind) {
     case MsgKind::kStorageAck: return "storage-ack";
     case MsgKind::kBarrier: return "barrier";
     case MsgKind::kBarrierReply: return "barrier-reply";
+    case MsgKind::kDirPurgeNode: return "dir-purge-node";
   }
   return "unknown";
 }

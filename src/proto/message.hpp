@@ -77,11 +77,15 @@ enum class MsgKind : std::uint8_t {
   // phases of the loopback workload).
   kBarrier,               // node -> home: I reached phase `count`
   kBarrierReply,          // home -> node: granted once every node reached it
+
+  // Recovery: fence a crashed node out of the directory. Answered by
+  // kDirReply; `count` carries the dead node's id.
+  kDirPurgeNode,          // survivor -> home: purge_node(node)
 };
 
 /// Number of distinct message kinds (wire-format validation bound).
 inline constexpr std::uint8_t kMsgKindCount =
-    static_cast<std::uint8_t>(MsgKind::kBarrierReply) + 1;
+    static_cast<std::uint8_t>(MsgKind::kDirPurgeNode) + 1;
 
 /// Flag bits (meaning depends on kind; unused bits must be zero).
 inline constexpr std::uint8_t kFlagMisdirected = 1u << 0;  // stale-hint hop(s)
@@ -176,6 +180,10 @@ struct Message {
   static Message barrier(NodeId from, NodeId home, std::uint32_t phase);
   static Message barrier_reply(NodeId home, NodeId to, std::uint32_t phase,
                                bool granted);
+
+  /// Crash recovery: evict every directory entry mastered by `node` and
+  /// epoch-fence the files it touched (see DirectoryService::purge_node).
+  static Message dir_purge_node(NodeId from, NodeId home, NodeId node);
 };
 
 /// True for kinds that answer a request (the transport routes these to the

@@ -37,7 +37,15 @@ NodeState::NodeState(cache::NodeId id, const cache::CoopCacheConfig& config)
     : id_(id),
       cluster_nodes_(config.nodes),
       policy_(config.policy),
-      cache_(config.capacity_bytes, config.block_bytes) {}
+      capacity_bytes_(config.capacity_bytes),
+      block_bytes_(config.block_bytes),
+      cache_(capacity_bytes_, block_bytes_) {}
+
+void NodeState::reset() {
+  cache_ = cache::NodeCache(capacity_bytes_, block_bytes_);
+  stats_ = cache::CacheStats{};
+  publish();
+}
 
 void NodeState::drop_entry(const cache::BlockId& b,
                            std::vector<cache::Drop>& drops) {

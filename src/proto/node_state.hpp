@@ -134,6 +134,12 @@ class NodeState {
   /// Undoes a forward insert whose directory claim lost a race.
   void erase_entry(const cache::BlockId& b) { cache_.erase(b); }
 
+  /// Crash simulation: forgets every cached entry and statistic, as if the
+  /// node process died and restarted cold, then re-publishes the empty
+  /// summary. The caller owes the directory fence (purge_node) — this only
+  /// resets local state.
+  void reset();
+
   // --- published summary (lock-free reads by peers) ---
 
   /// Re-publishes oldest age and fullness; call before releasing the shard
@@ -157,6 +163,8 @@ class NodeState {
   cache::NodeId id_;
   std::size_t cluster_nodes_;
   cache::Policy policy_;
+  std::uint64_t capacity_bytes_;  // kept for reset() reconstruction
+  std::uint32_t block_bytes_;
   cache::NodeCache cache_;
   cache::CacheStats stats_;
   std::atomic<std::uint64_t> pub_oldest_age_{kNoAge};

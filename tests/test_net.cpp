@@ -7,11 +7,13 @@
 // delivers a partial message.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -228,6 +230,82 @@ TEST(Frame, GarbageMessageBytesPoisonWithoutDroppingEarlierFrames) {
   EXPECT_FALSE(reader.next().has_value());
 }
 
+// Deterministic seeded fuzz of the reassembler: whatever arrives — bit
+// flips, truncation, duplicated chunks, spliced garbage, arbitrary slice
+// boundaries — the reader either delivers well-formed frames or poisons the
+// stream. It never crashes, never loops, and never delivers past a poison.
+TEST(Frame, SeededFuzzPoisonsButNeverCrashes) {
+  sim::Rng rng(20260808);
+  std::size_t poisoned_streams = 0;
+  std::size_t delivered_frames = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<std::byte> stream;
+    const std::size_t frames = 1 + rng.uniform_int(4);
+    for (std::size_t i = 0; i < frames; ++i) {
+      const std::size_t payload =
+          rng.uniform_int(3) == 0 ? 1 + rng.uniform_int(64) : 0;
+      const auto f = net::encode_frame(make_envelope(i + 1, payload),
+                                       rng.uniform_int(1000),
+                                       rng.uniform_int(2) == 1);
+      stream.insert(stream.end(), f.begin(), f.end());
+    }
+    switch (rng.uniform_int(4)) {
+      case 0:  // flip a few bytes anywhere (headers included)
+        for (int k = 0; k < 3; ++k) {
+          stream[rng.uniform_int(stream.size())] ^=
+              static_cast<std::byte>(1 + rng.uniform_int(255));
+        }
+        break;
+      case 1:  // truncate mid-frame
+        stream.resize(1 + rng.uniform_int(stream.size()));
+        break;
+      case 2: {  // duplicate a chunk in place
+        const std::size_t at = rng.uniform_int(stream.size());
+        const std::size_t len =
+            std::min(stream.size() - at,
+                     static_cast<std::size_t>(1 + rng.uniform_int(40)));
+        const std::vector<std::byte> chunk(
+            stream.begin() + static_cast<std::ptrdiff_t>(at),
+            stream.begin() + static_cast<std::ptrdiff_t>(at + len));
+        stream.insert(stream.begin() + static_cast<std::ptrdiff_t>(at),
+                      chunk.begin(), chunk.end());
+        break;
+      }
+      default: {  // splice garbage bytes
+        std::vector<std::byte> junk(1 + rng.uniform_int(64));
+        for (auto& b : junk) {
+          b = static_cast<std::byte>(rng.uniform_int(256));
+        }
+        const std::size_t at = rng.uniform_int(stream.size() + 1);
+        stream.insert(stream.begin() + static_cast<std::ptrdiff_t>(at),
+                      junk.begin(), junk.end());
+        break;
+      }
+    }
+    net::FrameReader reader;
+    std::size_t off = 0;
+    bool ok = true;
+    while (off < stream.size() && ok) {
+      const std::size_t n =
+          std::min(stream.size() - off,
+                   static_cast<std::size_t>(1 + rng.uniform_int(48)));
+      ok = reader.feed(std::span<const std::byte>(stream).subspan(off, n));
+      off += n;
+      while (reader.next().has_value()) {
+        ++delivered_frames;
+      }
+    }
+    if (reader.poisoned()) {
+      ++poisoned_streams;
+      EXPECT_FALSE(reader.feed(stream));          // stays poisoned
+      EXPECT_FALSE(reader.next().has_value());    // delivers nothing more
+    }
+  }
+  // The sweep must exercise both outcomes, or it is not testing anything.
+  EXPECT_GT(poisoned_streams, 0u);
+  EXPECT_GT(delivered_frames, 0u);
+}
+
 // ---------------------------------------------------------- transports ----
 
 /// Serves `transport`'s inbound queue, answering kBarrier with a granted
@@ -334,6 +412,73 @@ TEST(TcpTransport, UnreadyPayloadDefersWithoutBlockingLaterTraffic) {
   t0.close();
   t1.close();
   server.join();
+}
+
+// Regression: a call pending on a connection that dies must fail with a
+// transport error as soon as the death is detected — not sit out the full
+// 30 s call deadline. The old call() parked the waiter with no wakeup when
+// the peer closed (or its stream poisoned) underneath it.
+TEST(TcpTransport, PendingCallFailsWhenPeerShutsDown) {
+  net::TcpConfig c0;
+  c0.local_node = 0;
+  c0.nodes = 2;
+  net::TcpConfig c1 = c0;
+  c1.local_node = 1;
+  net::TcpTransport t0(c0), t1(c1);
+  const std::vector<net::TcpPeer> peers = {{"127.0.0.1", t0.listen_port()},
+                                           {"127.0.0.1", t1.listen_port()}};
+  std::thread mesh0([&] { t0.connect_peers(peers); });
+  t1.connect_peers(peers);
+  mesh0.join();
+
+  // Nobody serves t1's queue; kill it while the call is in flight.
+  std::thread killer([&t1] {
+    std::this_thread::sleep_for(50ms);
+    t1.close();
+  });
+  const auto t_start = std::chrono::steady_clock::now();
+  try {
+    net::Envelope req;
+    req.msg = proto::Message::barrier(0, 1, 1);
+    (void)t0.call(std::move(req));
+    FAIL() << "a call into a dying peer must not succeed";
+  } catch (const net::TransportError& e) {
+    EXPECT_EQ(e.kind(), net::TransportError::Kind::kPeerDown);
+    EXPECT_TRUE(e.transient());  // the peer may come back — retryable
+  }
+  // Failed via connection-death detection, not the 30 s deadline.
+  EXPECT_LT(std::chrono::steady_clock::now() - t_start, 10s);
+  killer.join();
+  t0.close();
+}
+
+// An alive-but-silent peer is bounded by the call deadline instead.
+TEST(TcpTransport, UnansweredCallTimesOutAndCounts) {
+  net::TcpConfig c0;
+  c0.local_node = 0;
+  c0.nodes = 2;
+  c0.call_timeout = 100ms;
+  net::TcpConfig c1 = c0;
+  c1.local_node = 1;
+  net::TcpTransport t0(c0), t1(c1);
+  const std::vector<net::TcpPeer> peers = {{"127.0.0.1", t0.listen_port()},
+                                           {"127.0.0.1", t1.listen_port()}};
+  std::thread mesh0([&] { t0.connect_peers(peers); });
+  t1.connect_peers(peers);
+  mesh0.join();
+
+  // t1 accepts the request but never answers it.
+  try {
+    net::Envelope req;
+    req.msg = proto::Message::barrier(0, 1, 1);
+    (void)t0.call(std::move(req));
+    FAIL() << "an unanswered call must time out";
+  } catch (const net::TransportError& e) {
+    EXPECT_EQ(e.kind(), net::TransportError::Kind::kTimeout);
+  }
+  EXPECT_EQ(t0.stats().rpc_timeouts, 1u);
+  t0.close();
+  t1.close();
 }
 
 // ------------------------------------ cluster equality across runtimes ----
