@@ -24,7 +24,21 @@
 //   --deterministic-writes   as in ccm_stress
 //   --dump-storage=PATH  home only: final storage bytes -> PATH
 //   --connect-timeout-ms=N   peer dial/mesh deadline          (default 20000)
-//   --json[=PATH]        emit a JSON report (stdout or PATH)
+//   --json[=PATH]        emit a JSON report (stdout or PATH), including a
+//                        "metrics" block with per-RPC-kind latency
+//                        percentiles (see docs/OBSERVABILITY.md)
+//   --metrics-out=PATH   dump this process's metrics registry in binary
+//                        snapshot form (aggregate with tools/ccm_metrics)
+//   --scrape             hold an extra post-run barrier so the home process
+//                        can scrape every process over kStatsPull; pass to
+//                        ALL nodes whenever the home gets --scrape-out
+//   --scrape-out=PATH    home only (implies --scrape): pull one merged
+//                        cluster-wide metrics snapshot over kStatsPull RPCs
+//                        and write it as JSON to PATH
+//   --runtime-trace-out=PATH  arm wall-clock runtime tracing for the
+//                        measured phase and write this process's span log to
+//                        PATH; merge the per-process logs with
+//                        tools/ccm_metrics --trace-out for a Perfetto view
 //   --faults=SPEC        inject faults from an explicit schedule spec (see
 //                        net::FaultSchedule::parse / docs/FAULTS.md)
 //   --fault-seed=N       inject a generated schedule drawn from seed N
@@ -47,8 +61,10 @@
 #include "ccm/remote_storage.hpp"
 #include "ccm/storage.hpp"
 #include "ccm_workload.hpp"
+#include "ccm_report.hpp"
 #include "net/fault.hpp"
 #include "net/tcp_transport.hpp"
+#include "obs/runtime_trace.hpp"
 #include "util/audit.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -62,6 +78,9 @@ namespace {
 /// Seed (all files written once) and done (all ops retired) fences.
 constexpr std::uint32_t kPhaseSeeded = 0;
 constexpr std::uint32_t kPhaseDone = 1;
+/// Post-run metrics fence: peers park here (protocol threads still serving)
+/// while the home pulls every process's registry over kStatsPull.
+constexpr std::uint32_t kPhaseScraped = 2;
 
 }  // namespace
 
@@ -205,6 +224,12 @@ int main(int argc, char** argv) {
   cluster.barrier(local, kPhaseSeeded);
   cluster.reset_stats();
 
+  // Arm wall-clock span recording for the measured phase only (the seed
+  // phase would flood the bounded log). Every process must get the flag or
+  // remote handler slices are missing from the merged trace.
+  const bool trace_on = flags.has("runtime-trace-out");
+  if (trace_on) cluster.enable_runtime_trace();
+
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   std::size_t local_drivers = 0;
@@ -218,6 +243,34 @@ int main(int argc, char** argv) {
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  // Cluster-wide scrape, fenced so no process tears down mid-pull: the home
+  // merges its own registry with one kStatsPull per remote node (deduped by
+  // process), then everyone releases through the kPhaseScraped barrier.
+  const bool scrape_on =
+      flags.get_bool("scrape", false) || flags.has("scrape-out");
+  if (scrape_on) {
+    if (is_home && flags.has("scrape-out")) {
+      const obs::MetricsSnapshot cluster_wide = cluster.scrape_cluster();
+      util::JsonWriter j;
+      j.begin_object();
+      j.key("bench").value("ccm_node-scrape");
+      j.key("nodes").value(static_cast<std::uint64_t>(nodes));
+      ccm_bench::metrics_block(j, "metrics", cluster_wide);
+      j.end_object();
+      const std::string path = flags.get("scrape-out");
+      std::ofstream out(path);
+      out << j.str() << "\n";
+      if (!out) {
+        std::cerr << "ccm_node: cannot write cluster metrics to " << path
+                  << "\n";
+      } else {
+        std::cout << "  cluster metrics (" << cluster_wide.processes
+                  << " of " << nodes << " processes) -> " << path << "\n";
+      }
+    }
+    cluster.barrier(local, kPhaseScraped);
+  }
 
   const auto s = cluster.stats();
   const auto ts = transport->stats();
@@ -313,6 +366,8 @@ int main(int argc, char** argv) {
     j.key("proxy_retries").value(proxy_retries.retries.load());
     j.key("proxy_failures").value(proxy_retries.failures.load());
     j.end_object();
+    // Same schema as ccm_stress's "metrics" block, scoped to this process.
+    ccm_bench::metrics_block(j, "metrics", cluster.metrics().snapshot());
     if (faults_on) {
       j.key("fault_schedule").begin_object();
       j.key("seed").value(faulty->schedule().seed);
@@ -340,6 +395,32 @@ int main(int argc, char** argv) {
     } else {
       std::cout << "  fault log (" << faulty->events().size()
                 << " events) -> " << path << "\n";
+    }
+  }
+
+  if (flags.has("metrics-out")) {
+    const std::string path = flags.get("metrics-out");
+    if (!ccm_bench::dump_metrics(cluster.metrics().snapshot(), path)) {
+      std::cerr << "ccm_node: cannot write metrics snapshot to " << path
+                << "\n";
+      rc = 1;
+    } else {
+      std::cout << "  metrics snapshot -> " << path << "\n";
+    }
+  }
+
+  if (trace_on) {
+    const std::string path = flags.get("runtime-trace-out");
+    const auto spans = cluster.runtime_spans().snapshot();
+    std::ofstream out(path);
+    out << obs::span_log_lines(spans);
+    if (!out) {
+      std::cerr << "ccm_node: cannot write span log to " << path << "\n";
+      rc = 1;
+    } else {
+      std::cout << "  runtime trace (" << spans.size() << " spans, "
+                << cluster.runtime_spans().dropped() << " dropped) -> "
+                << path << "\n";
     }
   }
 

@@ -23,7 +23,9 @@
 //                           multi-process equality harness; needs
 //                           files % drivers == 0)
 //   --dump-storage=PATH  write final storage bytes to PATH (file-id order)
-//   --json[=PATH]        emit a JSON report (stdout or PATH)
+//   --json[=PATH]        emit a JSON report (stdout or PATH), including a
+//                        "metrics" block with per-RPC-kind latency
+//                        percentiles (see docs/OBSERVABILITY.md)
 //   --faults=SPEC        inject faults from an explicit schedule spec (see
 //                        net::FaultSchedule::parse / docs/FAULTS.md)
 //   --fault-seed=N       inject a generated schedule drawn from seed N
@@ -46,6 +48,7 @@
 
 #include "ccm/cluster.hpp"
 #include "ccm/storage.hpp"
+#include "ccm_report.hpp"
 #include "ccm_workload.hpp"
 #include "net/fault.hpp"
 #include "util/audit.hpp"
@@ -269,6 +272,9 @@ int main(int argc, char** argv) {
     j.key("rpc_retries").value(s.transport.rpc_retries);
     j.key("rpc_failures").value(s.transport.rpc_failures);
     j.end_object();
+    // Runtime telemetry: per-MsgKind RPC latency/bytes/retry percentiles,
+    // hot-path counters, lock-wait and whole-op histograms.
+    ccm_bench::metrics_block(j, "metrics", cluster.metrics().snapshot());
     if (faults_on) {
       j.key("fault_schedule").begin_object();
       j.key("seed").value(faulty->schedule().seed);

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Diff a fresh `ccm_stress --json` report against the pinned baseline.
+
+Usage: compare_bench.py BASELINE.json FRESH.json
+
+The job is drift *visibility*, not perf gating: CI runners are far too noisy
+to fail a build on ops/s, so throughput and latency changes are reported as
+percentage deltas for a human to read in the job log. What DOES fail the
+build:
+
+  * the fresh run reporting consistent: false (the workload corrupted state)
+  * schema regressions — any key present in the baseline but missing from
+    the fresh report (a field silently dropped from the JSON breaks every
+    downstream consumer of the artifact)
+  * a workload-config mismatch, which would make every delta meaningless
+
+Exit codes: 0 ok, 1 check failed, 2 usage/IO error.
+"""
+import json
+import sys
+
+
+def walk(prefix, node, out):
+    """Flattens a JSON tree into {dotted.path: leaf} (lists by index)."""
+    if isinstance(node, dict):
+        for k, v in node.items():
+            walk(f"{prefix}.{k}" if prefix else k, v, out)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            walk(f"{prefix}[{i}]", v, out)
+    else:
+        out[prefix] = node
+
+
+def pct(base, fresh):
+    if not isinstance(base, (int, float)) or not isinstance(fresh, (int, float)):
+        return None
+    if base == 0:
+        return None
+    return 100.0 * (fresh - base) / base
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            base = json.load(f)
+        with open(argv[2]) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare_bench: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    if fresh.get("consistent") is not True:
+        failures.append("fresh run reports consistent != true")
+
+    if base.get("config") != fresh.get("config"):
+        failures.append(
+            f"workload config mismatch: baseline {base.get('config')} "
+            f"vs fresh {fresh.get('config')}"
+        )
+
+    flat_base, flat_fresh = {}, {}
+    walk("", base, flat_base)
+    walk("", fresh, flat_fresh)
+    missing = sorted(k for k in flat_base if k not in flat_fresh)
+    if missing:
+        failures.append(
+            "schema regression, baseline keys missing from fresh report: "
+            + ", ".join(missing[:20])
+            + (" ..." if len(missing) > 20 else "")
+        )
+
+    # Headline throughput + the latency percentiles the metrics block adds.
+    print(f"baseline: {argv[1]}\nfresh:    {argv[2]}")
+    headline = ["ops_per_second", "elapsed_seconds"]
+    percentile_keys = [
+        k
+        for k in flat_base
+        if k.startswith("metrics.") and k.rsplit(".", 1)[-1] in
+        ("p50_us", "p90_us", "p99_us", "count")
+    ]
+    for key in headline + sorted(percentile_keys):
+        b, f = flat_base.get(key), flat_fresh.get(key)
+        if b is None or f is None:
+            continue
+        d = pct(b, f)
+        delta = f"{d:+8.1f}%" if d is not None else "      n/a"
+        print(f"  {delta}  {key}: {b} -> {f}")
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("OK: schema intact, fresh run consistent (deltas informational)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

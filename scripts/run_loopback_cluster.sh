@@ -10,6 +10,12 @@
 # LOCKCHECK=1 arms the lock-order watchdog in every process (--lockcheck);
 # LOCKCHECK_REPORT_DIR names a directory that collects per-process violation
 # dumps (the CI failure artifact).
+#
+# METRICS_DIR=<dir> turns on the telemetry harness: every process dumps a
+# binary metrics snapshot and a runtime span log there, node 0 additionally
+# scrapes the whole cluster over kStatsPull into cluster_metrics.json, and
+# tools/ccm_metrics cross-checks the offline merge and writes the combined
+# Perfetto trace runtime_trace.json (CI uploads the directory).
 set -euo pipefail
 
 BUILD="${1:-build}"
@@ -39,17 +45,40 @@ lockcheck_report() {  # lockcheck_report <name> -> per-process report flag
   fi
 }
 
+METRICS_DIR="${METRICS_DIR:-}"
+NODE_METRICS=()
+if [[ -n "$METRICS_DIR" ]]; then
+  mkdir -p "$METRICS_DIR"
+  # --scrape on every node: all processes hold the post-run barrier while
+  # node 0 pulls their registries over kStatsPull.
+  NODE_METRICS=(--scrape)
+  echo "== telemetry armed (artifacts -> $METRICS_DIR) =="
+fi
+node_metrics() {  # node_metrics <i> -> per-process telemetry flags
+  if [[ -n "$METRICS_DIR" ]]; then
+    echo "--metrics-out=$METRICS_DIR/node$1.ccms" \
+         "--runtime-trace-out=$METRICS_DIR/node$1.spans" \
+         "--json=$METRICS_DIR/node$1.json"
+  fi
+}
+
 echo "== in-process reference (ccm_stress) =="
 "$BUILD/bench/ccm_stress" "${COMMON[@]}" $(lockcheck_report stress) \
     --dump-storage="$WORK/inproc.bin"
 
 echo "== $NODES-process loopback cluster (ccm_node) =="
+SCRAPE_OUT=()
+if [[ -n "$METRICS_DIR" ]]; then
+  SCRAPE_OUT=(--scrape-out="$METRICS_DIR/cluster_metrics.json")
+fi
 for ((i = 1; i < NODES; i++)); do
   "$BUILD/bench/ccm_node" --node="$i" --port-base="$PORT_BASE" \
-      "${COMMON[@]}" $(lockcheck_report "node$i") >"$WORK/node$i.log" 2>&1 &
+      "${COMMON[@]}" "${NODE_METRICS[@]:-}" $(node_metrics "$i") \
+      $(lockcheck_report "node$i") >"$WORK/node$i.log" 2>&1 &
   pids+=($!)
 done
 "$BUILD/bench/ccm_node" --node=0 --port-base="$PORT_BASE" "${COMMON[@]}" \
+    "${NODE_METRICS[@]:-}" $(node_metrics 0) "${SCRAPE_OUT[@]:-}" \
     $(lockcheck_report node0) --dump-storage="$WORK/multiproc.bin"
 rc=0
 for pid in "${pids[@]}"; do
@@ -68,4 +97,22 @@ if cmp -s "$WORK/inproc.bin" "$WORK/multiproc.bin"; then
 else
   echo "FAIL: storage bytes differ between in-process and multi-process runs" >&2
   exit 1
+fi
+
+if [[ -n "$METRICS_DIR" ]]; then
+  echo "== offline aggregation (ccm_metrics) =="
+  "$BUILD/tools/ccm_metrics/ccm_metrics" \
+      --json-out="$METRICS_DIR/merged_metrics.json" \
+      --trace-out="$METRICS_DIR/runtime_trace.json" \
+      "$METRICS_DIR"/node*.ccms "$METRICS_DIR"/node*.spans
+  # The live kStatsPull scrape and the offline snapshot merge must agree on
+  # coverage: one registry per process.
+  for f in cluster_metrics.json merged_metrics.json; do
+    procs=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['metrics']['processes'])" "$METRICS_DIR/$f")
+    if [[ "$procs" != "$NODES" ]]; then
+      echo "FAIL: $f covers $procs of $NODES processes" >&2
+      exit 1
+    fi
+  done
+  echo "OK: cluster-wide metrics cover all $NODES processes (live scrape + offline merge)"
 fi

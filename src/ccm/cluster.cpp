@@ -28,6 +28,82 @@ cache::CoopCacheConfig to_cache_config(const CcmConfig& c) {
 /// Bounded directory-race retries before falling back to an uncached read.
 constexpr int kAcquireAttempts = 64;
 
+/// RAII root span for one worker operation: mints a fresh trace id, makes it
+/// the thread's ambient context (rpc() stamps it into outgoing messages),
+/// and records the op slice on destruction. No-op while tracing is off.
+class OpSpan {
+ public:
+  OpSpan(obs::RuntimeSpanLog& log, std::uint16_t node, const char* name)
+      : log_(log) {
+    if (!log_.enabled()) return;
+    active_ = true;
+    name_ = name;
+    node_ = node;
+    auto& ctx = obs::tls_trace_context();
+    saved_ = ctx;
+    ctx.trace = log_.next_id();
+    ctx.span = log_.next_id();
+    trace_ = ctx.trace;
+    span_ = ctx.span;
+    start_ = obs::runtime_wall_ns();
+  }
+  ~OpSpan() {
+    if (!active_) return;
+    log_.record({trace_, span_, 0, start_, obs::runtime_wall_ns(), node_,
+                 obs::kLaneOp, name_});
+    obs::tls_trace_context() = saved_;
+  }
+  OpSpan(const OpSpan&) = delete;
+  OpSpan& operator=(const OpSpan&) = delete;
+
+ private:
+  obs::RuntimeSpanLog& log_;
+  bool active_ = false;
+  obs::TraceContext saved_{};
+  std::uint64_t trace_ = 0, span_ = 0, start_ = 0;
+  std::uint16_t node_ = 0;
+  const char* name_ = "";
+};
+
+/// RAII handler span on a protocol thread: adopts the incoming message's
+/// trace identity so the slice joins the sender's trace (its parent is the
+/// sender's rpc-client span, which draws the cross-process flow arrow).
+class HandlerSpan {
+ public:
+  HandlerSpan(obs::RuntimeSpanLog& log, std::uint16_t node,
+              const proto::Message& msg)
+      : log_(log) {
+    if (!log_.enabled() || msg.trace == 0) return;
+    active_ = true;
+    node_ = node;
+    name_ = proto::kind_name(msg.kind);
+    trace_ = msg.trace;
+    parent_ = msg.span;
+    span_ = log_.next_id();
+    auto& ctx = obs::tls_trace_context();
+    saved_ = ctx;
+    ctx.trace = trace_;
+    ctx.span = span_;
+    start_ = obs::runtime_wall_ns();
+  }
+  ~HandlerSpan() {
+    if (!active_) return;
+    log_.record({trace_, span_, parent_, start_, obs::runtime_wall_ns(),
+                 node_, obs::kLaneHandler, name_});
+    obs::tls_trace_context() = saved_;
+  }
+  HandlerSpan(const HandlerSpan&) = delete;
+  HandlerSpan& operator=(const HandlerSpan&) = delete;
+
+ private:
+  obs::RuntimeSpanLog& log_;
+  bool active_ = false;
+  obs::TraceContext saved_{};
+  std::uint64_t trace_ = 0, span_ = 0, parent_ = 0, start_ = 0;
+  std::uint16_t node_ = 0;
+  const char* name_ = "";
+};
+
 }  // namespace
 
 CcmCluster::CcmCluster(const CcmConfig& config,
@@ -69,6 +145,13 @@ CcmCluster::CcmCluster(const CcmConfig& config,
     }
   }
   all_local_ = local_nodes_.size() == config_.nodes;
+
+  // Telemetry identity + the transport seam: call() records per-kind RPC
+  // samples into this process's registry (outermost transport only — a
+  // FaultyTransport decorator passed in via hosting is the recording layer,
+  // its inner transport stays silent).
+  metrics_.set_host(local_nodes_.front());
+  transport_->set_metrics(&metrics_);
 
   const cache::CoopCacheConfig cc = to_cache_config(config_);
   shards_.resize(config_.nodes);
@@ -125,7 +208,11 @@ void CcmCluster::worker_loop(cache::NodeId node) {
 
 void CcmCluster::protocol_loop(cache::NodeId node) {
   while (auto env = transport_->receive(node)) {
-    Reply reply = handle_message(node, *env);
+    Reply reply;
+    {
+      HandlerSpan span(span_log_, node, env->msg);
+      reply = handle_message(node, *env);
+    }
     if (env->seq == 0) continue;  // one-way: nobody waits for the answer
     net::Envelope out;
     out.msg = reply.msg;
@@ -144,13 +231,44 @@ CcmCluster::Reply CcmCluster::rpc(const proto::Message& msg, BlockPtr data,
   env.msg = msg;
   env.epoch = epoch;
   env.data = std::move(data);
+  // Runtime tracing: stamp the ambient trace identity into the wire message
+  // (the remote handler adopts it) and time the blocking slice. Stamps are
+  // zero — and skipped entirely — when tracing is off, so deterministic
+  // runs carry a byte-stable protocol.
+  std::uint64_t client_span = 0;
+  std::uint64_t wall0 = 0;
+  if (span_log_.enabled()) {
+    auto& ctx = obs::tls_trace_context();
+    if (ctx.trace == 0) ctx.trace = span_log_.next_id();  // orphan RPC
+    client_span = span_log_.next_id();
+    env.msg.trace = ctx.trace;
+    env.msg.span = client_span;
+    wall0 = obs::runtime_wall_ns();
+  }
   // Bounded retry with backoff: no RPC may hang forever on a lossy link or a
   // dead peer. Exhausted retries surface as net::TransportError; each call
   // site absorbs the failure according to the protocol's idempotency rules
   // (see docs/FAULTS.md).
-  net::Envelope reply =
-      net::call_with_retry(*transport_, env, net::RetryPolicy{}, &retry_stats_);
-  return {reply.msg, std::move(reply.data)};
+  try {
+    net::Envelope reply = net::call_with_retry(*transport_, env,
+                                               net::RetryPolicy{},
+                                               &retry_stats_);
+    if (client_span != 0) {
+      span_log_.record({env.msg.trace, client_span,
+                        obs::tls_trace_context().span, wall0,
+                        obs::runtime_wall_ns(), msg.from, obs::kLaneRpcClient,
+                        proto::kind_name(msg.kind)});
+    }
+    return {reply.msg, std::move(reply.data)};
+  } catch (...) {
+    if (client_span != 0) {
+      span_log_.record({env.msg.trace, client_span,
+                        obs::tls_trace_context().span, wall0,
+                        obs::runtime_wall_ns(), msg.from, obs::kLaneRpcClient,
+                        "rpc-error"});
+    }
+    throw;
+  }
 }
 
 std::future<std::vector<std::byte>> CcmCluster::read_async(
@@ -235,7 +353,9 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
 
   switch (msg.kind) {
     case proto::MsgKind::kPeerFetch: {
+      const std::uint64_t lw0 = obs::runtime_now_ns();
       util::UniqueLock lock(sh.mu);
+      metrics_.record_lock_wait(obs::runtime_now_ns() - lw0);
       if (sh.state.is_master(msg.block)) {
         sh.state.touch(msg.block, tick());
         sh.state.publish();
@@ -385,6 +505,17 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
       return {proto::Message::barrier_reply(self, msg.from, msg.count,
                                             granted),
               nullptr};
+    }
+
+    case proto::MsgKind::kStatsPull: {
+      // Telemetry scrape: ship this *process's* metrics snapshot (the
+      // registry is shared by every node hosted here; the scraper dedupes
+      // by the snapshot's host id).
+      metrics_.incr(obs::RtCounter::kStatsScrape);
+      auto wire = metrics_.snapshot().encode();
+      const auto size = static_cast<std::uint64_t>(wire.size());
+      return {proto::Message::stats_reply(self, msg.from, size),
+              net::make_ready_block(std::move(wire))};
     }
 
     default:
@@ -550,6 +681,7 @@ void CcmCluster::make_room_locked(util::UniqueLock<util::CountingMutex>& lock,
     lock.lock();
     if (accepted) {
       ++sh.state.stats().forwards_accepted;
+      metrics_.incr(obs::RtCounter::kMasterForward);
     } else {
       dir_->forward_rejected(pf->block, node);
       ++sh.state.stats().master_drops;
@@ -569,10 +701,13 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
     // Hot path: a block resident at this node costs one shard lock — no
     // directory access, no cross-node traffic.
     {
+      const std::uint64_t lw0 = obs::runtime_now_ns();
       util::UniqueLock lock(sh.mu);
+      metrics_.record_lock_wait(obs::runtime_now_ns() - lw0);
       if (const auto it = sh.store.find(block); it != sh.store.end()) {
         sh.state.touch(block, tick());
         ++sh.state.stats().local_hits;
+        metrics_.incr(obs::RtCounter::kLocalHit);
         sh.local_reads.fetch_add(1, std::memory_order_relaxed);
         sh.state.publish();
         CCM_AUDIT_HOOK(audit_shard_locked(sh, node, "local_hit"));
@@ -605,15 +740,19 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
       if (!reply.msg.has(proto::kFlagHit) || !reply.data) {
         continue;  // the master moved while the fetch was in flight
       }
+      const std::uint64_t lw1 = obs::runtime_now_ns();
       util::UniqueLock lock(sh.mu);
+      metrics_.record_lock_wait(obs::runtime_now_ns() - lw1);
       if (const auto it = sh.store.find(block); it != sh.store.end()) {
         // A sibling worker cached the block while we fetched.
         sh.state.touch(block, tick());
         ++sh.state.stats().remote_hits;
+        metrics_.incr(obs::RtCounter::kPeerHit);
         sh.state.publish();
         return it->second;
       }
       ++sh.state.stats().remote_hits;
+      metrics_.incr(obs::RtCounter::kPeerHit);
       make_room_locked(lock, node, 1);
       if (const auto it = sh.store.find(block); it != sh.store.end()) {
         sh.state.touch(block, tick());
@@ -642,10 +781,13 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
 
     // Miss everywhere: claim mastership and fault the block in from storage.
     {
+      const std::uint64_t lw2 = obs::runtime_now_ns();
       util::UniqueLock lock(sh.mu);
+      metrics_.record_lock_wait(obs::runtime_now_ns() - lw2);
       if (const auto it = sh.store.find(block); it != sh.store.end()) {
         sh.state.touch(block, tick());
         ++sh.state.stats().local_hits;
+        metrics_.incr(obs::RtCounter::kLocalHit);
         sh.local_reads.fetch_add(1, std::memory_order_relaxed);
         sh.state.publish();
         return it->second;
@@ -654,11 +796,14 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
       if (const auto it = sh.store.find(block); it != sh.store.end()) {
         sh.state.touch(block, tick());
         ++sh.state.stats().local_hits;
+        metrics_.incr(obs::RtCounter::kLocalHit);
         sh.state.publish();
         return it->second;
       }
       if (dir_->try_claim(block, node)) {
         ++sh.state.stats().disk_reads;
+        metrics_.incr(obs::RtCounter::kMasterClaim);
+        metrics_.incr(obs::RtCounter::kDiskRead);
         sh.state.insert_master(block, tick());
         auto data = std::make_shared<BlockData>();
         sh.store.emplace(block, data);
@@ -673,6 +818,8 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
   }
 
   // Liveness fallback after pathological churn: serve the read uncached.
+  metrics_.incr(obs::RtCounter::kUncachedFallback);
+  metrics_.incr(obs::RtCounter::kDiskRead);
   {
     util::ScopedLock lock(sh.mu);
     ++sh.state.stats().disk_reads;
@@ -686,6 +833,9 @@ std::vector<std::byte> CcmCluster::execute_read(cache::NodeId node,
                                                 cache::FileId file,
                                                 std::uint64_t offset,
                                                 std::uint64_t length) {
+  OpSpan op_span(span_log_, node, "read");
+  metrics_.incr(obs::RtCounter::kReadOp);
+  const std::uint64_t op0 = obs::runtime_now_ns();
   if (length == 0) return {};
   const std::uint64_t file_bytes = storage_->file_size(file);
   const std::uint32_t first_block =
@@ -736,6 +886,7 @@ std::vector<std::byte> CcmCluster::execute_read(cache::NodeId node,
     out_pos += copy_to - copy_from;
   }
   assert(out_pos == length);
+  metrics_.record_op_read(obs::runtime_now_ns() - op0);
   return out;
 }
 
@@ -744,6 +895,9 @@ std::vector<std::byte> CcmCluster::execute_read(cache::NodeId node,
 void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
                                std::uint64_t offset,
                                std::span<const std::byte> data) {
+  OpSpan op_span(span_log_, node, "write");
+  metrics_.incr(obs::RtCounter::kWriteOp);
+  const std::uint64_t op0 = obs::runtime_now_ns();
   if (data.empty()) return;
   auto* writable = dynamic_cast<WritableStorage*>(storage_.get());
   assert(writable != nullptr);  // checked at the API boundary
@@ -822,7 +976,9 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
 
     // 4. Install the block as a local master and swap in a fresh buffer.
     {
+      const std::uint64_t lw0 = obs::runtime_now_ns();
       util::UniqueLock lock(sh.mu);
+      metrics_.record_lock_wait(obs::runtime_now_ns() - lw0);
       ++sh.state.stats().writes;
       if (migrated_in) ++sh.state.stats().ownership_migrations;
       bool install = dir_->lookup(block) == node;
@@ -886,6 +1042,7 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
   }
 
   dir_->write_end(file);
+  metrics_.record_op_write(obs::runtime_now_ns() - op0);
 }
 
 // -------------------------------------------------------- invalidation ----
@@ -899,6 +1056,7 @@ void CcmCluster::invalidate(cache::FileId file) {
   // the per-node sweep below. The sweep is issued in this hosted node's
   // name (a transport needs a routable reply address).
   const cache::NodeId self = local_nodes_.front();
+  metrics_.incr(obs::RtCounter::kInvalidation);
   dir_->invalidate_file(file);
   for (std::size_t n = 0; n < config_.nodes; ++n) {
     try {
@@ -1030,6 +1188,38 @@ void CcmCluster::reset_stats() {
   retry_stats_.retries.store(0, std::memory_order_relaxed);
   retry_stats_.failures.store(0, std::memory_order_relaxed);
   dir_->reset_ops();
+  metrics_.reset();
+}
+
+void CcmCluster::enable_runtime_trace() {
+  span_log_.enable(local_nodes_.front());
+}
+
+obs::MetricsSnapshot CcmCluster::scrape_cluster() {
+  obs::MetricsSnapshot merged = metrics_.snapshot();
+  metrics_.incr(obs::RtCounter::kStatsScrape);
+  const cache::NodeId self = local_nodes_.front();
+  // One registry per process, reported under its lowest hosted node id;
+  // pulling from every node and deduping by that id collapses the per-node
+  // fan-out back to one snapshot per process without a membership service.
+  std::set<std::uint32_t> seen{merged.host};
+  for (std::size_t n = 0; n < config_.nodes; ++n) {
+    if (shards_[n]) continue;  // hosted here: already in the local snapshot
+    try {
+      Reply r = rpc(proto::Message::stats_pull(
+          self, static_cast<cache::NodeId>(n)));
+      if (!r.data) continue;
+      r.data->wait_ready();
+      const auto remote = obs::MetricsSnapshot::decode(r.data->bytes);
+      if (!remote) continue;  // version/geometry skew: drop, don't misparse
+      if (!seen.insert(remote->host).second) continue;  // same process
+      merged.merge(*remote);
+    } catch (const net::TransportError&) {
+      // A dead or partitioned peer costs its slice of the report, not the
+      // scrape; the `processes` count in the output records the coverage.
+    }
+  }
+  return merged;
 }
 
 std::uint64_t CcmCluster::cached_bytes(cache::NodeId node) const {

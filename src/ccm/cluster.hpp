@@ -54,6 +54,8 @@
 #include "ccm/storage.hpp"
 #include "ccm/transport.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runtime_trace.hpp"
 #include "proto/directory_service.hpp"
 #include "proto/message.hpp"
 #include "proto/node_state.hpp"
@@ -209,6 +211,33 @@ class CcmCluster {
 
   /// Hinted mode: observed hint accuracy (paper cites ~98% for [18]).
   [[nodiscard]] double hint_accuracy() const { return dir_->hint_accuracy(); }
+
+  // --- runtime telemetry (docs/OBSERVABILITY.md, "Runtime telemetry") ---
+
+  /// This process's live metrics registry: per-MsgKind RPC latency/bytes
+  /// histograms (recorded at the transport seam), hit/miss/forward/claim
+  /// counters, and shard-lock wait distributions. Lock-free record path;
+  /// snapshot() at any time.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
+  /// Cluster-wide metrics: this process's snapshot merged with every peer
+  /// process's, pulled over kStatsPull RPCs (deduplicated by reporting host,
+  /// so several nodes sharing a process count once). Unreachable peers are
+  /// skipped. In a single-process cluster this is just the local snapshot.
+  [[nodiscard]] obs::MetricsSnapshot scrape_cluster();
+
+  /// Arms wall-clock span recording: every read/write op gets a root span,
+  /// every rpc() a client span, every handled message a handler span, and
+  /// the trace/span ids ride inside proto::Message so the slices line up
+  /// across processes (export via obs::runtime_trace_json). Off by default;
+  /// recording is bounded (obs::RuntimeSpanLog::kCapacity).
+  void enable_runtime_trace();
+  [[nodiscard]] const obs::RuntimeSpanLog& runtime_spans() const {
+    return span_log_;
+  }
 
   /// Sweeps policy/data-plane consistency across every hosted shard and the
   /// directory: every cached policy entry has bytes, every stored block has
@@ -376,6 +405,12 @@ class CcmCluster {
 
   /// Bounded-retry counters for every rpc() (merged into stats().transport).
   net::RetryStats retry_stats_;
+
+  /// Runtime telemetry: installed on the (outermost) transport at
+  /// construction so call() records per-kind RPC samples into it.
+  obs::MetricsRegistry metrics_;
+  /// Wall-clock span sink; inert until enable_runtime_trace().
+  obs::RuntimeSpanLog span_log_;
 
   /// Barrier service state (home only): nodes that announced each phase.
   util::Mutex barrier_mu_{"ccm.barrier"};

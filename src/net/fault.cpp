@@ -314,7 +314,7 @@ FaultyTransport::Decision FaultyTransport::decide(const proto::Message& msg,
   return decision;
 }
 
-Envelope FaultyTransport::call(Envelope env) {
+Envelope FaultyTransport::call_impl(Envelope env) {
   Decision request_decision;
   {
     util::ScopedLock lock(mu_);

@@ -106,7 +106,6 @@ class FaultyTransport final : public Transport {
  public:
   FaultyTransport(std::shared_ptr<Transport> inner, FaultSchedule schedule);
 
-  Envelope call(Envelope env) override;
   bool post(Envelope env) override;
   std::optional<Envelope> receive(cache::NodeId node) override;
   void close() override;
@@ -126,6 +125,9 @@ class FaultyTransport final : public Transport {
   [[nodiscard]] std::vector<FaultEvent> events() const;
   /// Writes event_line() per injected event; false if the file won't open.
   bool dump_events(const std::string& path) const;
+
+ protected:
+  Envelope call_impl(Envelope env) override;
 
  private:
   enum class Phase : std::uint8_t { kPost, kCallRequest, kCallReply };

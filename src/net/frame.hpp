@@ -38,7 +38,9 @@
 namespace coop::net {
 
 inline constexpr std::uint32_t kHandshakeMagic = 0x314D4343;  // "CCM1"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+// v2: proto::Message grew trailing trace/span ids (runtime telemetry) and
+// the kStatsPull/kStatsReply scrape kinds, changing kWireSize.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kHandshakeSize = 4 + 2 + 2;
 
 /// Fixed frame bytes after the length prefix, before the payload.

@@ -354,7 +354,7 @@ void TcpTransport::fail_pending(cache::NodeId peer) {
   for (auto& p : failed) p->cv.notify_all();
 }
 
-Envelope TcpTransport::call(Envelope env) {
+Envelope TcpTransport::call_impl(Envelope env) {
   auto pending = std::make_shared<PendingCall>();
   pending->dest = env.msg.to;
   {

@@ -88,7 +88,6 @@ class TcpTransport final : public Transport {
   void set_summary_source(
       std::function<std::pair<std::uint64_t, bool>()> source);
 
-  Envelope call(Envelope env) override;
   bool post(Envelope env) override;
   std::optional<Envelope> receive(cache::NodeId node) override;
   void close() override;
@@ -99,6 +98,9 @@ class TcpTransport final : public Transport {
   /// Live peer connections (loopback drivers poll this for the start
   /// rendezvous).
   [[nodiscard]] std::size_t connected_peers() const;
+
+ protected:
+  Envelope call_impl(Envelope env) override;
 
  private:
   struct Connection {

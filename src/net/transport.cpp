@@ -6,6 +6,29 @@
 
 namespace coop::net {
 
+// The telemetry registry indexes RPC slots by the raw kind byte; make sure
+// the wire vocabulary still fits (this is the seam where the proto-agnostic
+// obs layer meets the protocol).
+static_assert(proto::kMsgKindCount <= obs::kMaxRpcKinds,
+              "obs::kMaxRpcKinds must cover every proto::MsgKind");
+
+Envelope Transport::call(Envelope env) {
+  auto* m = metrics_.load(std::memory_order_acquire);
+  if (m == nullptr) return call_impl(std::move(env));
+  const auto kind = static_cast<std::uint8_t>(env.msg.kind);
+  const std::uint64_t request_bytes = env.msg.bytes;
+  const std::uint64_t t0 = obs::runtime_now_ns();
+  try {
+    Envelope reply = call_impl(std::move(env));
+    m->record_rpc(kind, obs::runtime_now_ns() - t0,
+                  request_bytes + reply.msg.bytes);
+    return reply;
+  } catch (...) {
+    m->record_rpc_error(kind, obs::runtime_now_ns() - t0);
+    throw;
+  }
+}
+
 Envelope call_with_retry(Transport& transport, const Envelope& env,
                          const RetryPolicy& policy,
                          RetryStats* retry_stats) {
@@ -27,6 +50,9 @@ Envelope call_with_retry(Transport& transport, const Envelope& env,
     if (retry_stats != nullptr) {
       retry_stats->retries.fetch_add(1, std::memory_order_relaxed);
     }
+    if (auto* m = transport.metrics()) {
+      m->record_retry(static_cast<std::uint8_t>(env.msg.kind));
+    }
     std::this_thread::sleep_for(backoff);
     backoff = std::min(
         std::chrono::milliseconds(static_cast<std::int64_t>(
@@ -46,7 +72,7 @@ InProcTransport::InProcTransport(std::size_t nodes, std::size_t capacity,
   }
 }
 
-Envelope InProcTransport::call(Envelope env) {
+Envelope InProcTransport::call_impl(Envelope env) {
   auto pending = std::make_shared<PendingCall>();
   {
     util::ScopedLock lock(mu_);

@@ -33,6 +33,7 @@
 
 #include "ccm/transport.hpp"
 #include "net/envelope.hpp"
+#include "obs/metrics.hpp"
 #include "proto/node_state.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -110,7 +111,12 @@ class Transport {
   /// env.msg.to, waits for the reply. Throws TransportError when the
   /// transport (or the peer) is shut down, the peer dies mid-call, or the
   /// call deadline expires — no call blocks forever on a dead peer.
-  virtual Envelope call(Envelope env) = 0;
+  ///
+  /// Non-virtual telemetry wrapper around call_impl(): when a metrics
+  /// registry is installed it records one per-MsgKind latency/bytes sample
+  /// per round trip (errors included). With no registry the cost is one
+  /// relaxed load.
+  Envelope call(Envelope env);
 
   /// One-way delivery to env.msg.to (replies, fire-and-forget posts).
   /// False when the destination is closed.
@@ -136,6 +142,27 @@ class Transport {
     (void)n;
     return false;
   }
+
+  /// Installs the registry call() records RPC samples into (nullptr turns
+  /// recording off). Install on the *outermost* transport only — a
+  /// decorator (FaultyTransport) delegates to the inner transport's
+  /// call_impl via call(), which stays silent while the inner registry is
+  /// null, so samples are never double-counted. The pointer must outlive
+  /// the transport's traffic; callers may install it while calls are in
+  /// flight (atomic).
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    metrics_.store(metrics, std::memory_order_release);
+  }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const {
+    return metrics_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  /// The actual blocking round trip (see call()).
+  virtual Envelope call_impl(Envelope env) = 0;
+
+ private:
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
 };
 
 /// Issues `env` through transport.call(), re-attempting on transient
@@ -155,11 +182,13 @@ class InProcTransport final : public Transport {
       std::size_t nodes, std::size_t capacity = 1024,
       std::chrono::milliseconds call_timeout = std::chrono::seconds(30));
 
-  Envelope call(Envelope env) override;
   bool post(Envelope env) override;
   std::optional<Envelope> receive(cache::NodeId node) override;
   void close() override;
   [[nodiscard]] TransportStats stats() const override;
+
+ protected:
+  Envelope call_impl(Envelope env) override;
 
  private:
   struct PendingCall {

@@ -158,6 +158,103 @@ void emit_counters(util::JsonWriter& json, const TraceData& data) {
 
 }  // namespace
 
+namespace {
+
+const char* lane_name(std::uint8_t lane) {
+  switch (lane) {
+    case kLaneOp: return "ops";
+    case kLaneRpcClient: return "rpc";
+    case kLaneHandler: return "handlers";
+    default: return "other";
+  }
+}
+
+constexpr double kNsToUs = 1.0 / 1000.0;
+
+}  // namespace
+
+std::string runtime_trace_json(const std::vector<RuntimeSpan>& spans) {
+  // Deterministic event order for a given span set (the logs themselves are
+  // wall-clock recordings, so only the serialization is order-stable).
+  std::vector<const RuntimeSpan*> order;
+  order.reserve(spans.size());
+  for (const auto& s : spans) order.push_back(&s);
+  std::sort(order.begin(), order.end(),
+            [](const RuntimeSpan* a, const RuntimeSpan* b) {
+              if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+              if (a->node != b->node) return a->node < b->node;
+              return a->span < b->span;
+            });
+  std::uint64_t origin = 0;
+  if (!order.empty()) origin = order.front()->start_ns;
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("otherData").begin_object();
+  json.key("mode").value("runtime-wall-clock");
+  json.key("spans").value(static_cast<std::uint64_t>(spans.size()));
+  json.key("origin_ns").value(origin);
+  json.end_object();
+  json.key("traceEvents").begin_array();
+
+  // Process/thread naming: one process per node, one thread per lane.
+  std::map<std::uint16_t, std::uint8_t> seen_lanes;  // node -> lane bitmask
+  for (const auto* s : order) {
+    auto& mask = seen_lanes[s->node];
+    const auto bit = static_cast<std::uint8_t>(1u << (s->lane & 7));
+    if ((mask & bit) != 0) continue;
+    if (mask == 0) {
+      metadata(json, "process_name", s->node, 0,
+               "node" + std::to_string(s->node) + " (runtime)");
+    }
+    metadata(json, "thread_name", s->node, s->lane, lane_name(s->lane));
+    mask |= bit;
+  }
+
+  for (const auto* s : order) {
+    const double ts = static_cast<double>(s->start_ns - origin) * kNsToUs;
+    const double dur =
+        static_cast<double>(s->end_ns > s->start_ns ? s->end_ns - s->start_ns
+                                                    : 0) *
+        kNsToUs;
+    event_header(json, "X", s->node, s->lane);
+    json.key("name").value(s->name);
+    json.key("cat").value("runtime");
+    json.key("ts").value(ts);
+    json.key("dur").value(dur);
+    json.key("args").begin_object();
+    json.key("trace").value(s->trace);
+    json.key("span").value(s->span);
+    json.key("parent").value(s->parent);
+    json.end_object();
+    json.end_object();
+    // Flow arrows: an RPC client slice starts flow id = its span id; the
+    // handler slice it triggered (parent == that span id, possibly in
+    // another process) finishes it.
+    if (s->lane == kLaneRpcClient) {
+      event_header(json, "s", s->node, s->lane);
+      json.key("name").value("rpc");
+      json.key("cat").value("rpc-flow");
+      json.key("id").value(s->span);
+      json.key("ts").value(ts);
+      json.end_object();
+    } else if (s->lane == kLaneHandler && s->parent != 0) {
+      event_header(json, "f", s->node, s->lane);
+      json.key("name").value("rpc");
+      json.key("cat").value("rpc-flow");
+      json.key("bp").value("e");
+      json.key("id").value(s->parent);
+      json.key("ts").value(ts);
+      json.end_object();
+    }
+  }
+
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
 std::string chrome_trace_json(const TraceData& data) {
   util::JsonWriter json;
   json.begin_object();

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/runtime_trace.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
@@ -62,5 +63,16 @@ struct TraceData {
 /// `data` (itself deterministic for a deterministic run), so trace files are
 /// byte-identical across harness thread counts.
 [[nodiscard]] std::string chrome_trace_json(const TraceData& data);
+
+/// Wall-clock mode of the exporter: serializes *runtime* spans (recorded by
+/// the live cluster with epoch-ns timestamps, see obs/runtime_trace.hpp) as
+/// Chrome trace-event JSON. Each logical node renders as a process and each
+/// lane (op / rpc / handler) as a thread; RPC client slices open a flow
+/// event that the remote handler slice closes, so one block op reads as a
+/// single arrow-linked trace even when its spans come from different
+/// `ccm_node` processes (merge the per-process span logs first —
+/// tools/ccm_metrics does). Timestamps are rebased to the earliest span.
+[[nodiscard]] std::string runtime_trace_json(
+    const std::vector<RuntimeSpan>& spans);
 
 }  // namespace coop::obs

@@ -1,0 +1,90 @@
+#include "obs/runtime_trace.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace coop::obs {
+
+TraceContext& tls_trace_context() {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+void RuntimeSpanLog::enable(std::uint16_t id_node) {
+  base_ = static_cast<std::uint64_t>(id_node) << 48;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void RuntimeSpanLog::record(RuntimeSpan s) {
+  if (!enabled()) return;
+  util::ScopedLock lock(mu_);
+  if (spans_.size() >= kCapacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(s));
+}
+
+std::vector<RuntimeSpan> RuntimeSpanLog::snapshot() const {
+  util::ScopedLock lock(mu_);
+  return spans_;
+}
+
+std::string span_log_lines(const std::vector<RuntimeSpan>& spans) {
+  std::string out;
+  out += "# node trace span parent lane start_ns end_ns name\n";
+  char buf[160];
+  for (const auto& s : spans) {
+    std::snprintf(buf, sizeof(buf), "%u %llu %llu %llu %u %llu %llu ",
+                  unsigned(s.node), (unsigned long long)s.trace,
+                  (unsigned long long)s.span, (unsigned long long)s.parent,
+                  unsigned(s.lane), (unsigned long long)s.start_ns,
+                  (unsigned long long)s.end_ns);
+    out += buf;
+    out += s.name;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+bool parse_u64(std::string_view& line, std::uint64_t& v) {
+  while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+  const char* begin = line.data();
+  const char* end = begin + line.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr == begin) return false;
+  line.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return true;
+}
+
+}  // namespace
+
+bool parse_span_log(std::string_view text, std::vector<RuntimeSpan>& out) {
+  while (!text.empty()) {
+    const auto nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+    RuntimeSpan s;
+    std::uint64_t node = 0, lane = 0;
+    if (!parse_u64(line, node) || !parse_u64(line, s.trace) ||
+        !parse_u64(line, s.span) || !parse_u64(line, s.parent) ||
+        !parse_u64(line, lane) || !parse_u64(line, s.start_ns) ||
+        !parse_u64(line, s.end_ns)) {
+      return false;
+    }
+    if (node > 0xFFFF || lane > 0xFF) return false;
+    s.node = static_cast<std::uint16_t>(node);
+    s.lane = static_cast<std::uint8_t>(lane);
+    if (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    s.name.assign(line);
+    out.push_back(std::move(s));
+  }
+  return true;
+}
+
+}  // namespace coop::obs

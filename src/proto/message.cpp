@@ -345,6 +345,23 @@ Message Message::dir_purge_node(NodeId from, NodeId home, NodeId node) {
   return m;
 }
 
+Message Message::stats_pull(NodeId from, NodeId to) {
+  Message m;
+  m.kind = MsgKind::kStatsPull;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+Message Message::stats_reply(NodeId from, NodeId to, std::uint64_t bytes) {
+  Message m;
+  m.kind = MsgKind::kStatsReply;
+  m.from = from;
+  m.to = to;
+  m.bytes = bytes;
+  return m;
+}
+
 bool is_reply(MsgKind kind) {
   switch (kind) {
     case MsgKind::kBlockLookupReply:
@@ -357,6 +374,7 @@ bool is_reply(MsgKind kind) {
     case MsgKind::kStorageData:
     case MsgKind::kStorageAck:
     case MsgKind::kBarrierReply:
+    case MsgKind::kStatsReply:
       return true;
     default:
       return false;
@@ -402,6 +420,8 @@ const char* kind_name(MsgKind kind) {
     case MsgKind::kBarrier: return "barrier";
     case MsgKind::kBarrierReply: return "barrier-reply";
     case MsgKind::kDirPurgeNode: return "dir-purge-node";
+    case MsgKind::kStatsPull: return "stats-pull";
+    case MsgKind::kStatsReply: return "stats-reply";
   }
   return "unknown";
 }
@@ -418,6 +438,8 @@ WireBytes encode(const Message& m) {
   put_u64(p + 17, m.age);
   put_u64(p + 25, m.bytes);
   p[33] = static_cast<std::byte>(m.flags);
+  put_u64(p + 34, m.trace);
+  put_u64(p + 42, m.span);
   return out;
 }
 
@@ -436,6 +458,8 @@ std::optional<Message> decode(std::span<const std::byte> wire) {
   m.age = get_u64(p + 17);
   m.bytes = get_u64(p + 25);
   m.flags = std::to_integer<std::uint8_t>(p[33]);
+  m.trace = get_u64(p + 34);
+  m.span = get_u64(p + 42);
   if ((m.flags & ~(kFlagMisdirected | kFlagHit | kFlagAccepted | kFlagPromoted |
                    kFlagDropMaster | kFlagTransferred | kFlagGranted)) != 0) {
     return std::nullopt;

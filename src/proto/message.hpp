@@ -81,11 +81,17 @@ enum class MsgKind : std::uint8_t {
   // Recovery: fence a crashed node out of the directory. Answered by
   // kDirReply; `count` carries the dead node's id.
   kDirPurgeNode,          // survivor -> home: purge_node(node)
+
+  // Runtime telemetry scrape: any node can pull a peer process's metrics
+  // snapshot (obs::MetricsSnapshot, binary-encoded in the reply payload) and
+  // merge the cluster-wide view (tools/ccm_metrics, ccm_node --scrape-out).
+  kStatsPull,             // scraper -> node: send me your metrics snapshot
+  kStatsReply,            // node -> scraper: encoded snapshot (payload)
 };
 
 /// Number of distinct message kinds (wire-format validation bound).
 inline constexpr std::uint8_t kMsgKindCount =
-    static_cast<std::uint8_t>(MsgKind::kDirPurgeNode) + 1;
+    static_cast<std::uint8_t>(MsgKind::kStatsReply) + 1;
 
 /// Flag bits (meaning depends on kind; unused bits must be zero).
 inline constexpr std::uint8_t kFlagMisdirected = 1u << 0;  // stale-hint hop(s)
@@ -111,6 +117,12 @@ struct Message {
   /// kMasterForward); zero for pure control messages.
   std::uint64_t bytes = 0;
   std::uint8_t flags = 0;
+  /// Runtime trace propagation (obs/runtime_trace.hpp): the operation's
+  /// trace id and the sender's span id. Zero — and ignored by every
+  /// protocol handler — unless runtime tracing is enabled; the named
+  /// constructors never set them, so deterministic paths are unaffected.
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
 
   [[nodiscard]] bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
 
@@ -184,6 +196,11 @@ struct Message {
   /// Crash recovery: evict every directory entry mastered by `node` and
   /// epoch-fence the files it touched (see DirectoryService::purge_node).
   static Message dir_purge_node(NodeId from, NodeId home, NodeId node);
+
+  // Telemetry scrape: the reply's `bytes` is the encoded snapshot length
+  // (the snapshot itself rides in the envelope payload).
+  static Message stats_pull(NodeId from, NodeId to);
+  static Message stats_reply(NodeId from, NodeId to, std::uint64_t bytes);
 };
 
 /// True for kinds that answer a request (the transport routes these to the
@@ -194,8 +211,9 @@ bool is_reply(MsgKind kind);
 /// Stable display name of a message kind ("peer-fetch", ...).
 const char* kind_name(MsgKind kind);
 
-/// Fixed wire size of an encoded message.
-inline constexpr std::size_t kWireSize = 1 + 2 + 2 + 4 + 4 + 4 + 8 + 8 + 1;
+/// Fixed wire size of an encoded message (trailing trace/span ids included;
+/// kProtocolVersion in net/frame.hpp guards cross-version mixing).
+inline constexpr std::size_t kWireSize = 1 + 2 + 2 + 4 + 4 + 4 + 8 + 8 + 1 + 8 + 8;
 
 using WireBytes = std::array<std::byte, kWireSize>;
 

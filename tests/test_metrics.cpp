@@ -1,0 +1,254 @@
+// Runtime-telemetry tests: log2 histogram geometry, percentile extraction,
+// snapshot merge algebra, the binary wire form of MetricsSnapshot, the span
+// log's text round-trip, and — under TSan — that the relaxed-atomic record
+// path really is data-race free while a snapshotter races the recorders.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/runtime_trace.hpp"
+
+namespace coop::obs {
+namespace {
+
+// ------------------------------------------------------ histogram geometry ---
+
+TEST(HistBuckets, Log2BoundariesAreExact) {
+  EXPECT_EQ(hist_bucket(0), 0u);
+  EXPECT_EQ(hist_bucket(1), 1u);
+  // Bucket b >= 1 holds [2^(b-1), 2^b): both edges of every power of two.
+  for (std::size_t b = 1; b < kHistBuckets - 1; ++b) {
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    EXPECT_EQ(hist_bucket(lo), b) << "lower edge of bucket " << b;
+    EXPECT_EQ(hist_bucket(2 * lo - 1), b) << "upper edge of bucket " << b;
+    EXPECT_EQ(hist_bucket_floor(b), lo);
+  }
+  EXPECT_EQ(hist_bucket(~std::uint64_t{0}), kHistBuckets - 1);
+  EXPECT_EQ(hist_bucket_floor(0), 0u);
+}
+
+TEST(HistSnapshot, PercentilesInterpolateAndCapAtMax) {
+  MetricsRegistry r;
+  for (std::uint64_t v = 1; v <= 100; ++v) r.record_lock_wait(v);
+  const HistSnapshot h = r.snapshot().lock_wait_ns;
+  ASSERT_EQ(h.count, 100u);
+  EXPECT_EQ(h.max, 100u);
+  EXPECT_EQ(h.sum, 5050u);
+  // Log2 buckets bound the error to the bucket width; the true p50 of
+  // 1..100 is ~50, inside bucket [32,64).
+  EXPECT_GE(h.percentile(0.5), 32.0);
+  EXPECT_LE(h.percentile(0.5), 64.0);
+  // The top bucket is [64,128) but nothing above 100 was recorded: the
+  // interpolated tail must clamp to the observed max, not the bucket edge.
+  EXPECT_LE(h.percentile(0.99), 100.0);
+  EXPECT_LE(h.percentile(1.0), 100.0);
+  EXPECT_GE(h.percentile(1.0), h.percentile(0.5));
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(HistSnapshot, EmptyAndSingletonPercentiles) {
+  const HistSnapshot empty{};
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+  EXPECT_EQ(empty.mean(), 0.0);
+
+  MetricsRegistry r;
+  r.record_op_read(42);
+  const HistSnapshot one = r.snapshot().op_read_ns;
+  EXPECT_LE(one.percentile(0.5), 42.0);
+  EXPECT_GT(one.percentile(0.5), 0.0);
+  EXPECT_LE(one.percentile(0.99), 42.0);
+}
+
+// ------------------------------------------------------------ merge algebra ---
+
+MetricsSnapshot sample(std::uint32_t host, std::uint64_t salt) {
+  MetricsRegistry r;
+  r.set_host(host);
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    r.record_rpc(static_cast<std::uint8_t>(i % 5),
+                 salt * i % 5000 + 1, 64 * i);
+    r.record_lock_wait(salt + i);
+    r.incr(static_cast<RtCounter>(i % kRtCounterCount));
+  }
+  r.record_rpc_error(2, salt + 7);
+  r.record_retry(3);
+  r.record_op_read(salt + 11);
+  r.record_op_write(salt + 13);
+  return r.snapshot();
+}
+
+bool equal(const HistSnapshot& a, const HistSnapshot& b) {
+  return a.buckets == b.buckets && a.count == b.count && a.sum == b.sum &&
+         a.max == b.max;
+}
+
+bool equal(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+  if (a.version != b.version || a.host != b.host ||
+      a.processes != b.processes || a.counters != b.counters) {
+    return false;
+  }
+  for (std::size_t k = 0; k < kMaxRpcKinds; ++k) {
+    const auto& x = a.rpc[k];
+    const auto& y = b.rpc[k];
+    if (x.calls != y.calls || x.bytes != y.bytes || x.retries != y.retries ||
+        x.errors != y.errors || !equal(x.latency_ns, y.latency_ns)) {
+      return false;
+    }
+  }
+  return equal(a.lock_wait_ns, b.lock_wait_ns) &&
+         equal(a.op_read_ns, b.op_read_ns) &&
+         equal(a.op_write_ns, b.op_write_ns);
+}
+
+TEST(MetricsSnapshot, MergeIsAssociativeAndCommutative) {
+  const MetricsSnapshot a = sample(3, 17);
+  const MetricsSnapshot b = sample(1, 101);
+  const MetricsSnapshot c = sample(7, 977);
+
+  MetricsSnapshot ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+  MetricsSnapshot a_bc = b;
+  a_bc.merge(c);
+  MetricsSnapshot left = a;
+  left.merge(a_bc);
+  EXPECT_TRUE(equal(ab_c, left));
+
+  MetricsSnapshot ba = b;
+  ba.merge(a);
+  MetricsSnapshot ab = a;
+  ab.merge(b);
+  EXPECT_TRUE(equal(ab, ba));
+
+  EXPECT_EQ(ab_c.processes, 3u);
+  EXPECT_EQ(ab_c.host, 1u);  // lowest reporting host wins
+  EXPECT_EQ(ab_c.lock_wait_ns.count,
+            a.lock_wait_ns.count + b.lock_wait_ns.count +
+                c.lock_wait_ns.count);
+}
+
+// -------------------------------------------------------------- wire format ---
+
+TEST(MetricsSnapshot, BinaryRoundTrip) {
+  const MetricsSnapshot s = sample(5, 271);
+  const auto wire = s.encode();
+  const auto back = MetricsSnapshot::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(equal(s, *back));
+}
+
+TEST(MetricsSnapshot, DecodeRejectsGarbage) {
+  const auto wire = sample(0, 1).encode();
+  for (const std::size_t len : {std::size_t{0}, std::size_t{3},
+                                wire.size() - 1}) {
+    EXPECT_FALSE(
+        MetricsSnapshot::decode({wire.data(), len}).has_value()) << len;
+  }
+  auto bad_magic = wire;
+  bad_magic[0] = std::byte{0x00};
+  EXPECT_FALSE(MetricsSnapshot::decode(bad_magic).has_value());
+  auto bad_version = wire;
+  bad_version[4] = std::byte{0xEE};  // version word follows the magic
+  EXPECT_FALSE(MetricsSnapshot::decode(bad_version).has_value());
+}
+
+// ---------------------------------------------------------------- span log ---
+
+TEST(RuntimeSpanLog, TextFormRoundTripsAndSaltsIds) {
+  RuntimeSpanLog log;
+  EXPECT_FALSE(log.enabled());
+  log.enable(/*id_node=*/3);
+  ASSERT_TRUE(log.enabled());
+  const std::uint64_t id = log.next_id();
+  EXPECT_EQ(id >> 48, 3u);  // node salt keeps cross-process ids disjoint
+
+  log.record({id, log.next_id(), 0, 1000, 2000, 3, kLaneOp, "read"});
+  log.record({id, log.next_id(), id, 1100, 1900, 1, kLaneHandler,
+              "peer-fetch"});
+  const auto spans = log.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+
+  std::vector<RuntimeSpan> parsed;
+  ASSERT_TRUE(parse_span_log(span_log_lines(spans), parsed));
+  ASSERT_EQ(parsed.size(), 2u);
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].trace, spans[i].trace);
+    EXPECT_EQ(parsed[i].span, spans[i].span);
+    EXPECT_EQ(parsed[i].parent, spans[i].parent);
+    EXPECT_EQ(parsed[i].start_ns, spans[i].start_ns);
+    EXPECT_EQ(parsed[i].end_ns, spans[i].end_ns);
+    EXPECT_EQ(parsed[i].node, spans[i].node);
+    EXPECT_EQ(parsed[i].lane, spans[i].lane);
+    EXPECT_EQ(parsed[i].name, spans[i].name);
+  }
+
+  std::vector<RuntimeSpan> bad;
+  EXPECT_FALSE(parse_span_log("1 2 not-a-number 4 5 6 7 x", bad));
+}
+
+TEST(RuntimeTraceJson, EmitsSlicesAndFlowArrows) {
+  std::vector<RuntimeSpan> spans;
+  spans.push_back({42, 1, 0, 1000, 9000, 0, kLaneOp, "read"});
+  spans.push_back({42, 2, 1, 2000, 6000, 0, kLaneRpcClient, "peer-fetch"});
+  spans.push_back({42, 3, 2, 2500, 5500, 1, kLaneHandler, "peer-fetch"});
+  const std::string json = runtime_trace_json(spans);
+  EXPECT_NE(json.find("\"runtime-wall-clock\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);  // flow out
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);  // flow in
+  EXPECT_NE(json.find("node0 (runtime)"), std::string::npos);
+  EXPECT_NE(json.find("node1 (runtime)"), std::string::npos);
+}
+
+// ------------------------------------------------------- concurrent records ---
+
+// The point of this test is what TSan says about it: recorders on every
+// shard racing a snapshotter must produce zero reports (relaxed atomics all
+// the way down). The final totals are exact once the writers have joined.
+TEST(MetricsRegistry, ConcurrentRecordersAreRaceFreeAndSumExactly) {
+  MetricsRegistry r;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 4000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&r, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        r.record_rpc(static_cast<std::uint8_t>(t % 4), i + 1, 8);
+        r.incr(RtCounter::kLocalHit);
+        r.record_lock_wait(i);
+      }
+    });
+  }
+  // Race a few snapshots against the writers; values are torn-tolerant but
+  // must be readable without a data race.
+  for (int i = 0; i < 10; ++i) {
+    const MetricsSnapshot mid = r.snapshot();
+    EXPECT_LE(mid.lock_wait_ns.count, kThreads * kPerThread);
+  }
+  for (auto& w : writers) w.join();
+
+  const MetricsSnapshot s = r.snapshot();
+  std::uint64_t calls = 0;
+  for (const auto& slot : s.rpc) calls += slot.calls;
+  EXPECT_EQ(calls, kThreads * kPerThread);
+  EXPECT_EQ(s.counters[static_cast<std::size_t>(RtCounter::kLocalHit)],
+            kThreads * kPerThread);
+  EXPECT_EQ(s.lock_wait_ns.count, kThreads * kPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : s.lock_wait_ns.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, s.lock_wait_ns.count);
+
+  r.reset();
+  const MetricsSnapshot z = r.snapshot();
+  EXPECT_EQ(z.lock_wait_ns.count, 0u);
+  EXPECT_EQ(z.counters[static_cast<std::size_t>(RtCounter::kLocalHit)], 0u);
+}
+
+}  // namespace
+}  // namespace coop::obs

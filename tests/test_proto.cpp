@@ -46,6 +46,8 @@ std::vector<Message> all_message_kinds() {
       Message::invalidate_ack(1, 0),
       Message::write_ownership(0, 2, b),
       Message::write_ownership_reply(2, 0, b, /*transferred=*/true, 8192),
+      Message::stats_pull(1, 0),
+      Message::stats_reply(0, 1, 512),
   };
 }
 
@@ -75,12 +77,35 @@ TEST(WireFormat, DecodeRejectsUnknownKind) {
 
 TEST(WireFormat, DecodeRejectsReservedFlagBits) {
   WireBytes wire = encode(Message::peer_fetch(0, 1, {1, 2}, false));
-  wire[kWireSize - 1] = static_cast<std::byte>(1u << 7);  // reserved bit
+  // The flags byte sits just before the trailing trace/span ids.
+  wire[kWireSize - 17] = static_cast<std::byte>(1u << 7);  // reserved bit
   EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(WireFormat, TraceIdsRoundTripAndDefaultToZero) {
+  // Named constructors never stamp trace identity: the ids stay zero (the
+  // runtime's "tracing off" value) unless the sender sets them explicitly.
+  Message m = Message::peer_fetch(0, 2, {7, 3}, false);
+  EXPECT_EQ(m.trace, 0u);
+  EXPECT_EQ(m.span, 0u);
+  const auto zero_back = decode(encode(m));
+  ASSERT_TRUE(zero_back.has_value());
+  EXPECT_EQ(zero_back->trace, 0u);
+  EXPECT_EQ(zero_back->span, 0u);
+
+  m.trace = 0x0123'4567'89AB'CDEFull;
+  m.span = 0xFEDC'BA98'7654'3210ull;
+  const auto back = decode(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace, m.trace);
+  EXPECT_EQ(back->span, m.span);
+  EXPECT_EQ(*back, m);
 }
 
 TEST(WireFormat, KindNamesAreStable) {
   EXPECT_STREQ(kind_name(MsgKind::kPeerFetch), "peer-fetch");
+  EXPECT_STREQ(kind_name(MsgKind::kStatsPull), "stats-pull");
+  EXPECT_STREQ(kind_name(MsgKind::kStatsReply), "stats-reply");
   EXPECT_STREQ(kind_name(MsgKind::kMasterForward), "master-forward");
   EXPECT_STREQ(kind_name(MsgKind::kWriteOwnershipReply),
                "write-ownership-reply");
