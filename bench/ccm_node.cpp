@@ -21,7 +21,8 @@
 //   --port-base=P        node i listens on P+i                (default 37100)
 //   --blocks-per-node, --files, --file-blocks, --workers, --drivers,
 //   --iters, --write-pct, --invalidate-pct, --seed, --policy, --directory,
-//   --deterministic-writes   as in ccm_stress
+//   --batch, --deterministic-writes   as in ccm_stress (pass --batch to
+//                        every process alike)
 //   --dump-storage=PATH  home only: final storage bytes -> PATH
 //   --connect-timeout-ms=N   peer dial/mesh deadline          (default 20000)
 //   --json[=PATH]        emit a JSON report (stdout or PATH), including a
@@ -118,6 +119,7 @@ int main(int argc, char** argv) {
   cfg.directory = flags.get("directory", "perfect") == "hinted"
                       ? cache::DirectoryMode::kHinted
                       : cache::DirectoryMode::kPerfect;
+  cfg.batch_directory = flags.get_bool("batch", true);
 
   ccm_bench::Workload wl;
   wl.nodes = nodes;
@@ -278,8 +280,12 @@ int main(int argc, char** argv) {
       ts.flushes ? static_cast<double>(ts.sent) /
                        static_cast<double>(ts.flushes)
                  : 0.0;
+  const double local_ops =
+      static_cast<double>(local_drivers) * static_cast<double>(wl.iters);
   std::cout << "ccm_node " << local << ": " << local_drivers << " drivers x "
-            << wl.iters << " ops, elapsed " << util::fixed(secs, 3) << " s\n"
+            << wl.iters << " ops, elapsed " << util::fixed(secs, 3) << " s, "
+            << util::fixed(secs > 0 ? local_ops / secs : 0.0, 0)
+            << " ops/s\n"
             << "  hits: local " << s.local_hits << ", remote "
             << s.remote_hits << ", disk " << s.disk_reads << ", writes "
             << s.writes << "\n"
@@ -287,7 +293,13 @@ int main(int argc, char** argv) {
             << " in " << ts.flushes << " flushes ("
             << util::fixed(batching, 2) << " msgs/syscall), bytes tx "
             << ts.bytes_sent << " rx " << ts.bytes_received
-            << ", frame errors " << ts.frame_errors << "\n";
+            << ", frame errors " << ts.frame_errors << ", payload copies "
+            << ts.payload_copies << "\n"
+            << "  directory client: " << s.dir_client.trips() << " trips ("
+            << s.dir_client.singles << " singles + " << s.dir_client.batches
+            << " batches carrying " << s.dir_client.batched_ops
+            << " ops), hints: " << s.hint_hits << " hits, " << s.hint_stale
+            << " stale\n";
   if (faults_on) {
     std::cout << "  faults: drops " << s.transport.injected_drops
               << ", delays " << s.transport.injected_delays << ", duplicates "
@@ -336,6 +348,8 @@ int main(int argc, char** argv) {
     j.key("drivers_local").value(static_cast<std::uint64_t>(local_drivers));
     j.key("iters").value(static_cast<std::int64_t>(wl.iters));
     j.key("elapsed_seconds").value(secs);
+    j.key("ops_per_second").value(secs > 0 ? local_ops / secs : 0.0);
+    j.key("batch").value(cfg.batch_directory);
     j.key("consistent").value(consistent);
     j.key("totals").begin_object();
     j.key("local_hits").value(s.local_hits);
@@ -349,10 +363,21 @@ int main(int argc, char** argv) {
     j.key("claims").value(s.directory.claims);
     j.key("masters_purged").value(s.directory.masters_purged);
     j.end_object();
+    j.key("directory_client").begin_object();
+    j.key("singles").value(s.dir_client.singles);
+    j.key("batches").value(s.dir_client.batches);
+    j.key("batched_ops").value(s.dir_client.batched_ops);
+    j.key("trips").value(s.dir_client.trips());
+    j.end_object();
+    j.key("hints").begin_object();
+    j.key("hits").value(s.hint_hits);
+    j.key("stale").value(s.hint_stale);
+    j.end_object();
     j.key("transport").begin_object();
     j.key("rpcs").value(ts.rpcs);
     j.key("frames_sent").value(ts.sent);
     j.key("flushes").value(ts.flushes);
+    j.key("payload_copies").value(ts.payload_copies);
     j.key("bytes_sent").value(ts.bytes_sent);
     j.key("bytes_received").value(ts.bytes_received);
     j.key("frame_errors").value(ts.frame_errors);

@@ -18,6 +18,10 @@
 //   --seed=N             workload RNG seed                (default 1)
 //   --policy=nem|basic   eviction policy                  (default nem)
 //   --directory=perfect|hinted                            (default perfect)
+//   --batch=0|1          batch directory ops on multi-block reads and
+//                        eviction sweeps (default 1); 0 restores the
+//                        one-RPC-per-op protocol — the perf-smoke CI job
+//                        runs both and asserts the trip reduction
 //   --deterministic-writes  partition write targets per driver so the final
 //                           storage bytes are schedule-independent (the
 //                           multi-process equality harness; needs
@@ -104,6 +108,7 @@ int main(int argc, char** argv) {
   cfg.directory = flags.get("directory", "perfect") == "hinted"
                       ? cache::DirectoryMode::kHinted
                       : cache::DirectoryMode::kPerfect;
+  cfg.batch_directory = flags.get_bool("batch", true);
 
   ccm_bench::Workload wl;
   wl.nodes = nodes;
@@ -175,7 +180,13 @@ int main(int argc, char** argv) {
             << s.remote_hits << ", disk " << s.disk_reads << ", writes "
             << s.writes << ", invalidations " << s.invalidations << "\n"
             << "  transport: sent " << s.transport.sent << ", received "
-            << s.transport.received << ", rpcs " << s.transport.rpcs << "\n";
+            << s.transport.received << ", rpcs " << s.transport.rpcs
+            << ", payload copies " << s.transport.payload_copies << "\n"
+            << "  directory client: " << s.dir_client.trips() << " trips ("
+            << s.dir_client.singles << " singles + " << s.dir_client.batches
+            << " batches carrying " << s.dir_client.batched_ops
+            << " ops), hints: " << s.hint_hits << " hits, " << s.hint_stale
+            << " stale\n";
   if (faults_on) {
     std::cout << "  faults: drops " << s.transport.injected_drops
               << ", delays " << s.transport.injected_delays << ", duplicates "
@@ -218,6 +229,7 @@ int main(int argc, char** argv) {
     j.key("directory").value(cfg.directory == cache::DirectoryMode::kHinted
                                  ? "hinted"
                                  : "perfect");
+    j.key("batch").value(cfg.batch_directory);
     j.end_object();
     j.key("elapsed_seconds").value(secs);
     j.key("ops_per_second").value(total_ops / secs);
@@ -260,10 +272,23 @@ int main(int argc, char** argv) {
     j.key("hint_misdirects").value(s.directory.hint_misdirects);
     j.key("masters_purged").value(s.directory.masters_purged);
     j.end_object();
+    // The batching headline: trips is what the ≥4x perf-smoke assertion and
+    // the throughput comparison key on.
+    j.key("directory_client").begin_object();
+    j.key("singles").value(s.dir_client.singles);
+    j.key("batches").value(s.dir_client.batches);
+    j.key("batched_ops").value(s.dir_client.batched_ops);
+    j.key("trips").value(s.dir_client.trips());
+    j.end_object();
+    j.key("hints").begin_object();
+    j.key("hits").value(s.hint_hits);
+    j.key("stale").value(s.hint_stale);
+    j.end_object();
     j.key("transport").begin_object();
     j.key("sent").value(s.transport.sent);
     j.key("received").value(s.transport.received);
     j.key("rpcs").value(s.transport.rpcs);
+    j.key("payload_copies").value(s.transport.payload_copies);
     j.key("injected_drops").value(s.transport.injected_drops);
     j.key("injected_delays").value(s.transport.injected_delays);
     j.key("injected_duplicates").value(s.transport.injected_duplicates);

@@ -92,6 +92,18 @@ def main(argv):
         delta = f"{d:+8.1f}%" if d is not None else "      n/a"
         print(f"  {delta}  {key}: {b} -> {f}")
 
+    # Headline summary: the throughput delta and the directory round-trip
+    # delta the batching work moves (informational, not gating).
+    tb, tf = base.get("ops_per_second"), fresh.get("ops_per_second")
+    td = pct(tb, tf)
+    if td is not None:
+        print(f"throughput: {tb:.0f} -> {tf:.0f} ops/s ({td:+.1f}%)")
+    rb = flat_base.get("directory_client.trips")
+    rf = flat_fresh.get("directory_client.trips")
+    rd = pct(rb, rf)
+    if rd is not None:
+        print(f"directory trips: {rb} -> {rf} ({rd:+.1f}%)")
+
     if failures:
         for msg in failures:
             print(f"FAIL: {msg}", file=sys.stderr)

@@ -357,17 +357,26 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
       util::UniqueLock lock(sh.mu);
       metrics_.record_lock_wait(obs::runtime_now_ns() - lw0);
       if (sh.state.is_master(msg.block)) {
-        sh.state.touch(msg.block, tick());
-        sh.state.publish();
         const auto it = sh.store.find(msg.block);
         assert(it != sh.store.end());
-        CCM_AUDIT_HOOK(audit_shard_locked(sh, self, "peer_fetch"));
-        return {proto::Message::peer_fetch_reply(self, msg.from, msg.block,
-                                                 /*hit=*/true,
-                                                 config_.block_bytes),
-                it->second};
+        // Only promise bytes that exist: a master still being faulted in
+        // must not leave this node as a reply payload. A framed transport
+        // would hold the reply until the producer finishes — and the
+        // producer may itself be blocked on a fetch from the requester's
+        // node, deadlocking both. A miss sends the requester back to the
+        // directory; by its next attempt the fill has finished.
+        if (it->second->is_ready()) {
+          sh.state.touch(msg.block, tick());
+          sh.state.publish();
+          CCM_AUDIT_HOOK(audit_shard_locked(sh, self, "peer_fetch"));
+          return {proto::Message::peer_fetch_reply(self, msg.from, msg.block,
+                                                   /*hit=*/true,
+                                                   config_.block_bytes),
+                  it->second};
+        }
       }
-      // Not the master (any more): the requester re-reads the directory.
+      // Not the master (any more), or the master's bytes are still in
+      // flight: the requester re-reads the directory.
       return {proto::Message::peer_fetch_reply(self, msg.from, msg.block,
                                                /*hit=*/false, 0),
               nullptr};
@@ -397,10 +406,12 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
           sh.state.erase_entry(msg.block);
         }
       }
+      std::vector<cache::BlockId> dropped;
       for (const auto& d : drops) {
         sh.store.erase(d.block);
-        if (d.was_master) dir_->master_dropped(d.block, self);
+        if (d.was_master) dropped.push_back(d.block);
       }
+      drop_masters(self, dropped);
       sh.state.publish();
       CCM_AUDIT_HOOK(audit_shard_locked(sh, self, "master_forward"));
       return {proto::Message::forward_ack(self, msg.from, msg.block, accepted,
@@ -409,6 +420,7 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
     }
 
     case proto::MsgKind::kInvalidateBlock: {
+      hint_clear(msg.block);
       util::UniqueLock lock(sh.mu);
       if (const auto drop = sh.state.handle_invalidate(
               msg.block, msg.has(proto::kFlagDropMaster))) {
@@ -421,15 +433,18 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
     }
 
     case proto::MsgKind::kInvalidateFile: {
+      hint_clear_file(msg.block.file);
       util::UniqueLock lock(sh.mu);
+      std::vector<cache::BlockId> dropped;
       for (std::uint32_t b = 0; b < msg.count; ++b) {
         const cache::BlockId block{msg.block.file, b};
         if (const auto drop =
                 sh.state.handle_invalidate(block, /*drop_master=*/true)) {
           sh.store.erase(drop->block);
-          if (drop->was_master) dir_->master_dropped(drop->block, self);
+          if (drop->was_master) dropped.push_back(drop->block);
         }
       }
+      drop_masters(self, dropped);
       sh.state.publish();
       CCM_AUDIT_HOOK(audit_shard_locked(sh, self, "invalidate_file"));
       return {proto::Message::invalidate_ack(self, msg.from), nullptr};
@@ -444,10 +459,20 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
         sh.store.erase(it);
         sh.state.publish();
         CCM_AUDIT_HOOK(audit_shard_locked(sh, self, "write_ownership"));
+        // Same rule as kPeerFetch: never ship a buffer whose producer has
+        // not finished filling it (a framed transport would sit on the
+        // reply until it does). The master is relinquished either way; the
+        // writer's read-modify-write base falls back to post-write-through
+        // storage, which is documented idempotent.
+        if (data->is_ready()) {
+          return {proto::Message::write_ownership_reply(
+                      self, msg.from, msg.block, /*transferred=*/true,
+                      config_.block_bytes),
+                  std::move(data)};
+        }
         return {proto::Message::write_ownership_reply(
-                    self, msg.from, msg.block, /*transferred=*/true,
-                    config_.block_bytes),
-                std::move(data)};
+                    self, msg.from, msg.block, /*transferred=*/false, 0),
+                nullptr};
       }
       // Already evicted / forwarded away; the writer faults in from storage.
       return {proto::Message::write_ownership_reply(self, msg.from, msg.block,
@@ -456,6 +481,24 @@ CcmCluster::Reply CcmCluster::handle_message(cache::NodeId self,
     }
 
     // --- home-process services (remote directory / storage / barrier) ---
+
+    case proto::MsgKind::kDirBatchRequest: {
+      assert(home_dir_ != nullptr && self == home_);
+      assert(env.data != nullptr);
+      env.data->wait_ready();  // ready on arrival (decoded frame / in-proc)
+      std::vector<proto::DirBatchResult> results;
+      if (const auto req = proto::decode_dir_batch_request(env.data->bytes)) {
+        home_dir_->apply_batch(req->node, req->items, results);
+      }
+      // A malformed request answers with zero results; the client sees the
+      // count mismatch and falls back to the singles protocol.
+      auto payload = proto::encode_dir_batch_reply(results);
+      const auto bytes = static_cast<std::uint64_t>(payload.size());
+      return {proto::Message::dir_batch_reply(
+                  self, msg.from, static_cast<std::uint32_t>(results.size()),
+                  bytes),
+              net::make_ready_block(std::move(payload))};
+    }
 
     case proto::MsgKind::kDirLookupRead:
     case proto::MsgKind::kDirLookup:
@@ -621,6 +664,21 @@ CcmCluster::Reply CcmCluster::handle_directory(cache::NodeId self,
 
 // --------------------------------------------------------- replacement ----
 
+void CcmCluster::drop_masters(cache::NodeId node,
+                              const std::vector<cache::BlockId>& dropped) {
+  if (dropped.empty()) return;
+  if (config_.batch_directory && dropped.size() > 1) {
+    std::vector<proto::DirBatchItem> items;
+    items.reserve(dropped.size());
+    for (const cache::BlockId& b : dropped) {
+      items.push_back({proto::DirBatchOp::kMasterDropped, b});
+    }
+    dir_->batch(node, items);
+    return;
+  }
+  for (const cache::BlockId& b : dropped) dir_->master_dropped(b, node);
+}
+
 void CcmCluster::make_room_locked(util::UniqueLock<util::CountingMutex>& lock,
                                   cache::NodeId node, std::uint32_t slots) {
   Shard& sh = *shards_[node];
@@ -628,10 +686,12 @@ void CcmCluster::make_room_locked(util::UniqueLock<util::CountingMutex>& lock,
   while (true) {
     std::vector<cache::Drop> drops;
     auto pf = sh.state.make_room(slots, view_, drops);
+    std::vector<cache::BlockId> dropped;
     for (const auto& d : drops) {
       sh.store.erase(d.block);
-      if (d.was_master) dir_->master_dropped(d.block, node);
+      if (d.was_master) dropped.push_back(d.block);
     }
+    drop_masters(node, dropped);
     sh.state.publish();
     if (!pf) return;  // enough room (or the cache drained)
 
@@ -829,6 +889,344 @@ CcmCluster::BlockPtr CcmCluster::acquire_block(
   return data;
 }
 
+// ---------------------------------------------------------- hint slots ----
+
+namespace {
+/// Hint values pack the epoch into 48 bits (see HintSlot); comparisons
+/// against an authoritative epoch mask both sides.
+constexpr std::uint64_t kHintEpochMask = (1ull << 48) - 1;
+}  // namespace
+
+std::optional<CcmCluster::Hint> CcmCluster::hint_probe(
+    const cache::BlockId& b) const {
+  const HintSlot& slot = hints_[hint_index(b)];
+  const std::uint64_t key =
+      ((static_cast<std::uint64_t>(b.file) << 32) | b.index) + 1;
+  if (slot.key.load(std::memory_order_relaxed) != key) return std::nullopt;
+  const std::uint64_t val = slot.val.load(std::memory_order_relaxed);
+  // key/val are independent atomics: this pair may be torn against a
+  // concurrent publish. A wrong candidate is safe — the fetch misses or the
+  // batched validation refuses the insert, and the block re-chains through
+  // the authoritative protocol.
+  return Hint{static_cast<cache::NodeId>(val >> 48), val & kHintEpochMask};
+}
+
+void CcmCluster::hint_publish(const cache::BlockId& b, cache::NodeId master,
+                              std::uint64_t epoch) {
+  HintSlot& slot = hints_[hint_index(b)];
+  const std::uint64_t key =
+      ((static_cast<std::uint64_t>(b.file) << 32) | b.index) + 1;
+  slot.key.store(key, std::memory_order_relaxed);
+  slot.val.store((static_cast<std::uint64_t>(master) << 48) |
+                     (epoch & kHintEpochMask),
+                 std::memory_order_relaxed);
+}
+
+void CcmCluster::hint_clear(const cache::BlockId& b) {
+  HintSlot& slot = hints_[hint_index(b)];
+  const std::uint64_t key =
+      ((static_cast<std::uint64_t>(b.file) << 32) | b.index) + 1;
+  // Conditional: don't wipe a colliding block's hint.
+  std::uint64_t cur = slot.key.load(std::memory_order_relaxed);
+  if (cur == key) slot.key.compare_exchange_strong(cur, 0,
+                                                   std::memory_order_relaxed);
+}
+
+void CcmCluster::hint_clear_file(cache::FileId file) {
+  // An invalidation sweep is rare and already cluster-wide; a linear pass
+  // over the fixed slot array is cheap next to it.
+  for (HintSlot& slot : hints_) {
+    std::uint64_t cur = slot.key.load(std::memory_order_relaxed);
+    if (cur != 0 && static_cast<cache::FileId>((cur - 1) >> 32) == file) {
+      slot.key.compare_exchange_strong(cur, 0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// --------------------------------------------------------- batched read ----
+
+void CcmCluster::acquire_run(
+    cache::NodeId node, cache::FileId file, std::uint32_t first,
+    std::uint32_t last, std::vector<BlockPtr>& parts,
+    std::vector<std::pair<cache::BlockId, BlockPtr>>& to_read) {
+  Shard& sh = *shards_[node];
+  const std::size_t base = parts.size();
+  parts.resize(base + (last - first + 1));  // filled per block, in order
+
+  struct Pending {
+    std::uint32_t index;  // block index within `file`
+    cache::NodeId master = cache::kInvalidNode;
+    std::uint64_t epoch = 0;
+    bool misdirected = false;
+    bool from_hint = false;
+    BlockPtr fetched;  // peer-fetch payload awaiting validation
+  };
+  const auto slot_of = [&](const Pending& p) -> BlockPtr& {
+    return parts[base + (p.index - first)];
+  };
+
+  // Pass 1 — local hits: the whole run's resident blocks cost ONE shard-lock
+  // acquisition (the unbatched path pays one per block).
+  std::vector<Pending> pending;
+  {
+    const std::uint64_t lw0 = obs::runtime_now_ns();
+    util::UniqueLock lock(sh.mu);
+    metrics_.record_lock_wait(obs::runtime_now_ns() - lw0);
+    bool any = false;
+    for (std::uint32_t b = first; b <= last; ++b) {
+      const cache::BlockId block{file, b};
+      if (const auto it = sh.store.find(block); it != sh.store.end()) {
+        sh.state.touch(block, tick());
+        ++sh.state.stats().local_hits;
+        metrics_.incr(obs::RtCounter::kLocalHit);
+        sh.local_reads.fetch_add(1, std::memory_order_relaxed);
+        parts[base + (b - first)] = it->second;
+        any = true;
+      } else {
+        Pending p;
+        p.index = b;
+        pending.push_back(p);
+      }
+    }
+    if (any) {
+      sh.state.publish();
+      CCM_AUDIT_HOOK(audit_shard_locked(sh, node, "local_hit"));
+    }
+  }
+  if (pending.empty()) return;
+
+  // Pass 2 — resolve masters: hint slots answer for free (kPerfect mode);
+  // ONE batched lookup covers the rest. Authoritative answers refresh the
+  // hint slots.
+  const bool use_hints =
+      config_.directory == cache::DirectoryMode::kPerfect;
+  std::vector<proto::DirBatchItem> lookups;
+  std::vector<std::size_t> lookup_owner;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    Pending& p = pending[i];
+    const cache::BlockId block{file, p.index};
+    if (use_hints) {
+      if (const auto h = hint_probe(block);
+          h && h->master != node && h->master < config_.nodes) {
+        p.master = h->master;
+        p.epoch = h->epoch;
+        p.from_hint = true;
+        hint_hits_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    lookups.push_back({proto::DirBatchOp::kLookupRead, block});
+    lookup_owner.push_back(i);
+  }
+  if (!lookups.empty()) {
+    const auto results = dir_->batch(node, lookups);
+    assert(results.size() == lookups.size());
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      Pending& p = pending[lookup_owner[k]];
+      p.master = results[k].node;
+      p.epoch = results[k].epoch;
+      p.misdirected = results[k].has(proto::kFlagMisdirected);
+      if (use_hints && p.master != cache::kInvalidNode && p.master != node) {
+        hint_publish(cache::BlockId{file, p.index}, p.master, p.epoch);
+      }
+    }
+  }
+
+  std::vector<std::size_t> to_claim, to_fetch, fallback;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].master == cache::kInvalidNode) {
+      to_claim.push_back(i);
+    } else if (pending[i].master == node) {
+      // Directory names us but pass 1 missed: an in-flight transition (our
+      // own forward landing back, a write migration) — let the per-block
+      // retry loop settle it.
+      fallback.push_back(i);
+    } else {
+      to_fetch.push_back(i);
+    }
+  }
+
+  // Pass 3 — misses: ONE batched try_claim masters the uncached blocks.
+  // The claim is issued *under the shard lock* with the inserts following in
+  // the same hold, exactly the atomicity the unbatched path gets from
+  // claiming inside its locked scope: a rival writer's ownership migration
+  // (kWriteOwnership needs this lock) cannot interleave between a granted
+  // claim and its insert. Chunked to the cache's capacity so make_room can
+  // always clear space for a chunk before its inserts.
+  if (!to_claim.empty()) {
+    const std::uint64_t lw1 = obs::runtime_now_ns();
+    util::UniqueLock lock(sh.mu);
+    metrics_.record_lock_wait(obs::runtime_now_ns() - lw1);
+    const std::size_t chunk_cap =
+        std::max<std::size_t>(1, sh.state.cache().capacity_blocks());
+    for (std::size_t at = 0; at < to_claim.size(); at += chunk_cap) {
+      const std::size_t end = std::min(to_claim.size(), at + chunk_cap);
+      make_room_locked(lock, node,
+                       static_cast<std::uint32_t>(end - at));
+      // make_room may bounce the lock to ship a forward: re-check the store
+      // before claiming (a sibling worker may have landed these blocks).
+      std::vector<std::size_t> want;
+      for (std::size_t j = at; j < end; ++j) {
+        Pending& p = pending[to_claim[j]];
+        const cache::BlockId block{file, p.index};
+        if (const auto it = sh.store.find(block); it != sh.store.end()) {
+          sh.state.touch(block, tick());
+          ++sh.state.stats().local_hits;
+          metrics_.incr(obs::RtCounter::kLocalHit);
+          sh.local_reads.fetch_add(1, std::memory_order_relaxed);
+          slot_of(p) = it->second;
+        } else {
+          want.push_back(to_claim[j]);
+        }
+      }
+      if (want.empty()) continue;
+      std::vector<proto::DirBatchItem> claims;
+      claims.reserve(want.size());
+      for (const std::size_t i : want) {
+        claims.push_back(
+            {proto::DirBatchOp::kTryClaim, {file, pending[i].index}});
+      }
+      const auto granted = dir_->batch(node, claims);
+      assert(granted.size() == claims.size());
+      for (std::size_t k = 0; k < want.size(); ++k) {
+        Pending& p = pending[want[k]];
+        if (!granted[k].has(proto::kFlagGranted)) {
+          fallback.push_back(want[k]);  // lost the race: retry as a fetch
+          continue;
+        }
+        const cache::BlockId block{file, p.index};
+        ++sh.state.stats().disk_reads;
+        metrics_.incr(obs::RtCounter::kMasterClaim);
+        metrics_.incr(obs::RtCounter::kDiskRead);
+        sh.state.insert_master(block, tick());
+        auto data = std::make_shared<BlockData>();
+        sh.store.emplace(block, data);
+        to_read.emplace_back(block, data);
+        slot_of(p) = data;
+      }
+    }
+    sh.state.publish();
+    CCM_AUDIT_HOOK(audit_shard_locked(sh, node, "disk_read"));
+  }
+
+  // Pass 4 — remote hits: per-block peer fetches (bulk payloads keep their
+  // own RPCs — that is the zero-copy path), then ONE batched validation
+  // under the shard lock decides which copies may be cached, the same
+  // lookup+read_cacheable predicate the unbatched path re-checks.
+  std::vector<std::size_t> fetched;
+  for (const std::size_t i : to_fetch) {
+    Pending& p = pending[i];
+    const cache::BlockId block{file, p.index};
+    Reply reply;
+    try {
+      reply = rpc(proto::Message::peer_fetch(node, p.master, block,
+                                             p.misdirected));
+    } catch (const net::TransportError&) {
+      if (p.from_hint) {
+        hint_stale_.fetch_add(1, std::memory_order_relaxed);
+        hint_clear(block);
+      }
+      fallback.push_back(i);  // re-read the directory (crash purge re-homes)
+      continue;
+    }
+    if (!reply.msg.has(proto::kFlagHit) || !reply.data) {
+      if (p.from_hint) {
+        hint_stale_.fetch_add(1, std::memory_order_relaxed);
+        hint_clear(block);
+      }
+      fallback.push_back(i);  // the master moved while the fetch flew
+      continue;
+    }
+    p.fetched = std::move(reply.data);
+    fetched.push_back(i);
+  }
+  if (!fetched.empty()) {
+    const std::uint64_t lw2 = obs::runtime_now_ns();
+    util::UniqueLock lock(sh.mu);
+    metrics_.record_lock_wait(obs::runtime_now_ns() - lw2);
+    const std::size_t chunk_cap =
+        std::max<std::size_t>(1, sh.state.cache().capacity_blocks());
+    for (std::size_t at = 0; at < fetched.size(); at += chunk_cap) {
+      const std::size_t end = std::min(fetched.size(), at + chunk_cap);
+      std::vector<std::size_t> insertable;
+      for (std::size_t j = at; j < end; ++j) {
+        Pending& p = pending[fetched[j]];
+        const cache::BlockId block{file, p.index};
+        if (const auto it = sh.store.find(block); it != sh.store.end()) {
+          // A sibling worker cached the block while we fetched.
+          sh.state.touch(block, tick());
+          ++sh.state.stats().remote_hits;
+          metrics_.incr(obs::RtCounter::kPeerHit);
+          slot_of(p) = it->second;
+        } else {
+          insertable.push_back(fetched[j]);
+        }
+      }
+      if (insertable.empty()) continue;
+      make_room_locked(lock, node,
+                       static_cast<std::uint32_t>(insertable.size()));
+      std::vector<proto::DirBatchItem> checks;
+      std::vector<std::size_t> checked;
+      for (const std::size_t i : insertable) {
+        Pending& p = pending[i];
+        const cache::BlockId block{file, p.index};
+        if (const auto it = sh.store.find(block); it != sh.store.end()) {
+          sh.state.touch(block, tick());
+          ++sh.state.stats().remote_hits;
+          metrics_.incr(obs::RtCounter::kPeerHit);
+          slot_of(p) = it->second;
+          continue;
+        }
+        ++sh.state.stats().remote_hits;
+        metrics_.incr(obs::RtCounter::kPeerHit);
+        checks.push_back({proto::DirBatchOp::kValidate, block});
+        checked.push_back(i);
+      }
+      if (checks.empty()) continue;
+      // Issued with the lock held, like the unbatched re-validation: the
+      // check and the insert must be atomic against an invalidation sweep,
+      // which needs this shard lock to visit us.
+      const auto verdicts = dir_->batch(node, checks);
+      assert(verdicts.size() == checks.size());
+      for (std::size_t k = 0; k < checked.size(); ++k) {
+        Pending& p = pending[checked[k]];
+        const cache::BlockId block{file, p.index};
+        const proto::DirBatchResult& v = verdicts[k];
+        // Cacheable iff the master is where we fetched from, the file epoch
+        // is unchanged, and no write is mid-span — the hint path compares
+        // its 48-bit stored epoch.
+        const bool epoch_ok =
+            p.from_hint ? ((v.epoch & kHintEpochMask) == p.epoch)
+                        : (v.epoch == p.epoch);
+        if (v.node == p.master && epoch_ok &&
+            v.has(proto::kFlagGranted)) {
+          sh.state.insert_copy(block, tick());
+          sh.store[block] = p.fetched;
+        } else if (p.from_hint) {
+          // Stale hint: the bytes are still valid to *serve* (a read racing
+          // a write may see superseded content), just not to cache.
+          hint_stale_.fetch_add(1, std::memory_order_relaxed);
+          if (use_hints && v.node != cache::kInvalidNode && v.node != node) {
+            hint_publish(block, v.node, v.epoch);  // refresh from authority
+          } else {
+            hint_clear(block);
+          }
+        }
+        slot_of(p) = p.fetched;
+      }
+    }
+    sh.state.publish();
+    CCM_AUDIT_HOOK(audit_shard_locked(sh, node, "remote_hit"));
+  }
+
+  // Pass 5 — stragglers: whatever raced a transition goes through the
+  // per-block protocol, retries, liveness fallback and all.
+  for (const std::size_t i : fallback) {
+    Pending& p = pending[i];
+    slot_of(p) = acquire_block(node, {file, p.index}, to_read);
+  }
+}
+
 std::vector<std::byte> CcmCluster::execute_read(cache::NodeId node,
                                                 cache::FileId file,
                                                 std::uint64_t offset,
@@ -846,8 +1244,12 @@ std::vector<std::byte> CcmCluster::execute_read(cache::NodeId node,
   std::vector<BlockPtr> parts;
   parts.reserve(last_block - first_block + 1);
   std::vector<std::pair<cache::BlockId, BlockPtr>> to_read;
-  for (std::uint32_t b = first_block; b <= last_block; ++b) {
-    parts.push_back(acquire_block(node, cache::BlockId{file, b}, to_read));
+  if (config_.batch_directory) {
+    acquire_run(node, file, first_block, last_block, parts, to_read);
+  } else {
+    for (std::uint32_t b = first_block; b <= last_block; ++b) {
+      parts.push_back(acquire_block(node, cache::BlockId{file, b}, to_read));
+    }
   }
 
   // Fault in missing blocks from Storage on this worker thread, outside all
@@ -939,8 +1341,11 @@ void CcmCluster::execute_write(cache::NodeId node, cache::FileId file,
 
     // 1. Claim directory ownership first: any reader that fetches the old
     //    master from here on re-checks the directory before caching a copy,
-    //    so no stale copy can outlive the invalidation pass below.
+    //    so no stale copy can outlive the invalidation pass below. Our own
+    //    hint slot for the block is now wrong (the master is us) — drop it;
+    //    peers drop theirs in the kInvalidateBlock sweep below.
     const cache::NodeId previous = dir_->write_claim(block, node);
+    hint_clear(block);
 
     // 2. Invalidate every peer's (non-master) copy.
     for (std::size_t p = 0; p < config_.nodes; ++p) {
@@ -1163,6 +1568,9 @@ CcmStats CcmCluster::stats() const {
   }
   s.directory = dir_->ops();
   s.hint_misdirects = s.directory.hint_misdirects;
+  s.dir_client = dir_->calls();
+  s.hint_hits = hint_hits_.load(std::memory_order_relaxed);
+  s.hint_stale = hint_stale_.load(std::memory_order_relaxed);
   s.transport = transport_->stats();
   // Retries live at the rpc() layer, above any transport decorator.
   s.transport.rpc_retries +=
@@ -1188,6 +1596,9 @@ void CcmCluster::reset_stats() {
   retry_stats_.retries.store(0, std::memory_order_relaxed);
   retry_stats_.failures.store(0, std::memory_order_relaxed);
   dir_->reset_ops();
+  dir_->reset_calls();
+  hint_hits_.store(0, std::memory_order_relaxed);
+  hint_stale_.store(0, std::memory_order_relaxed);
   metrics_.reset();
 }
 

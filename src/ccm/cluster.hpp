@@ -38,11 +38,13 @@
 //    block.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <future>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -73,6 +75,12 @@ struct CcmConfig {
   cache::DirectoryMode directory = cache::DirectoryMode::kPerfect;
   /// Worker threads per node.
   std::size_t workers_per_node = 2;
+  /// Batch directory traffic: multi-block reads collect their lookups,
+  /// claims, and cache-validations into kDirBatch round trips (one shard-lock
+  /// acquisition at the service per batch), and eviction sweeps batch their
+  /// master drops. Off restores the one-RPC-per-op protocol — bit-identical
+  /// directory state either way (see docs/MIDDLEWARE.md).
+  bool batch_directory = true;
 };
 
 /// How this process participates in the cluster. Default-constructed: every
@@ -106,6 +114,13 @@ struct CcmStats : cache::CacheStats {
   std::vector<Shard> shards;
   proto::DirectoryService::Ops directory;
   net::TransportStats transport;
+  /// Directory-client traffic as seen from this process: single-op calls vs
+  /// batch round trips (dir_client.trips() is the number batching shrinks).
+  DirectoryClient::Calls dir_client;
+  /// Lock-free hint-slot probes that short-circuited a directory lookup, and
+  /// how many of those hints later failed validation (served uncached).
+  std::uint64_t hint_hits = 0;
+  std::uint64_t hint_stale = 0;
 };
 
 class CcmCluster {
@@ -361,6 +376,64 @@ class CcmCluster {
                          std::vector<std::pair<cache::BlockId, BlockPtr>>&
                              to_read);
 
+  /// Batched form of acquire_block for the contiguous run [first, last] of
+  /// `file`'s blocks (config_.batch_directory): one shard-lock pass drains
+  /// the local hits, one kDirBatch lookup resolves the misses (hint slots
+  /// short-circuit it per block), one batch claim (issued under the shard
+  /// lock, like the single path's try_claim) masters the uncached ones, and
+  /// fetched copies are validated by one batched kValidate under the shard
+  /// lock before insertion. Any block that races a transition falls back to
+  /// acquire_block — same retries, same uncached-liveness floor. Appends one
+  /// BlockPtr per block to `parts`, in block order.
+  void acquire_run(cache::NodeId node, cache::FileId file, std::uint32_t first,
+                   std::uint32_t last, std::vector<BlockPtr>& parts,
+                   std::vector<std::pair<cache::BlockId, BlockPtr>>& to_read);
+
+  // --- master-location hint slots (the read-mostly fast path) ---
+  //
+  // A fixed, power-of-two array of relaxed-atomic {key, val} pairs mapping a
+  // block to its last authoritatively observed (master, epoch). A probe hit
+  // skips the directory lookup entirely — no lock, no RPC; the later batched
+  // kValidate (under the inserting shard's lock) is what keeps a stale hint
+  // from planting an uncacheable copy, exactly the check the unbatched path
+  // makes against its authoritative lookup. key and val are independent
+  // atomics, so a reader racing a publisher can see a torn pair; the worst
+  // outcome is a wrong candidate master — a peer-fetch miss or a failed
+  // validation, both of which re-chain through the authoritative protocol.
+  // Slots are advisory in every mode but only *used* in kPerfect mode:
+  // kHinted's staleness model lives in the DirectoryService and layering a
+  // second hint tier would skew its accuracy accounting.
+  struct HintSlot {
+    std::atomic<std::uint64_t> key{0};  // (file<<32 | index) + 1; 0 = empty
+    std::atomic<std::uint64_t> val{0};  // master<<48 | epoch (low 48 bits)
+  };
+  static constexpr std::size_t kHintSlots = 4096;  // power of two
+
+  struct Hint {
+    cache::NodeId master;
+    std::uint64_t epoch;  // low 48 bits of the observed file epoch
+  };
+  static std::size_t hint_index(const cache::BlockId& b) {
+    // Same mix the block-id hash uses; cheap and good enough for slots.
+    const std::uint64_t k = (static_cast<std::uint64_t>(b.file) << 32) |
+                            b.index;
+    return static_cast<std::size_t>((k * 0x9E3779B97F4A7C15ull) >> 32) &
+           (kHintSlots - 1);
+  }
+  [[nodiscard]] std::optional<Hint> hint_probe(const cache::BlockId& b) const;
+  void hint_publish(const cache::BlockId& b, cache::NodeId master,
+                    std::uint64_t epoch);
+  void hint_clear(const cache::BlockId& b);
+  void hint_clear_file(cache::FileId file);
+
+  /// Unregisters a sweep's worth of dropped masters: one kDirBatch round
+  /// trip when batching is on and the sweep dropped more than one, the
+  /// single-op protocol otherwise. Call sites hold the shard lock, exactly
+  /// as they did around the per-drop master_dropped calls this replaces
+  /// (the directory stays the leaf either way).
+  void drop_masters(cache::NodeId node,
+                    const std::vector<cache::BlockId>& dropped);
+
   /// Frees `slots` at `node` per the replacement policy. Requires `lock`
   /// held on the node's shard; releases it while shipping a master forward
   /// (re-acquired before returning), so callers must re-validate any state
@@ -402,6 +475,11 @@ class CcmCluster {
   std::vector<std::unique_ptr<Shard>> shards_;
   ShardView view_{*this};
   std::atomic<std::uint64_t> clock_{0};
+
+  /// Master-location hint slots (see above) and their probe counters.
+  std::array<HintSlot, kHintSlots> hints_;
+  std::atomic<std::uint64_t> hint_hits_{0};
+  std::atomic<std::uint64_t> hint_stale_{0};
 
   /// Bounded-retry counters for every rpc() (merged into stats().transport).
   net::RetryStats retry_stats_;

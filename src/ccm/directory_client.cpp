@@ -1,14 +1,8 @@
 #include "ccm/directory_client.hpp"
 
+#include <utility>
+
 namespace coop::ccm {
-
-namespace {
-
-cache::NodeId reply_node(const proto::Message& reply) {
-  return static_cast<cache::NodeId>(reply.count);
-}
-
-}  // namespace
 
 proto::Message RemoteDirectory::ask(const proto::Message& request) {
   net::Envelope env;
@@ -22,29 +16,31 @@ proto::Message RemoteDirectory::ask(const proto::Message& request) {
       .msg;
 }
 
-proto::DirectoryService::ReadLookup RemoteDirectory::lookup_for_read(
+proto::DirectoryService::ReadLookup RemoteDirectory::lookup_for_read_impl(
     cache::NodeId node, const cache::BlockId& b) {
   const proto::Message reply = ask(
       proto::Message::dir_request(proto::MsgKind::kDirLookupRead, node, home_, b));
   proto::DirectoryService::ReadLookup lk;
-  lk.master = reply_node(reply);
+  lk.master = reply.dir_result();
   lk.misdirected = reply.has(proto::kFlagMisdirected);
   lk.epoch = reply.age;
   return lk;
 }
 
-cache::NodeId RemoteDirectory::lookup(const cache::BlockId& b) {
-  return reply_node(ask(proto::Message::dir_request(
-      proto::MsgKind::kDirLookup, local_, home_, b)));
+cache::NodeId RemoteDirectory::lookup_impl(const cache::BlockId& b) {
+  return ask(proto::Message::dir_request(proto::MsgKind::kDirLookup, local_,
+                                         home_, b))
+      .dir_result();
 }
 
-bool RemoteDirectory::try_claim(const cache::BlockId& b, cache::NodeId node) {
+bool RemoteDirectory::try_claim_impl(const cache::BlockId& b,
+                                     cache::NodeId node) {
   return ask(proto::Message::dir_request(proto::MsgKind::kDirTryClaim, node,
                                          home_, b))
       .has(proto::kFlagGranted);
 }
 
-std::optional<std::uint64_t> RemoteDirectory::begin_forward(
+std::optional<std::uint64_t> RemoteDirectory::begin_forward_impl(
     const cache::BlockId& b, cache::NodeId from) {
   const proto::Message reply = ask(proto::Message::dir_request(
       proto::MsgKind::kDirBeginForward, from, home_, b));
@@ -52,56 +48,111 @@ std::optional<std::uint64_t> RemoteDirectory::begin_forward(
   return reply.age;
 }
 
-bool RemoteDirectory::claim_forwarded(const cache::BlockId& b,
-                                      cache::NodeId to, cache::NodeId from,
-                                      std::uint64_t epoch) {
+bool RemoteDirectory::claim_forwarded_impl(const cache::BlockId& b,
+                                           cache::NodeId to, cache::NodeId from,
+                                           std::uint64_t epoch) {
   return ask(proto::Message::dir_claim_forwarded(to, home_, b, from, epoch))
       .has(proto::kFlagGranted);
 }
 
-void RemoteDirectory::forward_rejected(const cache::BlockId& b,
-                                       cache::NodeId from) {
+void RemoteDirectory::forward_rejected_impl(const cache::BlockId& b,
+                                            cache::NodeId from) {
   ask(proto::Message::dir_request(proto::MsgKind::kDirForwardRejected, from,
                                   home_, b));
 }
 
-void RemoteDirectory::master_dropped(const cache::BlockId& b,
-                                     cache::NodeId node) {
+void RemoteDirectory::master_dropped_impl(const cache::BlockId& b,
+                                          cache::NodeId node) {
   ask(proto::Message::dir_request(proto::MsgKind::kDirMasterDropped, node,
                                   home_, b));
 }
 
-cache::NodeId RemoteDirectory::write_claim(const cache::BlockId& b,
-                                           cache::NodeId writer) {
-  return reply_node(ask(proto::Message::dir_request(
-      proto::MsgKind::kDirWriteClaim, writer, home_, b)));
+cache::NodeId RemoteDirectory::write_claim_impl(const cache::BlockId& b,
+                                                cache::NodeId writer) {
+  return ask(proto::Message::dir_request(proto::MsgKind::kDirWriteClaim,
+                                         writer, home_, b))
+      .dir_result();
 }
 
-void RemoteDirectory::invalidate_file(cache::FileId file) {
+void RemoteDirectory::invalidate_file_impl(cache::FileId file) {
   ask(proto::Message::dir_file_request(proto::MsgKind::kDirInvalidateFile,
                                        local_, home_, file, 0));
 }
 
-void RemoteDirectory::write_begin(cache::FileId file) {
+void RemoteDirectory::write_begin_impl(cache::FileId file) {
   ask(proto::Message::dir_file_request(proto::MsgKind::kDirWriteBegin, local_,
                                        home_, file, 0));
 }
 
-void RemoteDirectory::write_end(cache::FileId file) {
+void RemoteDirectory::write_end_impl(cache::FileId file) {
   ask(proto::Message::dir_file_request(proto::MsgKind::kDirWriteEnd, local_,
                                        home_, file, 0));
 }
 
-bool RemoteDirectory::read_cacheable(cache::FileId file, std::uint64_t epoch) {
+bool RemoteDirectory::read_cacheable_impl(cache::FileId file,
+                                          std::uint64_t epoch) {
   return ask(proto::Message::dir_file_request(proto::MsgKind::kDirReadCacheable,
                                               local_, home_, file, epoch))
       .has(proto::kFlagGranted);
 }
 
-std::size_t RemoteDirectory::purge_node(cache::NodeId node) {
+std::size_t RemoteDirectory::purge_node_impl(cache::NodeId node) {
   // The purged count rides back in the reply's epoch slot (`age`).
   return static_cast<std::size_t>(
       ask(proto::Message::dir_purge_node(local_, home_, node)).age);
+}
+
+std::vector<proto::DirBatchResult> RemoteDirectory::batch_impl(
+    cache::NodeId node, std::span<const proto::DirBatchItem> items) {
+  std::vector<std::byte> payload = proto::encode_dir_batch_request(node, items);
+  net::Envelope env;
+  env.msg = proto::Message::dir_batch_request(
+      node, home_, static_cast<std::uint32_t>(items.size()), payload.size());
+  env.data = net::make_ready_block(std::move(payload));
+  // Same at-least-once contract as ask(): a replayed batch re-executes ops
+  // that are individually idempotent or conditional, exactly like replaying
+  // each single.
+  net::Envelope reply =
+      net::call_with_retry(*transport_, env, net::RetryPolicy{}, retry_stats_);
+  if (reply.msg.kind == proto::MsgKind::kDirBatchReply && reply.data) {
+    reply.data->wait_ready();
+    auto results = proto::decode_dir_batch_reply(reply.data->bytes);
+    if (results && results->size() == items.size()) {
+      return std::move(*results);
+    }
+  }
+  // Corrupt or truncated reply (should never happen with a well-formed
+  // home): fall back to the singles protocol. Re-issuing after a
+  // possibly-applied batch is no different from an RPC retry.
+  std::vector<proto::DirBatchResult> out;
+  out.reserve(items.size());
+  for (const proto::DirBatchItem& it : items) {
+    proto::DirBatchResult r;
+    switch (it.op) {
+      case proto::DirBatchOp::kLookupRead: {
+        const auto lk = lookup_for_read_impl(node, it.block);
+        r.node = lk.master;
+        r.epoch = lk.epoch;
+        if (lk.misdirected) r.flags |= proto::kFlagMisdirected;
+        break;
+      }
+      case proto::DirBatchOp::kTryClaim:
+        if (try_claim_impl(it.block, node)) r.flags |= proto::kFlagGranted;
+        break;
+      case proto::DirBatchOp::kMasterDropped:
+        master_dropped_impl(it.block, node);
+        break;
+      case proto::DirBatchOp::kValidate:
+        // No single RPC exposes the raw file epoch; answer conservatively so
+        // the caller's validation fails closed (serves uncached, refreshes
+        // its hint from the next authoritative lookup).
+        r.node = lookup_impl(it.block);
+        r.epoch = ~std::uint64_t{0};
+        break;
+    }
+    out.push_back(r);
+  }
+  return out;
 }
 
 }  // namespace coop::ccm

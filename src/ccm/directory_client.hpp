@@ -8,17 +8,28 @@
 // (RemoteDirectory). The runtime code is identical either way — it speaks
 // DirectoryClient.
 //
+// The public protocol surface is NON-virtual: every call is counted at the
+// base class — the one place — and then dispatched to the protected *_impl
+// virtuals. The counters are the "directory RPC" metric the batching work
+// is judged by (bench --json, the perf-smoke CI job): with a remote client
+// each counted call is one wire RPC; with a local client it is one
+// directory-lock acquisition — the same contended resource either way.
+//
 // The wait-for graph stays acyclic: RemoteDirectory calls block only on the
 // home node, and the home node's directory handlers never block on anything
 // (DirectoryService is a leaf lock with no I/O), so a protocol thread that
 // issues a remote directory RPC mid-handler cannot deadlock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "net/transport.hpp"
+#include "proto/dir_batch.hpp"
 #include "proto/directory_service.hpp"
 
 namespace coop::ccm {
@@ -27,29 +38,102 @@ namespace coop::ccm {
 /// proto::DirectoryService (see that header for semantics).
 class DirectoryClient {
  public:
+  /// Snapshot of the call counters (relaxed; merged into CcmStats).
+  struct Calls {
+    std::uint64_t singles = 0;      // single-op protocol calls issued
+    std::uint64_t batches = 0;      // kDirBatch round trips issued
+    std::uint64_t batched_ops = 0;  // ops carried inside those batches
+    /// Directory round trips — the number the ≥4× batching win is
+    /// measured on (each batch is one trip no matter how many ops ride it).
+    [[nodiscard]] std::uint64_t trips() const { return singles + batches; }
+  };
+
   virtual ~DirectoryClient() = default;
 
-  virtual proto::DirectoryService::ReadLookup lookup_for_read(
-      cache::NodeId node, const cache::BlockId& b) = 0;
-  virtual cache::NodeId lookup(const cache::BlockId& b) = 0;
-  virtual bool try_claim(const cache::BlockId& b, cache::NodeId node) = 0;
-  virtual std::optional<std::uint64_t> begin_forward(const cache::BlockId& b,
-                                                     cache::NodeId from) = 0;
-  virtual bool claim_forwarded(const cache::BlockId& b, cache::NodeId to,
-                               cache::NodeId from, std::uint64_t epoch) = 0;
-  virtual void forward_rejected(const cache::BlockId& b,
-                                cache::NodeId from) = 0;
-  virtual void master_dropped(const cache::BlockId& b, cache::NodeId node) = 0;
-  virtual cache::NodeId write_claim(const cache::BlockId& b,
-                                    cache::NodeId writer) = 0;
-  virtual void invalidate_file(cache::FileId file) = 0;
-  virtual void write_begin(cache::FileId file) = 0;
-  virtual void write_end(cache::FileId file) = 0;
-  virtual bool read_cacheable(cache::FileId file, std::uint64_t epoch) = 0;
+  // ---- protocol surface (counted, non-virtual) ----
+
+  proto::DirectoryService::ReadLookup lookup_for_read(
+      cache::NodeId node, const cache::BlockId& b) {
+    count_single();
+    return lookup_for_read_impl(node, b);
+  }
+  cache::NodeId lookup(const cache::BlockId& b) {
+    count_single();
+    return lookup_impl(b);
+  }
+  bool try_claim(const cache::BlockId& b, cache::NodeId node) {
+    count_single();
+    return try_claim_impl(b, node);
+  }
+  std::optional<std::uint64_t> begin_forward(const cache::BlockId& b,
+                                             cache::NodeId from) {
+    count_single();
+    return begin_forward_impl(b, from);
+  }
+  bool claim_forwarded(const cache::BlockId& b, cache::NodeId to,
+                       cache::NodeId from, std::uint64_t epoch) {
+    count_single();
+    return claim_forwarded_impl(b, to, from, epoch);
+  }
+  void forward_rejected(const cache::BlockId& b, cache::NodeId from) {
+    count_single();
+    forward_rejected_impl(b, from);
+  }
+  void master_dropped(const cache::BlockId& b, cache::NodeId node) {
+    count_single();
+    master_dropped_impl(b, node);
+  }
+  cache::NodeId write_claim(const cache::BlockId& b, cache::NodeId writer) {
+    count_single();
+    return write_claim_impl(b, writer);
+  }
+  void invalidate_file(cache::FileId file) {
+    count_single();
+    invalidate_file_impl(file);
+  }
+  void write_begin(cache::FileId file) {
+    count_single();
+    write_begin_impl(file);
+  }
+  void write_end(cache::FileId file) {
+    count_single();
+    write_end_impl(file);
+  }
+  bool read_cacheable(cache::FileId file, std::uint64_t epoch) {
+    count_single();
+    return read_cacheable_impl(file, epoch);
+  }
   /// Crash fence: unregisters every master at `node` and epoch-fences the
   /// affected files (see DirectoryService::purge_node). Returns the number
   /// of masters purged.
-  virtual std::size_t purge_node(cache::NodeId node) = 0;
+  std::size_t purge_node(cache::NodeId node) {
+    count_single();
+    return purge_node_impl(node);
+  }
+
+  /// Batched directory ops issued by `node`: one round trip (and, at the
+  /// service, one lock acquisition) for the whole vector. Returns one
+  /// result per item, in order. Safe under at-least-once retry for the same
+  /// reason the singles are: every op is idempotent or conditional.
+  std::vector<proto::DirBatchResult> batch(
+      cache::NodeId node, std::span<const proto::DirBatchItem> items) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_ops_.fetch_add(items.size(), std::memory_order_relaxed);
+    return batch_impl(node, items);
+  }
+
+  [[nodiscard]] Calls calls() const {
+    Calls c;
+    c.singles = singles_.load(std::memory_order_relaxed);
+    c.batches = batches_.load(std::memory_order_relaxed);
+    c.batched_ops = batched_ops_.load(std::memory_order_relaxed);
+    return c;
+  }
+  void reset_calls() {
+    singles_.store(0, std::memory_order_relaxed);
+    batches_.store(0, std::memory_order_relaxed);
+    batched_ops_.store(0, std::memory_order_relaxed);
+  }
 
   // Observability. Remote clients return empty/neutral values — directory
   // counters and audits are read where the directory lives (the home
@@ -65,6 +149,38 @@ class DirectoryClient {
   /// the all-in-one runtime); nullptr behind a remote client. CcmCluster
   /// uses this to answer kDir* RPCs on the directory's behalf.
   virtual proto::DirectoryService* service() { return nullptr; }
+
+ protected:
+  virtual proto::DirectoryService::ReadLookup lookup_for_read_impl(
+      cache::NodeId node, const cache::BlockId& b) = 0;
+  virtual cache::NodeId lookup_impl(const cache::BlockId& b) = 0;
+  virtual bool try_claim_impl(const cache::BlockId& b, cache::NodeId node) = 0;
+  virtual std::optional<std::uint64_t> begin_forward_impl(
+      const cache::BlockId& b, cache::NodeId from) = 0;
+  virtual bool claim_forwarded_impl(const cache::BlockId& b, cache::NodeId to,
+                                    cache::NodeId from,
+                                    std::uint64_t epoch) = 0;
+  virtual void forward_rejected_impl(const cache::BlockId& b,
+                                     cache::NodeId from) = 0;
+  virtual void master_dropped_impl(const cache::BlockId& b,
+                                   cache::NodeId node) = 0;
+  virtual cache::NodeId write_claim_impl(const cache::BlockId& b,
+                                         cache::NodeId writer) = 0;
+  virtual void invalidate_file_impl(cache::FileId file) = 0;
+  virtual void write_begin_impl(cache::FileId file) = 0;
+  virtual void write_end_impl(cache::FileId file) = 0;
+  virtual bool read_cacheable_impl(cache::FileId file,
+                                   std::uint64_t epoch) = 0;
+  virtual std::size_t purge_node_impl(cache::NodeId node) = 0;
+  virtual std::vector<proto::DirBatchResult> batch_impl(
+      cache::NodeId node, std::span<const proto::DirBatchItem> items) = 0;
+
+ private:
+  void count_single() { singles_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::atomic<std::uint64_t> singles_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_ops_{0};
 };
 
 /// The directory is in this process: thin forwarding wrapper owning the
@@ -74,46 +190,6 @@ class LocalDirectory final : public DirectoryClient {
   LocalDirectory(std::size_t nodes, cache::DirectoryMode mode,
                  std::uint32_t hint_staleness)
       : svc_(nodes, mode, hint_staleness) {}
-
-  proto::DirectoryService::ReadLookup lookup_for_read(
-      cache::NodeId node, const cache::BlockId& b) override {
-    return svc_.lookup_for_read(node, b);
-  }
-  cache::NodeId lookup(const cache::BlockId& b) override {
-    return svc_.lookup(b);
-  }
-  bool try_claim(const cache::BlockId& b, cache::NodeId node) override {
-    return svc_.try_claim(b, node);
-  }
-  std::optional<std::uint64_t> begin_forward(const cache::BlockId& b,
-                                             cache::NodeId from) override {
-    return svc_.begin_forward(b, from);
-  }
-  bool claim_forwarded(const cache::BlockId& b, cache::NodeId to,
-                       cache::NodeId from, std::uint64_t epoch) override {
-    return svc_.claim_forwarded(b, to, from, epoch);
-  }
-  void forward_rejected(const cache::BlockId& b, cache::NodeId from) override {
-    svc_.forward_rejected(b, from);
-  }
-  void master_dropped(const cache::BlockId& b, cache::NodeId node) override {
-    svc_.master_dropped(b, node);
-  }
-  cache::NodeId write_claim(const cache::BlockId& b,
-                            cache::NodeId writer) override {
-    return svc_.write_claim(b, writer);
-  }
-  void invalidate_file(cache::FileId file) override {
-    svc_.invalidate_file(file);
-  }
-  void write_begin(cache::FileId file) override { svc_.write_begin(file); }
-  void write_end(cache::FileId file) override { svc_.write_end(file); }
-  bool read_cacheable(cache::FileId file, std::uint64_t epoch) override {
-    return svc_.read_cacheable(file, epoch);
-  }
-  std::size_t purge_node(cache::NodeId node) override {
-    return svc_.purge_node(node);
-  }
 
   proto::DirectoryService::Ops ops() override { return svc_.ops(); }
   void reset_ops() override { svc_.reset_ops(); }
@@ -128,12 +204,65 @@ class LocalDirectory final : public DirectoryClient {
 
   proto::DirectoryService* service() override { return &svc_; }
 
+ protected:
+  proto::DirectoryService::ReadLookup lookup_for_read_impl(
+      cache::NodeId node, const cache::BlockId& b) override {
+    return svc_.lookup_for_read(node, b);
+  }
+  cache::NodeId lookup_impl(const cache::BlockId& b) override {
+    return svc_.lookup(b);
+  }
+  bool try_claim_impl(const cache::BlockId& b, cache::NodeId node) override {
+    return svc_.try_claim(b, node);
+  }
+  std::optional<std::uint64_t> begin_forward_impl(const cache::BlockId& b,
+                                                  cache::NodeId from) override {
+    return svc_.begin_forward(b, from);
+  }
+  bool claim_forwarded_impl(const cache::BlockId& b, cache::NodeId to,
+                            cache::NodeId from, std::uint64_t epoch) override {
+    return svc_.claim_forwarded(b, to, from, epoch);
+  }
+  void forward_rejected_impl(const cache::BlockId& b,
+                             cache::NodeId from) override {
+    svc_.forward_rejected(b, from);
+  }
+  void master_dropped_impl(const cache::BlockId& b,
+                           cache::NodeId node) override {
+    svc_.master_dropped(b, node);
+  }
+  cache::NodeId write_claim_impl(const cache::BlockId& b,
+                                 cache::NodeId writer) override {
+    return svc_.write_claim(b, writer);
+  }
+  void invalidate_file_impl(cache::FileId file) override {
+    svc_.invalidate_file(file);
+  }
+  void write_begin_impl(cache::FileId file) override {
+    svc_.write_begin(file);
+  }
+  void write_end_impl(cache::FileId file) override { svc_.write_end(file); }
+  bool read_cacheable_impl(cache::FileId file, std::uint64_t epoch) override {
+    return svc_.read_cacheable(file, epoch);
+  }
+  std::size_t purge_node_impl(cache::NodeId node) override {
+    return svc_.purge_node(node);
+  }
+  std::vector<proto::DirBatchResult> batch_impl(
+      cache::NodeId node,
+      std::span<const proto::DirBatchItem> items) override {
+    std::vector<proto::DirBatchResult> out;
+    svc_.apply_batch(node, items, out);
+    return out;
+  }
+
  private:
   proto::DirectoryService svc_;
 };
 
 /// The directory lives at `home` in another process; every operation is one
-/// kDir* RPC over the transport, answered with a generic kDirReply.
+/// kDir* RPC over the transport, answered with a generic kDirReply (or a
+/// kDirBatchReply whose payload carries the per-item results).
 class RemoteDirectory final : public DirectoryClient {
  public:
   /// `retry_stats` (optional, must outlive the client) accumulates the
@@ -146,24 +275,6 @@ class RemoteDirectory final : public DirectoryClient {
         home_(home),
         retry_stats_(retry_stats) {}
 
-  proto::DirectoryService::ReadLookup lookup_for_read(
-      cache::NodeId node, const cache::BlockId& b) override;
-  cache::NodeId lookup(const cache::BlockId& b) override;
-  bool try_claim(const cache::BlockId& b, cache::NodeId node) override;
-  std::optional<std::uint64_t> begin_forward(const cache::BlockId& b,
-                                             cache::NodeId from) override;
-  bool claim_forwarded(const cache::BlockId& b, cache::NodeId to,
-                       cache::NodeId from, std::uint64_t epoch) override;
-  void forward_rejected(const cache::BlockId& b, cache::NodeId from) override;
-  void master_dropped(const cache::BlockId& b, cache::NodeId node) override;
-  cache::NodeId write_claim(const cache::BlockId& b,
-                            cache::NodeId writer) override;
-  void invalidate_file(cache::FileId file) override;
-  void write_begin(cache::FileId file) override;
-  void write_end(cache::FileId file) override;
-  bool read_cacheable(cache::FileId file, std::uint64_t epoch) override;
-  std::size_t purge_node(cache::NodeId node) override;
-
   proto::DirectoryService::Ops ops() override { return {}; }
   void reset_ops() override {}
   double hint_accuracy() override { return 1.0; }
@@ -172,6 +283,29 @@ class RemoteDirectory final : public DirectoryClient {
   }
   std::size_t master_count() override { return 0; }
   std::size_t audit(const char*) override { return 0; }
+
+ protected:
+  proto::DirectoryService::ReadLookup lookup_for_read_impl(
+      cache::NodeId node, const cache::BlockId& b) override;
+  cache::NodeId lookup_impl(const cache::BlockId& b) override;
+  bool try_claim_impl(const cache::BlockId& b, cache::NodeId node) override;
+  std::optional<std::uint64_t> begin_forward_impl(const cache::BlockId& b,
+                                                  cache::NodeId from) override;
+  bool claim_forwarded_impl(const cache::BlockId& b, cache::NodeId to,
+                            cache::NodeId from, std::uint64_t epoch) override;
+  void forward_rejected_impl(const cache::BlockId& b,
+                             cache::NodeId from) override;
+  void master_dropped_impl(const cache::BlockId& b,
+                           cache::NodeId node) override;
+  cache::NodeId write_claim_impl(const cache::BlockId& b,
+                                 cache::NodeId writer) override;
+  void invalidate_file_impl(cache::FileId file) override;
+  void write_begin_impl(cache::FileId file) override;
+  void write_end_impl(cache::FileId file) override;
+  bool read_cacheable_impl(cache::FileId file, std::uint64_t epoch) override;
+  std::size_t purge_node_impl(cache::NodeId node) override;
+  std::vector<proto::DirBatchResult> batch_impl(
+      cache::NodeId node, std::span<const proto::DirBatchItem> items) override;
 
  private:
   /// Round-trips one request and returns the kDirReply message.

@@ -6,8 +6,10 @@
 // process both ends of a transfer share the same bytes (a peer-fetch reply
 // hands the requester the master's buffer, a promotion shares it outright);
 // across the wire the TCP transport defers the envelope until the latch
-// opens, then copies the bytes into a frame. That asymmetry is the whole
-// point of the seam — the runtime never knows which it got.
+// opens, then scatter-gathers {frame header, payload} straight from this
+// buffer — the bytes are never copied into an intermediate frame. That
+// asymmetry is the whole point of the seam — the runtime never knows which
+// it got.
 #pragma once
 
 #include <condition_variable>

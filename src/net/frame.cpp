@@ -17,9 +17,15 @@ void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
   }
 }
 
-void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+void put_u32_at(std::byte* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void put_u64_at(std::byte* p, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
   }
 }
 
@@ -64,24 +70,34 @@ std::optional<cache::NodeId> decode_handshake(
   return get_u16(bytes.data() + 6);
 }
 
+FrameHeaderBytes encode_frame_header(const Envelope& env,
+                                     std::uint64_t sender_age,
+                                     bool sender_full) {
+  const std::size_t payload = env.data ? env.data->bytes.size() : 0;
+  FrameHeaderBytes out{};
+  std::byte* p = out.data();
+  put_u32_at(p, static_cast<std::uint32_t>(kFrameFixedSize + payload));
+  p[4] = static_cast<std::byte>(sender_full ? 1 : 0);
+  put_u64_at(p + 5, sender_age);
+  put_u64_at(p + 13, env.seq);
+  put_u64_at(p + 21, env.epoch);
+  const proto::WireBytes wire = proto::encode(env.msg);
+  std::memcpy(p + 29, wire.data(), wire.size());
+  put_u32_at(p + 29 + proto::kWireSize,
+             static_cast<std::uint32_t>(payload));
+  return out;
+}
+
 std::vector<std::byte> encode_frame(const Envelope& env,
                                     std::uint64_t sender_age,
                                     bool sender_full) {
+  const FrameHeaderBytes header = encode_frame_header(env, sender_age,
+                                                      sender_full);
   const std::size_t payload = env.data ? env.data->bytes.size() : 0;
-  const std::uint32_t len =
-      static_cast<std::uint32_t>(kFrameFixedSize + payload);
-  std::vector<std::byte> out;
-  out.reserve(4 + len);
-  put_u32(out, len);
-  out.push_back(static_cast<std::byte>(sender_full ? 1 : 0));
-  put_u64(out, sender_age);
-  put_u64(out, env.seq);
-  put_u64(out, env.epoch);
-  const proto::WireBytes wire = proto::encode(env.msg);
-  out.insert(out.end(), wire.begin(), wire.end());
-  put_u32(out, static_cast<std::uint32_t>(payload));
+  std::vector<std::byte> out(header.size() + payload);
+  std::memcpy(out.data(), header.data(), header.size());
   if (payload > 0) {
-    out.insert(out.end(), env.data->bytes.begin(), env.data->bytes.end());
+    std::memcpy(out.data() + header.size(), env.data->bytes.data(), payload);
   }
   return out;
 }

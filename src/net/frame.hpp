@@ -8,7 +8,7 @@
 //   u64  sender_age     sender's published oldest LRU age (kNoAge: empty)
 //   u64  seq            RPC correlation id (0: one-way)
 //   u64  epoch          directory epoch riding on master forwards
-//   34B  message        proto::encode() fixed layout
+//   50B  message        proto::encode() fixed layout (proto::kWireSize)
 //   u32  payload_len    must equal len - fixed header size
 //   ...  payload        block / storage bytes
 //
@@ -25,6 +25,7 @@
 // A poisoned reader never yields the malformed frame (no partial delivery).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -40,7 +41,9 @@ namespace coop::net {
 inline constexpr std::uint32_t kHandshakeMagic = 0x314D4343;  // "CCM1"
 // v2: proto::Message grew trailing trace/span ids (runtime telemetry) and
 // the kStatsPull/kStatsReply scrape kinds, changing kWireSize.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+// v3: batched directory ops (kDirBatchRequest/kDirBatchReply with their
+// payload vocabulary in proto/dir_batch.hpp) extended the kind space.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 inline constexpr std::size_t kHandshakeSize = 4 + 2 + 2;
 
 /// Fixed frame bytes after the length prefix, before the payload.
@@ -65,9 +68,21 @@ std::vector<std::byte> encode_handshake(cache::NodeId node);
 std::optional<cache::NodeId> decode_handshake(
     std::span<const std::byte> bytes);
 
-/// Encodes one envelope (payload copied from env.data->bytes, which must
-/// already be ready — the writer defers unready envelopes) plus the sender
-/// summary.
+/// Everything before the payload, length prefix included.
+using FrameHeaderBytes = std::array<std::byte, 4 + kFrameFixedSize>;
+
+/// Encodes one envelope's frame header — length prefix, sender summary, seq,
+/// epoch, message, payload_len — WITHOUT the payload bytes. The scatter-
+/// gather writer (TcpTransport::writer_loop) pairs this with an iovec
+/// pointing straight into the shared env.data->bytes buffer, so payloads
+/// never copy through an intermediate frame buffer. env.data, if present,
+/// must already be ready (the writer defers unready envelopes).
+FrameHeaderBytes encode_frame_header(const Envelope& env,
+                                     std::uint64_t sender_age,
+                                     bool sender_full);
+
+/// Encodes one whole frame, payload copied in after the header (tests and
+/// non-vectored paths; the TCP writer uses encode_frame_header instead).
 std::vector<std::byte> encode_frame(const Envelope& env,
                                     std::uint64_t sender_age,
                                     bool sender_full);

@@ -1,12 +1,15 @@
 #include "net/tcp_transport.hpp"
 
 #include <arpa/inet.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -44,6 +47,29 @@ bool write_all(int fd, const std::byte* buf, std::size_t len) {
     const ssize_t n = ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
     if (n <= 0) return false;
     put += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Writes every iovec fully, advancing across partial writes; false on
+/// error (peer gone). Mutates the iovec array as it advances.
+bool writev_all(int fd, iovec* iov, std::size_t iovcnt) {
+  std::size_t idx = 0;
+  while (idx < iovcnt) {
+    msghdr msg{};
+    msg.msg_iov = iov + idx;
+    msg.msg_iovlen = std::min(iovcnt - idx, static_cast<std::size_t>(IOV_MAX));
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    std::size_t left = static_cast<std::size_t>(n);
+    while (idx < iovcnt && left >= iov[idx].iov_len) {
+      left -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < iovcnt && left > 0) {
+      iov[idx].iov_base = static_cast<std::byte*>(iov[idx].iov_base) + left;
+      iov[idx].iov_len -= left;
+    }
   }
   return true;
 }
@@ -301,23 +327,43 @@ void TcpTransport::writer_loop(Connection& conn) {
     std::uint64_t age = proto::kNoAge;
     bool full = false;
     if (summary_) std::tie(age, full) = summary_();
-    std::vector<std::byte> buf;
+    // Scatter-gather framing: one fixed header buffer per envelope plus an
+    // iovec pointing straight into the shared BlockData payload buffer.
+    // Payload bytes never copy through an intermediate frame buffer
+    // (TransportStats::payload_copies stays 0 — CI-asserted); `sendable`
+    // keeps each BlockPtr alive until the writev completes.
+    std::vector<Envelope> sendable;
+    sendable.reserve(batch.size());
     for (auto& env : batch) {
       if (env.data && !env.data->is_ready()) {
         deferred.push_back(std::move(env));
         continue;
       }
-      const std::vector<std::byte> frame = encode_frame(env, age, full);
-      buf.insert(buf.end(), frame.begin(), frame.end());
+      sendable.push_back(std::move(env));
     }
-    if (buf.empty()) continue;
-    if (!write_all(conn.fd, buf.data(), buf.size())) {
+    if (sendable.empty()) continue;
+    std::vector<FrameHeaderBytes> headers;
+    headers.reserve(sendable.size());  // reserve: iovecs alias the elements
+    std::vector<iovec> iov;
+    iov.reserve(sendable.size() * 2);
+    std::size_t total = 0;
+    for (const Envelope& env : sendable) {
+      headers.push_back(encode_frame_header(env, age, full));
+      iov.push_back({headers.back().data(), headers.back().size()});
+      total += headers.back().size();
+      if (env.data && !env.data->bytes.empty()) {
+        iov.push_back({const_cast<std::byte*>(env.data->bytes.data()),
+                       env.data->bytes.size()});
+        total += env.data->bytes.size();
+      }
+    }
+    if (!writev_all(conn.fd, iov.data(), iov.size())) {
       drop_connection(conn.peer, /*frame_error=*/false);
       return;
     }
     util::ScopedLock lock(mu_);
     ++stats_.flushes;
-    stats_.bytes_sent += buf.size();
+    stats_.bytes_sent += total;
   }
 }
 

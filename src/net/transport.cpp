@@ -1,6 +1,7 @@
 #include "net/transport.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <thread>
 
@@ -115,6 +116,11 @@ bool InProcTransport::post(Envelope env) {
   if (env.msg.to >= mailboxes_.size()) {
     throw std::invalid_argument("InProcTransport: bad destination node");
   }
+  // Zero-copy contract: a payload-bearing envelope always carries its bytes
+  // as a shared BlockPtr moved through the mailbox — never a fresh buffer
+  // cloned from the sender's copy (stats_.payload_copies stays 0 by
+  // construction on this path).
+  assert(env.msg.bytes == 0 || env.data != nullptr);
   if (proto::is_reply(env.msg.kind) && env.seq != 0) {
     // Complete the caller blocked in call() directly — replies never take
     // the mailbox hop.

@@ -60,6 +60,11 @@ struct TransportStats {
   std::uint64_t rpc_timeouts = 0;    // call() deadlines that expired
   std::uint64_t rpc_retries = 0;     // call_with_retry re-attempts
   std::uint64_t rpc_failures = 0;    // retry budgets exhausted -> error
+  /// Send-side payload buffer copies. The zero-copy contract keeps this at 0
+  /// on every transport: in-proc delivery forwards the shared BlockPtr, and
+  /// the TCP writer scatter-gathers {frame header, payload} straight from
+  /// the shared BlockData buffer (CI asserts == 0 on the loopback cluster).
+  std::uint64_t payload_copies = 0;
 };
 
 /// Classified transport failure. Everything the transports throw on a

@@ -10,6 +10,11 @@ DirectoryService::DirectoryService(std::size_t nodes,
 DirectoryService::ReadLookup DirectoryService::lookup_for_read(
     NodeId node, const BlockId& b) {
   util::ScopedLock lock(mu_);
+  return lookup_for_read_locked(node, b);
+}
+
+DirectoryService::ReadLookup DirectoryService::lookup_for_read_locked(
+    NodeId node, const BlockId& b) {
   ++ops_.lookups;
   const NodeId truth = map_.lookup(b);
   const std::uint64_t epoch = file_epoch_locked(b.file);
@@ -41,6 +46,10 @@ NodeId DirectoryService::lookup(const BlockId& b) const {
 
 bool DirectoryService::try_claim(const BlockId& b, NodeId node) {
   util::ScopedLock lock(mu_);
+  return try_claim_locked(b, node);
+}
+
+bool DirectoryService::try_claim_locked(const BlockId& b, NodeId node) {
   const NodeId current = map_.lookup(b);
   if (current == node) return true;  // at-least-once re-ask: already ours
   if (current != cache::kInvalidNode) {
@@ -106,12 +115,51 @@ void DirectoryService::forward_rejected(const BlockId& b, NodeId from) {
 
 void DirectoryService::master_dropped(const BlockId& b, NodeId node) {
   util::ScopedLock lock(mu_);
+  master_dropped_locked(b, node);
+}
+
+void DirectoryService::master_dropped_locked(const BlockId& b, NodeId node) {
   if (map_.lookup(b) != node) return;  // a racing claim owns the entry now
   map_.erase_master(b);
   if (mode_ == cache::DirectoryMode::kHinted) {
     hints_.erase_master(b, node);
   }
   ++ops_.masters_dropped;
+}
+
+void DirectoryService::apply_batch(NodeId node,
+                                   std::span<const DirBatchItem> items,
+                                   std::vector<DirBatchResult>& out) {
+  util::ScopedLock lock(mu_);
+  out.reserve(out.size() + items.size());
+  for (const DirBatchItem& it : items) {
+    DirBatchResult r;
+    switch (it.op) {
+      case DirBatchOp::kLookupRead: {
+        const ReadLookup lk = lookup_for_read_locked(node, it.block);
+        r.node = lk.master;
+        r.epoch = lk.epoch;
+        if (lk.misdirected) r.flags |= kFlagMisdirected;
+        break;
+      }
+      case DirBatchOp::kTryClaim:
+        if (try_claim_locked(it.block, node)) r.flags |= kFlagGranted;
+        break;
+      case DirBatchOp::kMasterDropped:
+        master_dropped_locked(it.block, node);
+        break;
+      case DirBatchOp::kValidate:
+        // lookup() + read_cacheable() fused into one answer: the caller owns
+        // the comparison against its hint (see DirBatchOp::kValidate docs).
+        r.node = map_.lookup(it.block);
+        r.epoch = file_epoch_locked(it.block.file);
+        if (writes_in_flight_.find(it.block.file) == writes_in_flight_.end()) {
+          r.flags |= kFlagGranted;
+        }
+        break;
+    }
+    out.push_back(r);
+  }
 }
 
 NodeId DirectoryService::write_claim(const BlockId& b, NodeId writer) {

@@ -23,6 +23,7 @@
 
 #include "cache/directory.hpp"
 #include "cache/coop_cache.hpp"
+#include "proto/dir_batch.hpp"
 #include "proto/message.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -106,6 +107,15 @@ class DirectoryService {
   /// racing claim by another node is never erased.
   void master_dropped(const BlockId& b, NodeId node);
 
+  /// Batched entry point (kDirBatchRequest): applies every item issued by
+  /// `node` under ONE lock acquisition, appending one result per item in
+  /// order. Per-item semantics and Ops counters are exactly the singles
+  /// methods' — a batch and the same ops issued singly leave bit-identical
+  /// directory state (asserted in tests/test_proto.cpp), which is also what
+  /// keeps an at-least-once replay of the batch safe.
+  void apply_batch(NodeId node, std::span<const DirBatchItem> items,
+                   std::vector<DirBatchResult>& out);
+
   /// Write protocol: makes `writer` the registered master of `b`
   /// unconditionally and returns the previous holder (== writer: no
   /// re-registration). The caller migrates ownership from the previous
@@ -171,6 +181,13 @@ class DirectoryService {
   Message handle(const Message& request);
 
  private:
+  // Lock-free bodies of the batchable operations: the public singles methods
+  // and apply_batch() both dispatch here, so batched and single execution
+  // cannot drift apart.
+  ReadLookup lookup_for_read_locked(NodeId node, const BlockId& b)
+      REQUIRES(mu_);
+  bool try_claim_locked(const BlockId& b, NodeId node) REQUIRES(mu_);
+  void master_dropped_locked(const BlockId& b, NodeId node) REQUIRES(mu_);
   std::uint64_t file_epoch_locked(FileId file) const REQUIRES(mu_);
 
   mutable util::Mutex mu_{"proto.directory"};

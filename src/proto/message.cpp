@@ -1,5 +1,6 @@
 #include "proto/message.hpp"
 
+#include <cassert>
 #include <cstring>
 
 namespace coop::proto {
@@ -272,6 +273,39 @@ Message Message::dir_reply(NodeId home, NodeId to, const BlockId& b,
   return m;
 }
 
+Message Message::dir_batch_request(NodeId from, NodeId home,
+                                   std::uint32_t items, std::uint64_t bytes) {
+  Message m;
+  m.kind = MsgKind::kDirBatchRequest;
+  m.from = from;
+  m.to = home;
+  m.count = items;
+  m.bytes = bytes;
+  return m;
+}
+
+Message Message::dir_batch_reply(NodeId home, NodeId to, std::uint32_t items,
+                                 std::uint64_t bytes) {
+  Message m;
+  m.kind = MsgKind::kDirBatchReply;
+  m.from = home;
+  m.to = to;
+  m.count = items;
+  m.bytes = bytes;
+  return m;
+}
+
+NodeId Message::dir_result() const {
+  // The widening convention only works while NodeId fits in `count`; batch
+  // replies carry NodeIds in the payload instead and must never come here.
+  static_assert(sizeof(NodeId) < sizeof(std::uint32_t),
+                "kDirReply widens the result NodeId into `count`");
+  assert(kind == MsgKind::kDirReply &&
+         "dir_result() is the singles kDirReply convention; kDirBatchReply "
+         "results live in the payload");
+  return static_cast<NodeId>(count);
+}
+
 Message Message::storage_read(NodeId from, NodeId home, FileId file,
                               std::uint64_t offset, std::uint64_t length) {
   Message m;
@@ -375,6 +409,7 @@ bool is_reply(MsgKind kind) {
     case MsgKind::kStorageAck:
     case MsgKind::kBarrierReply:
     case MsgKind::kStatsReply:
+    case MsgKind::kDirBatchReply:
       return true;
     default:
       return false;
@@ -422,6 +457,8 @@ const char* kind_name(MsgKind kind) {
     case MsgKind::kDirPurgeNode: return "dir-purge-node";
     case MsgKind::kStatsPull: return "stats-pull";
     case MsgKind::kStatsReply: return "stats-reply";
+    case MsgKind::kDirBatchRequest: return "dir-batch-request";
+    case MsgKind::kDirBatchReply: return "dir-batch-reply";
   }
   return "unknown";
 }

@@ -87,11 +87,18 @@ enum class MsgKind : std::uint8_t {
   // merge the cluster-wide view (tools/ccm_metrics, ccm_node --scrape-out).
   kStatsPull,             // scraper -> node: send me your metrics snapshot
   kStatsReply,            // node -> scraper: encoded snapshot (payload)
+
+  // Batched directory ops (proto/dir_batch.hpp): a length-prefixed vector of
+  // per-block directory requests rides in the envelope payload, answered by
+  // one reply whose payload carries a result per item. One RPC and one
+  // directory-lock acquisition amortize over the whole batch.
+  kDirBatchRequest,       // node -> home: payload = encoded DirBatchItem[]
+  kDirBatchReply,         // home -> node: payload = encoded DirBatchResult[]
 };
 
 /// Number of distinct message kinds (wire-format validation bound).
 inline constexpr std::uint8_t kMsgKindCount =
-    static_cast<std::uint8_t>(MsgKind::kStatsReply) + 1;
+    static_cast<std::uint8_t>(MsgKind::kDirBatchReply) + 1;
 
 /// Flag bits (meaning depends on kind; unused bits must be zero).
 inline constexpr std::uint8_t kFlagMisdirected = 1u << 0;  // stale-hint hop(s)
@@ -178,6 +185,19 @@ struct Message {
   static Message dir_reply(NodeId home, NodeId to, const BlockId& b,
                            NodeId result, std::uint64_t epoch, bool granted,
                            bool misdirected);
+
+  // Batched directory ops: `count` is the item count, `bytes` the encoded
+  // payload length (dir_batch.hpp defines the payload layout).
+  static Message dir_batch_request(NodeId from, NodeId home,
+                                   std::uint32_t items, std::uint64_t bytes);
+  static Message dir_batch_reply(NodeId home, NodeId to, std::uint32_t items,
+                                 std::uint64_t bytes);
+
+  /// The result NodeId a singles kDirReply carries in `count` (kInvalidNode
+  /// widened to 32 bits when absent). kDirBatchReply carries its per-item
+  /// results in the payload, never here — this accessor asserts the kind so
+  /// batch replies can't silently be read as a node id through `count`.
+  [[nodiscard]] NodeId dir_result() const;
 
   // Remote-storage RPCs: `age` carries the byte offset, `bytes` the length.
   static Message storage_read(NodeId from, NodeId home, FileId file,

@@ -312,6 +312,11 @@ TEST(CcmCluster, PolicyParityWithBareClusterCache) {
   const auto sizes = make_sizes(40, /*seed=*/21);
   CcmConfig mc = small_config(3, 16);
   mc.workers_per_node = 1;
+  // Parity is against the bare engine's strictly per-block transitions; the
+  // batched read path amortizes them (one local-hit pass, grouped claims),
+  // which is equivalent in content but not in LRU trace. The singles
+  // protocol is the one that must stay step-identical.
+  mc.batch_directory = false;
   CcmCluster cluster(mc, std::make_shared<MemStorage>(sizes));
 
   cache::CoopCacheConfig cc;

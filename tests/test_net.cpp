@@ -25,6 +25,7 @@
 #include "net/frame.hpp"
 #include "net/tcp_transport.hpp"
 #include "net/transport.hpp"
+#include "proto/dir_batch.hpp"
 #include "sim/random.hpp"
 
 namespace coop {
@@ -230,22 +231,68 @@ TEST(Frame, GarbageMessageBytesPoisonWithoutDroppingEarlierFrames) {
   EXPECT_FALSE(reader.next().has_value());
 }
 
+/// A kDirBatchRequest envelope whose payload is a real encoded batch, the
+/// way RemoteDirectory ships one.
+net::Envelope make_batch_envelope(std::uint64_t seq, std::size_t items_n) {
+  std::vector<proto::DirBatchItem> items;
+  for (std::size_t i = 0; i < items_n; ++i) {
+    items.push_back({static_cast<proto::DirBatchOp>(i %
+                         proto::kDirBatchOpCount),
+                     {static_cast<cache::FileId>(i / 4),
+                      static_cast<std::uint32_t>(i % 4)},
+                     0});
+  }
+  auto payload = proto::encode_dir_batch_request(2, items);
+  net::Envelope env;
+  env.msg = proto::Message::dir_batch_request(
+      2, 0, static_cast<std::uint32_t>(items.size()), payload.size());
+  env.seq = seq;
+  env.epoch = 42;
+  env.data = net::make_ready_block(std::move(payload));
+  return env;
+}
+
+TEST(Frame, DirBatchPayloadSurvivesFraming) {
+  net::FrameReader reader;
+  ASSERT_TRUE(reader.feed(net::encode_frame(make_batch_envelope(5, 9), 0,
+                                            false)));
+  auto f = reader.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->env.msg.kind, proto::MsgKind::kDirBatchRequest);
+  ASSERT_NE(f->env.data, nullptr);
+  const auto req = proto::decode_dir_batch_request(f->env.data->bytes);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->node, 2);
+  ASSERT_EQ(req->items.size(), 9u);
+  EXPECT_EQ(req->items[3].op, proto::DirBatchOp::kValidate);
+  EXPECT_EQ(req->items[5].block.file, 1u);
+}
+
 // Deterministic seeded fuzz of the reassembler: whatever arrives — bit
 // flips, truncation, duplicated chunks, spliced garbage, arbitrary slice
 // boundaries — the reader either delivers well-formed frames or poisons the
 // stream. It never crashes, never loops, and never delivers past a poison.
+// Dir-batch frames ride in the mix: whenever one survives reassembly, its
+// payload goes through the strict batch decoder, which must reject or parse
+// — never crash — whatever the mutations left behind.
 TEST(Frame, SeededFuzzPoisonsButNeverCrashes) {
   sim::Rng rng(20260808);
   std::size_t poisoned_streams = 0;
   std::size_t delivered_frames = 0;
+  std::size_t decoded_batches = 0;
   for (int iter = 0; iter < 400; ++iter) {
     std::vector<std::byte> stream;
     const std::size_t frames = 1 + rng.uniform_int(4);
     for (std::size_t i = 0; i < frames; ++i) {
-      const std::size_t payload =
-          rng.uniform_int(3) == 0 ? 1 + rng.uniform_int(64) : 0;
-      const auto f = net::encode_frame(make_envelope(i + 1, payload),
-                                       rng.uniform_int(1000),
+      net::Envelope env;
+      if (rng.uniform_int(3) == 0) {
+        env = make_batch_envelope(i + 1, 1 + rng.uniform_int(12));
+      } else {
+        const std::size_t payload =
+            rng.uniform_int(3) == 0 ? 1 + rng.uniform_int(64) : 0;
+        env = make_envelope(i + 1, payload);
+      }
+      const auto f = net::encode_frame(env, rng.uniform_int(1000),
                                        rng.uniform_int(2) == 1);
       stream.insert(stream.end(), f.begin(), f.end());
     }
@@ -291,8 +338,18 @@ TEST(Frame, SeededFuzzPoisonsButNeverCrashes) {
                    static_cast<std::size_t>(1 + rng.uniform_int(48)));
       ok = reader.feed(std::span<const std::byte>(stream).subspan(off, n));
       off += n;
-      while (reader.next().has_value()) {
+      while (auto f = reader.next()) {
         ++delivered_frames;
+        if (f->env.msg.kind == proto::MsgKind::kDirBatchRequest &&
+            f->env.data != nullptr) {
+          // Strict payload decode under fuzz: nullopt or a parse whose item
+          // count matches its own header — never a crash or over-read.
+          if (const auto req =
+                  proto::decode_dir_batch_request(f->env.data->bytes)) {
+            ++decoded_batches;
+            EXPECT_LE(req->items.size(), proto::kDirBatchMaxItems);
+          }
+        }
       }
     }
     if (reader.poisoned()) {
@@ -301,9 +358,11 @@ TEST(Frame, SeededFuzzPoisonsButNeverCrashes) {
       EXPECT_FALSE(reader.next().has_value());    // delivers nothing more
     }
   }
-  // The sweep must exercise both outcomes, or it is not testing anything.
+  // The sweep must exercise both outcomes, or it is not testing anything —
+  // and some batch payloads must survive intact to prove the decode ran.
   EXPECT_GT(poisoned_streams, 0u);
   EXPECT_GT(delivered_frames, 0u);
+  EXPECT_GT(decoded_batches, 0u);
 }
 
 // ---------------------------------------------------------- transports ----
@@ -629,6 +688,12 @@ TEST(ClusterOverTcp, StorageBytesMatchInProcessRun) {
   clusters[0].reset();
 
   EXPECT_EQ(storage_bytes(*home_storage), expected);
+
+  // The zero-copy contract: every payload left each node as an iovec over
+  // the shared BlockData — nothing was staged through an intermediate copy.
+  for (std::size_t n = 0; n < kEqNodes; ++n) {
+    EXPECT_EQ(transports[n]->stats().payload_copies, 0u) << "node " << n;
+  }
 }
 
 }  // namespace

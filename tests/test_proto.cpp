@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cache/coop_cache.hpp"
+#include "proto/dir_batch.hpp"
 #include "proto/directory_service.hpp"
 #include "proto/message.hpp"
 #include "proto/node_state.hpp"
@@ -48,6 +49,8 @@ std::vector<Message> all_message_kinds() {
       Message::write_ownership_reply(2, 0, b, /*transferred=*/true, 8192),
       Message::stats_pull(1, 0),
       Message::stats_reply(0, 1, 512),
+      Message::dir_batch_request(1, 0, /*items=*/3, /*bytes=*/58),
+      Message::dir_batch_reply(0, 1, /*items=*/3, /*bytes=*/38),
   };
 }
 
@@ -109,6 +112,110 @@ TEST(WireFormat, KindNamesAreStable) {
   EXPECT_STREQ(kind_name(MsgKind::kMasterForward), "master-forward");
   EXPECT_STREQ(kind_name(MsgKind::kWriteOwnershipReply),
                "write-ownership-reply");
+}
+
+// -------------------------------------------------------- dir batch codec ---
+
+std::vector<DirBatchItem> sample_batch_items() {
+  return {
+      {DirBatchOp::kLookupRead, {7, 0}, 0},
+      {DirBatchOp::kTryClaim, {7, 1}, 0},
+      {DirBatchOp::kMasterDropped, {0xFFFF'FFFFu, 0xFFFF'FFFFu}, 0},
+      {DirBatchOp::kValidate, {3, 9}, 0xDEAD'BEEF'CAFE'F00Dull},
+  };
+}
+
+TEST(DirBatchCodec, RequestRoundTripsEveryOp) {
+  const auto items = sample_batch_items();
+  const auto wire = encode_dir_batch_request(2, items);
+  EXPECT_EQ(wire.size(),
+            kDirBatchRequestHeader + items.size() * kDirBatchItemWire);
+  const auto back = decode_dir_batch_request(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->node, 2);
+  EXPECT_EQ(back->items, items);
+
+  // The empty batch is well-formed (the client never sends one, but the
+  // decoder must not treat count == 0 as malformed).
+  const auto empty = encode_dir_batch_request(1, {});
+  const auto empty_back = decode_dir_batch_request(empty);
+  ASSERT_TRUE(empty_back.has_value());
+  EXPECT_TRUE(empty_back->items.empty());
+}
+
+TEST(DirBatchCodec, ReplyRoundTripsFlagsAndEpochExtremes) {
+  const std::vector<DirBatchResult> results = {
+      {3, 0, 0},
+      {cache::kInvalidNode, ~0ull, kFlagGranted},
+      {0, 1, static_cast<std::uint8_t>(kFlagGranted | kFlagMisdirected)},
+  };
+  const auto wire = encode_dir_batch_reply(results);
+  EXPECT_EQ(wire.size(),
+            kDirBatchReplyHeader + results.size() * kDirBatchResultWire);
+  const auto back = decode_dir_batch_reply(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, results);
+  EXPECT_TRUE((*back)[1].has(kFlagGranted));
+  EXPECT_FALSE((*back)[0].has(kFlagGranted));
+}
+
+TEST(DirBatchCodec, RequestDecodeIsStrict) {
+  const auto wire = encode_dir_batch_request(2, sample_batch_items());
+  // Every truncation fails — the length must match the count exactly...
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(decode_dir_batch_request({wire.data(), len}).has_value())
+        << len;
+  }
+  // ...and so do trailing bytes (reject, never guess).
+  auto padded = wire;
+  padded.push_back(std::byte{0});
+  EXPECT_FALSE(decode_dir_batch_request(padded).has_value());
+
+  auto bad_version = wire;
+  bad_version[0] = static_cast<std::byte>(kDirBatchVersion + 1);
+  EXPECT_FALSE(decode_dir_batch_request(bad_version).has_value());
+
+  auto bad_op = wire;
+  bad_op[kDirBatchRequestHeader] = static_cast<std::byte>(kDirBatchOpCount);
+  EXPECT_FALSE(decode_dir_batch_request(bad_op).has_value());
+
+  // An inflated count disagrees with the byte length.
+  auto bad_count = wire;
+  bad_count[3] = static_cast<std::byte>(
+      std::to_integer<std::uint8_t>(bad_count[3]) + 1);
+  EXPECT_FALSE(decode_dir_batch_request(bad_count).has_value());
+
+  // A count past the allocation bound is rejected before any item parsing.
+  std::vector<std::byte> huge(kDirBatchRequestHeader, std::byte{0});
+  huge[0] = static_cast<std::byte>(kDirBatchVersion);
+  const std::uint32_t over = kDirBatchMaxItems + 1;
+  for (int i = 0; i < 4; ++i) {
+    huge[3 + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((over >> (8 * i)) & 0xFF);
+  }
+  EXPECT_FALSE(decode_dir_batch_request(huge).has_value());
+}
+
+TEST(DirBatchCodec, ReplyDecodeIsStrict) {
+  const std::vector<DirBatchResult> results = {{1, 7, kFlagGranted}};
+  const auto wire = encode_dir_batch_reply(results);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(decode_dir_batch_reply({wire.data(), len}).has_value())
+        << len;
+  }
+  auto padded = wire;
+  padded.push_back(std::byte{0});
+  EXPECT_FALSE(decode_dir_batch_reply(padded).has_value());
+
+  auto bad_version = wire;
+  bad_version[0] = static_cast<std::byte>(kDirBatchVersion + 1);
+  EXPECT_FALSE(decode_dir_batch_reply(bad_version).has_value());
+
+  // Reserved flag bits in a result byte poison the whole reply.
+  auto bad_flags = wire;
+  bad_flags[kDirBatchReplyHeader + kDirBatchResultWire - 1] =
+      std::byte{0x80};
+  EXPECT_FALSE(decode_dir_batch_reply(bad_flags).has_value());
 }
 
 // ---------------------------------------------------------- plan lowering ---
@@ -619,6 +726,128 @@ TEST(DirectoryService, MessageAdapterAnswersLookupAndClaim) {
   const Message hit = dir.handle(Message::block_lookup(2, b));
   EXPECT_TRUE(hit.has(kFlagHit));
   EXPECT_EQ(hit.from, 1);  // reply names the master holder
+}
+
+// -------------------------------------- batched vs singles equivalence ---
+
+/// Applies one batch item through the singles protocol — the exact calls
+/// RemoteDirectory's no-batch fallback and the pre-batch runtime made — and
+/// returns the result the batch op must match.
+DirBatchResult apply_single(DirectoryService& dir, cache::NodeId node,
+                            const DirBatchItem& it) {
+  DirBatchResult r;
+  switch (it.op) {
+    case DirBatchOp::kLookupRead: {
+      const auto lk = dir.lookup_for_read(node, it.block);
+      r.node = lk.master;
+      r.epoch = lk.epoch;
+      if (lk.misdirected) r.flags |= kFlagMisdirected;
+      break;
+    }
+    case DirBatchOp::kTryClaim:
+      if (dir.try_claim(it.block, node)) r.flags |= kFlagGranted;
+      break;
+    case DirBatchOp::kMasterDropped:
+      dir.master_dropped(it.block, node);
+      break;
+    case DirBatchOp::kValidate:
+      r.node = dir.lookup(it.block);
+      r.epoch = dir.file_epoch(it.block.file);
+      if (dir.read_cacheable(it.block.file, r.epoch)) r.flags |= kFlagGranted;
+      break;
+  }
+  return r;
+}
+
+TEST(DirBatchEquivalence, BatchedScriptMatchesSinglesStateExactly) {
+  // Two directories fed the same deterministic mixed script: one through
+  // apply_batch (with every batch routed through the wire codec, the way the
+  // runtime ships it), one op at a time through the singles entry points.
+  // Every per-item result and the complete final state must be identical —
+  // the batch path is an amortization, never a semantic change.
+  constexpr std::size_t kNodes = 4;
+  constexpr cache::FileId kFiles = 6;
+  constexpr std::uint32_t kIndexes = 4;
+  DirectoryService batched(kNodes, cache::DirectoryMode::kPerfect, 1);
+  DirectoryService singles(kNodes, cache::DirectoryMode::kPerfect, 1);
+
+  std::vector<DirBatchItem> pending;
+  std::vector<cache::FileId> open_spans;
+  auto flush = [&](cache::NodeId node) {
+    if (pending.empty()) return;
+    const auto wire = encode_dir_batch_request(node, pending);
+    const auto req = decode_dir_batch_request(wire);
+    ASSERT_TRUE(req.has_value());
+    ASSERT_EQ(req->node, node);
+    std::vector<DirBatchResult> got;
+    batched.apply_batch(req->node, req->items, got);
+    const auto reply = decode_dir_batch_reply(encode_dir_batch_reply(got));
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->size(), pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const DirBatchResult want = apply_single(singles, node, pending[i]);
+      EXPECT_EQ((*reply)[i], want)
+          << "item " << i << " op "
+          << static_cast<int>(pending[i].op) << " block "
+          << pending[i].block.file << "/" << pending[i].block.index;
+    }
+    pending.clear();
+  };
+
+  cache::NodeId node = 0;
+  for (int i = 0; i < 600; ++i) {
+    const auto next = static_cast<cache::NodeId>((i * 5 + i / 7) % kNodes);
+    if (next != node) flush(node);  // a batch carries one requester
+    node = next;
+    const BlockId b{static_cast<cache::FileId>((i * 7 + 3) % kFiles),
+                    static_cast<std::uint32_t>((i * 3) % kIndexes)};
+    pending.push_back({static_cast<DirBatchOp>(i % kDirBatchOpCount), b, 0});
+    if (pending.size() == static_cast<std::size_t>(1 + i % 8)) flush(node);
+    if (i % 31 == 0) {
+      // Write spans are not batched ops; drive them identically on both
+      // sides so epochs and in-flight write state diverge if batching leaks.
+      flush(node);
+      batched.write_begin(b.file);
+      singles.write_begin(b.file);
+      EXPECT_EQ(batched.write_claim(b, node), singles.write_claim(b, node));
+      if (i % 62 == 0) {
+        batched.write_end(b.file);
+        singles.write_end(b.file);
+      } else {
+        open_spans.push_back(b.file);  // stays open across the next batches
+      }
+    }
+    if (i % 93 == 1 && !open_spans.empty()) {
+      flush(node);
+      batched.write_end(open_spans.back());
+      singles.write_end(open_spans.back());
+      open_spans.pop_back();
+    }
+  }
+  flush(node);
+  for (const cache::FileId f : open_spans) {
+    batched.write_end(f);
+    singles.write_end(f);
+  }
+
+  // Final state: master map, per-file epochs, census, and every counter.
+  for (cache::FileId f = 0; f < kFiles; ++f) {
+    EXPECT_EQ(batched.file_epoch(f), singles.file_epoch(f)) << "file " << f;
+    for (std::uint32_t idx = 0; idx < kIndexes; ++idx) {
+      const BlockId b{f, idx};
+      EXPECT_EQ(batched.lookup(b), singles.lookup(b))
+          << "block " << f << "/" << idx;
+    }
+  }
+  EXPECT_EQ(batched.master_count(), singles.master_count());
+  const auto& bo = batched.ops();
+  const auto& so = singles.ops();
+  EXPECT_EQ(bo.lookups, so.lookups);
+  EXPECT_EQ(bo.claims, so.claims);
+  EXPECT_EQ(bo.claim_conflicts, so.claim_conflicts);
+  EXPECT_EQ(bo.masters_dropped, so.masters_dropped);
+  EXPECT_EQ(bo.write_claims, so.write_claims);
+  EXPECT_EQ(bo.hint_misdirects, so.hint_misdirects);
 }
 
 }  // namespace
